@@ -1,0 +1,249 @@
+(* The benchmark harness.
+
+   The paper is a theory paper, so there are no tables or figures of
+   measurements to replicate; its "evaluation" is a set of theorems.
+   This harness regenerates, on every run:
+
+   - the E-table: one row per theorem/proof-scenario experiment
+     (E1-E9, see DESIGN.md), each validated by independent property
+     checkers over randomized or scripted runs;
+   - the B-tables: decision latency of the consensus algorithms
+     across environments (B1), sensitivity to the detectors'
+     stabilization time (B2), and the cost of the DAG-based
+     transformation machinery (B3);
+   - bechamel microbenchmarks of the substrate hot paths (B4).
+
+   Run with: dune exec bench/main.exe *)
+open Procset
+
+let pf = Format.printf
+
+let hr title =
+  pf "@.===================================================================@.";
+  pf "%s@." title;
+  pf "===================================================================@."
+
+(* ---------------------------------------------------------------- *)
+(* E-table                                                           *)
+(* ---------------------------------------------------------------- *)
+
+let experiment_table () =
+  hr "E-table: theorem validation (quick sweeps; full sweeps in `dune \
+      runtest`)";
+  let rows = Experiments.all ~quick:true () in
+  List.iter (fun r -> pf "%a@.@." Experiments.pp_row r) rows;
+  let failed = List.filter (fun r -> not r.Experiments.pass) rows in
+  pf "E-table summary: %d/%d experiments PASS@."
+    (List.length rows - List.length failed)
+    (List.length rows)
+
+(* ---------------------------------------------------------------- *)
+(* B1: decision latency across environments                          *)
+(* ---------------------------------------------------------------- *)
+
+let b1_latency () =
+  hr "B1: decision latency (avg over seeds; rounds = consensus rounds of \
+      correct deciders)";
+  pf "%s@." Experiments.latency_header;
+  let seeds = [ 0; 1; 2; 3; 4 ] in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun t ->
+          if t < n then begin
+            if 2 * t < n then begin
+              pf "%a@." Experiments.pp_latency_row
+                (Experiments.latency Experiments.Mr_majority ~n ~t ~seeds);
+              pf "%a@." Experiments.pp_latency_row
+                (Experiments.latency Experiments.Ct ~n ~t ~seeds)
+            end;
+            pf "%a@." Experiments.pp_latency_row
+              (Experiments.latency Experiments.Mr_sigma ~n ~t ~seeds);
+            pf "%a@." Experiments.pp_latency_row
+              (Experiments.latency Experiments.Anuc ~n ~t ~seeds)
+          end)
+        [ 1; 2; 4 ])
+    [ 3; 5; 7 ];
+  pf "@.Stack (consensus from raw (Omega, Sigma-nu), incl. the emulation \
+      layer):@.";
+  List.iter
+    (fun (n, t) ->
+      pf "%a@." Experiments.pp_latency_row
+        (Experiments.latency Experiments.Stack ~n ~t ~seeds:[ 0; 1; 2 ]))
+    [ (4, 1); (4, 3) ]
+
+(* ---------------------------------------------------------------- *)
+(* B2: sensitivity to detector stabilization time                    *)
+(* ---------------------------------------------------------------- *)
+
+let b2_stabilization () =
+  hr "B2: steps to full decision vs detector stabilization time (n=5, t=2)";
+  pf "%-12s %10s %8s %12s@." "algorithm" "stab_time" "runs" "avg_steps";
+  List.iter
+    (fun (name, algo) ->
+      let rows =
+        Experiments.stabilization_series algo ~n:5 ~t:2
+          ~stabs:[ 0; 50; 150; 300 ] ~seeds:[ 0; 1; 2 ]
+      in
+      List.iter
+        (fun r ->
+          pf "%-12s %10d %8d %12.1f@." name r.Experiments.stab_time
+            r.Experiments.s_runs r.Experiments.s_avg_steps)
+        rows)
+    [ ("MR-Sigma", Experiments.Mr_sigma); ("A_nuc", Experiments.Anuc) ]
+
+(* ---------------------------------------------------------------- *)
+(* B3: transformation cost                                           *)
+(* ---------------------------------------------------------------- *)
+
+let b3_dag_growth () =
+  hr "B3: T_{Sigma-nu -> Sigma-nu+} cost vs run length (n=4; DAG pruned to \
+      a sliding window)";
+  pf "%8s %10s %10s %12s %10s@." "steps" "dag_nodes" "weave_len"
+    "extractions" "wall_ms";
+  List.iter
+    (fun r ->
+      pf "%8d %10d %10d %12d %10.1f@." r.Experiments.d_steps
+        r.Experiments.dag_nodes r.Experiments.spine_len
+        r.Experiments.extractions_total r.Experiments.wall_ms)
+    (Experiments.dag_growth ~n:4 ~steps_list:[ 200; 400; 800; 1600 ])
+
+(* ---------------------------------------------------------------- *)
+(* B5: the mechanism ablation                                        *)
+(* ---------------------------------------------------------------- *)
+
+let b5_ablation () =
+  hr "B5: A_nuc mechanism ablation (scripted Sec-6.3 adversary + \
+      randomized adversarial sweeps, n=4)";
+  pf "%s@." Experiments.ablation_header;
+  List.iter
+    (fun r -> pf "%a@." Experiments.pp_ablation_row r)
+    (Experiments.ablation ~quick:true ())
+
+(* ---------------------------------------------------------------- *)
+(* B4: bechamel microbenchmarks                                      *)
+(* ---------------------------------------------------------------- *)
+
+let bench_pset =
+  let a = Pset.of_list [ 0; 2; 4; 6 ] and b = Pset.of_list [ 1; 2; 3 ] in
+  Bechamel.Test.make ~name:"pset-inter-subset"
+    (Bechamel.Staged.stage (fun () ->
+         ignore (Pset.intersects a b);
+         ignore (Pset.subset (Pset.inter a b) a)))
+
+let bench_qhist_distrust =
+  let h =
+    List.fold_left
+      (fun h (p, q) -> Core.Qhist.add h p (Pset.of_list q))
+      Core.Qhist.empty
+      [
+        (0, [ 0; 1 ]);
+        (0, [ 0; 2 ]);
+        (1, [ 1; 2 ]);
+        (2, [ 2; 3 ]);
+        (3, [ 0; 3 ]);
+        (3, [ 3 ]);
+      ]
+  in
+  Bechamel.Test.make ~name:"qhist-distrusts"
+    (Bechamel.Staged.stage (fun () ->
+         ignore (Core.Qhist.distrusts ~self:0 ~n:4 h 3)))
+
+let bench_dag_add =
+  Bechamel.Test.make ~name:"dag-add-sample-100"
+    (Bechamel.Staged.stage (fun () ->
+         let g = ref Dagsim.Dag.empty in
+         for i = 1 to 100 do
+           g :=
+             Dagsim.Dag.add_sample !g
+               {
+                 Dagsim.Node.owner = i mod 4;
+                 index = 1 + (i / 4);
+                 value = Sim.Fd_value.Quorum (Pset.singleton (i mod 4));
+               }
+         done))
+
+let dag_200 =
+  let g = ref Dagsim.Dag.empty in
+  for i = 1 to 200 do
+    g :=
+      Dagsim.Dag.add_sample !g
+        {
+          Dagsim.Node.owner = i mod 4;
+          index = 1 + (i / 4);
+          value = Sim.Fd_value.Quorum (Pset.singleton (i mod 4));
+        }
+  done;
+  !g
+
+let bench_dag_weave =
+  let from = List.hd (Dagsim.Dag.samples_of dag_200 0) in
+  Bechamel.Test.make ~name:"dag-weave-200"
+    (Bechamel.Staged.stage (fun () ->
+         ignore (Dagsim.Dag.weave dag_200 ~from)))
+
+let bench_anuc_consensus =
+  let pattern = Sim.Failure_pattern.make ~n:4 ~crashes:[] in
+  let oracle =
+    Fd.Oracle.pair
+      (Fd.Oracle.omega ~stab_time:0 pattern)
+      (Fd.Oracle.sigma_nu_plus ~stab_time:0 pattern)
+  in
+  let module R = Sim.Runner.Make (Core.Anuc) in
+  Bechamel.Test.make ~name:"anuc-full-consensus-n4"
+    (Bechamel.Staged.stage (fun () ->
+         ignore
+           (R.exec ~record:false ~pattern ~fd:oracle.Fd.Oracle.query
+              ~inputs:(fun p -> p mod 2)
+              ~max_steps:2000
+              ~stop:(fun st _ ->
+                Pset.for_all
+                  (fun p -> Core.Anuc.decision (st p) <> None)
+                  (Pset.full ~n:4))
+              ())))
+
+let b4_micro () =
+  hr "B4: microbenchmarks (bechamel, ns per run)";
+  let tests =
+    Bechamel.Test.make_grouped ~name:"micro"
+      [
+        bench_pset;
+        bench_qhist_distrust;
+        bench_dag_add;
+        bench_dag_weave;
+        bench_anuc_consensus;
+      ]
+  in
+  let instances = Bechamel.Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Bechamel.Benchmark.cfg ~limit:1000 ~quota:(Bechamel.Time.second 0.4) ()
+  in
+  let raw = Bechamel.Benchmark.all cfg instances tests in
+  let analyzed =
+    Bechamel.Analyze.all
+      (Bechamel.Analyze.ols ~bootstrap:0 ~r_square:false
+         ~predictors:[| Bechamel.Measure.run |])
+      Bechamel.Toolkit.Instance.monotonic_clock raw
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let est =
+        match Bechamel.Analyze.OLS.estimates ols with
+        | Some [ e ] -> e
+        | Some _ | None -> nan
+      in
+      rows := (name, est) :: !rows)
+    analyzed;
+  List.iter
+    (fun (name, est) -> pf "%-32s %14.1f ns/run@." name est)
+    (List.sort compare !rows)
+
+let () =
+  pf "nonuniform-consensus benchmark harness@.";
+  experiment_table ();
+  b1_latency ();
+  b2_stabilization ();
+  b3_dag_growth ();
+  b5_ablation ();
+  b4_micro ()

@@ -1,0 +1,263 @@
+(* nuc_cli — command-line driver for the nonuniform-consensus
+   reproduction.
+
+   Subcommands:
+     run          one consensus run (a_nuc | mr_majority | mr_sigma | stack)
+     experiments  the E-table of theorem validations (see DESIGN.md)
+     check        generate an oracle history and validate it
+     scenario     the proof scenarios (contamination | separation) *)
+
+
+let pf = Format.printf
+
+(* ---------------------------------------------------------------- *)
+(* run                                                               *)
+(* ---------------------------------------------------------------- *)
+
+let parse_algo = function
+  | "a_nuc" -> Ok Experiments.Anuc
+  | "mr_majority" -> Ok Experiments.Mr_majority
+  | "mr_sigma" -> Ok Experiments.Mr_sigma
+  | "stack" -> Ok Experiments.Stack
+  | "ct" -> Ok Experiments.Ct
+  | s ->
+    Error
+      (`Msg
+         (Printf.sprintf
+            "unknown algorithm %S (expected a_nuc | mr_majority | mr_sigma \
+             | stack | ct)"
+            s))
+
+let algo_conv =
+  Cmdliner.Arg.conv
+    ( parse_algo,
+      fun fmt a ->
+        Format.pp_print_string fmt
+          (match a with
+          | Experiments.Anuc -> "a_nuc"
+          | Experiments.Mr_majority -> "mr_majority"
+          | Experiments.Mr_sigma -> "mr_sigma"
+          | Experiments.Stack -> "stack"
+          | Experiments.Ct -> "ct") )
+
+let run_consensus algo n t seed =
+  if t >= n then (
+    pf "error: need t < n@.";
+    exit 1);
+  if (algo = Experiments.Mr_majority || algo = Experiments.Ct) && 2 * t >= n
+  then (
+    pf "error: this algorithm requires t < n/2 (got n=%d t=%d)@." n t;
+    exit 1);
+  let r = Experiments.latency algo ~n ~t ~seeds:[ seed ] in
+  pf "%s, n=%d, E_%d, seed %d:@."  r.Experiments.algorithm n t seed;
+  pf "  all correct processes decided: %b@."
+    (r.Experiments.decided = r.Experiments.runs);
+  pf "  decision round (avg): %.1f@." r.Experiments.avg_rounds;
+  pf "  simulation steps:     %.0f@." r.Experiments.avg_steps;
+  pf "  messages sent:        %.0f@." r.Experiments.avg_msgs
+
+(* ---------------------------------------------------------------- *)
+(* experiments                                                       *)
+(* ---------------------------------------------------------------- *)
+
+let run_ablation quick =
+  pf "%s@." Experiments.ablation_header;
+  List.iter
+    (fun r -> pf "%a@." Experiments.pp_ablation_row r)
+    (Experiments.ablation ~quick ())
+
+let run_experiments quick only =
+  let rows =
+    match only with
+    | None -> Experiments.all ~quick ()
+    | Some id -> (
+      let pick =
+        [
+          ("e1", Experiments.e1_extract_sigma_nu);
+          ("e2", Experiments.e2_extract_sigma);
+          ("e3", Experiments.e3_boost);
+          ("e4", Experiments.e4_anuc);
+          ("e5", Experiments.e5_stack);
+          ("e6", Experiments.e6_contamination);
+          ("e7", Experiments.e7_sigma_scratch);
+          ("e8", Experiments.e8_attack);
+          ("e9", Experiments.e9_merge);
+          ("e10", Experiments.e10_not_uniform);
+        ]
+      in
+      match List.assoc_opt (String.lowercase_ascii id) pick with
+      | Some f -> [ f ~quick () ]
+      | None ->
+        pf "unknown experiment %S (expected e1..e9)@." id;
+        exit 1)
+  in
+  List.iter (fun r -> pf "%a@.@." Experiments.pp_row r) rows;
+  if List.for_all (fun r -> r.Experiments.pass) rows then pf "ALL PASS@."
+  else begin
+    pf "SOME EXPERIMENTS FAILED@.";
+    exit 1
+  end
+
+(* ---------------------------------------------------------------- *)
+(* check                                                             *)
+(* ---------------------------------------------------------------- *)
+
+let run_check detector n t seed horizon =
+  let env = Sim.Env.make ~n ~max_faulty:t in
+  let rng = Random.State.make [| seed |] in
+  let pattern = Sim.Env.random_pattern rng ~crash_window:(horizon / 3) env in
+  pf "pattern: %a@." Sim.Failure_pattern.pp pattern;
+  let stab = (2 * horizon) / 3 in
+  let check name oracle checker =
+    let h = Fd.Oracle.history ~horizon ~n oracle in
+    match checker h with
+    | Ok () -> pf "%s: history of %d samples conforms@." name ((horizon + 1) * n)
+    | Error v -> pf "%s: VIOLATION %a@." name Fd.Check.pp_violation v
+  in
+  match detector with
+  | "omega" ->
+    check "Omega"
+      (Fd.Oracle.omega ~seed ~stab_time:stab pattern)
+      (Fd.Check.omega ~max_stab:stab pattern)
+  | "sigma" ->
+    check "Sigma"
+      (Fd.Oracle.sigma ~seed ~stab_time:stab pattern)
+      (Fd.Check.sigma ~max_stab:stab pattern)
+  | "sigma_nu" ->
+    check "Sigma-nu"
+      (Fd.Oracle.sigma_nu ~seed ~stab_time:stab pattern)
+      (Fd.Check.sigma_nu ~max_stab:stab pattern)
+  | "sigma_nu_plus" ->
+    check "Sigma-nu+"
+      (Fd.Oracle.sigma_nu_plus ~seed ~stab_time:stab pattern)
+      (Fd.Check.sigma_nu_plus ~max_stab:stab pattern)
+  | "eventually_strong" ->
+    check "<>S"
+      (Fd.Oracle.eventually_strong ~seed ~stab_time:stab pattern)
+      (Fd.Check.eventually_strong ~max_stab:stab pattern)
+  | s ->
+    pf "unknown detector %S (omega | sigma | sigma_nu | sigma_nu_plus | \
+        eventually_strong)@."
+      s;
+    exit 1
+
+(* ---------------------------------------------------------------- *)
+(* scenario                                                          *)
+(* ---------------------------------------------------------------- *)
+
+let run_scenario name =
+  let report o =
+    List.iter (fun line -> pf "%s@." line) o.Core.Scenario.trace;
+    pf "agreement violated: %b; adversary history legal: %b@."
+      o.Core.Scenario.agreement_violated
+      (Result.is_ok o.Core.Scenario.history_valid)
+  in
+  match name with
+  | "contamination" -> report (Core.Scenario.contamination_naive_mr ())
+  | "contamination_unsafe_anuc" ->
+    report (Core.Scenario.contamination_anuc_unsafe ())
+  | "separation" ->
+    let module Atk = Core.Separation.Attack (Core.Separation.Sigma_scratch) in
+    List.iter
+      (fun (n, t) ->
+        pf "--- n=%d t=%d ---@." n t;
+        match Atk.run ~n ~t ~inputs:(fun _ -> t) () with
+        | Ok o -> pf "%a@." Atk.pp_outcome o
+        | Error e -> pf "%s@." e)
+      [ (4, 1); (4, 2); (6, 3) ]
+  | s ->
+    pf "unknown scenario %S (contamination | contamination_unsafe_anuc | \
+        separation)@."
+      s;
+    exit 1
+
+(* ---------------------------------------------------------------- *)
+(* cmdliner plumbing                                                 *)
+(* ---------------------------------------------------------------- *)
+
+open Cmdliner
+
+let n_arg =
+  Arg.(value & opt int 5 & info [ "n" ] ~docv:"N" ~doc:"Number of processes.")
+
+let t_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "t" ] ~docv:"T" ~doc:"Maximum number of faulty processes.")
+
+let seed_arg =
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let run_cmd =
+  let algo =
+    Arg.(
+      value
+      & opt algo_conv Experiments.Anuc
+      & info [ "algo" ] ~docv:"ALGO"
+          ~doc:"Algorithm: a_nuc | mr_majority | mr_sigma | stack | ct.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one consensus instance in a simulated system")
+    Term.(const run_consensus $ algo $ n_arg $ t_arg $ seed_arg)
+
+let experiments_cmd =
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Reduced sweeps (faster).")
+  in
+  let only =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "only" ] ~docv:"ID" ~doc:"Run a single experiment (e1..e10).")
+  in
+  Cmd.v
+    (Cmd.info "experiments"
+       ~doc:"Validate the paper's theorems (the E-table of DESIGN.md)")
+    Term.(const run_experiments $ quick $ only)
+
+let check_cmd =
+  let detector =
+    Arg.(
+      value & opt string "sigma_nu_plus"
+      & info [ "detector" ] ~docv:"D"
+          ~doc:"omega | sigma | sigma_nu | sigma_nu_plus | eventually_strong.")
+  in
+  let horizon =
+    Arg.(
+      value & opt int 300
+      & info [ "horizon" ] ~docv:"H" ~doc:"Sampled history length.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Generate a failure-detector history and validate it")
+    Term.(const run_check $ detector $ n_arg $ t_arg $ seed_arg $ horizon)
+
+let ablation_cmd =
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Reduced sweeps (faster).")
+  in
+  Cmd.v
+    (Cmd.info "ablation"
+       ~doc:"The A_nuc mechanism-necessity study (distrust / awareness)")
+    Term.(const run_ablation $ quick)
+
+let scenario_cmd =
+  let scenario_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SCENARIO" ~doc:"contamination | separation.")
+  in
+  Cmd.v
+    (Cmd.info "scenario" ~doc:"Run a proof scenario from the paper")
+    Term.(const run_scenario $ scenario_arg)
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "nuc_cli" ~version:"1.0.0"
+       ~doc:
+         "The weakest failure detector to solve nonuniform consensus — \
+          executable reproduction")
+    [ run_cmd; experiments_cmd; check_cmd; scenario_cmd; ablation_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/contamination_demo.ml: Array Consensus Core Fd Format List Procset Pset Sim

@@ -1,0 +1,1 @@
+examples/contamination_demo.mli:

@@ -1,0 +1,1 @@
+examples/detector_tour.mli:

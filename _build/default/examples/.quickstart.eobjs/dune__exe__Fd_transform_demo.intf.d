@@ -1,0 +1,1 @@
+examples/fd_transform_demo.mli:

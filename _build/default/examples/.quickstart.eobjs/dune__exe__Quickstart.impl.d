@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Consensus Core Fd Format List Option Pid Procset Pset Sim

@@ -1,0 +1,1 @@
+examples/replicated_log.ml: Array Fd Format Hashtbl List Printf Procset Pset Sim Smr String

@@ -1,0 +1,1 @@
+examples/separation_demo.ml: Array Core Fd Format List Procset Pset Sim

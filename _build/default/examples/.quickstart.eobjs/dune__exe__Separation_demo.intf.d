@@ -1,0 +1,1 @@
+examples/separation_demo.mli:

@@ -1,0 +1,1 @@
+lib/consensus/ct.ml: Format Int List Map Option Pid Procset Pset Sim Value

@@ -1,0 +1,1 @@
+lib/consensus/ct.mli: Sim Value

@@ -1,0 +1,1 @@
+lib/consensus/mr.ml: Format Int List Map Option Pid Procset Pset Sim Value

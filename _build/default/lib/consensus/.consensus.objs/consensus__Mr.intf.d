@@ -1,0 +1,1 @@
+lib/consensus/mr.mli: Format Sim Value

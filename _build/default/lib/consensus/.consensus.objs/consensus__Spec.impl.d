@@ -1,0 +1,1 @@
+lib/consensus/spec.ml: Array Format List Procset Pset Result Sim Value

@@ -1,0 +1,1 @@
+lib/consensus/spec.mli: Format Procset Sim Value

@@ -1,0 +1,1 @@
+lib/consensus/value.ml: Format Int

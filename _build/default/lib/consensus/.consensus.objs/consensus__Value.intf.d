@@ -1,0 +1,1 @@
+lib/consensus/value.mli: Format

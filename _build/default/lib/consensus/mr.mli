@@ -1,0 +1,68 @@
+(** The Mostéfaoui–Raynal leader-based consensus algorithm and its
+    quorum-driven generalization (Section 6.3 of the paper, after
+    [MR01]).
+
+    Processes run asynchronous rounds of three phases. Phase 1: send a
+    LEAD message with the current estimate, wait for the LEAD message
+    of the process currently output by Omega and adopt its estimate.
+    Phase 2: send a REPORT, collect reports from a {e quorum}; if they
+    unanimously carry [v], the phase-3 proposal is [v], otherwise "?".
+    Phase 3: send the proposal, collect proposals from a quorum; adopt
+    any non-"?" value seen and decide if the quorum unanimously
+    proposed a non-"?" value.
+
+    The two instances differ only in what "quorum" means:
+
+    - {!Majority} waits for any majority of processes (the original
+      [MR01] algorithm, correct for uniform consensus when a majority
+      of processes are correct);
+    - {!With_quorum} waits for all members of the set currently output
+      by the quorum component of its failure detector, re-read at
+      every step. Driven by a Sigma oracle this solves uniform
+      consensus in any environment (footnote 5 of the paper). Driven
+      by a Sigma-nu oracle it is exactly the {e naive substitution}
+      whose contamination scenario (Section 6.3) motivates [A_nuc] —
+      and our experiment E6 exhibits its nonuniform-agreement
+      violation.
+
+    The failure detector value supplied to each step must be
+    [Leader l] or [Pair (Leader l, Quorum q)]; {!With_quorum} requires
+    the pair form. *)
+
+type message =
+  | Lead of { round : int; est : Value.t }
+  | Rep of { round : int; est : Value.t }
+  | Prop of { round : int; value : Value.t option }
+
+val pp_message : Format.formatter -> message -> unit
+val equal_message : message -> message -> bool
+
+(** Observable position of a process inside its round (used by
+    scripted adversaries to time oracle changes). *)
+type phase_view = Phase_start | Phase_lead | Phase_rep | Phase_prop
+
+module type S = sig
+  include
+    Sim.Automaton.S with type input = Value.t and type message = message
+
+  val decision : state -> Value.t option
+  (** The decided value, if this process has decided. *)
+
+  val decision_round : state -> int option
+  (** The round in which the decision was taken. *)
+
+  val round : state -> int
+  (** The current round number [k_p]. *)
+
+  val estimate : state -> Value.t
+  (** The current estimate [x_p]. *)
+
+  val phase : state -> phase_view
+  (** Which wait the process is currently in. *)
+end
+
+module Majority : S
+(** Quorums are majorities of [Pi]. *)
+
+module With_quorum : S
+(** Quorums are read from the failure detector at every step. *)

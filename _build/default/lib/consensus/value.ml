@@ -1,0 +1,10 @@
+type t = int
+
+let equal = Int.equal
+let compare = Int.compare
+let pp = Format.pp_print_int
+let unknown = None
+
+let pp_opt fmt = function
+  | Some v -> pp fmt v
+  | None -> Format.pp_print_string fmt "?"

@@ -1,0 +1,18 @@
+(** Consensus proposal/decision values.
+
+    The paper works with binary consensus ([V = {0, 1}]) for the
+    necessity proof and arbitrary [V] for the algorithms; plain
+    integers cover both. *)
+
+type t = int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+val unknown : t option
+(** The special proposal value "?" of the third phase of the
+    Mostéfaoui–Raynal algorithm and of [A_nuc], encoded as [None]. *)
+
+val pp_opt : Format.formatter -> t option -> unit
+(** Prints [Some v] as the value and [None] as ["?"]. *)

@@ -1,0 +1,1 @@
+lib/core/anuc.ml: Consensus Format Int List Map Option Pid Procset Pset Qhist Qset Sim

@@ -1,0 +1,1 @@
+lib/core/anuc.mli: Consensus Procset Qhist Sim

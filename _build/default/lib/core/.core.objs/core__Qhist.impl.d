@@ -1,0 +1,1 @@
+lib/core/qhist.ml: Format Int List Map Option Pid Procset Pset Qset

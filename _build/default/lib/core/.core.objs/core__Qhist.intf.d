@@ -1,0 +1,1 @@
+lib/core/qhist.mli: Format Procset

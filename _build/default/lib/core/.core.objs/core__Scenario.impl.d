@@ -1,0 +1,1 @@
+lib/core/scenario.ml: Anuc Array Consensus Fd Format List Printf Procset Pset Result Sim

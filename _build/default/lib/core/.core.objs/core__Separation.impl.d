@@ -1,0 +1,1 @@
+lib/core/separation.ml: Format Int List Map Option Pid Printf Procset Pset Sim

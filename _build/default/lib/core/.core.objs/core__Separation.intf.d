@@ -1,0 +1,1 @@
+lib/core/separation.mli: Format Procset Sim

@@ -1,0 +1,1 @@
+lib/core/stack.ml: Anuc Consensus Dagsim Format List Sim T_sigma_plus

@@ -1,0 +1,1 @@
+lib/core/stack.mli: Anuc Consensus Dagsim Procset Sim T_sigma_plus

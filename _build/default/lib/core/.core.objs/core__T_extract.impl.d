@@ -1,0 +1,1 @@
+lib/core/t_extract.ml: Array Consensus Dagsim List Option Procset Pset Sim

@@ -1,0 +1,1 @@
+lib/core/t_extract.mli: Consensus Dagsim Procset Sim

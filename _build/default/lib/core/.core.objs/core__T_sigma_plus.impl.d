@@ -1,0 +1,1 @@
+lib/core/t_sigma_plus.ml: Array Dagsim Format Option Procset Pset Sim

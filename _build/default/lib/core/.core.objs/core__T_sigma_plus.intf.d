@@ -1,0 +1,1 @@
+lib/core/t_sigma_plus.mli: Dagsim Procset Sim

@@ -1,0 +1,41 @@
+open Procset
+
+module Pmap = Map.Make (Int)
+
+type t = Qset.t Pmap.t
+
+let empty = Pmap.empty
+let get h r = Option.value ~default:Qset.empty (Pmap.find_opt r h)
+let add h r q = Pmap.add r (Qset.add q (get h r)) h
+let knows h r q = Qset.mem q (get h r)
+
+let import h h' =
+  Pmap.union (fun _ a b -> Some (Qset.union a b)) h h'
+
+let considered_faulty ~self h =
+  let own = get h self in
+  Pmap.fold
+    (fun q' quorums acc ->
+      if Qset.exists_disjoint_pair quorums own then Pset.add q' acc else acc)
+    h Pset.empty
+
+let distrusts ~self ~n h q =
+  let fp = considered_faulty ~self h in
+  let hq = get h q in
+  if Qset.is_empty hq then false
+  else
+    List.exists
+      (fun r ->
+        (not (Pset.mem r fp)) && Qset.exists_disjoint_pair hq (get h r))
+      (Pid.all ~n)
+
+let equal = Pmap.equal Qset.equal
+
+let pp fmt h =
+  Format.fprintf fmt "{@[";
+  Pmap.iter
+    (fun r qs ->
+      if not (Qset.is_empty qs) then
+        Format.fprintf fmt "p%d:%a;@ " r Qset.pp qs)
+    h;
+  Format.fprintf fmt "@]}"

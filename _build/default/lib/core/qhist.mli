@@ -1,0 +1,37 @@
+(** Quorum histories — the [H_p] variables of [A_nuc] (Figs. 4–5).
+
+    [H_p] maps each process [r] to the set of quorums that [p] knows
+    were output at [r] by its failure detector. Histories travel
+    inside LEAD and PROP messages and are merged pointwise by
+    [import_history] (Fig. 5, lines 44–46). *)
+
+type t
+(** An immutable quorum history. *)
+
+val empty : t
+(** [H_p[q] = ∅] for all [q] — the initialize clause. *)
+
+val get : t -> Procset.Pid.t -> Procset.Qset.t
+(** [get h r] is [H_p[r]]. *)
+
+val add : t -> Procset.Pid.t -> Procset.Pset.t -> t
+(** [add h r q] is [h] with [H_p[r] := H_p[r] ∪ {q}]. *)
+
+val knows : t -> Procset.Pid.t -> Procset.Pset.t -> bool
+(** [knows h r q] is [true] iff [q ∈ H_p[r]]. *)
+
+val import : t -> t -> t
+(** [import h h'] is the pointwise union — [import_history]. *)
+
+val considered_faulty : self:Procset.Pid.t -> t -> Procset.Pset.t
+(** The set [F_p] computed on Fig. 5, line 52: processes [q'] such
+    that some quorum in [H_p[q']] is disjoint from some quorum in
+    [H_p[self]]. *)
+
+val distrusts : self:Procset.Pid.t -> n:int -> t -> Procset.Pid.t -> bool
+(** The [distrusts] function (Fig. 5, lines 51–53): [p] distrusts [q]
+    iff there is a process [r] outside [F_p] such that [H_p[q]] and
+    [H_p[r]] contain nonintersecting quorums. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

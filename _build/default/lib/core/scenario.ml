@@ -1,0 +1,263 @@
+open Procset
+module Mrq = Consensus.Mr.With_quorum
+module R = Sim.Runner.Make (Mrq)
+
+type outcome = {
+  decisions : Consensus.Value.t option array;
+  estimates : Consensus.Value.t array;
+  agreement_violated : bool;
+  history_valid : (unit, Fd.Check.violation) result;
+  trace : string list;
+}
+
+let q = Pset.of_list
+
+let is_lead round src e =
+  e.Sim.Envelope.src = src
+  &&
+  match e.Sim.Envelope.payload with
+  | Consensus.Mr.Lead l -> l.round = round
+  | Consensus.Mr.Rep _ | Consensus.Mr.Prop _ -> false
+
+let is_rep round src e =
+  e.Sim.Envelope.src = src
+  &&
+  match e.Sim.Envelope.payload with
+  | Consensus.Mr.Rep r -> r.round = round
+  | Consensus.Mr.Lead _ | Consensus.Mr.Prop _ -> false
+
+let is_prop round src e =
+  e.Sim.Envelope.src = src
+  &&
+  match e.Sim.Envelope.payload with
+  | Consensus.Mr.Prop p -> p.round = round
+  | Consensus.Mr.Lead _ | Consensus.Mr.Rep _ -> false
+
+(* The adversary shared by both contamination scripts: four processes,
+   p2/p3 faulty late, the mutable (Omega, Sigma-nu) oracle arrays. *)
+let adversary () =
+  let pattern =
+    Sim.Failure_pattern.make ~n:4 ~crashes:[ (2, 200); (3, 200) ]
+  in
+  let omega = [| 0; 0; 2; 2 |] in
+  let sigma = [| q [ 0; 1 ]; q [ 0; 1 ]; q [ 2; 3 ]; q [ 2; 3 ] |] in
+  let fd p _t =
+    Sim.Fd_value.Pair
+      (Sim.Fd_value.Leader omega.(p), Sim.Fd_value.Quorum sigma.(p))
+  in
+  (pattern, omega, sigma, fd)
+
+let contamination_naive_mr () =
+  let n = 4 in
+  let pattern, omega, sigma, fd = adversary () in
+  let proposals p = if p < 2 then 0 else 1 in
+  let s = R.Session.create ~pattern ~fd ~inputs:proposals () in
+  let step p pred = R.Session.step ~choice:(R.Matching pred) s p in
+  let trace = ref [] in
+  let note fmt = Format.kasprintf (fun m -> trace := m :: !trace) fmt in
+  (* round 1 begins: everybody broadcasts LEAD(1) *)
+  List.iter (fun p -> R.Session.step ~choice:R.Lambda s p) [ 0; 1; 2; 3 ];
+  note "round 1: all processes broadcast LEAD; Omega shows p0 to {p0,p1} \
+        and the faulty p2 to {p2,p3}";
+  (* leader deliveries *)
+  step 0 (is_lead 1 0);
+  step 1 (is_lead 1 0);
+  step 2 (is_lead 1 2);
+  step 3 (is_lead 1 2);
+  (* reports within each side *)
+  List.iter
+    (fun (p, src) -> step p (is_rep 1 src))
+    [ (0, 0); (0, 1); (1, 0); (1, 1); (2, 2); (2, 3); (3, 2); (3, 3) ];
+  note "round 1 reports: {p0,p1} report 0 within quorum {p0,p1}; \
+        {p2,p3} report 1 within quorum {p2,p3}";
+  (* the adversary points p1's quorum at the faulty side *)
+  sigma.(1) <- q [ 1; 2 ];
+  note "adversary: Sigma-nu at p1 now outputs {p1,p2} (still intersects \
+        every correct quorum)";
+  (* proposal deliveries: p0 decides 0 *)
+  step 0 (is_prop 1 0);
+  step 0 (is_prop 1 1);
+  note "p0 collects unanimous proposals for 0 from {p0,p1} and DECIDES 0";
+  step 2 (is_prop 1 2);
+  step 2 (is_prop 1 3);
+  step 3 (is_prop 1 2);
+  step 3 (is_prop 1 3);
+  (* p1 collects from {1,2}: mixed proposals, adopts 1 *)
+  step 1 (is_prop 1 1);
+  step 1 (is_prop 1 2);
+  note "p1 collects proposals from {p1,p2}: 0 from itself, 1 from the \
+        faulty p2 — it adopts estimate 1 (contamination)";
+  (* round 2: omega settles on the correct p1; quorums heal *)
+  Array.iteri (fun i _ -> omega.(i) <- 1) omega;
+  sigma.(1) <- q [ 0; 1 ];
+  note "round 2: Omega settles on the correct p1, whose LEAD carries the \
+        contaminated estimate 1";
+  step 0 (is_lead 2 1);
+  step 1 (is_lead 2 1);
+  List.iter
+    (fun (p, src) -> step p (is_rep 2 src))
+    [ (0, 0); (0, 1); (1, 0); (1, 1) ];
+  step 1 (is_prop 2 0);
+  step 1 (is_prop 2 1);
+  note "p1 collects unanimous proposals for 1 from {p0,p1} and DECIDES 1";
+  let run = R.Session.finish s in
+  let decisions = Array.map Mrq.decision run.R.states in
+  let estimates = Array.map Mrq.estimate run.R.states in
+  let outcome_spec =
+    Consensus.Spec.outcome ~pattern ~proposals ~decisions:(fun p ->
+        decisions.(p))
+  in
+  let agreement_violated =
+    Result.is_error
+      (Consensus.Spec.check_agreement Consensus.Spec.Nonuniform outcome_spec)
+  in
+  if agreement_violated then
+    note "VIOLATION: correct p0 decided 0 but correct p1 decided 1";
+  (* validate the adversary's history against (Omega, Sigma-nu) *)
+  let samples =
+    Array.to_list run.R.steps
+    |> List.map (fun st -> (st.R.pid, st.R.time, st.R.fd))
+  in
+  let h = Fd.History.of_samples ~n samples in
+  let last = Fd.History.last_time h in
+  let history_valid =
+    Result.bind
+      (Fd.Check.sigma_nu ~max_stab:last pattern (Fd.History.project_snd h))
+      (fun () ->
+        Fd.Check.omega ~max_stab:last pattern (Fd.History.project_fst h))
+  in
+  {
+    decisions;
+    estimates;
+    agreement_violated;
+    history_valid;
+    trace = List.rev !trace;
+  }
+
+let a_lead round src e =
+  e.Sim.Envelope.src = src
+  &&
+  match e.Sim.Envelope.payload with
+  | Anuc.Lead l -> l.round = round
+  | Anuc.Rep _ | Anuc.Prop _ | Anuc.Saw _ | Anuc.Ack _ -> false
+
+let a_rep round src e =
+  e.Sim.Envelope.src = src
+  &&
+  match e.Sim.Envelope.payload with
+  | Anuc.Rep r -> r.round = round
+  | Anuc.Lead _ | Anuc.Prop _ | Anuc.Saw _ | Anuc.Ack _ -> false
+
+let a_prop round src e =
+  e.Sim.Envelope.src = src
+  &&
+  match e.Sim.Envelope.payload with
+  | Anuc.Prop p -> p.round = round
+  | Anuc.Lead _ | Anuc.Rep _ | Anuc.Saw _ | Anuc.Ack _ -> false
+
+(* The very same two-round script as [contamination_naive_mr], against
+   an A_nuc variant. Against [Anuc.Without_both] it reproduces the
+   violation; against variants with a safety mechanism enabled some
+   scripted wait never completes (distrust blocks p1's round-1
+   proposal collection; the awareness gate blocks p0's round-1
+   decision), which the driver reports as [Error]. SAW/ACK traffic is
+   left undelivered — the script never relies on acknowledgements. *)
+module Contaminate (V : Anuc.S) = struct
+  module Rv = Sim.Runner.Make (V)
+
+  let run () =
+    let n = 4 in
+    let pattern, omega, sigma, fd = adversary () in
+    let proposals p = if p < 2 then 0 else 1 in
+    let s = Rv.Session.create ~pattern ~fd ~inputs:proposals () in
+    let step p pred = Rv.Session.step ~choice:(Rv.Matching pred) s p in
+    let trace = ref [] in
+    let note fmt = Format.kasprintf (fun m -> trace := m :: !trace) fmt in
+    try
+      List.iter
+        (fun p -> Rv.Session.step ~choice:Rv.Lambda s p)
+        [ 0; 1; 2; 3 ];
+      note "round 1: all processes broadcast LEAD (%s)" V.name;
+      step 0 (a_lead 1 0);
+      step 1 (a_lead 1 0);
+      step 2 (a_lead 1 2);
+      step 3 (a_lead 1 2);
+      List.iter
+        (fun (p, src) -> step p (a_rep 1 src))
+        [ (0, 0); (0, 1); (1, 0); (1, 1); (2, 2); (2, 3); (3, 2); (3, 3) ];
+      sigma.(1) <- q [ 1; 2 ];
+      note "adversary: Sigma-nu at p1 now outputs {p1,p2}";
+      step 0 (a_prop 1 0);
+      step 0 (a_prop 1 1);
+      note "p0 finishes round-1 proposal collection (decision: %s)"
+        (Format.asprintf "%a" Consensus.Value.pp_opt
+           (V.decision (Rv.Session.state s 0)));
+      step 2 (a_prop 1 2);
+      step 2 (a_prop 1 3);
+      step 3 (a_prop 1 2);
+      step 3 (a_prop 1 3);
+      step 1 (a_prop 1 1);
+      step 1 (a_prop 1 2);
+      note "p1 receives the round-1 proposals of {p1,p2}; estimate now %a"
+        Consensus.Value.pp (V.estimate (Rv.Session.state s 1));
+      Array.iteri (fun i _ -> omega.(i) <- 1) omega;
+      sigma.(1) <- q [ 0; 1 ];
+      note "round 2: Omega settles on the correct p1";
+      step 0 (a_lead 2 1);
+      step 1 (a_lead 2 1);
+      List.iter
+        (fun (p, src) -> step p (a_rep 2 src))
+        [ (0, 0); (0, 1); (1, 0); (1, 1) ];
+      step 1 (a_prop 2 0);
+      step 1 (a_prop 2 1);
+      let run = Rv.Session.finish s in
+      let decisions = Array.map V.decision run.Rv.states in
+      let estimates = Array.map V.estimate run.Rv.states in
+      let outcome_spec =
+        Consensus.Spec.outcome ~pattern ~proposals ~decisions:(fun p ->
+            decisions.(p))
+      in
+      let agreement_violated =
+        Result.is_error
+          (Consensus.Spec.check_agreement Consensus.Spec.Nonuniform
+             outcome_spec)
+      in
+      if agreement_violated then
+        note "VIOLATION: correct p0 decided 0 but correct p1 decided 1";
+      let samples =
+        Array.to_list run.Rv.steps
+        |> List.map (fun st -> (st.Rv.pid, st.Rv.time, st.Rv.fd))
+      in
+      let h = Fd.History.of_samples ~n samples in
+      let last = Fd.History.last_time h in
+      let history_valid =
+        Result.bind
+          (Fd.Check.sigma_nu ~max_stab:last pattern
+             (Fd.History.project_snd h))
+          (fun () ->
+            Fd.Check.omega ~max_stab:last pattern (Fd.History.project_fst h))
+      in
+      Ok
+        {
+          decisions;
+          estimates;
+          agreement_violated;
+          history_valid;
+          trace = List.rev !trace;
+        }
+    with Rv.Script_error reason ->
+      Error
+        (Printf.sprintf
+           "the adversary's script became inapplicable against %s: %s"
+           V.name reason)
+end
+
+module Contaminate_unsafe = Contaminate (Anuc.Without_both)
+
+let contamination_anuc_unsafe () =
+  match Contaminate_unsafe.run () with
+  | Ok o -> o
+  | Error reason ->
+    failwith
+      ("contamination_anuc_unsafe: the script must apply to the fully \
+        ablated variant, but: " ^ reason)

@@ -1,0 +1,58 @@
+(** The contamination scenario of Section 6.3, executable.
+
+    Four processes; [p0, p1] are correct and propose 0; [p2, p3] are
+    faulty (they crash only after the interesting prefix) and propose
+    1. The adversary drives the {e naive} substitution of Sigma-nu
+    quorums into the Mostéfaoui–Raynal algorithm
+    ({!Consensus.Mr.With_quorum}):
+
+    + round 1: Omega shows [p0] to the correct side and the faulty
+      [p2] to the faulty side; each side's quorums stay on its side,
+      so [p0] receives unanimous proposals for 0 from [{p0, p1}] and
+      {e decides 0} — while the adversary points [p1]'s
+      proposal-collection quorum at [{p1, p2}] (legal for Sigma-nu:
+      it still intersects every correct quorum at [p1]), so [p1] sees
+      mixed proposals and {e adopts the faulty estimate 1};
+    + round 2: Omega settles on the correct [p1], whose LEAD message
+      spreads the contaminated estimate; the correct side now reports
+      and proposes 1 unanimously, and [p1] {e decides 1}.
+
+    Two correct processes decide differently — a nonuniform-agreement
+    violation — under a failure-detector history that provably
+    satisfies (Omega, Sigma-nu) (the run re-checks it). This is the
+    behaviour [A_nuc]'s distrust and quorum-awareness machinery
+    exists to prevent. *)
+
+type outcome = {
+  decisions : Consensus.Value.t option array;
+      (** final decision of each of the four processes *)
+  estimates : Consensus.Value.t array;  (** final estimates *)
+  agreement_violated : bool;
+      (** nonuniform agreement violated among correct processes *)
+  history_valid : (unit, Fd.Check.violation) result;
+      (** the adversary's sampled history checked against
+          (Omega, Sigma-nu) *)
+  trace : string list;  (** human-readable narration of the key events *)
+}
+
+val contamination_naive_mr : unit -> outcome
+(** Runs the scripted scenario against the naive algorithm. The run is
+    fully deterministic. *)
+
+module Contaminate (V : Anuc.S) : sig
+  val run : unit -> (outcome, string) result
+  (** Drives the Section 6.3 script against any [A_nuc] variant.
+      [Error reason] means some scripted wait never completed — which
+      is precisely what happens when a safety mechanism blocks the
+      adversary (the ablation experiment reports this as the variant
+      resisting the script). *)
+end
+
+val contamination_anuc_unsafe : unit -> outcome
+(** The same adversary driven against {!Anuc.Without_both} — the
+    [A_nuc] skeleton with both safety mechanisms disabled. It falls to
+    the identical two-round script, demonstrating that the quorum
+    histories alone (which it still gossips) do not help: the
+    {e distrust} checks and the {e quorum-awareness} gate are what
+    make Figs. 4–5 safe. The full [A_nuc] under this adversary family
+    is exercised (and survives) in experiment E6. *)

@@ -1,0 +1,194 @@
+open Procset
+
+module Sigma_scratch = struct
+  type input = int
+  type message = int
+
+  module Imap = Map.Make (Int)
+
+  type state = {
+    t_param : int;
+    k : int;
+    out : Pset.t;
+    arrivals : Pid.t list Imap.t;  (** per round, senders in arrival order *)
+    started : bool;
+  }
+
+  let name = "Sigma-from-scratch"
+
+  let initial ~n ~self:_ t_param =
+    {
+      t_param;
+      k = 1;
+      out = Pset.full ~n;
+      arrivals = Imap.empty;
+      started = false;
+    }
+
+  let broadcast ~n k = List.map (fun q -> (q, k)) (Pid.all ~n)
+
+  let record st = function
+    | None -> st
+    | Some env ->
+      let round = env.Sim.Envelope.payload in
+      let src = env.Sim.Envelope.src in
+      let senders =
+        Option.value ~default:[] (Imap.find_opt round st.arrivals)
+      in
+      if List.mem src senders then st
+      else
+        { st with arrivals = Imap.add round (senders @ [ src ]) st.arrivals }
+
+  let rec advance ~n st sends =
+    let senders = Option.value ~default:[] (Imap.find_opt st.k st.arrivals) in
+    if List.length senders >= n - st.t_param then begin
+      let quorum =
+        List.filteri (fun i _ -> i < n - st.t_param) senders |> Pset.of_list
+      in
+      let k = st.k + 1 in
+      let st = { st with out = quorum; k } in
+      advance ~n st (broadcast ~n k @ sends)
+    end
+    else (st, sends)
+
+  let step ~n ~self:_ st received _d =
+    let st = record st received in
+    let st, sends =
+      if st.started then (st, [])
+      else ({ st with started = true }, broadcast ~n st.k)
+    in
+    let st, more = advance ~n st [] in
+    (st, sends @ List.rev more)
+
+  let pp_message fmt k = Format.fprintf fmt "round(%d)" k
+  let equal_message = Int.equal
+  let output st = st.out
+  let rounds_completed st = st.k - 1
+end
+
+module type EMULATOR = sig
+  include Sim.Automaton.S
+
+  val output : state -> Pset.t
+end
+
+module Attack (E : EMULATOR) = struct
+  module R = Sim.Runner.Make (E)
+
+  type outcome = {
+    part_a : Pset.t;
+    part_b : Pset.t;
+    quorum_a : Pset.t;
+    time_a : int;
+    quorum_b : Pset.t;
+    disjoint : bool;
+  }
+
+  let pp_outcome fmt o =
+    Format.fprintf fmt
+      "@[<v>partition A=%a B=%a@,\
+       R : %a output at some a in A at time %d@,\
+       R': %a output at some b in B@,\
+       quorums %s@]"
+      Pset.pp o.part_a Pset.pp o.part_b Pset.pp o.quorum_a o.time_a Pset.pp
+      o.quorum_b
+      (if o.disjoint then "are DISJOINT (Sigma intersection violated)"
+       else "intersect")
+
+  (* The (Omega, Sigma-nu) history of both runs: each side of the
+     partition trusts its own minimum and quorums its own side. Legal
+     for Sigma-nu whichever side is correct. *)
+  let partition_fd ~part_a ~part_b p _t =
+    let side = if Pset.mem p part_a then part_a else part_b in
+    Sim.Fd_value.Pair
+      (Sim.Fd_value.Leader (Pset.min_elt side), Sim.Fd_value.Quorum side)
+
+  (* Drive the processes of [side] round-robin until some member
+     outputs a nonempty quorum inside [side]; return it and the time. *)
+  let drive_until_local_quorum session side ~deadline =
+    let members = Pset.elements side in
+    let result = ref None in
+    (try
+       while !result = None do
+         List.iter
+           (fun p ->
+             if !result = None then begin
+               if R.Session.time session > deadline then raise Exit;
+               R.Session.step session p;
+               let out = E.output (R.Session.state session p) in
+               if (not (Pset.is_empty out)) && Pset.subset out side then
+                 result := Some (out, R.Session.time session - 1)
+             end)
+           members
+       done
+     with Exit -> ());
+    !result
+
+  let run ~n ~t ~inputs ?(max_steps = 2000) () =
+    if t < (n + 1) / 2 then
+      Error
+        (Printf.sprintf
+           "t = %d < ceil(n/2) = %d: Pi cannot be partitioned into two \
+            classes of at most t processes (the regime where Sigma is \
+            implementable from scratch)"
+           t ((n + 1) / 2))
+    else begin
+      let size_a = (n + 1) / 2 in
+      let part_a = Pset.of_list (List.init size_a (fun i -> i)) in
+      let part_b = Pset.complement ~n part_a in
+      let fd = partition_fd ~part_a ~part_b in
+      (* Run R: B crashes at time 0; only A ever takes steps. *)
+      let pattern_r =
+        Sim.Failure_pattern.make ~n
+          ~crashes:(List.map (fun b -> (b, 0)) (Pset.elements part_b))
+      in
+      let session_r = R.Session.create ~pattern:pattern_r ~fd ~inputs () in
+      match
+        drive_until_local_quorum session_r part_a ~deadline:max_steps
+      with
+      | None ->
+        Error
+          (Printf.sprintf
+             "run R: no member of A output a quorum inside A within %d \
+              steps (the candidate is not live in E_t)"
+             max_steps)
+      | Some (quorum_a, time_a) -> (
+        (* Run R': same deterministic A-schedule, but now A crashes
+           just after [time_a] and B is correct (B's steps and
+           messages are simply delayed past [time_a]). *)
+        let pattern_r' =
+          Sim.Failure_pattern.make ~n
+            ~crashes:(List.map (fun a -> (a, time_a + 1)) (Pset.elements part_a))
+        in
+        let session_r' = R.Session.create ~pattern:pattern_r' ~fd ~inputs () in
+        match
+          drive_until_local_quorum session_r' part_a ~deadline:time_a
+        with
+        | None ->
+          Error "run R': replay diverged from R (no quorum inside A)"
+        | Some (quorum_a', time_a') ->
+          if not (Pset.equal quorum_a quorum_a' && time_a = time_a') then
+            Error "run R': replay diverged from R (different quorum or time)"
+          else (
+            match
+              drive_until_local_quorum session_r' part_b
+                ~deadline:(time_a + max_steps)
+            with
+            | None ->
+              Error
+                (Printf.sprintf
+                   "run R': no member of B output a quorum inside B within \
+                    %d steps (completeness violated instead)"
+                   max_steps)
+            | Some (quorum_b, _) ->
+              Ok
+                {
+                  part_a;
+                  part_b;
+                  quorum_a;
+                  time_a;
+                  quorum_b;
+                  disjoint = Pset.disjoint quorum_a quorum_b;
+                }))
+    end
+end

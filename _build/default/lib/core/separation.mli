@@ -1,0 +1,73 @@
+(** Theorem 7.1: [(Omega, Sigma-nu)] and [(Omega, Sigma)] are
+    equivalent in [E_t] iff [t < n/2].
+
+    {!Sigma_scratch} is the IF direction: a round-based algorithm that
+    implements Sigma from scratch (no failure detector) whenever a
+    majority of processes is correct — each round every process
+    broadcasts a tagged message, waits for [n - t] of them, and
+    outputs the senders.
+
+    {!Attack} is the ONLY-IF direction, executable: the two-run
+    indistinguishability construction. Partition [Pi] into [A] and [B]
+    with [|A|, |B| <= t] (possible exactly when [t >= n/2]). In run
+    [R], all of [B] crashes at time 0 and the candidate emulator is
+    driven on [A] until some [a ∈ A] outputs a quorum [A' ⊆ A] at
+    time [tau]. Run [R'] replays the same [A]-schedule — the processes
+    of [A] cannot distinguish [R'] from [R] through time [tau] because
+    [B]'s messages are delayed past it — but in [R'] it is [A] that
+    crashes (at [tau + 1]) and [B] that is correct; completeness then
+    forces some [b ∈ B] to output a quorum [B' ⊆ B]. [A'] and [B']
+    are disjoint, so no emulator can achieve Sigma's intersection
+    property in [E_t] with [t >= n/2]. Run against {!Sigma_scratch}
+    this exhibits the concrete violation; run against
+    [T_{Sigma-nu -> Sigma-nu+}] the same pair of quorums is {e legal}
+    for Sigma-nu+ (the nonintersecting quorum belongs to processes
+    faulty in [R']), which is precisely why nonuniform consensus
+    survives where uniform consensus does not. *)
+
+module Sigma_scratch : sig
+  include Sim.Automaton.S with type input = int and type message = int
+
+  (** [input] is the resilience parameter [t]: the process waits for
+      [n - t] round-[k] messages each round. [message] payloads are
+      round numbers. *)
+
+  val output : state -> Procset.Pset.t
+  (** The emulated Sigma quorum (initially [Pi]). *)
+
+  val rounds_completed : state -> int
+end
+
+(** Candidate emulator attacked by the two-run construction. *)
+module type EMULATOR = sig
+  include Sim.Automaton.S
+
+  val output : state -> Procset.Pset.t
+end
+
+module Attack (E : EMULATOR) : sig
+  type outcome = {
+    part_a : Procset.Pset.t;  (** the partition class that crashes in R' *)
+    part_b : Procset.Pset.t;  (** the partition class that is correct in R' *)
+    quorum_a : Procset.Pset.t;  (** [A']: output at some [a ∈ A] at [tau] *)
+    time_a : int;  (** [tau] *)
+    quorum_b : Procset.Pset.t;  (** [B']: output at some [b ∈ B] in R' *)
+    disjoint : bool;  (** [A' ∩ B' = ∅] — the Sigma violation *)
+  }
+
+  val pp_outcome : Format.formatter -> outcome -> unit
+
+  val run :
+    n:int ->
+    t:int ->
+    inputs:(Procset.Pid.t -> E.input) ->
+    ?max_steps:int ->
+    unit ->
+    (outcome, string) result
+  (** Executes both runs against [E]. Requires [t >= (n + 1) / 2]
+      (otherwise no valid partition exists and [Error] is returned —
+      which is the IF direction's regime). [Error] is also returned if
+      either run fails to produce the expected quorum within
+      [max_steps] (default 2000) — e.g. a candidate that sacrifices
+      liveness to preserve intersection. *)
+end

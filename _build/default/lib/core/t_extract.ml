@@ -1,0 +1,112 @@
+open Procset
+module Dag = Dagsim.Dag
+module Node = Dagsim.Node
+module Adag = Dagsim.Adag
+
+module type SIMULATED = sig
+  include Sim.Automaton.S with type input = Consensus.Value.t
+
+  val decision : state -> Consensus.Value.t option
+end
+
+module Make (A : SIMULATED) = struct
+  module PS = Dagsim.Path_sim.Make (A)
+
+  type input = unit
+  type message = Dag.t
+
+  type state = {
+    core : Adag.Core.state;
+    u : Node.t option;  (** the freshness barrier [u_p] *)
+    out : Pset.t;  (** [Sigma-nu-output_p] *)
+    extraction_count : int;
+    steps_since_extract : int;
+  }
+
+  let name = "T_{D->Sigma-nu}(" ^ A.name ^ ")"
+  let simulation_window = ref 400
+  let extract_every = ref 4
+  let prune_window = ref 320
+  let weave_block = ref 4
+
+  let initial ~n ~self:_ () =
+    {
+      core = Adag.Core.init;
+      u = None;
+      out = Pset.full ~n;
+      extraction_count = 0;
+      steps_since_extract = 0;
+    }
+
+  (* Simulate A along the canonical schedule of the path, from the
+     initial configuration where everybody proposes [v]; return the
+     participants of the first prefix in which [self] decides. *)
+  let deciding_participants ~n ~self path v =
+    let r =
+      PS.run ~n
+        ~inputs:(fun _ -> v)
+        ~path
+        ~until:(fun states -> A.decision states.(self) <> None)
+        ()
+    in
+    if r.PS.stopped then
+      Some (PS.participants ~path ~prefix:r.PS.steps_executed)
+    else None
+
+  let try_extract ~n ~self st u_node =
+    let spine = Dag.weave ~block:!weave_block st.core.Adag.Core.g ~from:u_node in
+    let spine =
+      (* Simulation cost is linear in the path length; keep a bounded
+         prefix. The prefix of a path is a path, so soundness holds. *)
+      List.filteri (fun i _ -> i < !simulation_window) spine
+    in
+    let path =
+      List.map (fun nd -> (nd.Node.owner, nd.Node.value)) spine
+    in
+    match deciding_participants ~n ~self path 0 with
+    | None -> None
+    | Some participants0 -> (
+      match deciding_participants ~n ~self path 1 with
+      | None -> None
+      | Some participants1 -> Some (Pset.union participants0 participants1))
+
+  let step ~n ~self st received d =
+    let incoming = Option.map (fun e -> e.Sim.Envelope.payload) received in
+    (* Lines 5-12 of Fig. 2: one A_DAG iteration sampling D. *)
+    let core =
+      Adag.Core.step ~prune_window:!prune_window ~self st.core incoming d
+    in
+    (* Line 13: initialize the freshness barrier with the first sample;
+       re-anchor it to the newest own sample if pruning dropped it. *)
+    let u =
+      match st.u with
+      | Some u_node when Dag.mem core.Adag.Core.g u_node -> Some u_node
+      | Some _ -> core.Adag.Core.last
+      | None -> core.Adag.Core.last
+    in
+    let st = { st with core; u; steps_since_extract = st.steps_since_extract + 1 } in
+    (* Lines 14-19: simulate schedules of A over G_p|u_p. *)
+    let st =
+      match u with
+      | Some u_node when st.steps_since_extract >= !extract_every -> (
+        let st = { st with steps_since_extract = 0 } in
+        match try_extract ~n ~self st u_node with
+        | Some quorum ->
+          {
+            st with
+            out = quorum;
+            u = st.core.Adag.Core.last;
+            extraction_count = st.extraction_count + 1;
+          }
+        | None -> st)
+      | Some _ | None -> st
+    in
+    let dst = Adag.Algorithm.gossip_target ~n ~self st.core.Adag.Core.k in
+    (st, [ (dst, st.core.Adag.Core.g) ])
+
+  let pp_message = Dag.pp
+  let equal_message = Adag.Algorithm.equal_message
+  let output st = st.out
+  let dag st = st.core.Adag.Core.g
+  let extractions st = st.extraction_count
+end

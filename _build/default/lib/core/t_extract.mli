@@ -1,0 +1,63 @@
+(** [T_{D -> Sigma-nu}]: extracting Sigma-nu from any failure detector
+    that can be used to solve nonuniform consensus (Fig. 2 of the
+    paper, Theorem 5.4).
+
+    Parametric in the consensus algorithm [A] that uses [D]: each
+    process runs [A_DAG] sampling its [D] module, and periodically
+    simulates schedules of [A] over its DAG of samples. When it finds
+    a schedule from the all-zeros initial configuration [I_0] and one
+    from the all-ones configuration [I_1] — both drawn from
+    [G_p|u_p], with [u_p] the freshness barrier — in which it decides,
+    it outputs the union of their participant sets as a Sigma-nu
+    quorum. The proof of Lemma 5.3 is exactly the merging argument:
+    two disjoint such quorums at correct processes would merge into a
+    run of [A] violating nonuniform agreement.
+
+    The same algorithm extracts full Sigma when [A] solves {e uniform}
+    consensus (Theorem 5.8): experiment E2 checks the uniform
+    intersection property on the very same emulated outputs.
+
+    Schedules are enumerated canonically: the {!Dagsim.Dag.spine} of
+    [G_p|u_p] is simulated with oldest-pending-message-first delivery
+    (the admissible schedule of Lemma 4.10), and the first deciding
+    prefix is used. *)
+
+(** The simulated consensus algorithm: an automaton proposing a value
+    and exposing its decision. *)
+module type SIMULATED = sig
+  include Sim.Automaton.S with type input = Consensus.Value.t
+
+  val decision : state -> Consensus.Value.t option
+end
+
+module Make (A : SIMULATED) : sig
+  include
+    Sim.Automaton.S with type input = unit and type message = Dagsim.Dag.t
+
+  val output : state -> Procset.Pset.t
+  (** The current [Sigma-nu-output_p]. *)
+
+  val dag : state -> Dagsim.Dag.t
+  (** The current DAG of samples [G_p] (diagnostics). *)
+
+  val extractions : state -> int
+  (** How many times a new quorum has been output. *)
+
+  val simulation_window : int ref
+  (** Maximum spine length simulated per extraction (default 400). *)
+
+  val extract_every : int ref
+  (** Run the (expensive) simulation only on every [k]-th step
+      (default 4); intermediate steps only grow the DAG. Soundness is
+      unaffected; liveness needs extraction infinitely often, which
+      any positive period provides. *)
+
+  val prune_window : int ref
+  (** Per-owner sample window kept in the DAG (default 320) — see
+      {!Dagsim.Adag.Core.step}. Must comfortably exceed
+      [simulation_window] divided by the process count. *)
+
+  val weave_block : int ref
+  (** Consecutive same-owner samples per rotation step of the
+      simulated path (default 4) — see {!Dagsim.Dag.weave}. *)
+end

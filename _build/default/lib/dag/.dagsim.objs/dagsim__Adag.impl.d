@@ -1,0 +1,1 @@
+lib/dag/adag.ml: Dag List Node Option Sim

@@ -1,0 +1,1 @@
+lib/dag/adag.mli: Dag Node Procset Sim

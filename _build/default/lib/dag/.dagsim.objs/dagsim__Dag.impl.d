@@ -1,0 +1,1 @@
+lib/dag/dag.ml: Array Format Hashtbl Int List Map Node Option Procset Set

@@ -1,0 +1,1 @@
+lib/dag/node.ml: Format Int Procset Sim

@@ -1,0 +1,1 @@
+lib/dag/path_sim.ml: Array List Pid Printf Procset Pset Sim

@@ -1,0 +1,1 @@
+lib/dag/path_sim.mli: Procset Sim

@@ -1,0 +1,47 @@
+module Core = struct
+  type state = { k : int; g : Dag.t; last : Node.t option }
+
+  let init = { k = 0; g = Dag.empty; last = None }
+
+  let step ?prune_window ~self st incoming d =
+    let g = match incoming with None -> st.g | Some g' -> Dag.union st.g g' in
+    let k = st.k + 1 in
+    let node = { Node.owner = self; index = k; value = d } in
+    let g = Dag.add_sample g node in
+    let g =
+      match prune_window with
+      | None -> g
+      | Some w -> Dag.prune ~window:w g
+    in
+    { k; g; last = Some node }
+end
+
+module Algorithm = struct
+  type input = unit
+  type state = Core.state
+  type message = Dag.t
+
+  let name = "A_DAG"
+  let initial ~n:_ ~self:_ () = Core.init
+
+  (* Fig. 1 line 11 sends G_p to every process in every step; with the
+     model's one-receipt-per-step budget that floods the buffers and
+     makes every received DAG arbitrarily stale. Rotating through the
+     peers one per step delivers the same DAGs (every peer still
+     receives updated DAGs infinitely often, which is all the
+     Section 4 lemmas use) without the queue growth. *)
+  let gossip_target ~n ~self k = (self + 1 + ((k - 1) mod (n - 1))) mod n
+
+  let step ~n ~self st received d =
+    let incoming = Option.map (fun e -> e.Sim.Envelope.payload) received in
+    let st = Core.step ~self st incoming d in
+    let dst = gossip_target ~n ~self st.Core.k in
+    (st, [ (dst, st.Core.g) ])
+
+  let pp_message = Dag.pp
+
+  let equal_message g g' =
+    (* Structural comparison by node identities suffices: equal node
+       sets imply equal edge sets under the A_DAG invariant. *)
+    List.equal Node.equal (Dag.nodes g) (Dag.nodes g')
+end

@@ -1,0 +1,60 @@
+(** The DAG-building algorithm [A_DAG] (Fig. 1).
+
+    {!Core} is the reusable loop body (lines 5–12): both
+    transformation algorithms of the paper ([T_{D->Sigma-nu}], Fig. 2,
+    and [T_{Sigma-nu->Sigma-nu+}], Fig. 3) incorporate it verbatim and
+    then post-process the DAG. {!Algorithm} packages it as a
+    standalone {!Sim.Automaton.S} used to validate the Section 4
+    observations and lemmas in the test suite. *)
+
+module Core : sig
+  type state = {
+    k : int;  (** the sample counter [k_p] *)
+    g : Dag.t;  (** the DAG [G_p] *)
+    last : Node.t option;  (** the node variable [v_p] (lines 9–10) *)
+  }
+
+  val init : state
+  (** [k_p = 0], empty graph — the initialize clause. *)
+
+  val step :
+    ?prune_window:int ->
+    self:Procset.Pid.t ->
+    state ->
+    Dag.t option ->
+    Sim.Fd_value.t ->
+    state
+  (** [step ~self st incoming d] performs lines 6–10 of one loop
+      iteration: union the received DAG (if any) into [G_p], increment
+      [k_p], take sample [(self, d, k_p)] and add it with edges from
+      every other node. The caller is responsible for line 11 (sending
+      the updated [g] to every process).
+
+      [prune_window], if given, drops each owner's samples more than
+      that many indices behind the owner's newest sample. The
+      transformation algorithms of Figs. 2–3 only ever look at
+      [G_p|u_p] with a freshness barrier [u_p] that keeps advancing,
+      so old samples can never contribute to an output again; pruning
+      them bounds the per-step cost without affecting what is
+      emitted. *)
+end
+
+module Algorithm : sig
+  include
+    Sim.Automaton.S
+      with type input = unit
+       and type state = Core.state
+       and type message = Dag.t
+
+  val gossip_target : n:int -> self:Procset.Pid.t -> int -> Procset.Pid.t
+  (** [gossip_target ~n ~self k] is the peer that receives the DAG
+      after the [k]-th sample. Fig. 1 line 11 sends to every process
+      every step; under the model's one-receipt-per-step budget that
+      grows the message buffers without bound, so the implementation
+      rotates through the peers — every peer still receives updated
+      DAGs infinitely often, which is all the Section 4 lemmas
+      require. *)
+end
+(** [A_DAG] itself: each step receives an optional DAG, samples the
+    ambient failure detector, updates the local DAG and gossips it to
+    a rotating peer. *)

@@ -1,0 +1,19 @@
+type t = {
+  owner : Procset.Pid.t;
+  index : int;
+  value : Sim.Fd_value.t;
+}
+
+type key = Procset.Pid.t * int
+
+let key v = (v.owner, v.index)
+
+let compare_key (p, k) (p', k') =
+  let c = Procset.Pid.compare p p' in
+  if c <> 0 then c else Int.compare k k'
+
+let equal v v' = compare_key (key v) (key v') = 0
+
+let pp fmt v =
+  Format.fprintf fmt "(%a, %a, %d)" Procset.Pid.pp v.owner Sim.Fd_value.pp
+    v.value v.index

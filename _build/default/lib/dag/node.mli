@@ -1,0 +1,28 @@
+(** DAG nodes: failure-detector samples.
+
+    A node [(q, d, k)] records that process [q] obtained value [d] from
+    its failure-detector module the [k]-th time it queried it
+    (Section 4.1). The pair [(q, k)] uniquely identifies a sample
+    within a run. *)
+
+type t = {
+  owner : Procset.Pid.t;  (** the process that took the sample *)
+  index : int;  (** the owner's query counter [k] (1-based) *)
+  value : Sim.Fd_value.t;  (** the sampled failure-detector value *)
+}
+
+type key = Procset.Pid.t * int
+(** The unique identity [(q, k)] of a sample. *)
+
+val key : t -> key
+(** [key v] is [(v.owner, v.index)]. *)
+
+val compare_key : key -> key -> int
+(** Lexicographic order on identities. *)
+
+val equal : t -> t -> bool
+(** Identity equality (owners and indices agree); values of equal
+    identities are equal by construction within one run. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [(p2, quorum={..}, 5)]. *)

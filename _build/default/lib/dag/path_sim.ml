@@ -1,0 +1,50 @@
+open Procset
+
+module Make (A : Sim.Automaton.S) = struct
+  type result = {
+    states : A.state array;
+    steps_executed : int;
+    stopped : bool;
+  }
+
+  let run ~n ~inputs ~path ?(until = fun _ -> false) () =
+    let states = Array.init n (fun p -> A.initial ~n ~self:p (inputs p)) in
+    let buffers = Array.make n [] in
+    let send_seq = Array.make n 0 in
+    let time = ref 1 in
+    let executed = ref 0 in
+    let stopped = ref false in
+    let rec exec = function
+      | [] -> ()
+      | (p, d) :: rest ->
+        if not (Pid.valid ~n p) then
+          invalid_arg (Printf.sprintf "Path_sim.run: pid %d out of range" p);
+        let received =
+          match buffers.(p) with
+          | [] -> None
+          | oldest :: others ->
+            buffers.(p) <- others;
+            Some oldest
+        in
+        let state, sends = A.step ~n ~self:p states.(p) received d in
+        states.(p) <- state;
+        List.iter
+          (fun (dst, payload) ->
+            let seq = send_seq.(p) in
+            send_seq.(p) <- seq + 1;
+            let env =
+              { Sim.Envelope.src = p; dst; seq; sent_at = !time; payload }
+            in
+            buffers.(dst) <- buffers.(dst) @ [ env ])
+          sends;
+        incr time;
+        incr executed;
+        if until states then stopped := true else exec rest
+    in
+    exec path;
+    { states; steps_executed = !executed; stopped = !stopped }
+
+  let participants ~path ~prefix =
+    List.filteri (fun i _ -> i < prefix) path
+    |> List.fold_left (fun acc (p, _) -> Pset.add p acc) Pset.empty
+end

@@ -1,0 +1,928 @@
+open Procset
+
+type row = {
+  id : string;
+  theorem : string;
+  expected : string;
+  measured : string;
+  pass : bool;
+}
+
+let pp_row fmt r =
+  Format.fprintf fmt "@[<v>%-3s %-34s@,    expected: %s@,    measured: %s  [%s]@]"
+    r.id r.theorem r.expected r.measured
+    (if r.pass then "PASS" else "FAIL")
+
+(* ---------------------------------------------------------------- *)
+(* Shared plumbing                                                   *)
+(* ---------------------------------------------------------------- *)
+
+module Anuc_runner = Sim.Runner.Make (Core.Anuc)
+module Stack_runner = Sim.Runner.Make (Core.Stack)
+module Mrm_runner = Sim.Runner.Make (Consensus.Mr.Majority)
+module Mrq_runner = Sim.Runner.Make (Consensus.Mr.With_quorum)
+module Tsp_runner = Sim.Runner.Make (Core.T_sigma_plus)
+module Scratch_runner = Sim.Runner.Make (Core.Separation.Sigma_scratch)
+module Ct_runner = Sim.Runner.Make (Consensus.Ct)
+
+module Tx_mr = Core.T_extract.Make (struct
+  include Consensus.Mr.With_quorum
+
+  type message = Consensus.Mr.message
+
+  let pp_message = Consensus.Mr.pp_message
+  let equal_message = Consensus.Mr.equal_message
+  let step = Consensus.Mr.With_quorum.step
+  let decision = Consensus.Mr.With_quorum.decision
+end)
+
+module Tx_mr_runner = Sim.Runner.Make (Tx_mr)
+
+module Tx_anuc = Core.T_extract.Make (struct
+  include Core.Anuc
+
+  type message = Core.Anuc.message
+
+  let pp_message = Core.Anuc.pp_message
+  let equal_message = Core.Anuc.equal_message
+  let step = Core.Anuc.step
+  let decision = Core.Anuc.decision
+end)
+
+module Tx_anuc_runner = Sim.Runner.Make (Tx_anuc)
+
+let random_pattern ~seed ~n ~t =
+  let env = Sim.Env.make ~n ~max_faulty:t in
+  let rng = Random.State.make [| seed; n; t |] in
+  Sim.Env.random_pattern rng ~crash_window:120 env
+
+(* Tally of pass/fail over a parameter sweep. *)
+type tally = { mutable total : int; mutable failed : int; mutable note : string }
+
+let tally () = { total = 0; failed = 0; note = "" }
+
+let record t ok note =
+  t.total <- t.total + 1;
+  if not ok then begin
+    t.failed <- t.failed + 1;
+    if t.note = "" then t.note <- note
+  end
+
+let finish_row ~id ~theorem ~expected t =
+  let measured =
+    if t.failed = 0 then Printf.sprintf "%d/%d runs conform" t.total t.total
+    else
+      Printf.sprintf "%d/%d runs FAILED (first: %s)" t.failed t.total t.note
+  in
+  { id; theorem; expected; measured; pass = t.failed = 0 }
+
+let seeds_of ~quick = if quick then [ 0; 1 ] else [ 0; 1; 2; 3 ]
+
+(* ---------------------------------------------------------------- *)
+(* E1 / E2: T_{D -> Sigma-nu}                                        *)
+(* ---------------------------------------------------------------- *)
+
+let e1_extract_sigma_nu ?(quick = false) () =
+  let t = tally () in
+  let patterns =
+    [
+      Sim.Failure_pattern.make ~n:4 ~crashes:[ (2, 30); (3, 50) ];
+      Sim.Failure_pattern.make ~n:4 ~crashes:[ (3, 40) ];
+    ]
+  in
+  List.iter
+    (fun pattern ->
+      List.iter
+        (fun seed ->
+          let n = Sim.Failure_pattern.n pattern in
+          let oracle =
+            Fd.Oracle.pair
+              (Fd.Oracle.omega ~seed ~stab_time:60 pattern)
+              (Fd.Oracle.sigma_nu_plus ~seed ~stab_time:60 pattern)
+          in
+          let run =
+            Tx_anuc_runner.exec ~seed ~pattern ~fd:oracle.Fd.Oracle.query
+              ~inputs:(fun _ -> ())
+              ~max_steps:2600 ()
+          in
+          let samples =
+            Array.to_list run.Tx_anuc_runner.steps
+            |> List.map (fun s ->
+                   ( s.Tx_anuc_runner.pid,
+                     s.Tx_anuc_runner.time,
+                     Sim.Fd_value.Quorum
+                       (Tx_anuc.output s.Tx_anuc_runner.state_after) ))
+          in
+          let h = Fd.History.of_samples ~n samples in
+          match Fd.Check.sigma_nu ~max_stab:2100 pattern h with
+          | Ok () -> record t true ""
+          | Error v ->
+            record t false (Format.asprintf "%a" Fd.Check.pp_violation v))
+        (seeds_of ~quick))
+    patterns;
+  finish_row ~id:"E1"
+    ~theorem:"Thm 5.4: T_{D->Sigma-nu} necessity"
+    ~expected:"emulated quorums satisfy Sigma-nu" t
+
+let e2_extract_sigma ?(quick = false) () =
+  let t = tally () in
+  let patterns =
+    [
+      Sim.Failure_pattern.make ~n:4 ~crashes:[ (1, 30); (2, 30); (3, 30) ];
+      Sim.Failure_pattern.make ~n:5 ~crashes:[ (0, 25); (4, 45) ];
+    ]
+  in
+  List.iter
+    (fun pattern ->
+      List.iter
+        (fun seed ->
+          let n = Sim.Failure_pattern.n pattern in
+          let oracle =
+            Fd.Oracle.pair
+              (Fd.Oracle.omega ~seed ~stab_time:60 pattern)
+              (Fd.Oracle.sigma ~seed ~stab_time:60 pattern)
+          in
+          let run =
+            Tx_mr_runner.exec ~seed ~pattern ~fd:oracle.Fd.Oracle.query
+              ~inputs:(fun _ -> ())
+              ~max_steps:700 ()
+          in
+          let samples =
+            Array.to_list run.Tx_mr_runner.steps
+            |> List.map (fun s ->
+                   ( s.Tx_mr_runner.pid,
+                     s.Tx_mr_runner.time,
+                     Sim.Fd_value.Quorum
+                       (Tx_mr.output s.Tx_mr_runner.state_after) ))
+          in
+          let h = Fd.History.of_samples ~n samples in
+          match Fd.Check.sigma ~max_stab:560 pattern h with
+          | Ok () -> record t true ""
+          | Error v ->
+            record t false (Format.asprintf "%a" Fd.Check.pp_violation v))
+        (seeds_of ~quick))
+    patterns;
+  finish_row ~id:"E2"
+    ~theorem:"Thm 5.8: same algorithm yields Sigma"
+    ~expected:"uniform-consensus witness gives full Sigma" t
+
+let e3_boost ?(quick = false) () =
+  let t = tally () in
+  let cases =
+    [
+      ( Sim.Failure_pattern.make ~n:4 ~crashes:[ (2, 30); (3, 60) ],
+        Fd.Oracle.Faulty_split );
+      ( Sim.Failure_pattern.make ~n:5 ~crashes:[ (3, 40); (4, 60) ],
+        Fd.Oracle.Faulty_arbitrary );
+    ]
+  in
+  List.iter
+    (fun (pattern, mode) ->
+      List.iter
+        (fun seed ->
+          let n = Sim.Failure_pattern.n pattern in
+          let oracle =
+            Fd.Oracle.sigma_nu ~seed ~stab_time:80 ~faulty_mode:mode pattern
+          in
+          let run =
+            Tsp_runner.exec ~seed ~pattern ~fd:oracle.Fd.Oracle.query
+              ~inputs:(fun _ -> ())
+              ~max_steps:700 ()
+          in
+          let samples =
+            Array.to_list run.Tsp_runner.steps
+            |> List.map (fun s ->
+                   ( s.Tsp_runner.pid,
+                     s.Tsp_runner.time,
+                     Sim.Fd_value.Quorum
+                       (Core.T_sigma_plus.output s.Tsp_runner.state_after) ))
+          in
+          let h = Fd.History.of_samples ~n samples in
+          match Fd.Check.sigma_nu_plus ~max_stab:500 pattern h with
+          | Ok () -> record t true ""
+          | Error v ->
+            record t false (Format.asprintf "%a" Fd.Check.pp_violation v))
+        (seeds_of ~quick))
+    cases;
+  finish_row ~id:"E3"
+    ~theorem:"Thm 6.7: T_{Sigma-nu -> Sigma-nu+}"
+    ~expected:"all four Sigma-nu+ clauses hold on emulated output" t
+
+(* ---------------------------------------------------------------- *)
+(* E4 / E5: consensus sweeps                                         *)
+(* ---------------------------------------------------------------- *)
+
+let consensus_sweep (type st) ~id ~theorem ~expected
+    (module A : Sim.Automaton.S
+      with type input = Consensus.Value.t
+       and type state = st) ~(decision : st -> Consensus.Value.t option)
+    ~oracle ~ns ~seeds ~max_steps () =
+  let module R = Sim.Runner.Make (A) in
+  let t = tally () in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun tt ->
+          List.iter
+            (fun seed ->
+              let pattern = random_pattern ~seed ~n ~t:tt in
+              let correct = Sim.Failure_pattern.correct pattern in
+              let proposals p = (p + seed) mod 2 in
+              let o = oracle ~seed pattern in
+              let run =
+                R.exec ~seed ~record:false ~pattern
+                  ~fd:o.Fd.Oracle.query ~inputs:proposals ~max_steps
+                  ~stop:(fun st _ ->
+                    Pset.for_all (fun p -> decision (st p) <> None) correct)
+                  ()
+              in
+              let outcome =
+                Consensus.Spec.outcome ~pattern ~proposals
+                  ~decisions:(fun p -> decision run.R.states.(p))
+              in
+              match Consensus.Spec.check Consensus.Spec.Nonuniform outcome with
+              | Ok () -> record t true ""
+              | Error e ->
+                record t false
+                  (Printf.sprintf "n=%d t=%d seed=%d: %s" n tt seed e))
+            seeds)
+        (List.init (n - 1) (fun i -> i + 1)))
+    ns;
+  finish_row ~id ~theorem ~expected t
+
+let e4_anuc ?(quick = false) () =
+  consensus_sweep ~id:"E4" ~theorem:"Thm 6.27: A_nuc with (Omega, Sigma-nu+)"
+    ~expected:"termination, validity, NU agreement in every E_t"
+    (module Core.Anuc)
+    ~decision:Core.Anuc.decision
+    ~oracle:(fun ~seed pattern ->
+      Fd.Oracle.pair
+        (Fd.Oracle.omega ~seed pattern)
+        (Fd.Oracle.sigma_nu_plus ~seed pattern))
+    ~ns:(if quick then [ 4 ] else [ 3; 4; 5 ])
+    ~seeds:(seeds_of ~quick) ~max_steps:6000 ()
+
+let e5_stack ?(quick = false) () =
+  consensus_sweep ~id:"E5"
+    ~theorem:"Thm 6.28: stack solves NU consensus from (Omega, Sigma-nu)"
+    ~expected:"termination, validity, NU agreement in every E_t"
+    (module Core.Stack)
+    ~decision:Core.Stack.decision
+    ~oracle:(fun ~seed pattern ->
+      Fd.Oracle.pair
+        (Fd.Oracle.omega ~seed pattern)
+        (Fd.Oracle.sigma_nu ~seed pattern))
+    ~ns:[ 4 ]
+    ~seeds:(seeds_of ~quick) ~max_steps:9000 ()
+
+(* ---------------------------------------------------------------- *)
+(* E6: contamination                                                 *)
+(* ---------------------------------------------------------------- *)
+
+let e6_contamination ?(quick = false) () =
+  let o = Core.Scenario.contamination_naive_mr () in
+  let naive_broken =
+    o.Core.Scenario.agreement_violated
+    && Result.is_ok o.Core.Scenario.history_valid
+  in
+  (* A_nuc under the adversary family *)
+  let anuc_violations = ref 0 in
+  let runs = if quick then 6 else 20 in
+  List.iter
+    (fun seed ->
+      let n = 4 in
+      let pattern =
+        Sim.Failure_pattern.make ~n ~crashes:[ (2, 150); (3, 150) ]
+      in
+      let oracle =
+        Fd.Oracle.pair
+          (Fd.Oracle.omega ~seed ~prestab:Fd.Oracle.Omega_faulty_first
+             ~stab_time:120 pattern)
+          (Fd.Oracle.sigma_nu_plus ~seed ~faulty_mode:Fd.Oracle.Faulty_split
+             ~stab_time:120 pattern)
+      in
+      let correct = Sim.Failure_pattern.correct pattern in
+      let proposals p = if p < 2 then 0 else 1 in
+      let run =
+        Anuc_runner.exec ~seed ~record:false ~pattern
+          ~fd:oracle.Fd.Oracle.query ~inputs:proposals ~max_steps:8000
+          ~stop:(fun st _ ->
+            Pset.for_all (fun p -> Core.Anuc.decision (st p) <> None) correct)
+          ()
+      in
+      let outcome =
+        Consensus.Spec.outcome ~pattern ~proposals ~decisions:(fun p ->
+            Core.Anuc.decision run.Anuc_runner.states.(p))
+      in
+      if
+        Result.is_error
+          (Consensus.Spec.check Consensus.Spec.Nonuniform outcome)
+      then incr anuc_violations)
+    (List.init runs (fun i -> i));
+  {
+    id = "E6";
+    theorem = "Sec 6.3: contamination scenario";
+    expected = "naive MR+Sigma-nu violates NU agreement; A_nuc does not";
+    measured =
+      Printf.sprintf
+        "naive: correct p0/p1 decided %s/%s under a legal history; A_nuc: \
+         %d/%d adversarial runs violated"
+        (Format.asprintf "%a" Consensus.Value.pp_opt
+           o.Core.Scenario.decisions.(0))
+        (Format.asprintf "%a" Consensus.Value.pp_opt
+           o.Core.Scenario.decisions.(1))
+        !anuc_violations runs;
+    pass = naive_broken && !anuc_violations = 0;
+  }
+
+(* ---------------------------------------------------------------- *)
+(* E7 / E8: separation                                               *)
+(* ---------------------------------------------------------------- *)
+
+let e7_sigma_scratch ?(quick = false) () =
+  let t = tally () in
+  let cases =
+    if quick then [ (5, 2, [ (0, 20); (4, 50) ]) ]
+    else
+      [
+        (3, 1, [ (2, 35) ]);
+        (5, 2, [ (0, 20); (4, 50) ]);
+        (7, 3, [ (1, 15); (3, 30); (6, 60) ]);
+      ]
+  in
+  List.iter
+    (fun (n, tt, crashes) ->
+      let pattern = Sim.Failure_pattern.make ~n ~crashes in
+      List.iter
+        (fun seed ->
+          let run =
+            Scratch_runner.exec ~seed ~pattern
+              ~fd:(fun _ _ -> Sim.Fd_value.Unit)
+              ~inputs:(fun _ -> tt)
+              ~max_steps:600 ()
+          in
+          let samples =
+            Array.to_list run.Scratch_runner.steps
+            |> List.map (fun s ->
+                   ( s.Scratch_runner.pid,
+                     s.Scratch_runner.time,
+                     Sim.Fd_value.Quorum
+                       (Core.Separation.Sigma_scratch.output
+                          s.Scratch_runner.state_after) ))
+          in
+          let h = Fd.History.of_samples ~n samples in
+          match Fd.Check.sigma ~max_stab:450 pattern h with
+          | Ok () -> record t true ""
+          | Error v ->
+            record t false (Format.asprintf "%a" Fd.Check.pp_violation v))
+        (seeds_of ~quick))
+    cases;
+  finish_row ~id:"E7" ~theorem:"Thm 7.1 IF: Sigma from scratch, t < n/2"
+    ~expected:"round-based n-t algorithm emulates Sigma" t
+
+let e8_attack ?(quick = false) () =
+  let module Atk = Core.Separation.Attack (Core.Separation.Sigma_scratch) in
+  let t = tally () in
+  let cases = if quick then [ (4, 2); (6, 3) ] else [ (4, 2); (4, 3); (5, 3); (6, 3); (8, 4) ] in
+  List.iter
+    (fun (n, tt) ->
+      match Atk.run ~n ~t:tt ~inputs:(fun _ -> tt) () with
+      | Ok o ->
+        record t
+          (o.Atk.disjoint
+          && Pset.subset o.Atk.quorum_a o.Atk.part_a
+          && Pset.subset o.Atk.quorum_b o.Atk.part_b)
+          (Printf.sprintf "n=%d t=%d quorums intersect" n tt)
+      | Error e -> record t false (Printf.sprintf "n=%d t=%d: %s" n tt e))
+    cases;
+  (* below n/2 the construction must refuse *)
+  (match Atk.run ~n:4 ~t:1 ~inputs:(fun _ -> 1) () with
+  | Error _ -> record t true ""
+  | Ok _ -> record t false "attack ran below n/2");
+  finish_row ~id:"E8"
+    ~theorem:"Thm 7.1 ONLY IF: two-run attack, t >= n/2"
+    ~expected:"disjoint quorums inside A and B; inapplicable below n/2" t
+
+(* ---------------------------------------------------------------- *)
+(* E9: run merging                                                   *)
+(* ---------------------------------------------------------------- *)
+
+(* Lemma 2.2 applied as in Lemma 5.3: drive two deciding runs of the
+   quorum-driven MR algorithm with disjoint participants (each side's
+   quorums stay on its side), merge them, replay the merged schedule,
+   and observe a single run in which processes of the two sides have
+   decided differently. *)
+let e9_merge ?quick:_ () =
+  let n = 4 in
+  let part_a = Pset.of_list [ 0; 1 ] and part_b = Pset.of_list [ 2; 3 ] in
+  let pattern = Sim.Failure_pattern.failure_free ~n in
+  let fd p _ =
+    let side = if Pset.mem p part_a then part_a else part_b in
+    Sim.Fd_value.Pair
+      (Sim.Fd_value.Leader (Pset.min_elt side), Sim.Fd_value.Quorum side)
+  in
+  let inputs p = if Pset.mem p part_a then 0 else 1 in
+  let drive side =
+    let s = Mrq_runner.Session.create ~pattern ~fd ~inputs () in
+    let members = Pset.elements side in
+    let rec go i =
+      if i > 400 then failwith "side did not decide"
+      else if
+        List.for_all
+          (fun p ->
+            Consensus.Mr.With_quorum.decision (Mrq_runner.Session.state s p)
+            <> None)
+          members
+      then ()
+      else begin
+        Mrq_runner.Session.step s (List.nth members (i mod List.length members));
+        go (i + 1)
+      end
+    in
+    go 0;
+    Mrq_runner.Session.finish s
+  in
+  let run_a = drive part_a and run_b = drive part_b in
+  let merged =
+    Mrq_runner.merge_traces
+      (Array.to_list run_a.Mrq_runner.steps)
+      (Array.to_list run_b.Mrq_runner.steps)
+  in
+  match Mrq_runner.replay ~n ~inputs merged with
+  | Error e ->
+    {
+      id = "E9";
+      theorem = "Lemma 2.2: run merging";
+      expected = "merged schedule applicable; states preserved";
+      measured = "replay failed: " ^ e;
+      pass = false;
+    }
+  | Ok states ->
+    let d p = Consensus.Mr.With_quorum.decision states.(p) in
+    let states_match =
+      List.for_all
+        (fun p ->
+          d p
+          = Consensus.Mr.With_quorum.decision
+              (if Pset.mem p part_a then run_a.Mrq_runner.states.(p)
+               else run_b.Mrq_runner.states.(p)))
+        (Pid.all ~n)
+    in
+    let split = d 0 = Some 0 && d 2 = Some 1 in
+    {
+      id = "E9";
+      theorem = "Lemma 2.2: run merging (as used by Lemma 5.3)";
+      expected =
+        "merged run applicable, per-process states preserved, and the two \
+         sides decide differently in one run";
+      measured =
+        Printf.sprintf
+          "replay ok; states preserved: %b; decisions p0=%s p2=%s"
+          states_match
+          (Format.asprintf "%a" Consensus.Value.pp_opt (d 0))
+          (Format.asprintf "%a" Consensus.Value.pp_opt (d 2));
+      pass = states_match && split;
+    }
+
+(* A legal partitioned (Omega, Sigma-nu+) history: each side's leaders
+   and quorums stay on its side. Valid because the faulty side's
+   quorums consist of faulty processes only. *)
+let e10_not_uniform ?quick:_ () =
+  let n = 4 in
+  let pattern = Sim.Failure_pattern.make ~n ~crashes:[ (2, 400); (3, 400) ] in
+  let side p = if p < 2 then Pset.of_list [ 0; 1 ] else Pset.of_list [ 2; 3 ] in
+  let fd p _t =
+    Sim.Fd_value.Pair
+      ( Sim.Fd_value.Leader (Pset.min_elt (side p)),
+        Sim.Fd_value.Quorum (side p) )
+  in
+  let proposals p = if p < 2 then 0 else 1 in
+  let run =
+    Anuc_runner.exec ~seed:0 ~pattern ~fd ~inputs:proposals ~max_steps:3000
+      ~stop:(fun st _ ->
+        List.for_all (fun p -> Core.Anuc.decision (st p) <> None)
+          [ 0; 1; 2; 3 ])
+      ()
+  in
+  let outcome =
+    Consensus.Spec.outcome ~pattern ~proposals ~decisions:(fun p ->
+        Core.Anuc.decision run.Anuc_runner.states.(p))
+  in
+  let nonuniform_ok =
+    Result.is_ok (Consensus.Spec.check Consensus.Spec.Nonuniform outcome)
+  in
+  let uniform_violated =
+    Result.is_error
+      (Consensus.Spec.check_agreement Consensus.Spec.Uniform outcome)
+  in
+  (* the driving history must be a legal Sigma-nu+ history *)
+  let samples =
+    Array.to_list run.Anuc_runner.steps
+    |> List.map (fun s ->
+           (s.Anuc_runner.pid, s.Anuc_runner.time, s.Anuc_runner.fd))
+  in
+  let h = Fd.History.of_samples ~n samples in
+  let history_ok =
+    Result.is_ok
+      (Fd.Check.sigma_nu_plus
+         ~max_stab:(Fd.History.last_time h)
+         pattern
+         (Fd.History.project_snd h))
+  in
+  let d p =
+    Format.asprintf "%a" Consensus.Value.pp_opt
+      (Core.Anuc.decision run.Anuc_runner.states.(p))
+  in
+  {
+    id = "E10";
+    theorem = "A_nuc is strictly nonuniform";
+    expected =
+      "under a legal partitioned Sigma-nu+ history the faulty side        decides differently: uniform agreement fails, nonuniform holds";
+    measured =
+      Printf.sprintf
+        "decisions %s/%s (correct) vs %s/%s (faulty); nonuniform ok: %b;          uniform violated: %b; history legal: %b"
+        (d 0) (d 1) (d 2) (d 3) nonuniform_ok uniform_violated history_ok;
+    pass = nonuniform_ok && uniform_violated && history_ok;
+  }
+
+let all ?(quick = false) () =
+  [
+    e1_extract_sigma_nu ~quick ();
+    e2_extract_sigma ~quick ();
+    e3_boost ~quick ();
+    e4_anuc ~quick ();
+    e5_stack ~quick ();
+    e6_contamination ~quick ();
+    e7_sigma_scratch ~quick ();
+    e8_attack ~quick ();
+    e9_merge ~quick ();
+    e10_not_uniform ~quick ();
+  ]
+
+(* ---------------------------------------------------------------- *)
+(* B-tables                                                          *)
+(* ---------------------------------------------------------------- *)
+
+type latency_row = {
+  algorithm : string;
+  n : int;
+  t : int;
+  runs : int;
+  decided : int;
+  avg_rounds : float;
+  avg_steps : float;
+  avg_msgs : float;
+}
+
+let latency_header =
+  Printf.sprintf "%-12s %3s %3s %5s %8s %8s %10s %10s" "algorithm" "n" "t"
+    "runs" "decided" "rounds" "steps" "messages"
+
+let pp_latency_row fmt r =
+  Format.fprintf fmt "%-12s %3d %3d %5d %8d %8.2f %10.1f %10.1f" r.algorithm
+    r.n r.t r.runs r.decided r.avg_rounds r.avg_steps r.avg_msgs
+
+type algo = Anuc | Mr_majority | Mr_sigma | Stack | Ct
+
+let algo_name = function
+  | Anuc -> "A_nuc"
+  | Mr_majority -> "MR-majority"
+  | Mr_sigma -> "MR-Sigma"
+  | Stack -> "Stack"
+  | Ct -> "CT-<>S"
+
+(* One measured consensus run: (decided?, decision rounds of correct
+   deciders, steps, messages). *)
+let measure_one ~algo ~pattern ~seed ~stab_time ~max_steps :
+    bool * int list * int * int =
+  let proposals p = (p + seed) mod 2 in
+  let correct = Sim.Failure_pattern.correct pattern in
+  let omega = Fd.Oracle.omega ~seed ~stab_time pattern in
+  match algo with
+  | Anuc ->
+    let oracle =
+      Fd.Oracle.pair omega (Fd.Oracle.sigma_nu_plus ~seed ~stab_time pattern)
+    in
+    let run =
+      Anuc_runner.exec ~seed ~record:false ~pattern ~fd:oracle.Fd.Oracle.query
+        ~inputs:proposals ~max_steps
+        ~stop:(fun st _ ->
+          Pset.for_all (fun p -> Core.Anuc.decision (st p) <> None) correct)
+        ()
+    in
+    let rounds =
+      Pset.fold
+        (fun p acc ->
+          match Core.Anuc.decision_round run.Anuc_runner.states.(p) with
+          | Some r -> r :: acc
+          | None -> acc)
+        correct []
+    in
+    ( run.Anuc_runner.stopped_early,
+      rounds,
+      run.Anuc_runner.step_count,
+      run.Anuc_runner.messages_sent )
+  | Stack ->
+    let oracle =
+      Fd.Oracle.pair omega (Fd.Oracle.sigma_nu ~seed ~stab_time pattern)
+    in
+    let run =
+      Stack_runner.exec ~seed ~record:false ~pattern
+        ~fd:oracle.Fd.Oracle.query ~inputs:proposals ~max_steps
+        ~stop:(fun st _ ->
+          Pset.for_all (fun p -> Core.Stack.decision (st p) <> None) correct)
+        ()
+    in
+    let rounds =
+      Pset.fold
+        (fun p acc ->
+          match Core.Stack.decision_round run.Stack_runner.states.(p) with
+          | Some r -> r :: acc
+          | None -> acc)
+        correct []
+    in
+    ( run.Stack_runner.stopped_early,
+      rounds,
+      run.Stack_runner.step_count,
+      run.Stack_runner.messages_sent )
+  | Mr_majority ->
+    let oracle =
+      Fd.Oracle.pair omega (Fd.Oracle.sigma ~seed ~stab_time pattern)
+    in
+    let run =
+      Mrm_runner.exec ~seed ~record:false ~pattern ~fd:oracle.Fd.Oracle.query
+        ~inputs:proposals ~max_steps
+        ~stop:(fun st _ ->
+          Pset.for_all
+            (fun p -> Consensus.Mr.Majority.decision (st p) <> None)
+            correct)
+        ()
+    in
+    let rounds =
+      Pset.fold
+        (fun p acc ->
+          match
+            Consensus.Mr.Majority.decision_round run.Mrm_runner.states.(p)
+          with
+          | Some r -> r :: acc
+          | None -> acc)
+        correct []
+    in
+    ( run.Mrm_runner.stopped_early,
+      rounds,
+      run.Mrm_runner.step_count,
+      run.Mrm_runner.messages_sent )
+  | Ct ->
+    let oracle = Fd.Oracle.eventually_strong ~seed ~stab_time pattern in
+    let run =
+      Ct_runner.exec ~seed ~record:false ~pattern ~fd:oracle.Fd.Oracle.query
+        ~inputs:proposals ~max_steps
+        ~stop:(fun st _ ->
+          Pset.for_all
+            (fun p -> Consensus.Ct.decision (st p) <> None)
+            correct)
+        ()
+    in
+    let rounds =
+      Pset.fold
+        (fun p acc ->
+          match Consensus.Ct.decision_round run.Ct_runner.states.(p) with
+          | Some r -> r :: acc
+          | None -> acc)
+        correct []
+    in
+    ( run.Ct_runner.stopped_early,
+      rounds,
+      run.Ct_runner.step_count,
+      run.Ct_runner.messages_sent )
+  | Mr_sigma ->
+    let oracle =
+      Fd.Oracle.pair omega (Fd.Oracle.sigma ~seed ~stab_time pattern)
+    in
+    let run =
+      Mrq_runner.exec ~seed ~record:false ~pattern ~fd:oracle.Fd.Oracle.query
+        ~inputs:proposals ~max_steps
+        ~stop:(fun st _ ->
+          Pset.for_all
+            (fun p -> Consensus.Mr.With_quorum.decision (st p) <> None)
+            correct)
+        ()
+    in
+    let rounds =
+      Pset.fold
+        (fun p acc ->
+          match
+            Consensus.Mr.With_quorum.decision_round run.Mrq_runner.states.(p)
+          with
+          | Some r -> r :: acc
+          | None -> acc)
+        correct []
+    in
+    ( run.Mrq_runner.stopped_early,
+      rounds,
+      run.Mrq_runner.step_count,
+      run.Mrq_runner.messages_sent )
+
+let latency algo ~n ~t ~seeds =
+  let decided = ref 0 in
+  let rounds_sum = ref 0 and rounds_n = ref 0 in
+  let steps_sum = ref 0 and msgs_sum = ref 0 in
+  List.iter
+    (fun seed ->
+      let pattern = random_pattern ~seed ~n ~t in
+      let ok, rounds, steps, msgs =
+        measure_one ~algo ~pattern ~seed ~stab_time:60
+          ~max_steps:(if algo = Stack then 9000 else 6000)
+      in
+      if ok then incr decided;
+      List.iter
+        (fun r ->
+          rounds_sum := !rounds_sum + r;
+          incr rounds_n)
+        rounds;
+      steps_sum := !steps_sum + steps;
+      msgs_sum := !msgs_sum + msgs)
+    seeds;
+  let runs = List.length seeds in
+  {
+    algorithm = algo_name algo;
+    n;
+    t;
+    runs;
+    decided = !decided;
+    avg_rounds =
+      (if !rounds_n = 0 then nan
+       else float_of_int !rounds_sum /. float_of_int !rounds_n);
+    avg_steps = float_of_int !steps_sum /. float_of_int runs;
+    avg_msgs = float_of_int !msgs_sum /. float_of_int runs;
+  }
+
+type stab_row = { stab_time : int; s_runs : int; s_avg_steps : float }
+
+let stabilization_series algo ~n ~t ~stabs ~seeds =
+  List.map
+    (fun stab_time ->
+      let steps_sum = ref 0 in
+      List.iter
+        (fun seed ->
+          let pattern = random_pattern ~seed ~n ~t in
+          let _, _, steps, _ =
+            measure_one ~algo ~pattern ~seed ~stab_time
+              ~max_steps:(if algo = Stack then 12000 else 8000)
+          in
+          steps_sum := !steps_sum + steps)
+        seeds;
+      {
+        stab_time;
+        s_runs = List.length seeds;
+        s_avg_steps =
+          float_of_int !steps_sum /. float_of_int (List.length seeds);
+      })
+    stabs
+
+type dag_row = {
+  d_steps : int;
+  dag_nodes : int;
+  spine_len : int;
+  extractions_total : int;
+  wall_ms : float;
+}
+
+let dag_growth ~n ~steps_list =
+  let pattern = Sim.Failure_pattern.make ~n ~crashes:[ (n - 1, 40) ] in
+  let oracle = Fd.Oracle.sigma_nu ~stab_time:60 pattern in
+  List.map
+    (fun max_steps ->
+      let t0 = Unix.gettimeofday () in
+      let run =
+        Tsp_runner.exec ~pattern ~record:false ~fd:oracle.Fd.Oracle.query
+          ~inputs:(fun _ -> ())
+          ~max_steps ()
+      in
+      let wall_ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
+      let st = run.Tsp_runner.states.(0) in
+      let g = Core.T_sigma_plus.dag st in
+      let spine_len =
+        match Dagsim.Dag.samples_of g 0 with
+        | [] -> 0
+        | first :: _ -> List.length (Dagsim.Dag.weave g ~from:first)
+      in
+      let extractions_total =
+        Array.fold_left
+          (fun acc s -> acc + Core.T_sigma_plus.extractions s)
+          0 run.Tsp_runner.states
+      in
+      {
+        d_steps = max_steps;
+        dag_nodes = Dagsim.Dag.size g;
+        spine_len;
+        extractions_total;
+        wall_ms;
+      })
+    steps_list
+
+(* ---------------------------------------------------------------- *)
+(* B5: the mechanism ablation                                        *)
+(* ---------------------------------------------------------------- *)
+
+type ablation_row = {
+  variant : string;
+  script_outcome : string;
+  script_violated : bool;
+  sweep_runs : int;
+  sweep_violations : int;
+  a_avg_rounds : float;
+}
+
+let ablation_header =
+  Printf.sprintf "%-28s %-44s %6s %6s %7s" "variant" "scripted Sec-6.3 adversary"
+    "runs" "viols" "rounds"
+
+let pp_ablation_row fmt r =
+  Format.fprintf fmt "%-28s %-44s %6d %6d %7.2f" r.variant r.script_outcome
+    r.sweep_runs r.sweep_violations r.a_avg_rounds
+
+(* Randomized adversarial sweep for one A_nuc variant: count NU
+   agreement/validity violations and decision rounds. *)
+let ablation_sweep (module V : Core.Anuc.S)
+    ~seeds =
+  let module R = Sim.Runner.Make (V) in
+  let n = 4 in
+  let violations = ref 0 and runs = ref 0 in
+  let rounds_sum = ref 0 and rounds_n = ref 0 in
+  List.iter
+    (fun seed ->
+      let pattern =
+        Sim.Failure_pattern.make ~n ~crashes:[ (2, 150); (3, 150) ]
+      in
+      let oracle =
+        Fd.Oracle.pair
+          (Fd.Oracle.omega ~seed ~prestab:Fd.Oracle.Omega_faulty_first
+             ~stab_time:120 pattern)
+          (Fd.Oracle.sigma_nu_plus ~seed ~faulty_mode:Fd.Oracle.Faulty_split
+             ~stab_time:120 pattern)
+      in
+      let correct = Sim.Failure_pattern.correct pattern in
+      let proposals p = if p < 2 then 0 else 1 in
+      let run =
+        R.exec ~seed ~record:false ~pattern ~fd:oracle.Fd.Oracle.query
+          ~inputs:proposals ~max_steps:8000
+          ~stop:(fun st _ ->
+            Pset.for_all (fun p -> V.decision (st p) <> None) correct)
+          ()
+      in
+      incr runs;
+      Pset.iter
+        (fun p ->
+          match V.decision_round run.R.states.(p) with
+          | Some r ->
+            rounds_sum := !rounds_sum + r;
+            incr rounds_n
+          | None -> ())
+        correct;
+      let outcome =
+        Consensus.Spec.outcome ~pattern ~proposals ~decisions:(fun p ->
+            V.decision run.R.states.(p))
+      in
+      let ok =
+        Result.bind (Consensus.Spec.check_validity outcome) (fun () ->
+            Consensus.Spec.check_agreement Consensus.Spec.Nonuniform outcome)
+      in
+      if Result.is_error ok then incr violations)
+    seeds;
+  ( !runs,
+    !violations,
+    if !rounds_n = 0 then nan
+    else float_of_int !rounds_sum /. float_of_int !rounds_n )
+
+let ablation_variant (module V : Core.Anuc.S)
+    ~seeds =
+  let module C = Core.Scenario.Contaminate (V) in
+  let script_outcome, script_violated =
+    match C.run () with
+    | Ok o ->
+      if o.Core.Scenario.agreement_violated then
+        ("VIOLATED nonuniform agreement", true)
+      else ("script completed, agreement held", false)
+    | Error _ -> ("script blocked (mechanism engaged)", false)
+  in
+  let sweep_runs, sweep_violations, a_avg_rounds =
+    ablation_sweep (module V) ~seeds
+  in
+  {
+    variant = V.name;
+    script_outcome;
+    script_violated;
+    sweep_runs;
+    sweep_violations;
+    a_avg_rounds;
+  }
+
+let ablation ?(quick = false) () =
+  let seeds = List.init (if quick then 6 else 20) (fun i -> i) in
+  [
+    ablation_variant (module Core.Anuc) ~seeds;
+    ablation_variant (module Core.Anuc.Without_awareness) ~seeds;
+    ablation_variant (module Core.Anuc.Without_distrust) ~seeds;
+    ablation_variant (module Core.Anuc.Without_both) ~seeds;
+  ]

@@ -1,0 +1,143 @@
+(** The experiment suite: one entry point per row of the DESIGN.md
+    per-experiment index (E1–E9), plus the measurement sweeps behind
+    the B1–B3 tables. The bench harness ([bench/main.exe]) and the CLI
+    ([bin/nuc_cli.exe]) both drive these.
+
+    The paper is a theory paper — its "evaluation" is a set of
+    theorems. Each E-row validates one theorem empirically: randomized
+    admissible runs for the algorithmic results, deterministic scripted
+    constructions for the proof scenarios. [quick] runs a reduced sweep
+    (for the bench executable); the full sweeps run in the test
+    suite. *)
+
+type row = {
+  id : string;  (** experiment id, e.g. "E4" *)
+  theorem : string;  (** the paper result it validates *)
+  expected : string;  (** what the paper predicts *)
+  measured : string;  (** what this run measured *)
+  pass : bool;
+}
+
+val pp_row : Format.formatter -> row -> unit
+
+val e1_extract_sigma_nu : ?quick:bool -> unit -> row
+(** Thm 5.4: [T_{D->Sigma-nu}] emulates Sigma-nu from a detector that
+    solves nonuniform consensus (witness: [A_nuc] with
+    [(Omega, Sigma-nu+)]). *)
+
+val e2_extract_sigma : ?quick:bool -> unit -> row
+(** Thm 5.8: the same algorithm emulates full Sigma when the witness
+    solves uniform consensus (MR with Sigma quorums). *)
+
+val e3_boost : ?quick:bool -> unit -> row
+(** Thm 6.7: [T_{Sigma-nu -> Sigma-nu+}] emulates Sigma-nu+. *)
+
+val e4_anuc : ?quick:bool -> unit -> row
+(** Thm 6.27: [A_nuc] solves nonuniform consensus with
+    [(Omega, Sigma-nu+)] in every [E_t]. *)
+
+val e5_stack : ?quick:bool -> unit -> row
+(** Thm 6.28: the composed stack solves nonuniform consensus from raw
+    [(Omega, Sigma-nu)]. *)
+
+val e6_contamination : ?quick:bool -> unit -> row
+(** Section 6.3: the naive substitution violates nonuniform agreement
+    under a legal Sigma-nu history; [A_nuc] survives the same
+    adversary family. *)
+
+val e7_sigma_scratch : ?quick:bool -> unit -> row
+(** Thm 7.1 (IF): Sigma is implementable from scratch when [t < n/2]. *)
+
+val e8_attack : ?quick:bool -> unit -> row
+(** Thm 7.1 (ONLY IF): the two-run construction defeats any live
+    emulator when [t >= n/2]; the harvested quorums are disjoint. *)
+
+val e9_merge : ?quick:bool -> unit -> row
+(** Lemma 2.2 / Lemma 5.3: two deciding runs with disjoint
+    participants merge into one run in which correct processes
+    disagree — the heart of the necessity proof. *)
+
+val e10_not_uniform : ?quick:bool -> unit -> row
+(** [A_nuc] solves strictly nonuniform consensus: under a legal
+    partitioned Sigma-nu+ history (the faulty side's quorums stay on
+    the faulty side, which conditional nonintersection permits), the
+    faulty processes decide their own value before crashing — uniform
+    agreement is violated while nonuniform agreement holds. This
+    certifies the implementation does not secretly solve the stronger
+    problem its detector cannot pay for. *)
+
+val all : ?quick:bool -> unit -> row list
+(** Every E-row, in order. *)
+
+(** {1 Measurement sweeps (B-tables)} *)
+
+type latency_row = {
+  algorithm : string;
+  n : int;
+  t : int;
+  runs : int;
+  decided : int;  (** runs where all correct processes decided *)
+  avg_rounds : float;  (** mean decision round over correct deciders *)
+  avg_steps : float;  (** mean simulation steps until full decision *)
+  avg_msgs : float;  (** mean messages sent until full decision *)
+}
+
+val pp_latency_row : Format.formatter -> latency_row -> unit
+
+val latency_header : string
+
+(** Which algorithm a latency sweep measures. *)
+type algo = Anuc | Mr_majority | Mr_sigma | Stack | Ct
+
+val latency : algo -> n:int -> t:int -> seeds:int list -> latency_row
+(** B1: decision latency of one algorithm in [E_t] over random
+    patterns. [Mr_majority] and [Ct] require [t < n/2]. *)
+
+type stab_row = {
+  stab_time : int;
+  s_runs : int;
+  s_avg_steps : float;  (** steps to full decision *)
+}
+
+val stabilization_series :
+  algo -> n:int -> t:int -> stabs:int list -> seeds:int list -> stab_row list
+(** B2: decision latency as a function of the detectors' stabilization
+    time. *)
+
+type dag_row = {
+  d_steps : int;  (** run length *)
+  dag_nodes : int;  (** final DAG size at p0 (after pruning) *)
+  spine_len : int;  (** spine length at p0's barrier *)
+  extractions_total : int;
+  wall_ms : float;  (** wall-clock for the whole run *)
+}
+
+val dag_growth : n:int -> steps_list:int list -> dag_row list
+(** B3: transformation cost — DAG size, spine length, extraction count
+    and wall time of [T_{Sigma-nu -> Sigma-nu+}] runs of increasing
+    length. *)
+
+type ablation_row = {
+  variant : string;  (** which [A_nuc] mechanisms are enabled *)
+  script_outcome : string;
+      (** what the scripted Section 6.3 adversary achieved *)
+  script_violated : bool;  (** the script produced a NU-agreement violation *)
+  sweep_runs : int;  (** randomized adversarial runs executed *)
+  sweep_violations : int;  (** NU-agreement/validity violations among them *)
+  a_avg_rounds : float;
+      (** mean decision round of correct deciders — the latency cost of
+          the enabled mechanisms *)
+}
+
+val pp_ablation_row : Format.formatter -> ablation_row -> unit
+
+val ablation_header : string
+
+val ablation : ?quick:bool -> unit -> ablation_row list
+(** B5 / mechanism-necessity study: the full [A_nuc] and its three
+    ablated variants, each (a) attacked by the scripted Section 6.3
+    adversary, and (b) swept over randomized adversarial oracles. The
+    paper's claim: both mechanisms are needed for safety in general,
+    and they cost extra rounds. Expected shape: the full algorithm and
+    single-mechanism variants resist the script (each mechanism blocks
+    a different step of it); the doubly-ablated variant falls to it. *)

@@ -1,0 +1,1 @@
+lib/fd/check.ml: Format History List Pid Procset Pset Result Sim

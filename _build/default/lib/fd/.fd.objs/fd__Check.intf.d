@@ -1,0 +1,1 @@
+lib/fd/check.mli: Format History Sim

@@ -1,0 +1,1 @@
+lib/fd/history.ml: Array Format Int List Pid Printf Procset Pset Sim

@@ -1,0 +1,1 @@
+lib/fd/history.mli: Format Procset Sim

@@ -1,0 +1,1 @@
+lib/fd/oracle.ml: History List Pid Printf Procset Pset Random Sim

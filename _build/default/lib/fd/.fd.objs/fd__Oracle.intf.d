@@ -1,0 +1,1 @@
+lib/fd/oracle.mli: History Procset Sim

@@ -1,0 +1,243 @@
+open Procset
+
+type violation = { property : string; detail : string }
+
+let pp_violation fmt v =
+  Format.fprintf fmt "@[<hov 2>%s:@ %s@]" v.property v.detail
+
+let err property fmt = Format.kasprintf (fun detail -> Error { property; detail }) fmt
+
+let ( let* ) = Result.bind
+
+(* Distinct quorums sampled at [p], each with the first time it was
+   seen. Errors on a non-Quorum sample. *)
+let quorums_of ~property h p =
+  let rec collect acc = function
+    | [] -> Ok (List.rev acc)
+    | (t, Sim.Fd_value.Quorum q) :: rest ->
+      let acc = if List.exists (fun (_, q') -> Pset.equal q q') acc then acc else (t, q) :: acc in
+      collect acc rest
+    | (t, v) :: _ ->
+      err property "p%d output non-quorum value %a at time %d" p
+        Sim.Fd_value.pp v t
+  in
+  collect [] (History.samples_of h p)
+
+(* All (pid, first-seen-time, quorum) triples for pids in [scope]. *)
+let quorums_in_scope ~property h scope =
+  Pset.fold
+    (fun p acc ->
+      let* acc = acc in
+      let* qs = quorums_of ~property h p in
+      Ok (List.rev_append (List.map (fun (t, q) -> (p, t, q)) qs) acc))
+    scope (Ok [])
+
+let omega_settles pattern h =
+  let property = "omega" in
+  let correct = Sim.Failure_pattern.correct pattern in
+  (* Eventual leader candidate: final sample of each correct process. *)
+  let* leader =
+    Pset.fold
+      (fun p acc ->
+        let* acc = acc in
+        match List.rev (History.samples_of h p) with
+        | [] -> err property "correct p%d has no samples" p
+        | (t, Sim.Fd_value.Leader l) :: _ -> (
+          match acc with
+          | None -> Ok (Some l)
+          | Some l' when Pid.equal l l' -> Ok (Some l)
+          | Some l' ->
+            err property
+              "correct processes end trusting different leaders (%a vs %a, \
+               p%d at time %d)"
+              Pid.pp l' Pid.pp l p t)
+        | (t, v) :: _ ->
+          err property "p%d output non-leader value %a at time %d" p
+            Sim.Fd_value.pp v t)
+      correct (Ok None)
+  in
+  match leader with
+  | None -> err property "no correct process"
+  | Some l ->
+    if not (Pset.mem l correct) then
+      err property "eventual leader %a is faulty" Pid.pp l
+    else
+      (* Latest sampled time at which a correct process trusts <> l. *)
+      Pset.fold
+        (fun p acc ->
+          let* stab = acc in
+          List.fold_left
+            (fun acc (t, v) ->
+              let* stab = acc in
+              match v with
+              | Sim.Fd_value.Leader l' when not (Pid.equal l l') ->
+                Ok (max stab t)
+              | Sim.Fd_value.Leader _ -> Ok stab
+              | v ->
+                err property "p%d output non-leader value %a at time %d" p
+                  Sim.Fd_value.pp v t)
+            (Ok stab) (History.samples_of h p))
+        correct (Ok 0)
+
+let intersection ~uniform pattern h =
+  let property = if uniform then "intersection" else "nonuniform-intersection" in
+  let scope =
+    if uniform then Pset.full ~n:(History.n h)
+    else Sim.Failure_pattern.correct pattern
+  in
+  let* quorums = quorums_in_scope ~property h scope in
+  let rec pairwise = function
+    | [] -> Ok ()
+    | (p, t, q) :: rest ->
+      if Pset.is_empty q then
+        err property "p%d output the empty quorum at time %d" p t
+      else (
+        match
+          List.find_opt (fun (_, _, q') -> Pset.disjoint q q') rest
+        with
+        | Some (p', t', q') ->
+          err property
+            "disjoint quorums: %a at p%d (time %d) and %a at p%d (time %d)"
+            Pset.pp q p t Pset.pp q' p' t'
+        | None -> pairwise rest)
+  in
+  pairwise quorums
+
+let completeness pattern h =
+  let property = "completeness" in
+  let correct = Sim.Failure_pattern.correct pattern in
+  Pset.fold
+    (fun p acc ->
+      let* stab = acc in
+      List.fold_left
+        (fun acc (t, v) ->
+          let* stab = acc in
+          match v with
+          | Sim.Fd_value.Quorum q ->
+            if Pset.subset q correct then Ok stab else Ok (max stab t)
+          | v ->
+            err property "p%d output non-quorum value %a at time %d" p
+              Sim.Fd_value.pp v t)
+        (Ok stab) (History.samples_of h p))
+    correct (Ok 0)
+
+let self_inclusion h =
+  let property = "self-inclusion" in
+  let n = History.n h in
+  ignore (n : int);
+  let rec check = function
+    | [] -> Ok ()
+    | (p, t, Sim.Fd_value.Quorum q) :: rest ->
+      if Pset.mem p q then check rest
+      else
+        err property "p%d output quorum %a not containing itself at time %d"
+          p Pset.pp q t
+    | (p, t, v) :: _ ->
+      err property "p%d output non-quorum value %a at time %d" p
+        Sim.Fd_value.pp v t
+  in
+  check (History.all_samples h)
+
+let conditional_nonintersection pattern h =
+  let property = "conditional-nonintersection" in
+  let n = History.n h in
+  let correct = Sim.Failure_pattern.correct pattern in
+  let faulty = Sim.Failure_pattern.faulty pattern in
+  let* correct_quorums = quorums_in_scope ~property h correct in
+  let* all_quorums = quorums_in_scope ~property h (Pset.full ~n) in
+  let offending =
+    List.find_opt
+      (fun (_, _, q') ->
+        (not (Pset.subset q' faulty))
+        && List.exists (fun (_, _, q) -> Pset.disjoint q q') correct_quorums)
+      all_quorums
+  in
+  match offending with
+  | None -> Ok ()
+  | Some (p', t', q') ->
+    let p, t, q =
+      List.find (fun (_, _, q) -> Pset.disjoint q q') correct_quorums
+    in
+    err property
+      "quorum %a at p%d (time %d) misses correct p%d's quorum %a (time %d) \
+       yet contains a correct process"
+      Pset.pp q' p' t' p Pset.pp q t
+
+let check_stab ~property ~max_stab = function
+  | Error v -> Error v
+  | Ok stab ->
+    if stab <= max_stab then Ok ()
+    else
+      err property
+        "property not stable: last violation at time %d > allowed \
+         stabilization bound %d"
+        stab max_stab
+
+let omega ~max_stab pattern h =
+  check_stab ~property:"omega" ~max_stab (omega_settles pattern h)
+
+let sigma ~max_stab pattern h =
+  let* () = intersection ~uniform:true pattern h in
+  check_stab ~property:"completeness" ~max_stab (completeness pattern h)
+
+let sigma_nu ~max_stab pattern h =
+  let* () = intersection ~uniform:false pattern h in
+  check_stab ~property:"completeness" ~max_stab (completeness pattern h)
+
+let sigma_nu_plus ~max_stab pattern h =
+  let* () = sigma_nu ~max_stab pattern h in
+  let* () = self_inclusion h in
+  conditional_nonintersection pattern h
+
+let eventually_strong ~max_stab pattern h =
+  let property = "eventually-strong" in
+  let correct = Sim.Failure_pattern.correct pattern in
+  let late p = List.filter (fun (t, _) -> t > max_stab) (History.samples_of h p) in
+  (* strong completeness: late samples at correct processes suspect
+     every faulty process that has already crashed *)
+  let rec completeness = function
+    | [] -> Ok ()
+    | p :: rest ->
+      let bad =
+        List.find_opt
+          (fun (t, v) ->
+            match v with
+            | Sim.Fd_value.Suspects s ->
+              not
+                (Pset.subset (Sim.Failure_pattern.crashed_set pattern t) s)
+            | _ -> true)
+          (late p)
+      in
+      (match bad with
+      | Some (t, Sim.Fd_value.Suspects s) ->
+        err property
+          "p%d's suspicions %a at time %d miss a crashed process" p Pset.pp
+          s t
+      | Some (t, v) ->
+        err property "p%d output non-suspects value %a at time %d" p
+          Sim.Fd_value.pp v t
+      | None -> completeness rest)
+  in
+  let* () = completeness (Pset.elements correct) in
+  (* eventual weak accuracy: some correct process is suspected by
+     nobody correct after max_stab *)
+  let trusted_somewhere =
+    Pset.filter
+      (fun c ->
+        Pset.for_all
+          (fun p ->
+            List.for_all
+              (fun (_, v) ->
+                match v with
+                | Sim.Fd_value.Suspects s -> not (Pset.mem c s)
+                | _ -> false)
+              (late p))
+          correct)
+      correct
+  in
+  if Pset.is_empty trusted_somewhere then
+    err property
+      "no correct process escapes suspicion after time %d (eventual weak \
+       accuracy fails)"
+      max_stab
+  else Ok ()

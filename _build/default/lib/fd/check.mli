@@ -1,0 +1,84 @@
+(** Property checkers for failure-detector histories.
+
+    Each checker validates one clause of a detector's specification
+    (Sections 3 and 6.1 of the paper) against a finite sampled
+    {!History.t} under a given failure pattern. "There is a time after
+    which ..." clauses cannot be decided from a finite prefix alone;
+    those checkers instead return the latest sampled time at which the
+    stable property is still violated, and the composed detector
+    checks accept iff that time is at most a caller-chosen bound
+    [max_stab] (well before the end of the run).
+
+    Checkers are deliberately independent from the oracle constructions
+    in {!Oracle}: they re-derive everything from the raw samples, so
+    they validate both generated histories and the emulated [output_p]
+    histories produced by the paper's transformation algorithms. *)
+
+type violation = { property : string; detail : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val omega_settles :
+  Sim.Failure_pattern.t -> History.t -> (int, violation) result
+(** Omega: there is a time after which every correct process outputs
+    the same correct leader. [Ok s] means the common correct leader
+    exists and [s] is the latest sampled time at which some correct
+    process output something else. [Error _] if samples are not
+    [Leader] values, or the correct processes' final samples disagree,
+    or the eventual leader is faulty. *)
+
+val intersection :
+  uniform:bool -> Sim.Failure_pattern.t -> History.t -> (unit, violation) result
+(** Quorum intersection. With [~uniform:true] this is Sigma's clause:
+    any two sampled quorums, at any processes and times, intersect.
+    With [~uniform:false] it is Sigma-nu's clause: quantification is
+    restricted to quorums sampled at correct processes. Also fails on
+    an empty quorum (it does not intersect itself) or a non-[Quorum]
+    sample in scope. *)
+
+val completeness :
+  Sim.Failure_pattern.t -> History.t -> (int, violation) result
+(** Completeness (shared by the whole Sigma family): there is a time
+    after which the quorums of correct processes contain only correct
+    processes. [Ok s]: [s] is the latest sampled time at which a
+    correct process output a quorum containing a faulty process.
+    [Error _] on a non-[Quorum] sample at a correct process. *)
+
+val self_inclusion : History.t -> (unit, violation) result
+(** Sigma-nu+ self-inclusion: every process (correct or faulty) is a
+    member of each of its sampled quorums. *)
+
+val conditional_nonintersection :
+  Sim.Failure_pattern.t -> History.t -> (unit, violation) result
+(** Sigma-nu+ conditional nonintersection: a sampled quorum (at any
+    process) that fails to intersect some quorum sampled at a correct
+    process contains only faulty processes. *)
+
+val eventually_strong :
+  max_stab:int -> Sim.Failure_pattern.t -> History.t ->
+  (unit, violation) result
+(** The eventually-strong detector [<>S]: strong completeness (after
+    [max_stab], every sample at a correct process suspects every
+    already-crashed faulty process) and eventual weak accuracy (some
+    correct process appears in no correct process's samples after
+    [max_stab]). *)
+
+val omega : max_stab:int -> Sim.Failure_pattern.t -> History.t ->
+  (unit, violation) result
+(** Full Omega check: {!omega_settles} with stabilization by
+    [max_stab]. *)
+
+val sigma : max_stab:int -> Sim.Failure_pattern.t -> History.t ->
+  (unit, violation) result
+(** Full Sigma check: uniform {!intersection} and {!completeness}
+    stabilized by [max_stab]. *)
+
+val sigma_nu : max_stab:int -> Sim.Failure_pattern.t -> History.t ->
+  (unit, violation) result
+(** Full Sigma-nu check: nonuniform {!intersection} and
+    {!completeness} stabilized by [max_stab]. *)
+
+val sigma_nu_plus : max_stab:int -> Sim.Failure_pattern.t -> History.t ->
+  (unit, violation) result
+(** Full Sigma-nu+ check: {!sigma_nu} plus {!self_inclusion} and
+    {!conditional_nonintersection}. *)

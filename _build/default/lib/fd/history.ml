@@ -1,0 +1,67 @@
+open Procset
+
+type t = { n : int; by_pid : (int * Sim.Fd_value.t) list array }
+
+let of_samples ~n samples =
+  if n < 1 || n > Pset.max_size then invalid_arg "History.of_samples: bad n";
+  let by_pid = Array.make n [] in
+  List.iter
+    (fun (p, t, v) ->
+      if not (Pid.valid ~n p) then
+        invalid_arg (Printf.sprintf "History.of_samples: bad pid %d" p);
+      if t < 0 then invalid_arg "History.of_samples: negative time";
+      by_pid.(p) <- (t, v) :: by_pid.(p))
+    samples;
+  let sort_and_check p l =
+    let sorted =
+      List.stable_sort (fun (t1, _) (t2, _) -> Int.compare t1 t2) (List.rev l)
+    in
+    let rec dedup = function
+      | (t1, v1) :: ((t2, v2) :: _ as rest) when t1 = t2 ->
+        if not (Sim.Fd_value.equal v1 v2) then
+          invalid_arg
+            (Printf.sprintf
+               "History.of_samples: conflicting samples for p%d at time %d" p
+               t1);
+        dedup rest
+      | s :: rest -> s :: dedup rest
+      | [] -> []
+    in
+    dedup sorted
+  in
+  Array.iteri (fun p l -> by_pid.(p) <- sort_and_check p l) by_pid;
+  { n; by_pid }
+
+let of_fun ~n ~horizon h =
+  let samples =
+    List.concat_map
+      (fun p -> List.init (horizon + 1) (fun t -> (p, t, h p t)))
+      (Pid.all ~n)
+  in
+  of_samples ~n samples
+
+let n h = h.n
+let samples_of h p = h.by_pid.(p)
+
+let all_samples h =
+  List.concat_map
+    (fun p -> List.map (fun (t, v) -> (p, t, v)) h.by_pid.(p))
+    (Pid.all ~n:h.n)
+
+let last_time h =
+  Array.fold_left
+    (fun acc l -> List.fold_left (fun acc (t, _) -> max acc t) acc l)
+    0 h.by_pid
+
+let map f h =
+  { h with by_pid = Array.map (List.map (fun (t, v) -> (t, f v))) h.by_pid }
+
+let project_fst h = map Sim.Fd_value.fst_exn h
+let project_snd h = map Sim.Fd_value.snd_exn h
+
+let pp fmt h =
+  Format.fprintf fmt "history(n=%d" h.n;
+  Array.iteri
+    (fun p l -> Format.fprintf fmt ",@ p%d:%d samples" p (List.length l))
+    h.by_pid;
+  Format.fprintf fmt ")"

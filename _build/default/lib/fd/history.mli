@@ -1,0 +1,51 @@
+(** Sampled failure-detector histories.
+
+    A failure-detector history is a function [H : Pi x N -> R]
+    (Section 2.3). Experiments observe histories at finitely many
+    points: either by querying an oracle at each simulation tick, or by
+    recording the [output_p] emulation variables of a transformation
+    algorithm at each of its steps. This module stores such a finite
+    sample set; the checkers in {!Check} validate detector properties
+    over it. *)
+
+type t
+(** A finite collection of samples [(p, t, v)] meaning [H(p, t) = v]. *)
+
+val of_samples : n:int -> (Procset.Pid.t * int * Sim.Fd_value.t) list -> t
+(** [of_samples ~n samples] builds a history from explicit samples.
+    Raises [Invalid_argument] on an out-of-range pid or a negative
+    time. Duplicate [(p, t)] pairs are allowed (the variable was
+    observed twice at the same tick) as long as they agree; otherwise
+    raises [Invalid_argument]. *)
+
+val of_fun :
+  n:int -> horizon:int -> (Procset.Pid.t -> int -> Sim.Fd_value.t) -> t
+(** [of_fun ~n ~horizon h] densely samples [h p t] for every process
+    and every [t] in [0..horizon]. *)
+
+val n : t -> int
+(** Universe size. *)
+
+val samples_of : t -> Procset.Pid.t -> (int * Sim.Fd_value.t) list
+(** [samples_of h p] is the time-sorted list of samples of process
+    [p]. *)
+
+val all_samples : t -> (Procset.Pid.t * int * Sim.Fd_value.t) list
+(** Every sample, sorted by process then time. *)
+
+val last_time : t -> int
+(** The largest sampled time ([0] if there are no samples). *)
+
+val map : (Sim.Fd_value.t -> Sim.Fd_value.t) -> t -> t
+(** [map f h] applies [f] to every sampled value. *)
+
+val project_fst : t -> t
+(** Keeps the first component of every [Pair] sample; raises
+    [Invalid_argument] on a non-pair sample. Projects a history of a
+    product detector [(D, D')] onto [D]. *)
+
+val project_snd : t -> t
+(** Second-component analogue of {!project_fst}. *)
+
+val pp : Format.formatter -> t -> unit
+(** Diagnostic rendering (sample counts per process). *)

@@ -1,0 +1,200 @@
+open Procset
+
+type t = {
+  name : string;
+  query : Pid.t -> int -> Sim.Fd_value.t;
+  stab_time : int;
+}
+
+let of_fun ~name ~stab_time query = { name; query; stab_time }
+
+let history ~horizon ~n o = History.of_fun ~n ~horizon o.query
+
+(* Deterministic per-(seed, p, t) randomness. *)
+let rng_at ~seed p t = Random.State.make [| seed; (p * 0x9e3779b9) lxor t; t |]
+
+let clamp_stab pattern = function
+  | None -> Sim.Failure_pattern.last_crash_time pattern + 1
+  | Some s -> max s (Sim.Failure_pattern.last_crash_time pattern + 1)
+
+let pivot pattern =
+  let correct = Sim.Failure_pattern.correct pattern in
+  if Pset.is_empty correct then
+    invalid_arg "Oracle: failure pattern with no correct process";
+  Pset.min_elt correct
+
+type omega_prestab = Omega_random | Omega_faulty_first
+
+let omega ?(seed = 0) ?stab_time ?(prestab = Omega_random) pattern =
+  let n = Sim.Failure_pattern.n pattern in
+  let stab_time = clamp_stab pattern stab_time in
+  let leader = pivot pattern in
+  let faulty = Sim.Failure_pattern.faulty pattern in
+  let prestab_value p t =
+    match prestab with
+    | Omega_random -> Random.State.int (rng_at ~seed p t) n
+    | Omega_faulty_first ->
+      if Pset.is_empty faulty then leader
+      else Pset.fold (fun q acc -> max q acc) faulty 0
+  in
+  let query p t =
+    if t >= stab_time then Sim.Fd_value.Leader leader
+    else Sim.Fd_value.Leader (prestab_value p t)
+  in
+  { name = "Omega"; query; stab_time }
+
+(* Pivot construction shared by Sigma and the correct side of the
+   Sigma-nu family: quorum = {pivot} (∪ {self} if [self_include])
+   ∪ a random subset of [pool]. *)
+let pivot_quorum ~seed ~self_include pattern p t ~pool =
+  let rng = rng_at ~seed p t in
+  let base = Pset.singleton (pivot pattern) in
+  let base = if self_include then Pset.add p base else base in
+  Pset.union base (Pset.random_subset rng pool)
+
+let sigma ?(seed = 0) ?stab_time pattern =
+  let n = Sim.Failure_pattern.n pattern in
+  let stab_time = clamp_stab pattern stab_time in
+  let correct = Sim.Failure_pattern.correct pattern in
+  let all = Pset.full ~n in
+  let query p t =
+    let pool = if t >= stab_time then correct else all in
+    Sim.Fd_value.Quorum
+      (pivot_quorum ~seed ~self_include:false pattern p t ~pool)
+  in
+  { name = "Sigma"; query; stab_time }
+
+let sigma_majority ?(seed = 0) ?stab_time pattern =
+  let n = Sim.Failure_pattern.n pattern in
+  let correct = Sim.Failure_pattern.correct pattern in
+  if not (Pset.is_majority ~n correct) then
+    invalid_arg "Oracle.sigma_majority: needs a correct majority";
+  let stab_time = clamp_stab pattern stab_time in
+  let all = Pset.full ~n in
+  (* A majority-sized subset of [pool] (|pool| > n/2 required). *)
+  let majority_of rng pool =
+    let target = (n / 2) + 1 in
+    let rec grow q candidates =
+      if Pset.cardinal q >= target then q
+      else
+        let elts = Pset.elements candidates in
+        let pick = List.nth elts (Random.State.int rng (List.length elts)) in
+        grow (Pset.add pick q) (Pset.remove pick candidates)
+    in
+    grow Pset.empty pool
+  in
+  let query p t =
+    let rng = rng_at ~seed p t in
+    let pool = if t >= stab_time then correct else all in
+    Sim.Fd_value.Quorum (majority_of rng pool)
+  in
+  { name = "Sigma-majority"; query; stab_time }
+
+type faulty_mode = Faulty_arbitrary | Faulty_split
+
+let faulty_quorum ~seed ~mode ~self_include pattern p t =
+  let n = Sim.Failure_pattern.n pattern in
+  let faulty = Sim.Failure_pattern.faulty pattern in
+  let rng = rng_at ~seed p t in
+  let base = if self_include then Pset.singleton p else Pset.empty in
+  match mode with
+  | Faulty_arbitrary -> Pset.union base (Pset.random_subset rng (Pset.full ~n))
+  | Faulty_split ->
+    if Pset.is_empty faulty then
+      (* no faulty side to split to; fall back to the pivot side *)
+      Pset.add (pivot pattern) base
+    else Pset.union base (Pset.add p (Pset.random_subset rng faulty))
+
+let sigma_nu ?(seed = 0) ?stab_time ?(faulty_mode = Faulty_arbitrary) pattern =
+  let n = Sim.Failure_pattern.n pattern in
+  let stab_time = clamp_stab pattern stab_time in
+  let correct = Sim.Failure_pattern.correct pattern in
+  let all = Pset.full ~n in
+  let faulty = Sim.Failure_pattern.faulty pattern in
+  let query p t =
+    if Pset.mem p faulty then
+      Sim.Fd_value.Quorum
+        (faulty_quorum ~seed ~mode:faulty_mode ~self_include:false pattern p t)
+    else
+      let pool = if t >= stab_time then correct else all in
+      Sim.Fd_value.Quorum
+        (pivot_quorum ~seed ~self_include:false pattern p t ~pool)
+  in
+  { name = "Sigma-nu"; query; stab_time }
+
+let sigma_nu_plus ?(seed = 0) ?stab_time ?(faulty_mode = Faulty_arbitrary)
+    pattern =
+  let n = Sim.Failure_pattern.n pattern in
+  let stab_time = clamp_stab pattern stab_time in
+  let correct = Sim.Failure_pattern.correct pattern in
+  let all = Pset.full ~n in
+  let faulty = Sim.Failure_pattern.faulty pattern in
+  let query p t =
+    if Pset.mem p faulty then
+      (* Self-including, and either pivot-anchored (intersects every
+         correct quorum) or faulty-only (conditional nonintersection
+         holds). *)
+      let quorum =
+        match faulty_mode with
+        | Faulty_split ->
+          faulty_quorum ~seed ~mode:Faulty_split ~self_include:true pattern p
+            t
+        | Faulty_arbitrary ->
+          if Random.State.bool (rng_at ~seed (p + 101) t) then
+            faulty_quorum ~seed ~mode:Faulty_split ~self_include:true pattern
+              p t
+          else
+            Pset.add p
+              (pivot_quorum ~seed ~self_include:true pattern p t ~pool:all)
+      in
+      Sim.Fd_value.Quorum quorum
+    else
+      let pool = if t >= stab_time then correct else all in
+      Sim.Fd_value.Quorum
+        (pivot_quorum ~seed ~self_include:true pattern p t ~pool)
+  in
+  { name = "Sigma-nu+"; query; stab_time }
+
+let perfect pattern =
+  let n = Sim.Failure_pattern.n pattern in
+  let stab_time = Sim.Failure_pattern.last_crash_time pattern + 1 in
+  let query _p t =
+    Sim.Fd_value.Quorum
+      (Pset.diff (Pset.full ~n) (Sim.Failure_pattern.crashed_set pattern t))
+  in
+  { name = "Perfect"; query; stab_time }
+
+let perfect_plus pattern =
+  let n = Sim.Failure_pattern.n pattern in
+  let stab_time = Sim.Failure_pattern.last_crash_time pattern + 1 in
+  let query p t =
+    Sim.Fd_value.Quorum
+      (Pset.add p
+         (Pset.diff (Pset.full ~n)
+            (Sim.Failure_pattern.crashed_set pattern t)))
+  in
+  { name = "Perfect+"; query; stab_time }
+
+let eventually_strong ?(seed = 0) ?stab_time pattern =
+  let n = Sim.Failure_pattern.n pattern in
+  let stab_time = clamp_stab pattern stab_time in
+  let query p t =
+    if t >= stab_time then
+      Sim.Fd_value.Suspects (Sim.Failure_pattern.crashed_set pattern t)
+    else
+      (* arbitrary early suspicions — but never everybody at once, so a
+         coordinator-based algorithm is not starved of all peers *)
+      let rng = rng_at ~seed (p + 57) t in
+      Sim.Fd_value.Suspects
+        (Pset.remove
+           (Random.State.int rng n)
+           (Pset.random_subset rng (Pset.full ~n)))
+  in
+  { name = "<>S"; query; stab_time }
+
+let pair d d' =
+  {
+    name = Printf.sprintf "(%s, %s)" d.name d'.name;
+    query = (fun p t -> Sim.Fd_value.Pair (d.query p t, d'.query p t));
+    stab_time = max d.stab_time d'.stab_time;
+  }

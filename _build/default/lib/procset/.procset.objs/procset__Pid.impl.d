@@ -1,0 +1,1 @@
+lib/procset/pid.ml: Format Int List

@@ -1,0 +1,1 @@
+lib/procset/pset.ml: Format Int List Pid Printf Random

@@ -1,0 +1,1 @@
+lib/procset/pset.mli: Format Pid Random

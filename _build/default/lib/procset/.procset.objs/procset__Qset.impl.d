@@ -1,0 +1,1 @@
+lib/procset/qset.ml: Format List Pset Set

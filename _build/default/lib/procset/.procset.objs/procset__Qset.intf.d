@@ -1,0 +1,1 @@
+lib/procset/qset.mli: Format Pset

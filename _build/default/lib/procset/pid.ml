@@ -1,0 +1,8 @@
+type t = int
+
+let compare = Int.compare
+let equal = Int.equal
+let pp fmt p = Format.fprintf fmt "p%d" p
+let to_string p = Format.asprintf "%a" pp p
+let valid ~n p = 0 <= p && p < n
+let all ~n = List.init n (fun i -> i)

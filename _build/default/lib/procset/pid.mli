@@ -1,0 +1,27 @@
+(** Process identifiers.
+
+    The paper's system is a set of [n >= 2] processes
+    [Pi = {0, 1, ..., n-1}] (Section 2.1). A process identifier is a
+    plain non-negative integer below [n]; all modules in this
+    repository share this representation. *)
+
+type t = int
+(** A process identifier in [0 .. n-1]. *)
+
+val compare : t -> t -> int
+(** Total order on process identifiers. *)
+
+val equal : t -> t -> bool
+(** Equality on process identifiers. *)
+
+val pp : Format.formatter -> t -> unit
+(** [pp fmt p] prints [p] as ["p<i>"], e.g. ["p3"]. *)
+
+val to_string : t -> string
+(** [to_string p] is the same rendering as {!pp}. *)
+
+val valid : n:int -> t -> bool
+(** [valid ~n p] is [true] iff [0 <= p < n]. *)
+
+val all : n:int -> t list
+(** [all ~n] is the list [[0; 1; ...; n-1]]. *)

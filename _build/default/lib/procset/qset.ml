@@ -1,0 +1,30 @@
+module S = Set.Make (struct
+  type t = Pset.t
+
+  let compare = Pset.compare
+end)
+
+type t = S.t
+
+let empty = S.empty
+let singleton = S.singleton
+let mem = S.mem
+let add = S.add
+let union = S.union
+let is_empty = S.is_empty
+let cardinal = S.cardinal
+let elements = S.elements
+let of_list qs = List.fold_left (fun s q -> S.add q s) S.empty qs
+let exists = S.exists
+let for_all = S.for_all
+let fold = S.fold
+let equal = S.equal
+
+let exists_disjoint_pair a b =
+  S.exists (fun qa -> S.exists (fun qb -> Pset.disjoint qa qb) b) a
+
+let pp fmt s =
+  let pp_sep fmt () = Format.fprintf fmt ";@ " in
+  Format.fprintf fmt "[@[%a@]]"
+    (Format.pp_print_list ~pp_sep Pset.pp)
+    (elements s)

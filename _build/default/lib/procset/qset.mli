@@ -1,0 +1,56 @@
+(** Sets of quorums.
+
+    The quorum-history variables of [A_nuc] (Figures 4–5 of the paper)
+    map each process [q] to the set of quorums known to have been
+    output at [q] by its failure detector. This module provides the
+    set-of-{!Pset.t} container for those variables. *)
+
+type t
+(** An immutable set of quorums (each quorum a {!Pset.t}). *)
+
+val empty : t
+(** No quorums. *)
+
+val singleton : Pset.t -> t
+(** One quorum. *)
+
+val mem : Pset.t -> t -> bool
+(** Membership test. *)
+
+val add : Pset.t -> t -> t
+(** [add q s] is [s ∪ {q}]. *)
+
+val union : t -> t -> t
+(** Union of two quorum sets — the [import_history] merge of Fig. 5. *)
+
+val is_empty : t -> bool
+(** [true] iff the set is empty. *)
+
+val cardinal : t -> int
+(** Number of distinct quorums. *)
+
+val elements : t -> Pset.t list
+(** Quorums in increasing {!Pset.compare} order. *)
+
+val of_list : Pset.t list -> t
+(** Build from a list. *)
+
+val exists : (Pset.t -> bool) -> t -> bool
+(** [exists pred s] is [true] iff some quorum satisfies [pred]. *)
+
+val for_all : (Pset.t -> bool) -> t -> bool
+(** [for_all pred s] is [true] iff every quorum satisfies [pred]. *)
+
+val fold : (Pset.t -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold over the quorums. *)
+
+val equal : t -> t -> bool
+(** Set equality. *)
+
+val exists_disjoint_pair : t -> t -> bool
+(** [exists_disjoint_pair a b] is [true] iff there are [qa] in [a] and
+    [qb] in [b] with [qa ∩ qb = ∅] — the test at the heart of the
+    [distrusts] function (Fig. 5, lines 52–53). *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as a list of quorums. *)

@@ -1,0 +1,1 @@
+lib/sim/automaton.ml: Envelope Fd_value Format Procset

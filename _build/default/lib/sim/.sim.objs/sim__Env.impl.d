@@ -1,0 +1,1 @@
+lib/sim/env.ml: Array Failure_pattern Format List Random

@@ -1,0 +1,1 @@
+lib/sim/env.mli: Failure_pattern Format Random

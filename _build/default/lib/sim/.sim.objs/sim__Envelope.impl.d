@@ -1,0 +1,1 @@
+lib/sim/envelope.ml: Format Int Procset

@@ -1,0 +1,1 @@
+lib/sim/envelope.mli: Format Procset

@@ -1,0 +1,1 @@
+lib/sim/failure_pattern.ml: Array Format List Option Pid Printf Procset Pset Seq

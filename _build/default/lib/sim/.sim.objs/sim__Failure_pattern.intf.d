@@ -1,0 +1,1 @@
+lib/sim/failure_pattern.mli: Format Procset

@@ -1,0 +1,1 @@
+lib/sim/fd_value.ml: Format Int Procset

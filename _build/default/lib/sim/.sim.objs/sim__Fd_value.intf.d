@@ -1,0 +1,1 @@
+lib/sim/fd_value.mli: Format Procset

@@ -1,0 +1,1 @@
+lib/sim/runner.ml: Array Automaton Envelope Failure_pattern Fd_value Format List Pid Printf Procset Random Result

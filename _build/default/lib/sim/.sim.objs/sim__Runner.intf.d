@@ -1,0 +1,1 @@
+lib/sim/runner.mli: Automaton Envelope Failure_pattern Fd_value Procset

@@ -1,0 +1,47 @@
+(** Algorithm automata (Section 2.4 of the paper).
+
+    An algorithm is a collection of [n] deterministic automata, one per
+    process. In each step a process atomically: receives one message
+    (or the empty message), queries its failure detector, changes
+    state, and sends messages. The runner ({!Runner.Make}) drives any
+    module of this signature under a failure pattern and a failure
+    detector history. *)
+
+module type S = sig
+  type input
+  (** Per-process initial input (e.g. the proposed value for
+      consensus; [unit] for failure-detector transformations). *)
+
+  type state
+  (** Local state of one process. *)
+
+  type message
+  (** The algorithm's message payload type. *)
+
+  val name : string
+  (** Algorithm name, used in logs and error messages. *)
+
+  val initial : n:int -> self:Procset.Pid.t -> input -> state
+  (** [initial ~n ~self input] is the initial state of process [self]
+      in a system of [n] processes. *)
+
+  val step :
+    n:int ->
+    self:Procset.Pid.t ->
+    state ->
+    message Envelope.t option ->
+    Fd_value.t ->
+    state * (Procset.Pid.t * message) list
+  (** [step ~n ~self st received d] performs one atomic step: [received]
+      is the message delivered in this step ([None] is the empty
+      message lambda), [d] is the value obtained from the local failure
+      detector module. Returns the new state and the messages to send,
+      as [(destination, payload)] pairs. Must be deterministic. *)
+
+  val pp_message : Format.formatter -> message -> unit
+  (** Renders a message payload (diagnostics). *)
+
+  val equal_message : message -> message -> bool
+  (** Payload equality, used by trace replay to cross-check message
+      identity. *)
+end

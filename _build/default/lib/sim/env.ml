@@ -1,0 +1,44 @@
+type t = { n : int; max_faulty : int }
+
+let make ~n ~max_faulty =
+  if n < 2 then invalid_arg "Env.make: need n >= 2";
+  if max_faulty < 0 || max_faulty >= n then
+    invalid_arg "Env.make: need 0 <= max_faulty < n";
+  { n; max_faulty }
+
+let n e = e.n
+let max_faulty e = e.max_faulty
+
+let mem e f =
+  Failure_pattern.n f = e.n && Failure_pattern.num_faulty f <= e.max_faulty
+
+let majority_correct e = 2 * e.max_faulty < e.n
+
+(* Uniformly random size-[k] subset of [0..n-1] via partial shuffle. *)
+let random_pids rng ~n ~k =
+  let a = Array.init n (fun i -> i) in
+  for i = 0 to k - 1 do
+    let j = i + Random.State.int rng (n - i) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list (Array.sub a 0 k)
+
+let random_pattern rng ?(crash_window = 200) e =
+  let k = Random.State.int rng (e.max_faulty + 1) in
+  let pids = random_pids rng ~n:e.n ~k in
+  let crashes =
+    List.map (fun p -> (p, Random.State.int rng (max 1 crash_window))) pids
+  in
+  Failure_pattern.make ~n:e.n ~crashes
+
+let worst_pattern ?(crash_window = 200) e =
+  let k = e.max_faulty in
+  let crashes =
+    List.init k (fun i ->
+        (e.n - 1 - i, (i + 1) * max 1 (crash_window / (k + 1))))
+  in
+  Failure_pattern.make ~n:e.n ~crashes
+
+let pp fmt e = Format.fprintf fmt "E_%d(n=%d)" e.max_faulty e.n

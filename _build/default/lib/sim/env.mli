@@ -1,0 +1,46 @@
+(** Environments (Section 2.2 of the paper).
+
+    An environment is a set of failure patterns. The paper's results
+    hold in {e any} environment; its Section 7 compares detectors in
+    the canonical environments [E_t = { F : |faulty F| <= t }]. This
+    module represents exactly those [E_t] environments, which suffice
+    to drive every experiment: a result validated for all [t <= n-1]
+    is validated for arbitrary numbers of failures. *)
+
+type t
+(** The environment [E_t] over [n] processes. *)
+
+val make : n:int -> max_faulty:int -> t
+(** [make ~n ~max_faulty] is [E_t] with [t = max_faulty]. Raises
+    [Invalid_argument] unless [2 <= n] and [0 <= max_faulty < n]
+    (at least one correct process, as failure detectors such as Omega
+    require). *)
+
+val n : t -> int
+(** Universe size. *)
+
+val max_faulty : t -> int
+(** The bound [t]. *)
+
+val mem : t -> Failure_pattern.t -> bool
+(** [mem e f] is [true] iff [f] is a pattern of [e]'s universe with at
+    most [max_faulty e] faulty processes. *)
+
+val majority_correct : t -> bool
+(** [true] iff every pattern of the environment has a correct
+    majority, i.e. [max_faulty < n/2] — the regime where Theorem 7.1
+    makes [(Omega, Sigma-nu)] and [(Omega, Sigma)] equivalent. *)
+
+val random_pattern :
+  Random.State.t -> ?crash_window:int -> t -> Failure_pattern.t
+(** [random_pattern rng ~crash_window e] draws a pattern of [e]: a
+    uniformly random number of faulty processes in [0..max_faulty], a
+    uniformly random faulty set of that size, and independent crash
+    times uniform in [0..crash_window-1] (default window 200). *)
+
+val worst_pattern : ?crash_window:int -> t -> Failure_pattern.t
+(** [worst_pattern e] crashes exactly [max_faulty e] processes — the
+    highest pids — at staggered times inside the window. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [E_t(n=..)]. *)

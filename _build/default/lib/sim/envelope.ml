@@ -1,0 +1,16 @@
+type 'a t = {
+  src : Procset.Pid.t;
+  dst : Procset.Pid.t;
+  seq : int;
+  sent_at : int;
+  payload : 'a;
+}
+
+let same_identity e e' =
+  Procset.Pid.equal e.src e'.src
+  && Procset.Pid.equal e.dst e'.dst
+  && Int.equal e.seq e'.seq
+
+let pp pp_payload fmt e =
+  Format.fprintf fmt "@[<h>%a->%a#%d@@%d: %a@]" Procset.Pid.pp e.src
+    Procset.Pid.pp e.dst e.seq e.sent_at pp_payload e.payload

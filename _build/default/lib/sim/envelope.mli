@@ -1,0 +1,23 @@
+(** Message envelopes.
+
+    The message buffer [M] of the model (Section 2.1) contains triples
+    [(p, data, q)]: [p] sent [data] to [q], not yet received. The paper
+    assumes every message is unique ("this can be guaranteed by having
+    the sender include a counter with each message"); the [seq] field
+    is exactly that counter, assigned per sender in send order. *)
+
+type 'a t = {
+  src : Procset.Pid.t;  (** sender *)
+  dst : Procset.Pid.t;  (** destination *)
+  seq : int;  (** per-sender send counter, makes the message unique *)
+  sent_at : int;  (** global time of the sending step *)
+  payload : 'a;  (** the [data] field of the model's triple *)
+}
+
+val same_identity : 'a t -> 'a t -> bool
+(** [same_identity e e'] is [true] iff [e] and [e'] denote the same
+    unique message: equal [src], [dst] and [seq]. *)
+
+val pp :
+  (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit
+(** [pp pp_payload fmt e] prints the envelope with its payload. *)

@@ -1,0 +1,52 @@
+(** Failure patterns (Section 2.2 of the paper).
+
+    A failure pattern is a function [F : N -> 2^Pi] with [F(t)] the set
+    of processes that have crashed through time [t], monotone in [t].
+    Since crashes are permanent, a pattern is fully described by the
+    crash time of each faulty process, which is the representation used
+    here. *)
+
+type t
+(** An immutable failure pattern over a universe of [n] processes. *)
+
+val make : n:int -> crashes:(Procset.Pid.t * int) list -> t
+(** [make ~n ~crashes] is the pattern in which each [(p, tc)] of
+    [crashes] has process [p] crash at time [tc] (that is, [p ∈ F(t)]
+    iff [t >= tc]) and all other processes are correct.
+
+    Raises [Invalid_argument] if [n < 2], some pid is out of range or
+    duplicated, or some crash time is negative. *)
+
+val failure_free : n:int -> t
+(** [failure_free ~n] is the pattern with no crashes. *)
+
+val n : t -> int
+(** Universe size. *)
+
+val crash_time : t -> Procset.Pid.t -> int option
+(** [crash_time f p] is [Some tc] if [p] crashes at time [tc], [None]
+    if [p] is correct. *)
+
+val crashed : t -> Procset.Pid.t -> int -> bool
+(** [crashed f p t] is [true] iff [p ∈ F(t)]. *)
+
+val crashed_set : t -> int -> Procset.Pset.t
+(** [crashed_set f t] is [F(t)]. *)
+
+val faulty : t -> Procset.Pset.t
+(** [faulty f] is the set of processes that crash at some time. *)
+
+val correct : t -> Procset.Pset.t
+(** [correct f] is [Pi - faulty f]. *)
+
+val num_faulty : t -> int
+(** [num_faulty f] is [|faulty f|]. *)
+
+val last_crash_time : t -> int
+(** Time by which all faulty processes have crashed ([0] if none). *)
+
+val equal : t -> t -> bool
+(** Structural equality of patterns. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [n=5 crashes:[p1@3, p4@10]]. *)

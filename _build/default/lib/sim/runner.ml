@@ -1,0 +1,436 @@
+open Procset
+
+module Make (A : Automaton.S) = struct
+  type recorded_step = {
+    time : int;
+    pid : Pid.t;
+    received : A.message Envelope.t option;
+    fd : Fd_value.t;
+    state_after : A.state;
+  }
+
+  type run = {
+    pattern : Failure_pattern.t;
+    states : A.state array;
+    steps : recorded_step array;
+    step_count : int;
+    messages_sent : int;
+    undelivered : A.message Envelope.t list;
+    stopped_early : bool;
+  }
+
+  type msg_choice =
+    | Lambda
+    | Oldest
+    | Oldest_from of Pid.t
+    | Matching of (A.message Envelope.t -> bool)
+
+  type action = { actor : Pid.t; choice : msg_choice }
+
+  exception Script_error of string
+
+  (* Mutable execution context shared by the fair and scripted modes. *)
+  type ctx = {
+    n : int;
+    c_pattern : Failure_pattern.t;
+    fd : Pid.t -> int -> Fd_value.t;
+    states : A.state array;
+    buffers : A.message Envelope.t list array;
+        (* per-destination pending messages, oldest first *)
+    send_seq : int array; (* per-sender message counter *)
+    mutable time : int;
+    mutable rev_steps : recorded_step list;
+    mutable step_count : int;
+    mutable msgs_sent : int;
+    record : bool;
+  }
+
+  let make_ctx ~pattern ~fd ~inputs ~record =
+    let n = Failure_pattern.n pattern in
+    {
+      n;
+      c_pattern = pattern;
+      fd;
+      states = Array.init n (fun p -> A.initial ~n ~self:p (inputs p));
+      buffers = Array.make n [];
+      send_seq = Array.make n 0;
+      time = 1;
+      rev_steps = [];
+      step_count = 0;
+      msgs_sent = 0;
+      record;
+    }
+
+  let enqueue ctx ~src payloads =
+    List.iter
+      (fun (dst, payload) ->
+        if not (Pid.valid ~n:ctx.n dst) then
+          invalid_arg
+            (Printf.sprintf "%s: send to invalid pid %d" A.name dst);
+        let seq = ctx.send_seq.(src) in
+        ctx.send_seq.(src) <- seq + 1;
+        let env =
+          { Envelope.src; dst; seq; sent_at = ctx.time; payload }
+        in
+        ctx.msgs_sent <- ctx.msgs_sent + 1;
+        ctx.buffers.(dst) <- ctx.buffers.(dst) @ [ env ])
+      payloads
+
+  (* Remove and return the first buffered message for [p] satisfying
+     [pred], preserving the order of the others. *)
+  let take_matching ctx p pred =
+    let rec split acc = function
+      | [] -> None
+      | e :: rest when pred e ->
+        ctx.buffers.(p) <- List.rev_append acc rest;
+        Some e
+      | e :: rest -> split (e :: acc) rest
+    in
+    split [] ctx.buffers.(p)
+
+  let take_nth ctx p i =
+    let rec split acc j = function
+      | [] -> assert false
+      | e :: rest when j = 0 ->
+        ctx.buffers.(p) <- List.rev_append acc rest;
+        e
+      | e :: rest -> split (e :: acc) (j - 1) rest
+    in
+    split [] i ctx.buffers.(p)
+
+  (* One atomic step of process [p] receiving [received] at the current
+     time. Advances the clock. *)
+  let do_step ctx p received =
+    let d = ctx.fd p ctx.time in
+    let state, sends = A.step ~n:ctx.n ~self:p ctx.states.(p) received d in
+    ctx.states.(p) <- state;
+    enqueue ctx ~src:p sends;
+    if ctx.record then
+      ctx.rev_steps <-
+        { time = ctx.time; pid = p; received; fd = d; state_after = state }
+        :: ctx.rev_steps;
+    ctx.step_count <- ctx.step_count + 1;
+    ctx.time <- ctx.time + 1
+
+  let finish ctx ~stopped_early =
+    let undelivered =
+      Array.to_list ctx.buffers |> List.concat_map (fun msgs -> msgs)
+    in
+    {
+      pattern = ctx.c_pattern;
+      states = Array.copy ctx.states;
+      steps = Array.of_list (List.rev ctx.rev_steps);
+      step_count = ctx.step_count;
+      messages_sent = ctx.msgs_sent;
+      undelivered;
+      stopped_early;
+    }
+
+  let shuffle rng a =
+    for i = Array.length a - 1 downto 1 do
+      let j = Random.State.int rng (i + 1) in
+      let tmp = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- tmp
+    done
+
+  let exec ?(seed = 0) ?max_msg_age ?(lambda_prob = 0.15)
+      ?(stop = fun _ _ -> false) ?(record = true) ~pattern ~fd ~inputs
+      ~max_steps () =
+    let ctx = make_ctx ~pattern ~fd ~inputs ~record in
+    let n = ctx.n in
+    let max_msg_age =
+      match max_msg_age with Some a -> max 1 a | None -> 4 * n
+    in
+    let rng = Random.State.make [| seed; 0x5eed |] in
+    let order = Array.init n (fun i -> i) in
+    let stopped = ref false in
+    let states_accessor p = ctx.states.(p) in
+    while (not !stopped) && ctx.step_count < max_steps do
+      shuffle rng order;
+      Array.iter
+        (fun p ->
+          if
+            (not !stopped)
+            && ctx.step_count < max_steps
+            && not (Failure_pattern.crashed ctx.c_pattern p ctx.time)
+          then begin
+            let received =
+              match ctx.buffers.(p) with
+              | [] -> None
+              | oldest :: _ ->
+                if ctx.time - oldest.Envelope.sent_at >= max_msg_age then
+                  take_matching ctx p (fun _ -> true)
+                else if Random.State.float rng 1.0 < lambda_prob then None
+                else
+                  Some (take_nth ctx p
+                          (Random.State.int rng
+                             (List.length ctx.buffers.(p))))
+            in
+            do_step ctx p received
+          end)
+        order;
+      if stop states_accessor ctx.time then stopped := true
+    done;
+    finish ctx ~stopped_early:!stopped
+
+  let exec_script ?(record = true) ~pattern ~fd ~inputs ~script () =
+    let ctx = make_ctx ~pattern ~fd ~inputs ~record in
+    List.iter
+      (fun { actor = p; choice } ->
+        if not (Pid.valid ~n:ctx.n p) then
+          raise (Script_error (Printf.sprintf "invalid actor pid %d" p));
+        if Failure_pattern.crashed ctx.c_pattern p ctx.time then
+          raise
+            (Script_error
+               (Printf.sprintf "actor p%d is crashed at time %d" p ctx.time));
+        let received =
+          match choice with
+          | Lambda -> None
+          | Oldest -> (
+            match take_matching ctx p (fun _ -> true) with
+            | Some e -> Some e
+            | None ->
+              raise
+                (Script_error
+                   (Printf.sprintf "no pending message for p%d at time %d" p
+                      ctx.time)))
+          | Oldest_from src -> (
+            match
+              take_matching ctx p (fun e -> Pid.equal e.Envelope.src src)
+            with
+            | Some e -> Some e
+            | None ->
+              raise
+                (Script_error
+                   (Printf.sprintf
+                      "no pending message from p%d for p%d at time %d" src p
+                      ctx.time)))
+          | Matching pred -> (
+            match take_matching ctx p pred with
+            | Some e -> Some e
+            | None ->
+              raise
+                (Script_error
+                   (Printf.sprintf
+                      "no pending message matching predicate for p%d at \
+                       time %d"
+                      p ctx.time)))
+        in
+        do_step ctx p received)
+      script;
+    finish ctx ~stopped_early:false
+
+  module Session = struct
+    type t = ctx
+
+    let create ?(record = true) ~pattern ~fd ~inputs () =
+      make_ctx ~pattern ~fd ~inputs ~record
+
+    let take_choice ctx p choice =
+      match choice with
+      | Some Lambda -> None
+      | Some Oldest -> (
+        match take_matching ctx p (fun _ -> true) with
+        | Some e -> Some e
+        | None ->
+          raise
+            (Script_error
+               (Printf.sprintf "no pending message for p%d at time %d" p
+                  ctx.time)))
+      | Some (Oldest_from src) -> (
+        match take_matching ctx p (fun e -> Pid.equal e.Envelope.src src) with
+        | Some e -> Some e
+        | None ->
+          raise
+            (Script_error
+               (Printf.sprintf "no pending message from p%d for p%d at time %d"
+                  src p ctx.time)))
+      | Some (Matching pred) -> (
+        match take_matching ctx p pred with
+        | Some e -> Some e
+        | None ->
+          raise
+            (Script_error
+               (Printf.sprintf
+                  "no pending message matching predicate for p%d at time %d" p
+                  ctx.time)))
+      | None -> take_matching ctx p (fun _ -> true)
+
+    let step ?choice ctx p =
+      if not (Pid.valid ~n:ctx.n p) then
+        raise (Script_error (Printf.sprintf "invalid actor pid %d" p));
+      if Failure_pattern.crashed ctx.c_pattern p ctx.time then
+        raise
+          (Script_error
+             (Printf.sprintf "actor p%d is crashed at time %d" p ctx.time));
+      let received = take_choice ctx p choice in
+      do_step ctx p received
+
+    let state ctx p = ctx.states.(p)
+    let time ctx = ctx.time
+    let pending ctx p = ctx.buffers.(p)
+    let finish ctx = finish ctx ~stopped_early:false
+  end
+
+  type replay_step = {
+    r_pid : Pid.t;
+    r_received : A.message Envelope.t option;
+    r_fd : Fd_value.t;
+  }
+
+  let to_replay steps =
+    List.map
+      (fun s -> { r_pid = s.pid; r_received = s.received; r_fd = s.fd })
+      steps
+
+  let merge_traces (s0 : recorded_step list) (s1 : recorded_step list) =
+    let rec interleave acc (s0 : recorded_step list)
+        (s1 : recorded_step list) =
+      match s0, s1 with
+      | [], rest -> List.rev acc @ rest
+      | rest, [] -> List.rev acc @ rest
+      | a :: s0', b :: s1' ->
+        if a.time <= b.time then interleave (a :: acc) s0' s1
+        else interleave (b :: acc) s0 s1'
+    in
+    to_replay (interleave [] s0 s1)
+
+  let replay ~n ~inputs steps =
+    let states = Array.init n (fun p -> A.initial ~n ~self:p (inputs p)) in
+    let buffers = Array.make n [] in
+    let send_seq = Array.make n 0 in
+    let error = ref None in
+    let fail msg = error := Some msg in
+    let take_identity p env =
+      let rec split acc = function
+        | [] -> None
+        | e :: rest
+          when Envelope.same_identity e env
+               && A.equal_message e.Envelope.payload env.Envelope.payload ->
+          buffers.(p) <- List.rev_append acc rest;
+          Some e
+        | e :: rest -> split (e :: acc) rest
+      in
+      split [] buffers.(p)
+    in
+    let time = ref 1 in
+    List.iter
+      (fun { r_pid = p; r_received; r_fd } ->
+        if !error = None then begin
+          (match r_received with
+          | None -> ()
+          | Some env -> (
+            match take_identity env.Envelope.dst env with
+            | Some _ -> ()
+            | None ->
+              fail
+                (Printf.sprintf
+                   "step of p%d at replay position %d: received message \
+                    p%d->p%d#%d not in buffer"
+                   p !time env.Envelope.src env.Envelope.dst
+                   env.Envelope.seq)));
+          if !error = None then begin
+            let state, sends = A.step ~n ~self:p states.(p) r_received r_fd in
+            states.(p) <- state;
+            List.iter
+              (fun (dst, payload) ->
+                let seq = send_seq.(p) in
+                send_seq.(p) <- seq + 1;
+                let env =
+                  { Envelope.src = p; dst; seq; sent_at = !time; payload }
+                in
+                buffers.(dst) <- buffers.(dst) @ [ env ])
+              sends
+          end;
+          incr time
+        end)
+      steps;
+    match !error with None -> Ok states | Some msg -> Error msg
+
+  let conformance ?fairness_window ?delivery_bound ~fd ~inputs run =
+    let n = Failure_pattern.n run.pattern in
+    let fairness_window =
+      match fairness_window with Some w -> w | None -> 4 * n
+    in
+    let steps = Array.to_list run.steps in
+    let ( let* ) = Result.bind in
+    let err fmt = Format.kasprintf (fun m -> Error m) fmt in
+    (* (3) crash respect and detector consistency *)
+    let* () =
+      List.fold_left
+        (fun acc (s : recorded_step) ->
+          let* () = acc in
+          if Failure_pattern.crashed run.pattern s.pid s.time then
+            err "p%d stepped at time %d, at or after its crash" s.pid s.time
+          else if not (Fd_value.equal s.fd (fd s.pid s.time)) then
+            err "p%d saw a detector value differing from H(p, %d)" s.pid
+              s.time
+          else Ok ())
+        (Ok ()) steps
+    in
+    (* (4)/(5) strictly increasing times *)
+    let* _ =
+      List.fold_left
+        (fun acc (s : recorded_step) ->
+          let* prev = acc in
+          if s.time > prev then Ok s.time
+          else err "times not strictly increasing at step of p%d (%d)" s.pid
+            s.time)
+        (Ok 0) steps
+    in
+    (* (6) fairness surrogate on full windows *)
+    let last_time =
+      List.fold_left (fun acc (s : recorded_step) -> max acc s.time) 0 steps
+    in
+    let* () =
+      Procset.Pset.fold
+        (fun p acc ->
+          let* () = acc in
+          let step_times =
+            List.filter_map
+              (fun (s : recorded_step) ->
+                if Pid.equal s.pid p then Some s.time else None)
+              steps
+          in
+          let rec gaps prev = function
+            | [] ->
+              (* allow the trailing partial window *)
+              if last_time - prev > fairness_window + n then
+                err "correct p%d silent from %d to the end (%d)" p prev
+                  last_time
+              else Ok ()
+            | t :: rest ->
+              if t - prev > fairness_window + n then
+                err "correct p%d took no step between %d and %d" p prev t
+              else gaps t rest
+          in
+          gaps 0 step_times)
+        (Failure_pattern.correct run.pattern)
+        (Ok ())
+    in
+    (* (7) delivery surrogate: leftovers to correct processes are recent *)
+    let bound =
+      match delivery_bound with Some b -> b | None -> 40 * n
+    in
+    let* () =
+      List.fold_left
+        (fun acc e ->
+          let* () = acc in
+          if
+            Procset.Pset.mem e.Envelope.dst
+              (Failure_pattern.correct run.pattern)
+            && last_time - e.Envelope.sent_at > bound
+          then
+            err "message %a->%a sent at %d still undelivered at %d"
+              Pid.pp e.Envelope.src Pid.pp e.Envelope.dst e.Envelope.sent_at
+              last_time
+          else Ok ())
+        (Ok ()) run.undelivered
+    in
+    (* (1) applicability, via replay *)
+    match replay ~n ~inputs (to_replay steps) with
+    | Ok _ -> Ok ()
+    | Error e -> Error e
+
+end

@@ -1,0 +1,142 @@
+let noop : Consensus.Value.t = -1
+
+module type CONSENSUS = sig
+  include Sim.Automaton.S with type input = Consensus.Value.t
+
+  val decision : state -> Consensus.Value.t option
+end
+
+module type S = sig
+  type message
+
+  include
+    Sim.Automaton.S
+      with type input = Consensus.Value.t list
+       and type message := message
+
+  val log : state -> Consensus.Value.t list
+  val slots_decided : state -> int
+  val current_slot : state -> int
+  val pp_message : Format.formatter -> message -> unit
+  val equal_message : message -> message -> bool
+end
+
+module Make (C : CONSENSUS) : S = struct
+  module Imap = Map.Make (Int)
+
+  type message = { slot : int; inner : C.message }
+  type input = Consensus.Value.t list
+
+  type state = {
+    commands : Consensus.Value.t list;  (** pending command queue *)
+    instances : C.state Imap.t;  (** per-slot consensus states *)
+    applied : Consensus.Value.t list;  (** decided prefix, newest first *)
+    slot : int;  (** the slot this replica currently runs *)
+    rotate : int;  (** round-robin cursor over older instances *)
+  }
+
+  let name = "SMR(" ^ C.name ^ ")"
+
+  (* A replica's proposal for a slot: its next pending command. The
+     queue is indexed by slot so that a command is not lost when a
+     competing proposal wins a slot — it is simply proposed again for
+     the next one in a real system; here, keeping the mapping
+     deterministic (slot s gets command s) is enough for the
+     experiments and keeps validity easy to state. *)
+  let proposal_for st s =
+    match List.nth_opt st.commands s with Some c -> c | None -> noop
+
+  let initial ~n:_ ~self:_ commands =
+    { commands; instances = Imap.empty; applied = []; slot = 0; rotate = 0 }
+
+  let instance ~n ~self st s =
+    match Imap.find_opt s st.instances with
+    | Some inst -> inst
+    | None -> C.initial ~n ~self (proposal_for st s)
+
+  (* Step the consensus instance of slot [s] with the given delivery,
+     tagging its sends. *)
+  let step_instance ~n ~self st s received d =
+    let inst = instance ~n ~self st s in
+    let inst, sends = C.step ~n ~self inst received d in
+    let st = { st with instances = Imap.add s inst st.instances } in
+    let sends =
+      List.map (fun (dst, inner) -> (dst, { slot = s; inner })) sends
+    in
+    (st, sends)
+
+  (* Advance the applied prefix: append decisions of consecutive slots
+     starting at [st.slot]. *)
+  let rec harvest ~n ~self st =
+    match Imap.find_opt st.slot st.instances with
+    | None -> st
+    | Some inst -> (
+      match C.decision inst with
+      | None -> st
+      | Some v ->
+        harvest ~n ~self
+          { st with applied = v :: st.applied; slot = st.slot + 1 })
+
+  let step ~n ~self st received d =
+    (* route the delivery to its instance; lambda goes to the current
+       slot's instance so it keeps making local progress *)
+    let st, sends =
+      match received with
+      | Some env ->
+        let { slot; inner } = env.Sim.Envelope.payload in
+        let inner_env = { env with Sim.Envelope.payload = inner } in
+        step_instance ~n ~self st slot (Some inner_env) d
+      | None -> step_instance ~n ~self st st.slot None d
+    in
+    let before = st.slot in
+    let st = harvest ~n ~self st in
+    (* a freshly opened slot must announce itself: give it one lambda
+       step so its instance broadcasts its first-round messages *)
+    let st, extra_sends =
+      if st.slot > before then step_instance ~n ~self st st.slot None d
+      else (st, [])
+    in
+    (* keep OLDER instances alive: a replica that has decided a slot
+       must keep serving it (its consensus instance keeps running, as
+       the model prescribes) or slower replicas would starve — so each
+       host step also gives one lambda step to a rotating previously
+       opened instance *)
+    let st, pump_sends =
+      if st.slot = 0 then (st, [])
+      else begin
+        let old_slot = st.rotate mod st.slot in
+        let st = { st with rotate = st.rotate + 1 } in
+        if Imap.mem old_slot st.instances then
+          step_instance ~n ~self st old_slot None d
+        else (st, [])
+      end
+    in
+    (st, sends @ extra_sends @ pump_sends)
+
+  let log st = List.rev st.applied
+  let slots_decided st = List.length st.applied
+  let current_slot st = st.slot
+
+  let pp_message fmt (m : message) =
+    Format.fprintf fmt "[slot %d] %a" m.slot C.pp_message m.inner
+
+  let equal_message (a : message) (b : message) =
+    a.slot = b.slot && C.equal_message a.inner b.inner
+end
+
+module Over_anuc : S = Make (struct
+  include Core.Anuc
+
+  let decision = Core.Anuc.decision
+end)
+
+module Over_stack : S = Make (struct
+  include Core.Stack
+
+  type message = Core.Stack.message
+
+  let pp_message = Core.Stack.pp_message
+  let equal_message = Core.Stack.equal_message
+  let step = Core.Stack.step
+  let decision = Core.Stack.decision
+end)

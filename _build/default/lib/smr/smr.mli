@@ -1,0 +1,66 @@
+(** State-machine replication on top of nonuniform consensus.
+
+    The classical application of consensus, built as one automaton:
+    replicas agree on a command per log slot by running one consensus
+    instance per slot, all multiplexed over the same simulated network
+    (messages are tagged with their slot). A replica proposes its own
+    pending command for a slot, starts the next slot as soon as it has
+    decided the current one, and joins instances started by faster
+    replicas lazily when their messages arrive.
+
+    Nonuniform consensus is the right tool when clients only talk to
+    live replicas: a replica that crashes may have applied a divergent
+    command to its copy, but no two live replicas ever diverge — and
+    the detector this needs, [(Omega, Sigma-nu)], is strictly weaker
+    than what uniform replication requires when half the replicas can
+    fail. *)
+
+val noop : Consensus.Value.t
+(** The command ([-1]) proposed by a replica whose queue is exhausted. *)
+
+(** The per-slot consensus algorithm. *)
+module type CONSENSUS = sig
+  include Sim.Automaton.S with type input = Consensus.Value.t
+
+  val decision : state -> Consensus.Value.t option
+end
+
+(** A replicated log. *)
+module type S = sig
+  type message
+  (** The slot-tagged per-instance message. *)
+
+  include
+    Sim.Automaton.S
+      with type input = Consensus.Value.t list
+       and type message := message
+  (** [input] is the replica's queue of pending commands, proposed one
+      per slot; {!noop} once exhausted. *)
+
+  val log : state -> Consensus.Value.t list
+  (** The decided commands, in slot order, up to the first undecided
+      slot — the replica's applied prefix. *)
+
+  val slots_decided : state -> int
+  (** Length of {!log}. *)
+
+  val current_slot : state -> int
+  (** The slot this replica is currently working on. *)
+
+  val pp_message : Format.formatter -> message -> unit
+  val equal_message : message -> message -> bool
+end
+
+module Make (C : CONSENSUS) : S
+(** Build a replicated log over any consensus automaton. The ambient
+    failure-detector value is passed through to every instance. *)
+
+module Over_anuc : S
+(** SMR over [A_nuc] — drive it with an [(Omega, Sigma-nu+)] history. *)
+
+module Over_stack : S
+(** SMR over the full Theorem 6.28 stack: every slot runs its own
+    [T_{Sigma-nu -> Sigma-nu+}] emulation and [A_nuc] — replication
+    from the raw weakest detector [(Omega, Sigma-nu)]. Substantially
+    heavier than {!Over_anuc} (one DAG gossip per open slot); meant to
+    demonstrate composability, not throughput. *)

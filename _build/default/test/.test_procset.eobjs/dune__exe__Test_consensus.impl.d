@@ -1,0 +1,1 @@
+test/test_consensus.ml: Alcotest Array Consensus Fd List Printf Procset Pset Sim Tutil

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Consensus Core Experiments Fd List Printf Procset Pset QCheck QCheck_alcotest Qset Sim Tutil

@@ -1,0 +1,1 @@
+test/test_dag.ml: Alcotest Array Consensus Dagsim Fd Format Int List Pid Printf Procset Pset QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_fd.ml: Alcotest Fd List Printf Procset Pset QCheck QCheck_alcotest Sim

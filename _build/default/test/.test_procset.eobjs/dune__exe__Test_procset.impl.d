@@ -1,0 +1,1 @@
+test/test_procset.ml: Alcotest Bool Int List Procset Pset QCheck QCheck_alcotest Qset Random

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Format Int List Option Pid Printf Procset Pset QCheck QCheck_alcotest Random Sim

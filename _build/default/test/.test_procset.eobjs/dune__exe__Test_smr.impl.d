@@ -1,0 +1,1 @@
+test/test_smr.ml: Alcotest Array Consensus Fd List Pid Printf Procset Pset Sim Smr

@@ -1,0 +1,1 @@
+test/tutil.ml: Alcotest Array Consensus Fd List Procset Pset Random Result Sim

@@ -1,0 +1,191 @@
+(* Tests for the process-set kernel: bitset algebra and quorum sets. *)
+open Procset
+
+let pset = Alcotest.testable Pset.pp Pset.equal
+
+(* -------------------------------------------------------------- *)
+(* Unit tests                                                     *)
+(* -------------------------------------------------------------- *)
+
+let test_empty_full () =
+  Alcotest.(check int) "empty cardinal" 0 (Pset.cardinal Pset.empty);
+  Alcotest.(check int) "full 5 cardinal" 5 (Pset.cardinal (Pset.full ~n:5));
+  Alcotest.(check bool) "empty is_empty" true (Pset.is_empty Pset.empty);
+  Alcotest.(check bool)
+    "full not empty" false
+    (Pset.is_empty (Pset.full ~n:3));
+  Alcotest.(check (list int)) "full 3 elements" [ 0; 1; 2 ]
+    (Pset.elements (Pset.full ~n:3))
+
+let test_add_remove_mem () =
+  let s = Pset.of_list [ 1; 3; 5 ] in
+  Alcotest.(check bool) "mem 3" true (Pset.mem 3 s);
+  Alcotest.(check bool) "not mem 2" false (Pset.mem 2 s);
+  Alcotest.(check pset) "remove 3" (Pset.of_list [ 1; 5 ]) (Pset.remove 3 s);
+  Alcotest.(check pset) "add 2" (Pset.of_list [ 1; 2; 3; 5 ]) (Pset.add 2 s);
+  Alcotest.(check pset) "add idempotent" s (Pset.add 3 s);
+  Alcotest.(check pset) "remove absent" s (Pset.remove 2 s)
+
+let test_set_algebra () =
+  let a = Pset.of_list [ 0; 1; 2 ] and b = Pset.of_list [ 2; 3 ] in
+  Alcotest.(check pset) "union" (Pset.of_list [ 0; 1; 2; 3 ]) (Pset.union a b);
+  Alcotest.(check pset) "inter" (Pset.singleton 2) (Pset.inter a b);
+  Alcotest.(check pset) "diff" (Pset.of_list [ 0; 1 ]) (Pset.diff a b);
+  Alcotest.(check bool) "intersects" true (Pset.intersects a b);
+  Alcotest.(check bool)
+    "disjoint" true
+    (Pset.disjoint (Pset.of_list [ 0; 1 ]) (Pset.of_list [ 2; 3 ]));
+  Alcotest.(check bool) "subset" true (Pset.subset (Pset.singleton 1) a);
+  Alcotest.(check bool) "not subset" false (Pset.subset b a)
+
+let test_min_elt () =
+  Alcotest.(check int) "min of {3,5,7}" 3
+    (Pset.min_elt (Pset.of_list [ 5; 3; 7 ]));
+  Alcotest.(check int) "min singleton" 0 (Pset.min_elt (Pset.singleton 0));
+  Alcotest.check_raises "min of empty" Not_found (fun () ->
+      ignore (Pset.min_elt Pset.empty))
+
+let test_majority_complement () =
+  Alcotest.(check bool)
+    "3 of 5 is majority" true
+    (Pset.is_majority ~n:5 (Pset.of_list [ 0; 1; 2 ]));
+  Alcotest.(check bool)
+    "2 of 4 is not majority" false
+    (Pset.is_majority ~n:4 (Pset.of_list [ 0; 1 ]));
+  Alcotest.(check pset) "complement"
+    (Pset.of_list [ 2; 3 ])
+    (Pset.complement ~n:4 (Pset.of_list [ 0; 1 ]))
+
+let test_subsets () =
+  let subs = Pset.subsets (Pset.of_list [ 0; 1; 2 ]) in
+  Alcotest.(check int) "2^3 subsets" 8 (List.length subs);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        "subset of universe" true
+        (Pset.subset s (Pset.of_list [ 0; 1; 2 ])))
+    subs
+
+let test_bounds () =
+  Alcotest.check_raises "full too large"
+    (Invalid_argument "Pset.full: n = 63 out of [0, 62]") (fun () ->
+      ignore (Pset.full ~n:63));
+  Alcotest.check_raises "singleton negative"
+    (Invalid_argument "Pset: process id -1 out of [0, 62)") (fun () ->
+      ignore (Pset.singleton (-1)))
+
+let test_qset_basics () =
+  let q1 = Pset.of_list [ 0; 1 ] and q2 = Pset.of_list [ 2; 3 ] in
+  let s = Qset.of_list [ q1; q2; q1 ] in
+  Alcotest.(check int) "dedup" 2 (Qset.cardinal s);
+  Alcotest.(check bool) "mem" true (Qset.mem q1 s);
+  Alcotest.(check bool)
+    "disjoint pair found" true
+    (Qset.exists_disjoint_pair (Qset.singleton q1) (Qset.singleton q2));
+  Alcotest.(check bool)
+    "no disjoint pair" false
+    (Qset.exists_disjoint_pair (Qset.singleton q1)
+       (Qset.singleton (Pset.of_list [ 1; 2 ])))
+
+(* -------------------------------------------------------------- *)
+(* Property tests                                                 *)
+(* -------------------------------------------------------------- *)
+
+let gen_pset n =
+  QCheck.map
+    ~rev:(fun s ->
+      List.fold_left (fun acc p -> acc lor (1 lsl p)) 0 (Pset.elements s))
+    (fun bits ->
+      List.fold_left
+        (fun acc p -> if bits land (1 lsl p) <> 0 then Pset.add p acc else acc)
+        Pset.empty
+        (List.init n (fun i -> i)))
+    QCheck.(int_bound ((1 lsl n) - 1))
+
+let n_univ = 10
+
+let props =
+  let ps = gen_pset n_univ in
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"union commutative" ~count:500
+         QCheck.(pair ps ps)
+         (fun (a, b) -> Pset.equal (Pset.union a b) (Pset.union b a)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"inter commutative" ~count:500
+         QCheck.(pair ps ps)
+         (fun (a, b) -> Pset.equal (Pset.inter a b) (Pset.inter b a)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"union associative" ~count:500
+         QCheck.(triple ps ps ps)
+         (fun (a, b, c) ->
+           Pset.equal
+             (Pset.union a (Pset.union b c))
+             (Pset.union (Pset.union a b) c)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"inter distributes over union" ~count:500
+         QCheck.(triple ps ps ps)
+         (fun (a, b, c) ->
+           Pset.equal
+             (Pset.inter a (Pset.union b c))
+             (Pset.union (Pset.inter a b) (Pset.inter a c))));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"diff is inter with complement" ~count:500
+         QCheck.(pair ps ps)
+         (fun (a, b) ->
+           Pset.equal (Pset.diff a b)
+             (Pset.inter a (Pset.complement ~n:n_univ b))));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"intersects iff inter nonempty" ~count:500
+         QCheck.(pair ps ps)
+         (fun (a, b) ->
+           Bool.equal (Pset.intersects a b)
+             (not (Pset.is_empty (Pset.inter a b)))));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"subset iff diff empty" ~count:500
+         QCheck.(pair ps ps)
+         (fun (a, b) ->
+           Bool.equal (Pset.subset a b) (Pset.is_empty (Pset.diff a b))));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"cardinal union + cardinal inter" ~count:500
+         QCheck.(pair ps ps)
+         (fun (a, b) ->
+           Pset.cardinal (Pset.union a b) + Pset.cardinal (Pset.inter a b)
+           = Pset.cardinal a + Pset.cardinal b));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"elements sorted and roundtrip" ~count:500 ps
+         (fun a ->
+           let elts = Pset.elements a in
+           List.sort Int.compare elts = elts
+           && Pset.equal (Pset.of_list elts) a));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"fold counts cardinal" ~count:500 ps (fun a ->
+           Pset.fold (fun _ acc -> acc + 1) a 0 = Pset.cardinal a));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"random_nonempty_subset is nonempty subset"
+         ~count:500
+         QCheck.(pair ps int)
+         (fun (a, seed) ->
+           QCheck.assume (not (Pset.is_empty a));
+           let rng = Random.State.make [| seed |] in
+           let sub = Pset.random_nonempty_subset rng a in
+           (not (Pset.is_empty sub)) && Pset.subset sub a));
+  ]
+
+let () =
+  Alcotest.run "procset"
+    [
+      ( "pset-unit",
+        [
+          Alcotest.test_case "empty and full" `Quick test_empty_full;
+          Alcotest.test_case "add remove mem" `Quick test_add_remove_mem;
+          Alcotest.test_case "set algebra" `Quick test_set_algebra;
+          Alcotest.test_case "min_elt" `Quick test_min_elt;
+          Alcotest.test_case "majority and complement" `Quick
+            test_majority_complement;
+          Alcotest.test_case "subsets" `Quick test_subsets;
+          Alcotest.test_case "bounds" `Quick test_bounds;
+          Alcotest.test_case "qset basics" `Quick test_qset_basics;
+        ] );
+      ("pset-properties", props);
+    ]

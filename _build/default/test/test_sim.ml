@@ -1,0 +1,519 @@
+(* Tests for the asynchronous-system simulator: failure patterns,
+   environments, and the runner's conformance to the run properties of
+   Section 2.6 of the paper. *)
+open Procset
+
+let pset = Alcotest.testable Pset.pp Pset.equal
+
+(* -------------------------------------------------------------- *)
+(* Failure patterns                                               *)
+(* -------------------------------------------------------------- *)
+
+let test_pattern_basics () =
+  let f = Sim.Failure_pattern.make ~n:5 ~crashes:[ (1, 3); (4, 10) ] in
+  Alcotest.(check int) "n" 5 (Sim.Failure_pattern.n f);
+  Alcotest.(check pset) "faulty" (Pset.of_list [ 1; 4 ])
+    (Sim.Failure_pattern.faulty f);
+  Alcotest.(check pset) "correct"
+    (Pset.of_list [ 0; 2; 3 ])
+    (Sim.Failure_pattern.correct f);
+  Alcotest.(check bool) "p1 alive at 2" false
+    (Sim.Failure_pattern.crashed f 1 2);
+  Alcotest.(check bool) "p1 crashed at 3" true
+    (Sim.Failure_pattern.crashed f 1 3);
+  Alcotest.(check int) "last crash" 10 (Sim.Failure_pattern.last_crash_time f);
+  Alcotest.(check pset) "F(5)" (Pset.singleton 1)
+    (Sim.Failure_pattern.crashed_set f 5)
+
+let test_pattern_monotone () =
+  let f = Sim.Failure_pattern.make ~n:6 ~crashes:[ (0, 2); (3, 7); (5, 7) ] in
+  let rec check t prev =
+    if t > 12 then ()
+    else begin
+      let now = Sim.Failure_pattern.crashed_set f t in
+      Alcotest.(check bool)
+        (Printf.sprintf "F(%d) includes F(%d)" t (t - 1))
+        true (Pset.subset prev now);
+      check (t + 1) now
+    end
+  in
+  check 1 (Sim.Failure_pattern.crashed_set f 0)
+
+let test_pattern_invalid () =
+  Alcotest.check_raises "n too small"
+    (Invalid_argument "Failure_pattern.make: need n >= 2") (fun () ->
+      ignore (Sim.Failure_pattern.make ~n:1 ~crashes:[]));
+  Alcotest.check_raises "duplicate pid"
+    (Invalid_argument "Failure_pattern.make: duplicate pid 1") (fun () ->
+      ignore (Sim.Failure_pattern.make ~n:3 ~crashes:[ (1, 2); (1, 5) ]));
+  Alcotest.check_raises "negative time"
+    (Invalid_argument "Failure_pattern.make: negative crash time") (fun () ->
+      ignore (Sim.Failure_pattern.make ~n:3 ~crashes:[ (1, -2) ]))
+
+let test_env () =
+  let e = Sim.Env.make ~n:5 ~max_faulty:2 in
+  Alcotest.(check bool) "majority correct" true (Sim.Env.majority_correct e);
+  let e' = Sim.Env.make ~n:4 ~max_faulty:2 in
+  Alcotest.(check bool)
+    "half faulty is not majority-correct" false
+    (Sim.Env.majority_correct e');
+  let f2 = Sim.Failure_pattern.make ~n:5 ~crashes:[ (0, 1); (1, 1) ] in
+  let f3 = Sim.Failure_pattern.make ~n:5 ~crashes:[ (0, 1); (1, 1); (2, 1) ] in
+  Alcotest.(check bool) "two faults in E_2" true (Sim.Env.mem e f2);
+  Alcotest.(check bool) "three faults not in E_2" false (Sim.Env.mem e f3)
+
+let prop_random_pattern =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"random_pattern stays in the environment"
+       ~count:300
+       QCheck.(pair (int_range 2 10) int)
+       (fun (n, seed) ->
+         let max_faulty = (n - 1) / 2 in
+         let e = Sim.Env.make ~n ~max_faulty in
+         let rng = Random.State.make [| seed |] in
+         let f = Sim.Env.random_pattern rng e in
+         Sim.Env.mem e f
+         && not (Pset.is_empty (Sim.Failure_pattern.correct f))))
+
+(* -------------------------------------------------------------- *)
+(* A tiny deterministic automaton for exercising the runner        *)
+(* -------------------------------------------------------------- *)
+
+(* Each step, sends its step counter to the next process around the
+   ring and remembers everything it received. *)
+module Ring = struct
+  type input = unit
+  type message = int
+
+  type state = {
+    steps : int;
+    inbox : (Pid.t * int) list;  (** (sender, counter), newest first *)
+  }
+
+  let name = "ring-counter"
+  let initial ~n:_ ~self:_ () = { steps = 0; inbox = [] }
+
+  let step ~n ~self st received _d =
+    let inbox =
+      match received with
+      | None -> st.inbox
+      | Some e -> (e.Sim.Envelope.src, e.Sim.Envelope.payload) :: st.inbox
+    in
+    let st = { steps = st.steps + 1; inbox } in
+    (st, [ ((self + 1) mod n, st.steps) ])
+
+  let pp_message = Format.pp_print_int
+  let equal_message = Int.equal
+end
+
+module R = Sim.Runner.Make (Ring)
+
+let fd_unit _ _ = Sim.Fd_value.Unit
+
+let run_ring ?seed ?(crashes = []) ?(max_steps = 300) ?lambda_prob () =
+  let pattern = Sim.Failure_pattern.make ~n:4 ~crashes in
+  R.exec ?seed ?lambda_prob ~pattern ~fd:fd_unit
+    ~inputs:(fun _ -> ())
+    ~max_steps ()
+
+let test_runner_fairness () =
+  let run = run_ring () in
+  (* with no crashes and 300 steps in rounds of 4, everybody takes 75 *)
+  Array.iter
+    (fun st -> Alcotest.(check int) "steps per process" 75 st.Ring.steps)
+    run.R.states
+
+let test_runner_crash_respected () =
+  let run = run_ring ~crashes:[ (2, 50) ] () in
+  Array.iter
+    (fun step ->
+      if step.R.pid = 2 then
+        Alcotest.(check bool)
+          (Printf.sprintf "p2 stepped at %d before crash" step.R.time)
+          true (step.R.time < 50))
+    run.R.steps;
+  (* other processes keep running *)
+  Alcotest.(check bool)
+    "p0 ran past the crash" true
+    (run.R.states.(0).Ring.steps > 60)
+
+let test_runner_no_step_after_crash_all_patterns () =
+  List.iter
+    (fun seed ->
+      let run = run_ring ~seed ~crashes:[ (1, 17); (3, 42) ] () in
+      Array.iter
+        (fun step ->
+          Alcotest.(check bool)
+            "no step at or after crash time" true
+            (not
+               (Sim.Failure_pattern.crashed run.R.pattern step.R.pid
+                  step.R.time)))
+        run.R.steps)
+    [ 0; 1; 2; 3; 4 ]
+
+let test_runner_times_strictly_increasing () =
+  let run = run_ring ~seed:7 () in
+  let ok = ref true in
+  Array.iteri
+    (fun i step ->
+      if i > 0 then ok := !ok && step.R.time > run.R.steps.(i - 1).R.time)
+    run.R.steps;
+  Alcotest.(check bool) "times strictly increase" true !ok
+
+let test_runner_delivery_bound () =
+  (* with lambda_prob = 0 and max_msg_age = 1 every step drains the
+     oldest pending message, so delivery delay is bounded by the
+     scheduling round plus the (bounded) per-destination backlog *)
+  let pattern = Sim.Failure_pattern.make ~n:4 ~crashes:[] in
+  let run =
+    R.exec ~seed:3 ~max_msg_age:1 ~lambda_prob:0.0 ~pattern ~fd:fd_unit
+      ~inputs:(fun _ -> ())
+      ~max_steps:400 ()
+  in
+  Array.iter
+    (fun step ->
+      match step.R.received with
+      | None -> ()
+      | Some e ->
+        Alcotest.(check bool)
+          "prompt delivery when forced" true
+          (step.R.time - e.Sim.Envelope.sent_at <= 2 * 4))
+    run.R.steps
+
+let test_runner_eventual_delivery () =
+  (* property-(7) surrogate: under the default policy, nothing stays
+     undelivered for long — at the end of a long run every pending
+     message for a correct process is recent *)
+  let pattern = Sim.Failure_pattern.make ~n:4 ~crashes:[] in
+  let run =
+    R.exec ~seed:9 ~pattern ~fd:fd_unit
+      ~inputs:(fun _ -> ())
+      ~max_steps:600 ()
+  in
+  List.iter
+    (fun e ->
+      Alcotest.(check bool)
+        "undelivered messages are recent" true
+        (e.Sim.Envelope.sent_at > 600 - 150))
+    run.R.undelivered
+
+let test_runner_deterministic () =
+  let r1 = run_ring ~seed:11 () and r2 = run_ring ~seed:11 () in
+  Alcotest.(check int) "same step count" r1.R.step_count r2.R.step_count;
+  Array.iteri
+    (fun i s ->
+      let s' = r2.R.steps.(i) in
+      Alcotest.(check int) "same pid" s.R.pid s'.R.pid;
+      Alcotest.(check bool)
+        "same received" true
+        (Option.equal Sim.Envelope.same_identity s.R.received s'.R.received))
+    r1.R.steps
+
+let test_runner_stop_predicate () =
+  let pattern = Sim.Failure_pattern.make ~n:4 ~crashes:[] in
+  let run =
+    R.exec ~pattern ~fd:fd_unit
+      ~inputs:(fun _ -> ())
+      ~max_steps:1000
+      ~stop:(fun st _ -> (st 0).Ring.steps >= 10)
+      ()
+  in
+  Alcotest.(check bool) "stopped early" true run.R.stopped_early;
+  Alcotest.(check bool) "well before the cap" true (run.R.step_count < 100)
+
+(* -------------------------------------------------------------- *)
+(* Scripted execution                                              *)
+(* -------------------------------------------------------------- *)
+
+let test_script_exact_sequence () =
+  let pattern = Sim.Failure_pattern.make ~n:4 ~crashes:[] in
+  let script =
+    [
+      { R.actor = 0; choice = R.Lambda };
+      { R.actor = 1; choice = R.Oldest_from 0 };
+      { R.actor = 1; choice = R.Lambda };
+      { R.actor = 2; choice = R.Oldest };
+    ]
+  in
+  let run =
+    R.exec_script ~pattern ~fd:fd_unit ~inputs:(fun _ -> ()) ~script ()
+  in
+  Alcotest.(check int) "four steps" 4 run.R.step_count;
+  Alcotest.(check (list int))
+    "actors in order" [ 0; 1; 1; 2 ]
+    (Array.to_list (Array.map (fun s -> s.R.pid) run.R.steps));
+  (* step 2: p1 received p0's first message *)
+  match run.R.steps.(1).R.received with
+  | Some e ->
+    Alcotest.(check int) "from p0" 0 e.Sim.Envelope.src;
+    Alcotest.(check int) "payload 1" 1 e.Sim.Envelope.payload
+  | None -> Alcotest.fail "p1 should have received p0's message"
+
+let test_script_errors () =
+  let pattern = Sim.Failure_pattern.make ~n:4 ~crashes:[ (2, 1) ] in
+  let exec script =
+    ignore
+      (R.exec_script ~pattern ~fd:fd_unit ~inputs:(fun _ -> ()) ~script ())
+  in
+  (* crashed actor *)
+  (try
+     exec [ { R.actor = 2; choice = R.Lambda } ];
+     Alcotest.fail "expected Script_error (crashed actor)"
+   with R.Script_error _ -> ());
+  (* no pending message *)
+  try
+    exec [ { R.actor = 0; choice = R.Oldest } ];
+    Alcotest.fail "expected Script_error (no message)"
+  with R.Script_error _ -> ()
+
+let test_session_feedback () =
+  let pattern = Sim.Failure_pattern.make ~n:4 ~crashes:[] in
+  let s = R.Session.create ~pattern ~fd:fd_unit ~inputs:(fun _ -> ()) () in
+  R.Session.step s 0;
+  R.Session.step s 0;
+  Alcotest.(check int) "p0 took two steps" 2 (R.Session.state s 0).Ring.steps;
+  Alcotest.(check int) "time advanced" 3 (R.Session.time s);
+  Alcotest.(check int) "p1 has two pending" 2
+    (List.length (R.Session.pending s 1))
+
+let test_worst_pattern () =
+  let e = Sim.Env.make ~n:6 ~max_faulty:3 in
+  let f = Sim.Env.worst_pattern e in
+  Alcotest.(check bool) "in the environment" true (Sim.Env.mem e f);
+  Alcotest.(check int) "exactly t faulty" 3 (Sim.Failure_pattern.num_faulty f)
+
+let test_session_crash_enforced () =
+  let pattern = Sim.Failure_pattern.make ~n:4 ~crashes:[ (1, 3) ] in
+  let s = R.Session.create ~pattern ~fd:fd_unit ~inputs:(fun _ -> ()) () in
+  R.Session.step s 1;
+  (* p1 can step at times 1 and 2 *)
+  R.Session.step s 1;
+  (* time is now 3: p1 is crashed *)
+  try
+    R.Session.step s 1;
+    Alcotest.fail "expected Script_error for a crashed actor"
+  with R.Script_error _ -> ()
+
+let test_scripted_run_replays () =
+  let pattern = Sim.Failure_pattern.make ~n:4 ~crashes:[] in
+  let script =
+    [
+      { R.actor = 0; choice = R.Lambda };
+      { R.actor = 1; choice = R.Oldest_from 0 };
+      { R.actor = 2; choice = R.Lambda };
+      { R.actor = 3; choice = R.Oldest_from 2 };
+      { R.actor = 0; choice = R.Oldest };
+    ]
+  in
+  let run =
+    R.exec_script ~pattern ~fd:fd_unit ~inputs:(fun _ -> ()) ~script ()
+  in
+  match
+    R.replay ~n:4
+      ~inputs:(fun _ -> ())
+      (R.to_replay (Array.to_list run.R.steps))
+  with
+  | Error e -> Alcotest.fail e
+  | Ok states ->
+    Array.iteri
+      (fun p st ->
+        Alcotest.(check int)
+          (Printf.sprintf "p%d state matches" p)
+          run.R.states.(p).Ring.steps st.Ring.steps)
+      states
+
+(* -------------------------------------------------------------- *)
+(* Replay and merging (the executable core of Lemma 2.2)           *)
+(* -------------------------------------------------------------- *)
+
+let test_replay_reproduces_run () =
+  let run = run_ring ~seed:5 ~max_steps:200 () in
+  let steps = R.to_replay (Array.to_list run.R.steps) in
+  match R.replay ~n:4 ~inputs:(fun _ -> ()) steps with
+  | Error e -> Alcotest.fail e
+  | Ok states ->
+    Array.iteri
+      (fun p st ->
+        Alcotest.(check int)
+          (Printf.sprintf "p%d steps" p)
+          run.R.states.(p).Ring.steps st.Ring.steps;
+        Alcotest.(check bool)
+          (Printf.sprintf "p%d inbox" p)
+          true
+          (run.R.states.(p).Ring.inbox = st.Ring.inbox))
+      states
+
+let test_replay_rejects_unsent_message () =
+  let bogus =
+    { Sim.Envelope.src = 0; dst = 1; seq = 99; sent_at = 1; payload = 42 }
+  in
+  let steps =
+    [ { R.r_pid = 1; r_received = Some bogus; r_fd = Sim.Fd_value.Unit } ]
+  in
+  match R.replay ~n:4 ~inputs:(fun _ -> ()) steps with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "replay should reject a message never sent"
+
+(* Two scripted runs with disjoint participants merge into a single
+   run in which each participant ends in the same state (Lemma 2.2). *)
+let test_merge_disjoint_runs () =
+  let pattern = Sim.Failure_pattern.make ~n:4 ~crashes:[] in
+  let script01 =
+    [
+      { R.actor = 0; choice = R.Lambda };
+      { R.actor = 1; choice = R.Oldest_from 0 };
+      { R.actor = 0; choice = R.Lambda };
+      { R.actor = 1; choice = R.Oldest_from 0 };
+    ]
+  in
+  let script23 =
+    [
+      { R.actor = 2; choice = R.Lambda };
+      { R.actor = 3; choice = R.Oldest_from 2 };
+      { R.actor = 3; choice = R.Lambda };
+      { R.actor = 2; choice = R.Lambda };
+    ]
+  in
+  let run0 =
+    R.exec_script ~pattern ~fd:fd_unit ~inputs:(fun _ -> ()) ~script:script01
+      ()
+  in
+  let run1 =
+    R.exec_script ~pattern ~fd:fd_unit ~inputs:(fun _ -> ()) ~script:script23
+      ()
+  in
+  let merged =
+    R.merge_traces (Array.to_list run0.R.steps) (Array.to_list run1.R.steps)
+  in
+  match R.replay ~n:4 ~inputs:(fun _ -> ()) merged with
+  | Error e -> Alcotest.fail ("merged run not applicable: " ^ e)
+  | Ok states ->
+    List.iter
+      (fun p ->
+        let reference =
+          if p < 2 then run0.R.states.(p) else run1.R.states.(p)
+        in
+        Alcotest.(check int)
+          (Printf.sprintf "p%d same steps as sub-run" p)
+          reference.Ring.steps states.(p).Ring.steps;
+        Alcotest.(check bool)
+          (Printf.sprintf "p%d same inbox as sub-run" p)
+          true
+          (reference.Ring.inbox = states.(p).Ring.inbox))
+      [ 0; 1; 2; 3 ]
+
+(* The runner validates against its own model checker: a fair run
+   satisfies every run property of Section 2.6. *)
+let test_conformance_fair_run () =
+  List.iter
+    (fun seed ->
+      let pattern = Sim.Failure_pattern.make ~n:4 ~crashes:[ (2, 40) ] in
+      let run =
+        R.exec ~seed ~pattern ~fd:fd_unit
+          ~inputs:(fun _ -> ())
+          ~max_steps:300 ()
+      in
+      match R.conformance ~fd:fd_unit ~inputs:(fun _ -> ()) run with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "seed %d: %s" seed e)
+    [ 0; 1; 2 ]
+
+(* A scripted, deliberately unfair run fails the fairness surrogate
+   but passes the hard model constraints with the window disabled. *)
+let test_conformance_unfair_script () =
+  let pattern = Sim.Failure_pattern.make ~n:4 ~crashes:[] in
+  let script =
+    List.concat_map
+      (fun _ -> [ { R.actor = 0; choice = R.Lambda } ])
+      (List.init 40 (fun i -> i))
+    @ [ { R.actor = 1; choice = R.Lambda } ]
+  in
+  let run =
+    R.exec_script ~pattern ~fd:fd_unit ~inputs:(fun _ -> ()) ~script ()
+  in
+  (match R.conformance ~fd:fd_unit ~inputs:(fun _ -> ()) run with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "unfair script should fail fairness");
+  match
+    R.conformance ~fairness_window:10_000 ~delivery_bound:10_000 ~fd:fd_unit
+      ~inputs:(fun _ -> ())
+      run
+  with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "hard constraints should pass: %s" e
+
+(* A run validated against the wrong detector history is rejected. *)
+let test_conformance_wrong_fd () =
+  let pattern = Sim.Failure_pattern.make ~n:4 ~crashes:[] in
+  let run =
+    R.exec ~pattern ~fd:fd_unit ~inputs:(fun _ -> ()) ~max_steps:50 ()
+  in
+  match
+    R.conformance
+      ~fd:(fun p _ -> Sim.Fd_value.Leader p)
+      ~inputs:(fun _ -> ())
+      run
+  with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "wrong history must be rejected"
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "failure-patterns",
+        [
+          Alcotest.test_case "basics" `Quick test_pattern_basics;
+          Alcotest.test_case "monotone" `Quick test_pattern_monotone;
+          Alcotest.test_case "invalid args" `Quick test_pattern_invalid;
+          Alcotest.test_case "environments" `Quick test_env;
+          prop_random_pattern;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "fairness" `Quick test_runner_fairness;
+          Alcotest.test_case "crash respected" `Quick
+            test_runner_crash_respected;
+          Alcotest.test_case "no step after crash (seeds)" `Quick
+            test_runner_no_step_after_crash_all_patterns;
+          Alcotest.test_case "times strictly increasing" `Quick
+            test_runner_times_strictly_increasing;
+          Alcotest.test_case "delivery bound" `Quick
+            test_runner_delivery_bound;
+          Alcotest.test_case "eventual delivery" `Quick
+            test_runner_eventual_delivery;
+          Alcotest.test_case "deterministic given seed" `Quick
+            test_runner_deterministic;
+          Alcotest.test_case "stop predicate" `Quick
+            test_runner_stop_predicate;
+        ] );
+      ( "script-session",
+        [
+          Alcotest.test_case "exact sequence" `Quick
+            test_script_exact_sequence;
+          Alcotest.test_case "script errors" `Quick test_script_errors;
+          Alcotest.test_case "session feedback" `Quick test_session_feedback;
+          Alcotest.test_case "worst pattern" `Quick test_worst_pattern;
+          Alcotest.test_case "session crash enforced" `Quick
+            test_session_crash_enforced;
+          Alcotest.test_case "scripted run replays" `Quick
+            test_scripted_run_replays;
+        ] );
+      ( "conformance",
+        [
+          Alcotest.test_case "fair runs conform" `Quick
+            test_conformance_fair_run;
+          Alcotest.test_case "unfair script detected" `Quick
+            test_conformance_unfair_script;
+          Alcotest.test_case "wrong detector history rejected" `Quick
+            test_conformance_wrong_fd;
+        ] );
+      ( "replay-merge",
+        [
+          Alcotest.test_case "replay reproduces run" `Quick
+            test_replay_reproduces_run;
+          Alcotest.test_case "replay rejects bogus message" `Quick
+            test_replay_rejects_unsent_message;
+          Alcotest.test_case "merge disjoint runs (Lemma 2.2)" `Quick
+            test_merge_disjoint_runs;
+        ] );
+    ]

@@ -1,0 +1,189 @@
+(* Tests for the replicated-log library: multiplexed per-slot
+   consensus instances over one simulated network. *)
+open Procset
+module R = Sim.Runner.Make (Smr.Over_anuc)
+
+let commands_of p = List.init 10 (fun s -> (100 * (s + 1)) + p)
+
+let run_smr ?(seed = 0) ?(n = 4) ?(crashes = []) ?(target_slots = 4)
+    ?(max_steps = 30000) () =
+  let pattern = Sim.Failure_pattern.make ~n ~crashes in
+  let oracle =
+    Fd.Oracle.pair
+      (Fd.Oracle.omega ~seed pattern)
+      (Fd.Oracle.sigma_nu_plus ~seed pattern)
+  in
+  let correct = Sim.Failure_pattern.correct pattern in
+  let run =
+    R.exec ~seed ~record:false ~pattern ~fd:oracle.Fd.Oracle.query
+      ~inputs:commands_of ~max_steps
+      ~stop:(fun st _ ->
+        Pset.for_all
+          (fun p -> Smr.Over_anuc.slots_decided (st p) >= target_slots)
+          correct)
+      ()
+  in
+  (pattern, run)
+
+(* The fundamental SMR property: live replicas hold identical logs (one
+   may trail the other; the shorter must be a prefix of the longer). *)
+let check_prefix_consistency ~pattern (run : R.run) =
+  let correct = Sim.Failure_pattern.correct pattern in
+  let logs =
+    Pset.fold
+      (fun p acc -> (p, Smr.Over_anuc.log run.R.states.(p)) :: acc)
+      correct []
+  in
+  List.iter
+    (fun (p, lp) ->
+      List.iter
+        (fun (q, lq) ->
+          let rec prefix a b =
+            match a, b with
+            | [], _ -> true
+            | _, [] -> false
+            | x :: a', y :: b' -> Consensus.Value.equal x y && prefix a' b'
+          in
+          let shorter, longer =
+            if List.length lp <= List.length lq then (lp, lq) else (lq, lp)
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "p%d and p%d logs prefix-consistent" p q)
+            true (prefix shorter longer))
+        logs)
+    logs
+
+let test_smr_no_crashes () =
+  let pattern, run = run_smr ~target_slots:5 () in
+  Alcotest.(check bool) "reached the slot target" true run.R.stopped_early;
+  check_prefix_consistency ~pattern run;
+  (* every decided command was somebody's proposal for that slot *)
+  let some_log = Smr.Over_anuc.log run.R.states.(0) in
+  List.iteri
+    (fun s v ->
+      let proposed =
+        Consensus.Value.equal v Smr.noop
+        || List.exists
+             (fun p -> List.nth_opt (commands_of p) s = Some v)
+             (Pid.all ~n:4)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "slot %d command %d was proposed" s v)
+        true proposed)
+    some_log
+
+let test_smr_with_crashes () =
+  let pattern, run =
+    run_smr ~seed:2 ~n:5 ~crashes:[ (4, 200); (3, 900) ] ~target_slots:4 ()
+  in
+  Alcotest.(check bool) "reached the slot target" true run.R.stopped_early;
+  check_prefix_consistency ~pattern run
+
+let test_smr_minority_correct () =
+  (* three of five replicas crash: uniform replication would need a
+     majority, nonuniform keeps going *)
+  let pattern, run =
+    run_smr ~seed:5 ~n:5
+      ~crashes:[ (2, 150); (3, 400); (4, 700) ]
+      ~target_slots:3 ~max_steps:40000 ()
+  in
+  Alcotest.(check bool) "reached the slot target" true run.R.stopped_early;
+  check_prefix_consistency ~pattern run
+
+let test_smr_seeds_sweep () =
+  List.iter
+    (fun seed ->
+      let pattern, run =
+        run_smr ~seed ~n:4 ~crashes:[ (3, 300) ] ~target_slots:3 ()
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d reached the target" seed)
+        true run.R.stopped_early;
+      check_prefix_consistency ~pattern run)
+    [ 0; 1; 2; 3 ]
+
+let test_smr_queue_exhaustion () =
+  (* replicas with a single pending command propose noop afterwards *)
+  let n = 3 in
+  let pattern = Sim.Failure_pattern.failure_free ~n in
+  let oracle =
+    Fd.Oracle.pair
+      (Fd.Oracle.omega ~stab_time:0 pattern)
+      (Fd.Oracle.sigma_nu_plus ~stab_time:0 pattern)
+  in
+  let run =
+    R.exec ~record:false ~pattern ~fd:oracle.Fd.Oracle.query
+      ~inputs:(fun p -> [ 100 + p ])
+      ~max_steps:30000
+      ~stop:(fun st _ ->
+        Pset.for_all
+          (fun p -> Smr.Over_anuc.slots_decided (st p) >= 3)
+          (Pset.full ~n))
+      ()
+  in
+  Alcotest.(check bool) "kept deciding past the queue" true
+    run.R.stopped_early;
+  let log = Smr.Over_anuc.log run.R.states.(0) in
+  List.iteri
+    (fun s v ->
+      if s >= 1 then
+        Alcotest.(check int)
+          (Printf.sprintf "slot %d is a noop" s)
+          Smr.noop v)
+    (List.filteri (fun i _ -> i < 3) log)
+
+(* Replication from the raw weakest detector: each slot runs the full
+   Theorem 6.28 stack (emulation + A_nuc). Small target, generous
+   budget — this is a composability check, not a throughput one. *)
+let test_smr_over_stack () =
+  let n = 4 in
+  let module Rs = Sim.Runner.Make (Smr.Over_stack) in
+  let pattern = Sim.Failure_pattern.make ~n ~crashes:[ (3, 400) ] in
+  let oracle =
+    Fd.Oracle.pair
+      (Fd.Oracle.omega ~seed:1 pattern)
+      (Fd.Oracle.sigma_nu ~seed:1 pattern)
+  in
+  let correct = Sim.Failure_pattern.correct pattern in
+  let run =
+    Rs.exec ~seed:1 ~record:false ~pattern ~fd:oracle.Fd.Oracle.query
+      ~inputs:commands_of ~max_steps:30000
+      ~stop:(fun st _ ->
+        Pset.for_all (fun p -> Smr.Over_stack.slots_decided (st p) >= 2)
+          correct)
+      ()
+  in
+  Alcotest.(check bool) "two slots decided from raw (Omega, Sigma-nu)" true
+    run.Rs.stopped_early;
+  (* prefix consistency *)
+  let logs =
+    Pset.fold
+      (fun p acc -> Smr.Over_stack.log run.Rs.states.(p) :: acc)
+      correct []
+  in
+  match logs with
+  | l0 :: rest ->
+    let min_len =
+      List.fold_left (fun acc l -> min acc (List.length l))
+        (List.length l0) rest
+    in
+    let trunc l = List.filteri (fun i _ -> i < min_len) l in
+    Alcotest.(check bool) "prefixes agree" true
+      (List.for_all (fun l -> trunc l = trunc l0) rest)
+  | [] -> Alcotest.fail "no live replicas"
+
+let () =
+  Alcotest.run "smr"
+    [
+      ( "replicated-log",
+        [
+          Alcotest.test_case "no crashes" `Quick test_smr_no_crashes;
+          Alcotest.test_case "with crashes" `Quick test_smr_with_crashes;
+          Alcotest.test_case "minority correct" `Quick
+            test_smr_minority_correct;
+          Alcotest.test_case "seed sweep" `Slow test_smr_seeds_sweep;
+          Alcotest.test_case "queue exhaustion" `Quick
+            test_smr_queue_exhaustion;
+          Alcotest.test_case "over the full stack" `Slow test_smr_over_stack;
+        ] );
+    ]

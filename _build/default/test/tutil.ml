@@ -1,0 +1,133 @@
+(* Shared helpers for the consensus and core test suites: run a
+   consensus automaton under a given oracle family over randomized
+   patterns and seeds, and evaluate the problem's properties. *)
+open Procset
+
+module type CONSENSUS = sig
+  include Sim.Automaton.S with type input = Consensus.Value.t
+
+  val decision : state -> Consensus.Value.t option
+end
+
+(* Which (Omega, quorum) oracle pair drives a run. *)
+type oracle_family = {
+  family_name : string;
+  make : seed:int -> Sim.Failure_pattern.t -> Fd.Oracle.t;
+}
+
+let benign_nu_plus =
+  {
+    family_name = "benign (omega-random, sigma-nu+-arbitrary)";
+    make =
+      (fun ~seed pattern ->
+        Fd.Oracle.pair
+          (Fd.Oracle.omega ~seed pattern)
+          (Fd.Oracle.sigma_nu_plus ~seed pattern));
+  }
+
+let adversarial_nu_plus =
+  {
+    family_name = "adversarial (omega-faulty-first, sigma-nu+-split)";
+    make =
+      (fun ~seed pattern ->
+        Fd.Oracle.pair
+          (Fd.Oracle.omega ~seed ~prestab:Fd.Oracle.Omega_faulty_first pattern)
+          (Fd.Oracle.sigma_nu_plus ~seed ~faulty_mode:Fd.Oracle.Faulty_split
+             pattern));
+  }
+
+let benign_sigma =
+  {
+    family_name = "benign (omega-random, sigma-pivot)";
+    make =
+      (fun ~seed pattern ->
+        Fd.Oracle.pair
+          (Fd.Oracle.omega ~seed pattern)
+          (Fd.Oracle.sigma ~seed pattern));
+  }
+
+let benign_nu =
+  {
+    family_name = "benign (omega-random, sigma-nu-arbitrary)";
+    make =
+      (fun ~seed pattern ->
+        Fd.Oracle.pair
+          (Fd.Oracle.omega ~seed pattern)
+          (Fd.Oracle.sigma_nu ~seed pattern));
+  }
+
+let adversarial_nu =
+  {
+    family_name = "adversarial (omega-faulty-first, sigma-nu-split)";
+    make =
+      (fun ~seed pattern ->
+        Fd.Oracle.pair
+          (Fd.Oracle.omega ~seed ~prestab:Fd.Oracle.Omega_faulty_first pattern)
+          (Fd.Oracle.sigma_nu ~seed ~faulty_mode:Fd.Oracle.Faulty_split
+             pattern));
+  }
+
+type sweep_result = {
+  runs : int;
+  undecided_runs : int;  (** runs where some correct process never decided *)
+  steps_total : int;
+}
+
+(* Run [A] once; return Ok (steps, outcome-check result). *)
+let run_once (type st) (module A : CONSENSUS with type state = st) ~family
+    ~flavour ~pattern ~seed ~max_steps () =
+  let module R = Sim.Runner.Make (A) in
+  let proposals p = (p + seed) mod 2 in
+  let oracle = family.make ~seed pattern in
+  let correct = Sim.Failure_pattern.correct pattern in
+  let run =
+    R.exec ~seed ~record:false ~pattern ~fd:oracle.Fd.Oracle.query
+      ~inputs:proposals ~max_steps
+      ~stop:(fun st _ ->
+        Pset.for_all (fun p -> A.decision (st p) <> None) correct)
+      ()
+  in
+  let outcome =
+    Consensus.Spec.outcome ~pattern ~proposals ~decisions:(fun p ->
+        A.decision run.R.states.(p))
+  in
+  let agreement_validity =
+    (* check agreement and validity even on runs that timed out *)
+    Result.bind (Consensus.Spec.check_validity outcome) (fun () ->
+        Consensus.Spec.check_agreement flavour outcome)
+  in
+  (run.R.step_count, run.R.stopped_early, agreement_validity, outcome)
+
+(* Sweep a consensus algorithm over patterns of E_t for every t in
+   [t_range] and all [seeds]; fails the alcotest on any violation of
+   agreement or validity, and on missed termination. *)
+let sweep (module A : CONSENSUS) ~family ~flavour ~n ~t_range ~seeds
+    ?(max_steps = 6000) () =
+  let runs = ref 0 and undecided = ref 0 and steps = ref 0 in
+  List.iter
+    (fun t ->
+      let env = Sim.Env.make ~n ~max_faulty:t in
+      List.iter
+        (fun seed ->
+          let rng = Random.State.make [| seed; n; t |] in
+          let pattern = Sim.Env.random_pattern rng ~crash_window:120 env in
+          let step_count, decided, check, _ =
+            run_once (module A) ~family ~flavour ~pattern ~seed ~max_steps ()
+          in
+          incr runs;
+          steps := !steps + step_count;
+          (match check with
+          | Ok () -> ()
+          | Error e ->
+            Alcotest.failf "%s / %s / n=%d t=%d seed=%d (%a): %s" A.name
+              family.family_name n t seed Sim.Failure_pattern.pp pattern e);
+          if not decided then begin
+            incr undecided;
+            Alcotest.failf "%s / %s / n=%d t=%d seed=%d (%a): timed out \
+                            after %d steps without full decision"
+              A.name family.family_name n t seed Sim.Failure_pattern.pp
+              pattern step_count
+          end)
+        seeds)
+    t_range;
+  { runs = !runs; undecided_runs = !undecided; steps_total = !steps }

@@ -13,7 +13,10 @@
      transformation machinery (B3);
    - bechamel microbenchmarks of the substrate hot paths (B4).
 
-   Run with: dune exec bench/main.exe *)
+   Run with: dune exec bench/main.exe
+   With --json [FILE] every table is also serialized to FILE
+   (default BENCH_<date>.json), establishing the perf trajectory;
+   see DESIGN.md for the schema. *)
 open Procset
 
 let pf = Format.printf
@@ -22,6 +25,84 @@ let hr title =
   pf "@.===================================================================@.";
   pf "%s@." title;
   pf "===================================================================@."
+
+(* ---------------------------------------------------------------- *)
+(* A hand-rolled JSON printer (no new dependencies)                  *)
+(* ---------------------------------------------------------------- *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let add_escaped b s =
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\t' -> Buffer.add_string b "\\t"
+        | '\r' -> Buffer.add_string b "\\r"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s
+
+  let rec emit b ~indent v =
+    let pad n = String.make n ' ' in
+    match v with
+    | Null -> Buffer.add_string b "null"
+    | Bool v -> Buffer.add_string b (string_of_bool v)
+    | Int i -> Buffer.add_string b (string_of_int i)
+    | Float f ->
+      (* JSON has no nan/infinity; map them to null *)
+      if Float.is_finite f then
+        Buffer.add_string b (Printf.sprintf "%.12g" f)
+      else Buffer.add_string b "null"
+    | Str s ->
+      Buffer.add_char b '"';
+      add_escaped b s;
+      Buffer.add_char b '"'
+    | List [] -> Buffer.add_string b "[]"
+    | List xs ->
+      Buffer.add_string b "[\n";
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_string b ",\n";
+          Buffer.add_string b (pad (indent + 2));
+          emit b ~indent:(indent + 2) x)
+        xs;
+      Buffer.add_char b '\n';
+      Buffer.add_string b (pad indent);
+      Buffer.add_char b ']'
+    | Obj [] -> Buffer.add_string b "{}"
+    | Obj kvs ->
+      Buffer.add_string b "{\n";
+      List.iteri
+        (fun i (k, x) ->
+          if i > 0 then Buffer.add_string b ",\n";
+          Buffer.add_string b (pad (indent + 2));
+          Buffer.add_char b '"';
+          add_escaped b k;
+          Buffer.add_string b "\": ";
+          emit b ~indent:(indent + 2) x)
+        kvs;
+      Buffer.add_char b '\n';
+      Buffer.add_string b (pad indent);
+      Buffer.add_char b '}'
+
+  let to_channel oc v =
+    let b = Buffer.create 4096 in
+    emit b ~indent:0 v;
+    Buffer.add_char b '\n';
+    Buffer.output_buffer oc b
+end
 
 (* ---------------------------------------------------------------- *)
 (* E-table                                                           *)
@@ -35,7 +116,22 @@ let experiment_table () =
   let failed = List.filter (fun r -> not r.Experiments.pass) rows in
   pf "E-table summary: %d/%d experiments PASS@."
     (List.length rows - List.length failed)
-    (List.length rows)
+    (List.length rows);
+  rows
+
+let json_of_e_rows rows =
+  Json.List
+    (List.map
+       (fun (r : Experiments.row) ->
+         Json.Obj
+           [
+             ("id", Json.Str r.id);
+             ("theorem", Json.Str r.theorem);
+             ("expected", Json.Str r.expected);
+             ("measured", Json.Str r.measured);
+             ("pass", Json.Bool r.pass);
+           ])
+       rows)
 
 (* ---------------------------------------------------------------- *)
 (* B1: decision latency across environments                          *)
@@ -46,21 +142,22 @@ let b1_latency () =
       correct deciders)";
   pf "%s@." Experiments.latency_header;
   let seeds = [ 0; 1; 2; 3; 4 ] in
+  let acc = ref [] in
+  let emit r =
+    acc := r :: !acc;
+    pf "%a@." Experiments.pp_latency_row r
+  in
   List.iter
     (fun n ->
       List.iter
         (fun t ->
           if t < n then begin
             if 2 * t < n then begin
-              pf "%a@." Experiments.pp_latency_row
-                (Experiments.latency Experiments.Mr_majority ~n ~t ~seeds);
-              pf "%a@." Experiments.pp_latency_row
-                (Experiments.latency Experiments.Ct ~n ~t ~seeds)
+              emit (Experiments.latency Experiments.Mr_majority ~n ~t ~seeds);
+              emit (Experiments.latency Experiments.Ct ~n ~t ~seeds)
             end;
-            pf "%a@." Experiments.pp_latency_row
-              (Experiments.latency Experiments.Mr_sigma ~n ~t ~seeds);
-            pf "%a@." Experiments.pp_latency_row
-              (Experiments.latency Experiments.Anuc ~n ~t ~seeds)
+            emit (Experiments.latency Experiments.Mr_sigma ~n ~t ~seeds);
+            emit (Experiments.latency Experiments.Anuc ~n ~t ~seeds)
           end)
         [ 1; 2; 4 ])
     [ 3; 5; 7 ];
@@ -68,9 +165,27 @@ let b1_latency () =
       layer):@.";
   List.iter
     (fun (n, t) ->
-      pf "%a@." Experiments.pp_latency_row
-        (Experiments.latency Experiments.Stack ~n ~t ~seeds:[ 0; 1; 2 ]))
-    [ (4, 1); (4, 3) ]
+      emit (Experiments.latency Experiments.Stack ~n ~t ~seeds:[ 0; 1; 2 ]))
+    [ (4, 1); (4, 3) ];
+  List.rev !acc
+
+let json_of_latency_rows rows =
+  Json.List
+    (List.map
+       (fun (r : Experiments.latency_row) ->
+         Json.Obj
+           [
+             ("algorithm", Json.Str r.algorithm);
+             ("n", Json.Int r.n);
+             ("t", Json.Int r.t);
+             ("runs", Json.Int r.runs);
+             ("decided", Json.Int r.decided);
+             ("avg_rounds", Json.Float r.avg_rounds);
+             ("avg_steps", Json.Float r.avg_steps);
+             ("avg_msgs", Json.Float r.avg_msgs);
+             ("avg_mailbox_hwm", Json.Float r.avg_hwm);
+           ])
+       rows)
 
 (* ---------------------------------------------------------------- *)
 (* B2: sensitivity to detector stabilization time                    *)
@@ -79,7 +194,7 @@ let b1_latency () =
 let b2_stabilization () =
   hr "B2: steps to full decision vs detector stabilization time (n=5, t=2)";
   pf "%-12s %10s %8s %12s@." "algorithm" "stab_time" "runs" "avg_steps";
-  List.iter
+  List.map
     (fun (name, algo) ->
       let rows =
         Experiments.stabilization_series algo ~n:5 ~t:2
@@ -89,8 +204,25 @@ let b2_stabilization () =
         (fun r ->
           pf "%-12s %10d %8d %12.1f@." name r.Experiments.stab_time
             r.Experiments.s_runs r.Experiments.s_avg_steps)
-        rows)
+        rows;
+      (name, rows))
     [ ("MR-Sigma", Experiments.Mr_sigma); ("A_nuc", Experiments.Anuc) ]
+
+let json_of_stab_series series =
+  Json.List
+    (List.concat_map
+       (fun (name, rows) ->
+         List.map
+           (fun (r : Experiments.stab_row) ->
+             Json.Obj
+               [
+                 ("algorithm", Json.Str name);
+                 ("stab_time", Json.Int r.stab_time);
+                 ("runs", Json.Int r.s_runs);
+                 ("avg_steps", Json.Float r.s_avg_steps);
+               ])
+           rows)
+       series)
 
 (* ---------------------------------------------------------------- *)
 (* B3: transformation cost                                           *)
@@ -99,14 +231,33 @@ let b2_stabilization () =
 let b3_dag_growth () =
   hr "B3: T_{Sigma-nu -> Sigma-nu+} cost vs run length (n=4; DAG pruned to \
       a sliding window)";
-  pf "%8s %10s %10s %12s %10s@." "steps" "dag_nodes" "weave_len"
-    "extractions" "wall_ms";
+  pf "%8s %10s %10s %12s %10s %9s %10s@." "steps" "dag_nodes" "weave_len"
+    "extractions" "messages" "mbox_hwm" "wall_ms";
+  let rows = Experiments.dag_growth ~n:4 ~steps_list:[ 200; 400; 800; 1600 ] in
   List.iter
     (fun r ->
-      pf "%8d %10d %10d %12d %10.1f@." r.Experiments.d_steps
+      pf "%8d %10d %10d %12d %10d %9d %10.1f@." r.Experiments.d_steps
         r.Experiments.dag_nodes r.Experiments.spine_len
-        r.Experiments.extractions_total r.Experiments.wall_ms)
-    (Experiments.dag_growth ~n:4 ~steps_list:[ 200; 400; 800; 1600 ])
+        r.Experiments.extractions_total r.Experiments.d_msgs
+        r.Experiments.d_hwm r.Experiments.wall_ms)
+    rows;
+  rows
+
+let json_of_dag_rows rows =
+  Json.List
+    (List.map
+       (fun (r : Experiments.dag_row) ->
+         Json.Obj
+           [
+             ("steps", Json.Int r.d_steps);
+             ("dag_nodes", Json.Int r.dag_nodes);
+             ("weave_len", Json.Int r.spine_len);
+             ("extractions", Json.Int r.extractions_total);
+             ("messages_sent", Json.Int r.d_msgs);
+             ("mailbox_hwm", Json.Int r.d_hwm);
+             ("wall_ms", Json.Float r.wall_ms);
+           ])
+       rows)
 
 (* ---------------------------------------------------------------- *)
 (* B5: the mechanism ablation                                        *)
@@ -116,9 +267,71 @@ let b5_ablation () =
   hr "B5: A_nuc mechanism ablation (scripted Sec-6.3 adversary + \
       randomized adversarial sweeps, n=4)";
   pf "%s@." Experiments.ablation_header;
-  List.iter
-    (fun r -> pf "%a@." Experiments.pp_ablation_row r)
-    (Experiments.ablation ~quick:true ())
+  let rows = Experiments.ablation ~quick:true () in
+  List.iter (fun r -> pf "%a@." Experiments.pp_ablation_row r) rows;
+  rows
+
+let json_of_ablation_rows rows =
+  Json.List
+    (List.map
+       (fun (r : Experiments.ablation_row) ->
+         Json.Obj
+           [
+             ("variant", Json.Str r.variant);
+             ("script_outcome", Json.Str r.script_outcome);
+             ("script_violated", Json.Bool r.script_violated);
+             ("sweep_runs", Json.Int r.sweep_runs);
+             ("sweep_violations", Json.Int r.sweep_violations);
+             ("avg_rounds", Json.Float r.a_avg_rounds);
+           ])
+       rows)
+
+(* ---------------------------------------------------------------- *)
+(* Substrate run metrics: one instrumented reference run             *)
+(* ---------------------------------------------------------------- *)
+
+module Anuc_runner = Sim.Runner.Make (Core.Anuc)
+
+let reference_pattern = Sim.Failure_pattern.make ~n:4 ~crashes:[]
+
+let reference_run () =
+  let oracle =
+    Fd.Oracle.pair
+      (Fd.Oracle.omega ~stab_time:0 reference_pattern)
+      (Fd.Oracle.sigma_nu_plus ~stab_time:0 reference_pattern)
+  in
+  Anuc_runner.exec ~record:false ~pattern:reference_pattern
+    ~fd:oracle.Fd.Oracle.query
+    ~inputs:(fun p -> p mod 2)
+    ~max_steps:2000
+    ~stop:(fun st _ ->
+      Pset.for_all
+        (fun p -> Core.Anuc.decision (st p) <> None)
+        (Pset.full ~n:4))
+    ()
+
+let run_metrics () =
+  hr "Run metrics: reference A_nuc consensus run (n=4, failure-free)";
+  let m = (reference_run ()).Anuc_runner.metrics in
+  pf "%a@." Sim.Runner.pp_metrics m;
+  pf "steps per process: %s@."
+    (String.concat " "
+       (Array.to_list (Array.map string_of_int m.Sim.Runner.steps_per_process)));
+  m
+
+let json_of_metrics (m : Sim.Runner.metrics) =
+  Json.Obj
+    [
+      ( "steps_per_process",
+        Json.List
+          (Array.to_list
+             (Array.map (fun s -> Json.Int s) m.steps_per_process)) );
+      ("messages_sent", Json.Int m.sent);
+      ("messages_delivered", Json.Int m.delivered);
+      ("messages_dropped", Json.Int m.dropped);
+      ("mailbox_hwm", Json.Int m.mailbox_hwm);
+      ("wall_seconds", Json.Float m.wall_seconds);
+    ]
 
 (* ---------------------------------------------------------------- *)
 (* B4: bechamel microbenchmarks                                      *)
@@ -183,24 +396,8 @@ let bench_dag_weave =
          ignore (Dagsim.Dag.weave dag_200 ~from)))
 
 let bench_anuc_consensus =
-  let pattern = Sim.Failure_pattern.make ~n:4 ~crashes:[] in
-  let oracle =
-    Fd.Oracle.pair
-      (Fd.Oracle.omega ~stab_time:0 pattern)
-      (Fd.Oracle.sigma_nu_plus ~stab_time:0 pattern)
-  in
-  let module R = Sim.Runner.Make (Core.Anuc) in
   Bechamel.Test.make ~name:"anuc-full-consensus-n4"
-    (Bechamel.Staged.stage (fun () ->
-         ignore
-           (R.exec ~record:false ~pattern ~fd:oracle.Fd.Oracle.query
-              ~inputs:(fun p -> p mod 2)
-              ~max_steps:2000
-              ~stop:(fun st _ ->
-                Pset.for_all
-                  (fun p -> Core.Anuc.decision (st p) <> None)
-                  (Pset.full ~n:4))
-              ())))
+    (Bechamel.Staged.stage (fun () -> ignore (reference_run ())))
 
 let b4_micro () =
   hr "B4: microbenchmarks (bechamel, ns per run)";
@@ -230,20 +427,85 @@ let b4_micro () =
     (fun name ols ->
       let est =
         match Bechamel.Analyze.OLS.estimates ols with
-        | Some [ e ] -> e
-        | Some _ | None -> nan
+        | Some [ e ] -> Some e
+        | Some _ | None ->
+          pf
+            "WARNING: benchmark %s: OLS estimates had an unexpected shape; \
+             no ns/run figure@."
+            name;
+          None
       in
       rows := (name, est) :: !rows)
     analyzed;
+  let rows = List.sort compare !rows in
   List.iter
-    (fun (name, est) -> pf "%-32s %14.1f ns/run@." name est)
-    (List.sort compare !rows)
+    (fun (name, est) ->
+      match est with
+      | Some e -> pf "%-32s %14.1f ns/run@." name e
+      | None -> pf "%-32s %14s@." name "(no estimate)")
+    rows;
+  rows
+
+let json_of_micro_rows rows =
+  Json.List
+    (List.map
+       (fun (name, est) ->
+         Json.Obj
+           [
+             ("name", Json.Str name);
+             ( "ns_per_run",
+               match est with Some e -> Json.Float e | None -> Json.Null );
+           ])
+       rows)
+
+(* ---------------------------------------------------------------- *)
+(* Entry point                                                       *)
+(* ---------------------------------------------------------------- *)
+
+let default_json_file () =
+  let tm = Unix.localtime (Unix.time ()) in
+  Printf.sprintf "BENCH_%04d-%02d-%02d.json" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+
+(* Recognizes [--json FILE] and [--json] (default file name). *)
+let parse_json_arg () =
+  let rec scan = function
+    | [] -> None
+    | "--json" :: file :: _ when String.length file > 0 && file.[0] <> '-' ->
+      Some file
+    | "--json" :: _ -> Some (default_json_file ())
+    | _ :: rest -> scan rest
+  in
+  scan (Array.to_list Sys.argv)
 
 let () =
+  let json_file = parse_json_arg () in
   pf "nonuniform-consensus benchmark harness@.";
-  experiment_table ();
-  b1_latency ();
-  b2_stabilization ();
-  b3_dag_growth ();
-  b5_ablation ();
-  b4_micro ()
+  let e_rows = experiment_table () in
+  let b1 = b1_latency () in
+  let b2 = b2_stabilization () in
+  let b3 = b3_dag_growth () in
+  let b5 = b5_ablation () in
+  let metrics = run_metrics () in
+  let b4 = b4_micro () in
+  match json_file with
+  | None -> ()
+  | Some file ->
+    let doc =
+      Json.Obj
+        [
+          ("schema_version", Json.Int 1);
+          ("generated_at_unix", Json.Float (Unix.time ()));
+          ("e_table", json_of_e_rows e_rows);
+          ("b1_latency", json_of_latency_rows b1);
+          ("b2_stabilization", json_of_stab_series b2);
+          ("b3_dag_growth", json_of_dag_rows b3);
+          ("b5_ablation", json_of_ablation_rows b5);
+          ("b4_micro", json_of_micro_rows b4);
+          ("run_metrics", json_of_metrics metrics);
+        ]
+    in
+    let oc = open_out file in
+    Json.to_channel oc doc;
+    close_out oc;
+    pf "@.wrote %s@." file

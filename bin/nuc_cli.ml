@@ -54,7 +54,8 @@ let run_consensus algo n t seed =
     (r.Experiments.decided = r.Experiments.runs);
   pf "  decision round (avg): %.1f@." r.Experiments.avg_rounds;
   pf "  simulation steps:     %.0f@." r.Experiments.avg_steps;
-  pf "  messages sent:        %.0f@." r.Experiments.avg_msgs
+  pf "  messages sent:        %.0f@." r.Experiments.avg_msgs;
+  pf "  mailbox depth (hwm):  %.0f@." r.Experiments.avg_hwm
 
 (* ---------------------------------------------------------------- *)
 (* experiments                                                       *)

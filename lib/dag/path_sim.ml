@@ -5,27 +5,28 @@ module Make (A : Sim.Automaton.S) = struct
     states : A.state array;
     steps_executed : int;
     stopped : bool;
+    messages_sent : int;
+    messages_delivered : int;
+    mailbox_hwm : int;
   }
 
   let run ~n ~inputs ~path ?(until = fun _ -> false) () =
     let states = Array.init n (fun p -> A.initial ~n ~self:p (inputs p)) in
-    let buffers = Array.make n [] in
+    let buffers = Array.init n (fun _ -> Sim.Mailbox.create ()) in
     let send_seq = Array.make n 0 in
     let time = ref 1 in
     let executed = ref 0 in
     let stopped = ref false in
+    let sent = ref 0 in
+    let delivered = ref 0 in
+    let hwm = ref 0 in
     let rec exec = function
       | [] -> ()
       | (p, d) :: rest ->
         if not (Pid.valid ~n p) then
           invalid_arg (Printf.sprintf "Path_sim.run: pid %d out of range" p);
-        let received =
-          match buffers.(p) with
-          | [] -> None
-          | oldest :: others ->
-            buffers.(p) <- others;
-            Some oldest
-        in
+        let received = Sim.Mailbox.dequeue_oldest buffers.(p) in
+        if received <> None then incr delivered;
         let state, sends = A.step ~n ~self:p states.(p) received d in
         states.(p) <- state;
         List.iter
@@ -35,14 +36,24 @@ module Make (A : Sim.Automaton.S) = struct
             let env =
               { Sim.Envelope.src = p; dst; seq; sent_at = !time; payload }
             in
-            buffers.(dst) <- buffers.(dst) @ [ env ])
+            incr sent;
+            Sim.Mailbox.enqueue buffers.(dst) env;
+            let depth = Sim.Mailbox.length buffers.(dst) in
+            if depth > !hwm then hwm := depth)
           sends;
         incr time;
         incr executed;
         if until states then stopped := true else exec rest
     in
     exec path;
-    { states; steps_executed = !executed; stopped = !stopped }
+    {
+      states;
+      steps_executed = !executed;
+      stopped = !stopped;
+      messages_sent = !sent;
+      messages_delivered = !delivered;
+      mailbox_hwm = !hwm;
+    }
 
   let participants ~path ~prefix =
     List.filteri (fun i _ -> i < prefix) path

@@ -17,6 +17,11 @@ module Make (A : Sim.Automaton.S) : sig
     steps_executed : int;
         (** length of the executed prefix of the path *)
     stopped : bool;  (** the [until] predicate fired *)
+    messages_sent : int;  (** messages enqueued along the prefix *)
+    messages_delivered : int;
+        (** steps of the prefix that received a message *)
+    mailbox_hwm : int;
+        (** high-water mark of any single mailbox depth *)
   }
 
   val run :

@@ -572,15 +572,17 @@ type latency_row = {
   avg_rounds : float;
   avg_steps : float;
   avg_msgs : float;
+  avg_hwm : float;
 }
 
 let latency_header =
-  Printf.sprintf "%-12s %3s %3s %5s %8s %8s %10s %10s" "algorithm" "n" "t"
-    "runs" "decided" "rounds" "steps" "messages"
+  Printf.sprintf "%-12s %3s %3s %5s %8s %8s %10s %10s %9s" "algorithm" "n"
+    "t" "runs" "decided" "rounds" "steps" "messages" "mbox_hwm"
 
 let pp_latency_row fmt r =
-  Format.fprintf fmt "%-12s %3d %3d %5d %8d %8.2f %10.1f %10.1f" r.algorithm
-    r.n r.t r.runs r.decided r.avg_rounds r.avg_steps r.avg_msgs
+  Format.fprintf fmt "%-12s %3d %3d %5d %8d %8.2f %10.1f %10.1f %9.1f"
+    r.algorithm r.n r.t r.runs r.decided r.avg_rounds r.avg_steps r.avg_msgs
+    r.avg_hwm
 
 type algo = Anuc | Mr_majority | Mr_sigma | Stack | Ct
 
@@ -592,9 +594,9 @@ let algo_name = function
   | Ct -> "CT-<>S"
 
 (* One measured consensus run: (decided?, decision rounds of correct
-   deciders, steps, messages). *)
+   deciders, steps, messages, mailbox high-water mark). *)
 let measure_one ~algo ~pattern ~seed ~stab_time ~max_steps :
-    bool * int list * int * int =
+    bool * int list * int * int * int =
   let proposals p = (p + seed) mod 2 in
   let correct = Sim.Failure_pattern.correct pattern in
   let omega = Fd.Oracle.omega ~seed ~stab_time pattern in
@@ -621,7 +623,8 @@ let measure_one ~algo ~pattern ~seed ~stab_time ~max_steps :
     ( run.Anuc_runner.stopped_early,
       rounds,
       run.Anuc_runner.step_count,
-      run.Anuc_runner.messages_sent )
+      run.Anuc_runner.messages_sent,
+      run.Anuc_runner.metrics.Sim.Runner.mailbox_hwm )
   | Stack ->
     let oracle =
       Fd.Oracle.pair omega (Fd.Oracle.sigma_nu ~seed ~stab_time pattern)
@@ -644,7 +647,8 @@ let measure_one ~algo ~pattern ~seed ~stab_time ~max_steps :
     ( run.Stack_runner.stopped_early,
       rounds,
       run.Stack_runner.step_count,
-      run.Stack_runner.messages_sent )
+      run.Stack_runner.messages_sent,
+      run.Stack_runner.metrics.Sim.Runner.mailbox_hwm )
   | Mr_majority ->
     let oracle =
       Fd.Oracle.pair omega (Fd.Oracle.sigma ~seed ~stab_time pattern)
@@ -671,7 +675,8 @@ let measure_one ~algo ~pattern ~seed ~stab_time ~max_steps :
     ( run.Mrm_runner.stopped_early,
       rounds,
       run.Mrm_runner.step_count,
-      run.Mrm_runner.messages_sent )
+      run.Mrm_runner.messages_sent,
+      run.Mrm_runner.metrics.Sim.Runner.mailbox_hwm )
   | Ct ->
     let oracle = Fd.Oracle.eventually_strong ~seed ~stab_time pattern in
     let run =
@@ -694,7 +699,8 @@ let measure_one ~algo ~pattern ~seed ~stab_time ~max_steps :
     ( run.Ct_runner.stopped_early,
       rounds,
       run.Ct_runner.step_count,
-      run.Ct_runner.messages_sent )
+      run.Ct_runner.messages_sent,
+      run.Ct_runner.metrics.Sim.Runner.mailbox_hwm )
   | Mr_sigma ->
     let oracle =
       Fd.Oracle.pair omega (Fd.Oracle.sigma ~seed ~stab_time pattern)
@@ -721,16 +727,17 @@ let measure_one ~algo ~pattern ~seed ~stab_time ~max_steps :
     ( run.Mrq_runner.stopped_early,
       rounds,
       run.Mrq_runner.step_count,
-      run.Mrq_runner.messages_sent )
+      run.Mrq_runner.messages_sent,
+      run.Mrq_runner.metrics.Sim.Runner.mailbox_hwm )
 
 let latency algo ~n ~t ~seeds =
   let decided = ref 0 in
   let rounds_sum = ref 0 and rounds_n = ref 0 in
-  let steps_sum = ref 0 and msgs_sum = ref 0 in
+  let steps_sum = ref 0 and msgs_sum = ref 0 and hwm_sum = ref 0 in
   List.iter
     (fun seed ->
       let pattern = random_pattern ~seed ~n ~t in
-      let ok, rounds, steps, msgs =
+      let ok, rounds, steps, msgs, hwm =
         measure_one ~algo ~pattern ~seed ~stab_time:60
           ~max_steps:(if algo = Stack then 9000 else 6000)
       in
@@ -741,7 +748,8 @@ let latency algo ~n ~t ~seeds =
           incr rounds_n)
         rounds;
       steps_sum := !steps_sum + steps;
-      msgs_sum := !msgs_sum + msgs)
+      msgs_sum := !msgs_sum + msgs;
+      hwm_sum := !hwm_sum + hwm)
     seeds;
   let runs = List.length seeds in
   {
@@ -755,6 +763,7 @@ let latency algo ~n ~t ~seeds =
        else float_of_int !rounds_sum /. float_of_int !rounds_n);
     avg_steps = float_of_int !steps_sum /. float_of_int runs;
     avg_msgs = float_of_int !msgs_sum /. float_of_int runs;
+    avg_hwm = float_of_int !hwm_sum /. float_of_int runs;
   }
 
 type stab_row = { stab_time : int; s_runs : int; s_avg_steps : float }
@@ -766,7 +775,7 @@ let stabilization_series algo ~n ~t ~stabs ~seeds =
       List.iter
         (fun seed ->
           let pattern = random_pattern ~seed ~n ~t in
-          let _, _, steps, _ =
+          let _, _, steps, _, _ =
             measure_one ~algo ~pattern ~seed ~stab_time
               ~max_steps:(if algo = Stack then 12000 else 8000)
           in
@@ -785,6 +794,8 @@ type dag_row = {
   dag_nodes : int;
   spine_len : int;
   extractions_total : int;
+  d_msgs : int;
+  d_hwm : int;
   wall_ms : float;
 }
 
@@ -817,6 +828,8 @@ let dag_growth ~n ~steps_list =
         dag_nodes = Dagsim.Dag.size g;
         spine_len;
         extractions_total;
+        d_msgs = run.Tsp_runner.metrics.Sim.Runner.sent;
+        d_hwm = run.Tsp_runner.metrics.Sim.Runner.mailbox_hwm;
         wall_ms;
       })
     steps_list

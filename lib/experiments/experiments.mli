@@ -80,6 +80,9 @@ type latency_row = {
   avg_rounds : float;  (** mean decision round over correct deciders *)
   avg_steps : float;  (** mean simulation steps until full decision *)
   avg_msgs : float;  (** mean messages sent until full decision *)
+  avg_hwm : float;
+      (** mean per-run mailbox depth high-water mark
+          ({!Sim.Runner.metrics}) *)
 }
 
 val pp_latency_row : Format.formatter -> latency_row -> unit
@@ -109,6 +112,8 @@ type dag_row = {
   dag_nodes : int;  (** final DAG size at p0 (after pruning) *)
   spine_len : int;  (** spine length at p0's barrier *)
   extractions_total : int;
+  d_msgs : int;  (** messages sent over the run *)
+  d_hwm : int;  (** mailbox depth high-water mark over the run *)
   wall_ms : float;  (** wall-clock for the whole run *)
 }
 

@@ -1,0 +1,103 @@
+(* A mutable FIFO of pending messages: the classic two-list queue with
+   a tracked size, so the runner's hot path never appends to the tail
+   of a list or calls [List.length].
+
+   [front] holds the oldest elements in delivery order, [back] the
+   newest in reverse order; [front_len] caches [List.length front].
+   Each element crosses from [back] to [front] at most once, so
+   enqueue and dequeue-oldest are amortized O(1); removal at FIFO
+   index [k] (or of the first element satisfying a predicate at
+   position [k]) is amortized O(k). *)
+
+type 'a t = {
+  mutable front : 'a list;
+  mutable back : 'a list;
+  mutable front_len : int;
+  mutable size : int;
+}
+
+let create () = { front = []; back = []; front_len = 0; size = 0 }
+
+let of_list xs =
+  let len = List.length xs in
+  { front = xs; back = []; front_len = len; size = len }
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+let enqueue t x =
+  t.back <- x :: t.back;
+  t.size <- t.size + 1
+
+(* Ensure the oldest element, if any, heads [front]. *)
+let normalize t =
+  if t.front = [] && t.back <> [] then begin
+    t.front <- List.rev t.back;
+    t.back <- [];
+    t.front_len <- t.size
+  end
+
+(* Pull everything into [front], in delivery order. *)
+let consolidate t =
+  if t.back <> [] then begin
+    t.front <- t.front @ List.rev t.back;
+    t.back <- [];
+    t.front_len <- t.size
+  end
+
+let peek_oldest t =
+  normalize t;
+  match t.front with [] -> None | x :: _ -> Some x
+
+let dequeue_oldest t =
+  normalize t;
+  match t.front with
+  | [] -> None
+  | x :: rest ->
+    t.front <- rest;
+    t.front_len <- t.front_len - 1;
+    t.size <- t.size - 1;
+    Some x
+
+let remove_nth t i =
+  if i < 0 || i >= t.size then
+    invalid_arg
+      (Printf.sprintf "Mailbox.remove_nth: index %d, size %d" i t.size);
+  if i >= t.front_len then consolidate t;
+  let rec split acc j = function
+    | [] -> assert false
+    | x :: rest when j = 0 ->
+      t.front <- List.rev_append acc rest;
+      x
+    | x :: rest -> split (x :: acc) (j - 1) rest
+  in
+  let x = split [] i t.front in
+  t.front_len <- t.front_len - 1;
+  t.size <- t.size - 1;
+  x
+
+let remove_first t pred =
+  let rec scan acc = function
+    | [] -> None
+    | x :: rest when pred x -> Some (x, List.rev_append acc rest)
+    | x :: rest -> scan (x :: acc) rest
+  in
+  match scan [] t.front with
+  | Some (x, front') ->
+    t.front <- front';
+    t.front_len <- t.front_len - 1;
+    t.size <- t.size - 1;
+    Some x
+  | None -> (
+    match scan [] (List.rev t.back) with
+    | None -> None
+    | Some (x, tail') ->
+      t.front <- t.front @ tail';
+      t.back <- [];
+      t.size <- t.size - 1;
+      t.front_len <- t.size;
+      Some x)
+
+let to_list t = t.front @ List.rev t.back
+let iter f t = List.iter f (to_list t)
+let fold f init t = List.fold_left f init (to_list t)

@@ -1,0 +1,50 @@
+(** Mutable FIFO message buffers for the simulation hot path.
+
+    A two-list queue with a tracked size: [enqueue] and
+    {!dequeue_oldest} are amortized O(1), {!length} is O(1), and
+    removing the element at FIFO index [k] — or the first element
+    satisfying a predicate at FIFO position [k] — is amortized O(k).
+    This replaces the [buffer @ [env]] appends and [List.length]
+    scans that made every simulated send and randomized receive
+    linear in the mailbox depth. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** A fresh empty mailbox. *)
+
+val of_list : 'a list -> 'a t
+(** [of_list xs] holds the elements of [xs], oldest first. *)
+
+val length : 'a t -> int
+(** O(1). *)
+
+val is_empty : 'a t -> bool
+
+val enqueue : 'a t -> 'a -> unit
+(** Append at the newest end. O(1). *)
+
+val peek_oldest : 'a t -> 'a option
+(** The oldest element, without removing it. Amortized O(1). *)
+
+val dequeue_oldest : 'a t -> 'a option
+(** Remove and return the oldest element. Amortized O(1). *)
+
+val remove_nth : 'a t -> int -> 'a
+(** [remove_nth t k] removes and returns the element at FIFO index
+    [k] (0 = oldest), preserving the order of the rest. Amortized
+    O(k). @raise Invalid_argument if [k] is out of bounds. *)
+
+val remove_first : 'a t -> ('a -> bool) -> 'a option
+(** Remove and return the oldest element satisfying the predicate,
+    preserving the order of the rest; [None] if no element matches.
+    Amortized O(position of the match), O(n) on a miss. *)
+
+val to_list : 'a t -> 'a list
+(** Contents, oldest first. Does not modify the mailbox. O(n). *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Oldest-first iteration. *)
+
+val fold : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
+(** Oldest-first fold. *)

@@ -1,5 +1,19 @@
 open Procset
 
+type metrics = {
+  steps_per_process : int array;
+  sent : int;
+  delivered : int;
+  dropped : int;
+  mailbox_hwm : int;
+  wall_seconds : float;
+}
+
+let pp_metrics fmt m =
+  Format.fprintf fmt
+    "@[<h>sent %d, delivered %d, dropped %d, mailbox hwm %d, %.3f s@]" m.sent
+    m.delivered m.dropped m.mailbox_hwm m.wall_seconds
+
 module Make (A : Automaton.S) = struct
   type recorded_step = {
     time : int;
@@ -17,6 +31,7 @@ module Make (A : Automaton.S) = struct
     messages_sent : int;
     undelivered : A.message Envelope.t list;
     stopped_early : bool;
+    metrics : metrics;
   }
 
   type msg_choice =
@@ -35,13 +50,17 @@ module Make (A : Automaton.S) = struct
     c_pattern : Failure_pattern.t;
     fd : Pid.t -> int -> Fd_value.t;
     states : A.state array;
-    buffers : A.message Envelope.t list array;
+    buffers : A.message Envelope.t Mailbox.t array;
         (* per-destination pending messages, oldest first *)
     send_seq : int array; (* per-sender message counter *)
+    steps_of : int array; (* per-process step counter *)
     mutable time : int;
     mutable rev_steps : recorded_step list;
     mutable step_count : int;
     mutable msgs_sent : int;
+    mutable msgs_delivered : int;
+    mutable hwm : int; (* mailbox depth high-water mark *)
+    wall_start : float;
     record : bool;
   }
 
@@ -52,12 +71,16 @@ module Make (A : Automaton.S) = struct
       c_pattern = pattern;
       fd;
       states = Array.init n (fun p -> A.initial ~n ~self:p (inputs p));
-      buffers = Array.make n [];
+      buffers = Array.init n (fun _ -> Mailbox.create ());
       send_seq = Array.make n 0;
+      steps_of = Array.make n 0;
       time = 1;
       rev_steps = [];
       step_count = 0;
       msgs_sent = 0;
+      msgs_delivered = 0;
+      hwm = 0;
+      wall_start = Unix.gettimeofday ();
       record;
     }
 
@@ -73,30 +96,15 @@ module Make (A : Automaton.S) = struct
           { Envelope.src; dst; seq; sent_at = ctx.time; payload }
         in
         ctx.msgs_sent <- ctx.msgs_sent + 1;
-        ctx.buffers.(dst) <- ctx.buffers.(dst) @ [ env ])
+        Mailbox.enqueue ctx.buffers.(dst) env;
+        let depth = Mailbox.length ctx.buffers.(dst) in
+        if depth > ctx.hwm then ctx.hwm <- depth)
       payloads
 
   (* Remove and return the first buffered message for [p] satisfying
      [pred], preserving the order of the others. *)
-  let take_matching ctx p pred =
-    let rec split acc = function
-      | [] -> None
-      | e :: rest when pred e ->
-        ctx.buffers.(p) <- List.rev_append acc rest;
-        Some e
-      | e :: rest -> split (e :: acc) rest
-    in
-    split [] ctx.buffers.(p)
-
-  let take_nth ctx p i =
-    let rec split acc j = function
-      | [] -> assert false
-      | e :: rest when j = 0 ->
-        ctx.buffers.(p) <- List.rev_append acc rest;
-        e
-      | e :: rest -> split (e :: acc) (j - 1) rest
-    in
-    split [] i ctx.buffers.(p)
+  let take_matching ctx p pred = Mailbox.remove_first ctx.buffers.(p) pred
+  let take_nth ctx p i = Mailbox.remove_nth ctx.buffers.(p) i
 
   (* One atomic step of process [p] receiving [received] at the current
      time. Advances the clock. *)
@@ -105,16 +113,29 @@ module Make (A : Automaton.S) = struct
     let state, sends = A.step ~n:ctx.n ~self:p ctx.states.(p) received d in
     ctx.states.(p) <- state;
     enqueue ctx ~src:p sends;
+    if received <> None then
+      ctx.msgs_delivered <- ctx.msgs_delivered + 1;
     if ctx.record then
       ctx.rev_steps <-
         { time = ctx.time; pid = p; received; fd = d; state_after = state }
         :: ctx.rev_steps;
+    ctx.steps_of.(p) <- ctx.steps_of.(p) + 1;
     ctx.step_count <- ctx.step_count + 1;
     ctx.time <- ctx.time + 1
 
   let finish ctx ~stopped_early =
     let undelivered =
-      Array.to_list ctx.buffers |> List.concat_map (fun msgs -> msgs)
+      Array.to_list ctx.buffers |> List.concat_map Mailbox.to_list
+    in
+    let metrics =
+      {
+        steps_per_process = Array.copy ctx.steps_of;
+        sent = ctx.msgs_sent;
+        delivered = ctx.msgs_delivered;
+        dropped = List.length undelivered;
+        mailbox_hwm = ctx.hwm;
+        wall_seconds = Unix.gettimeofday () -. ctx.wall_start;
+      }
     in
     {
       pattern = ctx.c_pattern;
@@ -124,6 +145,7 @@ module Make (A : Automaton.S) = struct
       messages_sent = ctx.msgs_sent;
       undelivered;
       stopped_early;
+      metrics;
     }
 
   let shuffle rng a =
@@ -156,16 +178,16 @@ module Make (A : Automaton.S) = struct
             && not (Failure_pattern.crashed ctx.c_pattern p ctx.time)
           then begin
             let received =
-              match ctx.buffers.(p) with
-              | [] -> None
-              | oldest :: _ ->
+              match Mailbox.peek_oldest ctx.buffers.(p) with
+              | None -> None
+              | Some oldest ->
                 if ctx.time - oldest.Envelope.sent_at >= max_msg_age then
-                  take_matching ctx p (fun _ -> true)
+                  Mailbox.dequeue_oldest ctx.buffers.(p)
                 else if Random.State.float rng 1.0 < lambda_prob then None
                 else
                   Some (take_nth ctx p
                           (Random.State.int rng
-                             (List.length ctx.buffers.(p))))
+                             (Mailbox.length ctx.buffers.(p))))
             in
             do_step ctx p received
           end)
@@ -269,7 +291,7 @@ module Make (A : Automaton.S) = struct
 
     let state ctx p = ctx.states.(p)
     let time ctx = ctx.time
-    let pending ctx p = ctx.buffers.(p)
+    let pending ctx p = Mailbox.to_list ctx.buffers.(p)
     let finish ctx = finish ctx ~stopped_early:false
   end
 
@@ -298,21 +320,14 @@ module Make (A : Automaton.S) = struct
 
   let replay ~n ~inputs steps =
     let states = Array.init n (fun p -> A.initial ~n ~self:p (inputs p)) in
-    let buffers = Array.make n [] in
+    let buffers = Array.init n (fun _ -> Mailbox.create ()) in
     let send_seq = Array.make n 0 in
     let error = ref None in
     let fail msg = error := Some msg in
     let take_identity p env =
-      let rec split acc = function
-        | [] -> None
-        | e :: rest
-          when Envelope.same_identity e env
-               && A.equal_message e.Envelope.payload env.Envelope.payload ->
-          buffers.(p) <- List.rev_append acc rest;
-          Some e
-        | e :: rest -> split (e :: acc) rest
-      in
-      split [] buffers.(p)
+      Mailbox.remove_first buffers.(p) (fun e ->
+          Envelope.same_identity e env
+          && A.equal_message e.Envelope.payload env.Envelope.payload)
     in
     let time = ref 1 in
     List.iter
@@ -340,7 +355,7 @@ module Make (A : Automaton.S) = struct
                 let env =
                   { Envelope.src = p; dst; seq; sent_at = !time; payload }
                 in
-                buffers.(dst) <- buffers.(dst) @ [ env ])
+                Mailbox.enqueue buffers.(dst) env)
               sends
           end;
           incr time
@@ -348,7 +363,18 @@ module Make (A : Automaton.S) = struct
       steps;
     match !error with None -> Ok states | Some msg -> Error msg
 
-  let conformance ?fairness_window ?delivery_bound ~fd ~inputs run =
+  let conformance ?fairness_window ?delivery_bound ~fd ~inputs (run : run) =
+    if run.step_count = 0 then
+      (* an empty run has no steps to violate any property; Ok by
+         definition rather than by a vacuous delivery check *)
+      Ok ()
+    else if Array.length run.steps = 0 then
+      Error
+        (Printf.sprintf
+           "conformance: run took %d steps but recorded none (executed \
+            with ~record:false?); nothing to validate"
+           run.step_count)
+    else begin
     let n = Failure_pattern.n run.pattern in
     let fairness_window =
       match fairness_window with Some w -> w | None -> 4 * n
@@ -432,5 +458,5 @@ module Make (A : Automaton.S) = struct
     match replay ~n ~inputs (to_replay steps) with
     | Ok _ -> Ok ()
     | Error e -> Error e
-
+    end
 end

@@ -20,6 +20,24 @@
     exactly as the proof constructions of Theorem 7.1 and Section 6.3
     require. *)
 
+type metrics = {
+  steps_per_process : int array;
+      (** steps taken by each process, indexed by pid *)
+  sent : int;  (** messages enqueued by all processes *)
+  delivered : int;  (** steps that received a (non-lambda) message *)
+  dropped : int;
+      (** messages still buffered when the run ended (the simulator
+          never loses a message mid-run; these are end-of-run
+          leftovers, including sends to crashed processes) *)
+  mailbox_hwm : int;
+      (** high-water mark of any single process's mailbox depth *)
+  wall_seconds : float;  (** wall-clock duration of the execution *)
+}
+(** Per-run observability counters, shared by every instantiation of
+    {!Make} (and mirrored by [Dagsim.Path_sim]). *)
+
+val pp_metrics : Format.formatter -> metrics -> unit
+
 module Make (A : Automaton.S) : sig
   type recorded_step = {
     time : int;  (** the global tick [T(i)] of this step *)
@@ -37,6 +55,7 @@ module Make (A : Automaton.S) : sig
     messages_sent : int;  (** total messages sent by all processes *)
     undelivered : A.message Envelope.t list;  (** still in the buffer *)
     stopped_early : bool;  (** [stop] fired before [max_steps] *)
+    metrics : metrics;  (** observability counters for this run *)
   }
 
   val exec :
@@ -155,7 +174,14 @@ module Make (A : Automaton.S) : sig
       ticks while the run continues (default checks only that
       undelivered leftovers at the end are recent). Runs produced by
       {!exec_script} generally fail (6)/(7) by design — pass large
-      windows to check only the hard model constraints. *)
+      windows to check only the hard model constraints.
+
+      A run with [step_count = 0] conforms trivially and yields
+      [Ok ()] — there is nothing to check, and in particular the
+      delivery surrogate is not consulted. A run that took steps but
+      recorded none (executed with [~record:false]) yields an
+      explicit [Error]: validating it would be vacuous, which
+      silently hid runner bugs before this was made an error. *)
 
   val replay :
     n:int ->

@@ -76,6 +76,112 @@ let prop_random_pattern =
          && not (Pset.is_empty (Sim.Failure_pattern.correct f))))
 
 (* -------------------------------------------------------------- *)
+(* Mailbox: the O(1)-per-step message buffer                       *)
+(* -------------------------------------------------------------- *)
+
+let test_mailbox_fifo () =
+  let mb = Sim.Mailbox.create () in
+  Alcotest.(check bool) "fresh is empty" true (Sim.Mailbox.is_empty mb);
+  List.iter (Sim.Mailbox.enqueue mb) [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check int) "length tracked" 5 (Sim.Mailbox.length mb);
+  Alcotest.(check (option int)) "peek oldest" (Some 1)
+    (Sim.Mailbox.peek_oldest mb);
+  Alcotest.(check int) "peek does not remove" 5 (Sim.Mailbox.length mb);
+  Alcotest.(check (list int)) "to_list oldest-first" [ 1; 2; 3; 4; 5 ]
+    (Sim.Mailbox.to_list mb);
+  (* interleave dequeues and enqueues across the front/back split *)
+  Alcotest.(check (option int)) "dequeue 1" (Some 1)
+    (Sim.Mailbox.dequeue_oldest mb);
+  Alcotest.(check (option int)) "dequeue 2" (Some 2)
+    (Sim.Mailbox.dequeue_oldest mb);
+  Sim.Mailbox.enqueue mb 6;
+  Alcotest.(check (list int)) "order across split" [ 3; 4; 5; 6 ]
+    (Sim.Mailbox.to_list mb);
+  let drained = List.init 4 (fun _ -> Sim.Mailbox.dequeue_oldest mb) in
+  Alcotest.(check (list (option int)))
+    "drain in FIFO order"
+    [ Some 3; Some 4; Some 5; Some 6 ]
+    drained;
+  Alcotest.(check (option int)) "empty dequeues None" None
+    (Sim.Mailbox.dequeue_oldest mb);
+  Alcotest.(check int) "size back to zero" 0 (Sim.Mailbox.length mb)
+
+let test_mailbox_remove_nth () =
+  let mb = Sim.Mailbox.of_list [ 10; 11; 12; 13 ] in
+  Sim.Mailbox.enqueue mb 14;
+  (* index counts from the oldest, across the front/back split *)
+  Alcotest.(check int) "remove middle" 12 (Sim.Mailbox.remove_nth mb 2);
+  Alcotest.(check (list int)) "order preserved" [ 10; 11; 13; 14 ]
+    (Sim.Mailbox.to_list mb);
+  Alcotest.(check int) "remove oldest" 10 (Sim.Mailbox.remove_nth mb 0);
+  Alcotest.(check int) "remove newest" 14 (Sim.Mailbox.remove_nth mb 2);
+  Alcotest.(check (list int)) "leftovers" [ 11; 13 ] (Sim.Mailbox.to_list mb);
+  Alcotest.(check int) "length tracked" 2 (Sim.Mailbox.length mb);
+  (try
+     ignore (Sim.Mailbox.remove_nth mb 2);
+     Alcotest.fail "out-of-bounds index must raise"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Sim.Mailbox.remove_nth mb (-1));
+    Alcotest.fail "negative index must raise"
+  with Invalid_argument _ -> ()
+
+let test_mailbox_remove_first () =
+  let mb = Sim.Mailbox.create () in
+  List.iter (Sim.Mailbox.enqueue mb) [ 1; 2; 3; 4 ];
+  ignore (Sim.Mailbox.dequeue_oldest mb);
+  Sim.Mailbox.enqueue mb 5;
+  (* mailbox is [2;3;4;5] with elements on both sides of the split *)
+  Alcotest.(check (option int)) "first even from the oldest end" (Some 2)
+    (Sim.Mailbox.remove_first mb (fun x -> x mod 2 = 0));
+  Alcotest.(check (option int)) "match inside the back half" (Some 5)
+    (Sim.Mailbox.remove_first mb (fun x -> x > 4));
+  Alcotest.(check (option int)) "no match" None
+    (Sim.Mailbox.remove_first mb (fun x -> x > 100));
+  Alcotest.(check (list int)) "misses leave contents intact" [ 3; 4 ]
+    (Sim.Mailbox.to_list mb);
+  Alcotest.(check int) "length tracked" 2 (Sim.Mailbox.length mb)
+
+let prop_mailbox_model =
+  (* the mailbox agrees with a plain-list model under random
+     enqueue / dequeue / remove_nth sequences *)
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"mailbox agrees with a list model" ~count:300
+       QCheck.(list (pair (int_range 0 2) small_nat))
+       (fun ops ->
+         let mb = Sim.Mailbox.create () in
+         let model = ref [] in
+         List.for_all
+           (fun (op, x) ->
+             match op with
+             | 0 ->
+               Sim.Mailbox.enqueue mb x;
+               model := !model @ [ x ];
+               true
+             | 1 ->
+               let got = Sim.Mailbox.dequeue_oldest mb in
+               let want =
+                 match !model with
+                 | [] -> None
+                 | y :: rest ->
+                   model := rest;
+                   Some y
+               in
+               got = want
+             | _ ->
+               if !model = [] then true
+               else begin
+                 let i = x mod List.length !model in
+                 let got = Sim.Mailbox.remove_nth mb i in
+                 let want = List.nth !model i in
+                 model := List.filteri (fun j _ -> j <> i) !model;
+                 got = want
+               end)
+           ops
+         && Sim.Mailbox.to_list mb = !model
+         && Sim.Mailbox.length mb = List.length !model))
+
+(* -------------------------------------------------------------- *)
 (* A tiny deterministic automaton for exercising the runner        *)
 (* -------------------------------------------------------------- *)
 
@@ -457,6 +563,168 @@ let test_conformance_wrong_fd () =
   | Error _ -> ()
   | Ok () -> Alcotest.fail "wrong history must be rejected"
 
+(* Conformance must not pass vacuously: an empty run is a documented
+   Ok, a non-empty run executed with ~record:false is an explicit
+   error (there is nothing to validate). *)
+let test_conformance_empty_run () =
+  let pattern = Sim.Failure_pattern.make ~n:4 ~crashes:[] in
+  let run =
+    R.exec ~pattern ~fd:fd_unit ~inputs:(fun _ -> ()) ~max_steps:0 ()
+  in
+  Alcotest.(check int) "no steps" 0 run.R.step_count;
+  match R.conformance ~fd:fd_unit ~inputs:(fun _ -> ()) run with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "empty run must conform trivially: %s" e
+
+let test_conformance_unrecorded_run () =
+  let pattern = Sim.Failure_pattern.make ~n:4 ~crashes:[] in
+  let run =
+    R.exec ~record:false ~pattern ~fd:fd_unit
+      ~inputs:(fun _ -> ())
+      ~max_steps:50 ()
+  in
+  Alcotest.(check int) "steps taken" 50 run.R.step_count;
+  match R.conformance ~fd:fd_unit ~inputs:(fun _ -> ()) run with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "unrecorded non-empty run must not pass vacuously"
+
+(* -------------------------------------------------------------- *)
+(* Run metrics                                                     *)
+(* -------------------------------------------------------------- *)
+
+let test_runner_metrics () =
+  let run = run_ring ~seed:4 () in
+  let m = run.R.metrics in
+  Alcotest.(check int) "per-process steps sum to step_count"
+    run.R.step_count
+    (Array.fold_left ( + ) 0 m.Sim.Runner.steps_per_process);
+  Alcotest.(check int) "sent mirrors messages_sent" run.R.messages_sent
+    m.Sim.Runner.sent;
+  Alcotest.(check int) "every send is delivered or dropped"
+    m.Sim.Runner.sent
+    (m.Sim.Runner.delivered + m.Sim.Runner.dropped);
+  Alcotest.(check int) "dropped counts the undelivered leftovers"
+    (List.length run.R.undelivered)
+    m.Sim.Runner.dropped;
+  Alcotest.(check bool) "mailbox high-water mark observed" true
+    (m.Sim.Runner.mailbox_hwm >= 1);
+  Alcotest.(check bool) "wall clock nonnegative" true
+    (m.Sim.Runner.wall_seconds >= 0.0)
+
+(* -------------------------------------------------------------- *)
+(* Replay round-trips on the real automata                         *)
+(* -------------------------------------------------------------- *)
+
+module Anuc_r = Sim.Runner.Make (Core.Anuc)
+module Mrq_r = Sim.Runner.Make (Consensus.Mr.With_quorum)
+module Ct_r = Sim.Runner.Make (Consensus.Ct)
+
+(* Replay of a recorded randomized run must be applicable and
+   reproduce each automaton's final decision (Lemma 2.2 exercised on
+   the actual consensus algorithms, not just the ring probe). *)
+let prop_replay_roundtrip_anuc =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"replay round-trips A_nuc runs" ~count:12
+       QCheck.(int_range 0 10_000)
+       (fun seed ->
+         let pattern = Sim.Failure_pattern.make ~n:4 ~crashes:[ (3, 40) ] in
+         let correct = Sim.Failure_pattern.correct pattern in
+         let oracle =
+           Fd.Oracle.pair
+             (Fd.Oracle.omega ~seed ~stab_time:0 pattern)
+             (Fd.Oracle.sigma_nu_plus ~seed ~stab_time:0 pattern)
+         in
+         let inputs p = (p + seed) mod 2 in
+         let run =
+           Anuc_r.exec ~seed ~pattern ~fd:oracle.Fd.Oracle.query ~inputs
+             ~max_steps:2500
+             ~stop:(fun st _ ->
+               Pset.for_all (fun p -> Core.Anuc.decision (st p) <> None)
+                 correct)
+             ()
+         in
+         run.Anuc_r.stopped_early
+         &&
+         match
+           Anuc_r.replay ~n:4 ~inputs
+             (Anuc_r.to_replay (Array.to_list run.Anuc_r.steps))
+         with
+         | Error _ -> false
+         | Ok states ->
+           List.for_all
+             (fun p ->
+               Core.Anuc.decision states.(p)
+               = Core.Anuc.decision run.Anuc_r.states.(p))
+             [ 0; 1; 2; 3 ]))
+
+let prop_replay_roundtrip_mr =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"replay round-trips MR-Sigma runs" ~count:12
+       QCheck.(int_range 0 10_000)
+       (fun seed ->
+         let pattern = Sim.Failure_pattern.make ~n:4 ~crashes:[ (3, 40) ] in
+         let correct = Sim.Failure_pattern.correct pattern in
+         let oracle =
+           Fd.Oracle.pair
+             (Fd.Oracle.omega ~seed ~stab_time:0 pattern)
+             (Fd.Oracle.sigma ~seed ~stab_time:0 pattern)
+         in
+         let inputs p = (p + seed) mod 2 in
+         let run =
+           Mrq_r.exec ~seed ~pattern ~fd:oracle.Fd.Oracle.query ~inputs
+             ~max_steps:2500
+             ~stop:(fun st _ ->
+               Pset.for_all
+                 (fun p -> Consensus.Mr.With_quorum.decision (st p) <> None)
+                 correct)
+             ()
+         in
+         run.Mrq_r.stopped_early
+         &&
+         match
+           Mrq_r.replay ~n:4 ~inputs
+             (Mrq_r.to_replay (Array.to_list run.Mrq_r.steps))
+         with
+         | Error _ -> false
+         | Ok states ->
+           List.for_all
+             (fun p ->
+               Consensus.Mr.With_quorum.decision states.(p)
+               = Consensus.Mr.With_quorum.decision run.Mrq_r.states.(p))
+             [ 0; 1; 2; 3 ]))
+
+let prop_replay_roundtrip_ct =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"replay round-trips CT runs" ~count:12
+       QCheck.(int_range 0 10_000)
+       (fun seed ->
+         let pattern = Sim.Failure_pattern.make ~n:4 ~crashes:[ (3, 40) ] in
+         let correct = Sim.Failure_pattern.correct pattern in
+         let oracle = Fd.Oracle.eventually_strong ~seed ~stab_time:0 pattern in
+         let inputs p = (p + seed) mod 2 in
+         let run =
+           Ct_r.exec ~seed ~pattern ~fd:oracle.Fd.Oracle.query ~inputs
+             ~max_steps:2500
+             ~stop:(fun st _ ->
+               Pset.for_all
+                 (fun p -> Consensus.Ct.decision (st p) <> None)
+                 correct)
+             ()
+         in
+         run.Ct_r.stopped_early
+         &&
+         match
+           Ct_r.replay ~n:4 ~inputs
+             (Ct_r.to_replay (Array.to_list run.Ct_r.steps))
+         with
+         | Error _ -> false
+         | Ok states ->
+           List.for_all
+             (fun p ->
+               Consensus.Ct.decision states.(p)
+               = Consensus.Ct.decision run.Ct_r.states.(p))
+             [ 0; 1; 2; 3 ]))
+
 let () =
   Alcotest.run "sim"
     [
@@ -468,9 +736,18 @@ let () =
           Alcotest.test_case "environments" `Quick test_env;
           prop_random_pattern;
         ] );
+      ( "mailbox",
+        [
+          Alcotest.test_case "FIFO order" `Quick test_mailbox_fifo;
+          Alcotest.test_case "indexed removal" `Quick test_mailbox_remove_nth;
+          Alcotest.test_case "predicate removal" `Quick
+            test_mailbox_remove_first;
+          prop_mailbox_model;
+        ] );
       ( "runner",
         [
           Alcotest.test_case "fairness" `Quick test_runner_fairness;
+          Alcotest.test_case "metrics" `Quick test_runner_metrics;
           Alcotest.test_case "crash respected" `Quick
             test_runner_crash_respected;
           Alcotest.test_case "no step after crash (seeds)" `Quick
@@ -506,6 +783,10 @@ let () =
             test_conformance_unfair_script;
           Alcotest.test_case "wrong detector history rejected" `Quick
             test_conformance_wrong_fd;
+          Alcotest.test_case "empty run conforms trivially" `Quick
+            test_conformance_empty_run;
+          Alcotest.test_case "unrecorded run rejected" `Quick
+            test_conformance_unrecorded_run;
         ] );
       ( "replay-merge",
         [
@@ -515,5 +796,8 @@ let () =
             test_replay_rejects_unsent_message;
           Alcotest.test_case "merge disjoint runs (Lemma 2.2)" `Quick
             test_merge_disjoint_runs;
+          prop_replay_roundtrip_anuc;
+          prop_replay_roundtrip_mr;
+          prop_replay_roundtrip_ct;
         ] );
     ]

@@ -9,14 +9,18 @@
      checkers over randomized or scripted runs;
    - the B-tables: decision latency of the consensus algorithms
      across environments (B1), sensitivity to the detectors'
-     stabilization time (B2), and the cost of the DAG-based
-     transformation machinery (B3);
+     stabilization time (B2), the cost of the DAG-based
+     transformation machinery (B3), and model-checker throughput
+     (B6);
    - bechamel microbenchmarks of the substrate hot paths (B4).
 
    Run with: dune exec bench/main.exe
    With --json [FILE] every table is also serialized to FILE
    (default BENCH_<date>.json), establishing the perf trajectory;
-   see DESIGN.md for the schema. *)
+   see DESIGN.md for the schema (lib/report holds the printer and
+   the authoritative top-level key list). With --smoke every sweep
+   is cut to a few seconds' worth — for CI, where the point is that
+   the harness runs and the E-table passes, not the numbers. *)
 open Procset
 
 let pf = Format.printf
@@ -26,83 +30,7 @@ let hr title =
   pf "%s@." title;
   pf "===================================================================@."
 
-(* ---------------------------------------------------------------- *)
-(* A hand-rolled JSON printer (no new dependencies)                  *)
-(* ---------------------------------------------------------------- *)
-
-module Json = struct
-  type t =
-    | Null
-    | Bool of bool
-    | Int of int
-    | Float of float
-    | Str of string
-    | List of t list
-    | Obj of (string * t) list
-
-  let add_escaped b s =
-    String.iter
-      (fun c ->
-        match c with
-        | '"' -> Buffer.add_string b "\\\""
-        | '\\' -> Buffer.add_string b "\\\\"
-        | '\n' -> Buffer.add_string b "\\n"
-        | '\t' -> Buffer.add_string b "\\t"
-        | '\r' -> Buffer.add_string b "\\r"
-        | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-        | c -> Buffer.add_char b c)
-      s
-
-  let rec emit b ~indent v =
-    let pad n = String.make n ' ' in
-    match v with
-    | Null -> Buffer.add_string b "null"
-    | Bool v -> Buffer.add_string b (string_of_bool v)
-    | Int i -> Buffer.add_string b (string_of_int i)
-    | Float f ->
-      (* JSON has no nan/infinity; map them to null *)
-      if Float.is_finite f then
-        Buffer.add_string b (Printf.sprintf "%.12g" f)
-      else Buffer.add_string b "null"
-    | Str s ->
-      Buffer.add_char b '"';
-      add_escaped b s;
-      Buffer.add_char b '"'
-    | List [] -> Buffer.add_string b "[]"
-    | List xs ->
-      Buffer.add_string b "[\n";
-      List.iteri
-        (fun i x ->
-          if i > 0 then Buffer.add_string b ",\n";
-          Buffer.add_string b (pad (indent + 2));
-          emit b ~indent:(indent + 2) x)
-        xs;
-      Buffer.add_char b '\n';
-      Buffer.add_string b (pad indent);
-      Buffer.add_char b ']'
-    | Obj [] -> Buffer.add_string b "{}"
-    | Obj kvs ->
-      Buffer.add_string b "{\n";
-      List.iteri
-        (fun i (k, x) ->
-          if i > 0 then Buffer.add_string b ",\n";
-          Buffer.add_string b (pad (indent + 2));
-          Buffer.add_char b '"';
-          add_escaped b k;
-          Buffer.add_string b "\": ";
-          emit b ~indent:(indent + 2) x)
-        kvs;
-      Buffer.add_char b '\n';
-      Buffer.add_string b (pad indent);
-      Buffer.add_char b '}'
-
-  let to_channel oc v =
-    let b = Buffer.create 4096 in
-    emit b ~indent:0 v;
-    Buffer.add_char b '\n';
-    Buffer.output_buffer oc b
-end
+module Json = Report
 
 (* ---------------------------------------------------------------- *)
 (* E-table                                                           *)
@@ -137,11 +65,11 @@ let json_of_e_rows rows =
 (* B1: decision latency across environments                          *)
 (* ---------------------------------------------------------------- *)
 
-let b1_latency () =
+let b1_latency ~smoke () =
   hr "B1: decision latency (avg over seeds; rounds = consensus rounds of \
       correct deciders)";
   pf "%s@." Experiments.latency_header;
-  let seeds = [ 0; 1; 2; 3; 4 ] in
+  let seeds = if smoke then [ 0 ] else [ 0; 1; 2; 3; 4 ] in
   let acc = ref [] in
   let emit r =
     acc := r :: !acc;
@@ -159,14 +87,16 @@ let b1_latency () =
             emit (Experiments.latency Experiments.Mr_sigma ~n ~t ~seeds);
             emit (Experiments.latency Experiments.Anuc ~n ~t ~seeds)
           end)
-        [ 1; 2; 4 ])
-    [ 3; 5; 7 ];
+        (if smoke then [ 1 ] else [ 1; 2; 4 ]))
+    (if smoke then [ 3 ] else [ 3; 5; 7 ]);
   pf "@.Stack (consensus from raw (Omega, Sigma-nu), incl. the emulation \
       layer):@.";
   List.iter
     (fun (n, t) ->
-      emit (Experiments.latency Experiments.Stack ~n ~t ~seeds:[ 0; 1; 2 ]))
-    [ (4, 1); (4, 3) ];
+      emit
+        (Experiments.latency Experiments.Stack ~n ~t
+           ~seeds:(if smoke then [ 0 ] else [ 0; 1; 2 ])))
+    (if smoke then [ (4, 1) ] else [ (4, 1); (4, 3) ]);
   List.rev !acc
 
 let json_of_latency_rows rows =
@@ -191,14 +121,15 @@ let json_of_latency_rows rows =
 (* B2: sensitivity to detector stabilization time                    *)
 (* ---------------------------------------------------------------- *)
 
-let b2_stabilization () =
+let b2_stabilization ~smoke () =
   hr "B2: steps to full decision vs detector stabilization time (n=5, t=2)";
   pf "%-12s %10s %8s %12s@." "algorithm" "stab_time" "runs" "avg_steps";
   List.map
     (fun (name, algo) ->
       let rows =
         Experiments.stabilization_series algo ~n:5 ~t:2
-          ~stabs:[ 0; 50; 150; 300 ] ~seeds:[ 0; 1; 2 ]
+          ~stabs:(if smoke then [ 0; 150 ] else [ 0; 50; 150; 300 ])
+          ~seeds:(if smoke then [ 0 ] else [ 0; 1; 2 ])
       in
       List.iter
         (fun r ->
@@ -228,12 +159,15 @@ let json_of_stab_series series =
 (* B3: transformation cost                                           *)
 (* ---------------------------------------------------------------- *)
 
-let b3_dag_growth () =
+let b3_dag_growth ~smoke () =
   hr "B3: T_{Sigma-nu -> Sigma-nu+} cost vs run length (n=4; DAG pruned to \
       a sliding window)";
   pf "%8s %10s %10s %12s %10s %9s %10s@." "steps" "dag_nodes" "weave_len"
     "extractions" "messages" "mbox_hwm" "wall_ms";
-  let rows = Experiments.dag_growth ~n:4 ~steps_list:[ 200; 400; 800; 1600 ] in
+  let rows =
+    Experiments.dag_growth ~n:4
+      ~steps_list:(if smoke then [ 200; 400 ] else [ 200; 400; 800; 1600 ])
+  in
   List.iter
     (fun r ->
       pf "%8d %10d %10d %12d %10d %9d %10.1f@." r.Experiments.d_steps
@@ -283,6 +217,42 @@ let json_of_ablation_rows rows =
              ("sweep_runs", Json.Int r.sweep_runs);
              ("sweep_violations", Json.Int r.sweep_violations);
              ("avg_rounds", Json.Float r.a_avg_rounds);
+           ])
+       rows)
+
+(* ---------------------------------------------------------------- *)
+(* B6: model-checker throughput                                      *)
+(* ---------------------------------------------------------------- *)
+
+let b6_model_check ~smoke () =
+  hr "B6: bounded model checker (lib/mc) — the two E11 explorations on \
+      E_1(3)";
+  pf "%s@." Experiments.mc_header;
+  let rows = Experiments.mc_table ~quick:smoke () in
+  List.iter (fun r -> pf "%a@." Experiments.pp_mc_row r) rows;
+  rows
+
+let json_of_mc_rows rows =
+  Json.List
+    (List.map
+       (fun (r : Experiments.mc_row) ->
+         let s = r.mc_stats in
+         Json.Obj
+           [
+             ("algorithm", Json.Str r.mc_algorithm);
+             ("menu", Json.Str r.mc_menu);
+             ("depth", Json.Int r.mc_depth);
+             ("transitions", Json.Int s.Mc.transitions);
+             ("distinct_states", Json.Int s.Mc.distinct_states);
+             ("dedup_hits", Json.Int s.Mc.dedup_hits);
+             ("sleep_skipped", Json.Int s.Mc.sleep_skipped);
+             ("decided_leaves", Json.Int s.Mc.decided_leaves);
+             ("depth_leaves", Json.Int s.Mc.depth_leaves);
+             ("truncated", Json.Bool s.Mc.truncated);
+             ("wall_seconds", Json.Float s.Mc.wall_seconds);
+             ("states_per_sec", Json.Float (Mc.states_per_sec s));
+             ("outcome", Json.Str r.mc_outcome);
+             ("pass", Json.Bool r.mc_pass);
            ])
        rows)
 
@@ -399,7 +369,7 @@ let bench_anuc_consensus =
   Bechamel.Test.make ~name:"anuc-full-consensus-n4"
     (Bechamel.Staged.stage (fun () -> ignore (reference_run ())))
 
-let b4_micro () =
+let b4_micro ~smoke () =
   hr "B4: microbenchmarks (bechamel, ns per run)";
   let tests =
     Bechamel.Test.make_grouped ~name:"micro"
@@ -413,7 +383,10 @@ let b4_micro () =
   in
   let instances = Bechamel.Toolkit.Instance.[ monotonic_clock ] in
   let cfg =
-    Bechamel.Benchmark.cfg ~limit:1000 ~quota:(Bechamel.Time.second 0.4) ()
+    Bechamel.Benchmark.cfg
+      ~limit:(if smoke then 100 else 1000)
+      ~quota:(Bechamel.Time.second (if smoke then 0.05 else 0.4))
+      ()
   in
   let raw = Bechamel.Benchmark.all cfg instances tests in
   let analyzed =
@@ -467,44 +440,52 @@ let default_json_file () =
   Printf.sprintf "BENCH_%04d-%02d-%02d.json" (tm.Unix.tm_year + 1900)
     (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
 
-(* Recognizes [--json FILE] and [--json] (default file name). *)
-let parse_json_arg () =
-  let rec scan = function
-    | [] -> None
-    | "--json" :: file :: _ when String.length file > 0 && file.[0] <> '-' ->
-      Some file
-    | "--json" :: _ -> Some (default_json_file ())
-    | _ :: rest -> scan rest
+(* Recognizes [--json FILE], [--json] (default file name) and
+   [--smoke]. *)
+let parse_args () =
+  let rec scan json smoke = function
+    | [] -> (json, smoke)
+    | "--smoke" :: rest -> scan json true rest
+    | "--json" :: file :: rest when String.length file > 0 && file.[0] <> '-'
+      ->
+      scan (Some file) smoke rest
+    | "--json" :: rest -> scan (Some (default_json_file ())) smoke rest
+    | _ :: rest -> scan json smoke rest
   in
-  scan (Array.to_list Sys.argv)
+  scan None false (List.tl (Array.to_list Sys.argv))
 
 let () =
-  let json_file = parse_json_arg () in
-  pf "nonuniform-consensus benchmark harness@.";
+  let json_file, smoke = parse_args () in
+  pf "nonuniform-consensus benchmark harness%s@."
+    (if smoke then " (smoke: reduced sweeps)" else "");
   let e_rows = experiment_table () in
-  let b1 = b1_latency () in
-  let b2 = b2_stabilization () in
-  let b3 = b3_dag_growth () in
+  let b1 = b1_latency ~smoke () in
+  let b2 = b2_stabilization ~smoke () in
+  let b3 = b3_dag_growth ~smoke () in
   let b5 = b5_ablation () in
+  let b6 = b6_model_check ~smoke () in
   let metrics = run_metrics () in
-  let b4 = b4_micro () in
+  let b4 = b4_micro ~smoke () in
   match json_file with
   | None -> ()
   | Some file ->
-    let doc =
-      Json.Obj
-        [
-          ("schema_version", Json.Int 1);
-          ("generated_at_unix", Json.Float (Unix.time ()));
-          ("e_table", json_of_e_rows e_rows);
-          ("b1_latency", json_of_latency_rows b1);
-          ("b2_stabilization", json_of_stab_series b2);
-          ("b3_dag_growth", json_of_dag_rows b3);
-          ("b5_ablation", json_of_ablation_rows b5);
-          ("b4_micro", json_of_micro_rows b4);
-          ("run_metrics", json_of_metrics metrics);
-        ]
+    (* Values in the order of [Report.schema_keys]; [List.map2] fails
+       loudly if the document and the documented schema drift. *)
+    let values =
+      [
+        Json.Int 1;
+        Json.Float (Unix.time ());
+        json_of_e_rows e_rows;
+        json_of_latency_rows b1;
+        json_of_stab_series b2;
+        json_of_dag_rows b3;
+        json_of_ablation_rows b5;
+        json_of_mc_rows b6;
+        json_of_micro_rows b4;
+        json_of_metrics metrics;
+      ]
     in
+    let doc = Json.Obj (List.map2 (fun k v -> (k, v)) Report.schema_keys values) in
     let oc = open_out file in
     Json.to_channel oc doc;
     close_out oc;

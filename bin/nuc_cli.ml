@@ -5,7 +5,13 @@
      run          one consensus run (a_nuc | mr_majority | mr_sigma | stack)
      experiments  the E-table of theorem validations (see DESIGN.md)
      check        generate an oracle history and validate it
-     scenario     the proof scenarios (contamination | separation) *)
+     scenario     the proof scenarios (contamination | separation)
+     mc           exhaustive bounded model checking (lib/mc)
+
+   Every subcommand that consumes randomness takes --seed (default 0,
+   deterministic); mc and scenario are fully deterministic. *)
+
+open Procset
 
 
 let pf = Format.printf
@@ -61,35 +67,36 @@ let run_consensus algo n t seed =
 (* experiments                                                       *)
 (* ---------------------------------------------------------------- *)
 
-let run_ablation quick =
+let run_ablation quick seed =
   pf "%s@." Experiments.ablation_header;
   List.iter
     (fun r -> pf "%a@." Experiments.pp_ablation_row r)
-    (Experiments.ablation ~quick ())
+    (Experiments.ablation ~quick ~seed_base:seed ())
 
-let run_experiments quick only =
+let run_experiments quick only seed =
   let rows =
     match only with
-    | None -> Experiments.all ~quick ()
+    | None -> Experiments.all ~quick ~seed_base:seed ()
     | Some id -> (
       let pick =
         [
-          ("e1", Experiments.e1_extract_sigma_nu);
-          ("e2", Experiments.e2_extract_sigma);
-          ("e3", Experiments.e3_boost);
-          ("e4", Experiments.e4_anuc);
-          ("e5", Experiments.e5_stack);
-          ("e6", Experiments.e6_contamination);
-          ("e7", Experiments.e7_sigma_scratch);
-          ("e8", Experiments.e8_attack);
-          ("e9", Experiments.e9_merge);
-          ("e10", Experiments.e10_not_uniform);
+          ("e1", fun ~quick -> Experiments.e1_extract_sigma_nu ~quick ~seed_base:seed);
+          ("e2", fun ~quick -> Experiments.e2_extract_sigma ~quick ~seed_base:seed);
+          ("e3", fun ~quick -> Experiments.e3_boost ~quick ~seed_base:seed);
+          ("e4", fun ~quick -> Experiments.e4_anuc ~quick ~seed_base:seed);
+          ("e5", fun ~quick -> Experiments.e5_stack ~quick ~seed_base:seed);
+          ("e6", fun ~quick -> Experiments.e6_contamination ~quick ~seed_base:seed);
+          ("e7", fun ~quick -> Experiments.e7_sigma_scratch ~quick ~seed_base:seed);
+          ("e8", fun ~quick -> Experiments.e8_attack ~quick);
+          ("e9", fun ~quick -> Experiments.e9_merge ~quick);
+          ("e10", fun ~quick -> Experiments.e10_not_uniform ~quick);
+          ("e11", fun ~quick -> Experiments.e11_model_check ~quick);
         ]
       in
       match List.assoc_opt (String.lowercase_ascii id) pick with
       | Some f -> [ f ~quick () ]
       | None ->
-        pf "unknown experiment %S (expected e1..e9)@." id;
+        pf "unknown experiment %S (expected e1..e11)@." id;
         exit 1)
   in
   List.iter (fun r -> pf "%a@.@." Experiments.pp_row r) rows;
@@ -173,6 +180,149 @@ let run_scenario name =
     exit 1
 
 (* ---------------------------------------------------------------- *)
+(* mc                                                                *)
+(* ---------------------------------------------------------------- *)
+
+(* One model-checking drive, shared by every algorithm. The faulty
+   processes of the pattern crash past the depth bound, so the clauses
+   of the detector class treat them as faulty while every schedule up
+   to the bound may still step them. *)
+module Mc_drive (A : sig
+  include Sim.Automaton.S with type input = Consensus.Value.t
+
+  val decision : state -> Consensus.Value.t option
+end) =
+struct
+  module M = Mc.Make (A)
+
+  let go ~n ~faulty ~menu ~depth ~flavour ~max_states ~delivery =
+    (match Mc.Menu.validate ~n ~faulty menu with
+    | Ok () -> pf "menu %s: admissible@." menu.Mc.Menu.name
+    | Error e ->
+      pf "menu %s: INADMISSIBLE (%s)@." menu.Mc.Menu.name e;
+      exit 1);
+    let proposals p = if Pset.mem p faulty then 1 else 0 in
+    let crashes = Pset.fold (fun p l -> (p, depth + 1) :: l) faulty [] in
+    let pattern = Sim.Failure_pattern.make ~n ~crashes in
+    let props =
+      M.consensus_props ~decision:A.decision ~proposals ~flavour ~pattern
+    in
+    let stop =
+      M.decided_stop ~decision:A.decision
+        ~scope:(Sim.Failure_pattern.correct pattern)
+    in
+    let r = M.run ~n ~menu ~depth ~inputs:proposals ~props ~stop ~max_states
+        ~delivery ()
+    in
+    pf "%a@." Mc.pp_stats r.M.stats;
+    match r.M.violation with
+    | None ->
+      if r.M.stats.Mc.truncated then begin
+        pf "exploration TRUNCATED at %d states — verdict inconclusive@."
+          max_states;
+        exit 1
+      end
+      else pf "exhausted: no violation within depth %d@." depth
+    | Some cx ->
+      pf "%a@." M.pp_counterexample cx;
+      let ok_replay =
+        match M.replay_counterexample ~n ~inputs:proposals cx with
+        | Ok _ ->
+          pf "replay: accepted by Runner.replay@.";
+          true
+        | Error e ->
+          pf "replay: REJECTED (%s)@." e;
+          false
+      in
+      let ok_hist =
+        match
+          Mc.history_legal ~kind:menu.Mc.Menu.kind ~pattern cx.M.cx_samples
+        with
+        | Ok () ->
+          pf "detector history: perpetual clauses hold@.";
+          true
+        | Error e ->
+          pf "detector history: ILLEGAL (%s)@." e;
+          false
+      in
+      if not (ok_replay && ok_hist) then exit 1
+
+  let default_go ~n ~faulty ~max_states ~delivery ~flavour ~default_depth
+      ~menu depth_opt =
+    let depth = Option.value depth_opt ~default:default_depth in
+    go ~n ~faulty ~menu ~depth ~flavour ~max_states ~delivery
+end
+
+module Mc_anuc_drive = Mc_drive (Core.Anuc)
+module Mc_naive_drive = Mc_drive (Consensus.Mr.With_quorum)
+module Mc_maj_drive = Mc_drive (Consensus.Mr.Majority)
+module Mc_ct_drive = Mc_drive (Consensus.Ct)
+
+let run_mc algo n t depth_opt family max_states delivery =
+  if t >= n || t < 1 then (
+    pf "error: need 1 <= t < n@.";
+    exit 1);
+  let delivery =
+    match String.lowercase_ascii delivery with
+    | "fifo" -> `Fifo
+    | "any" -> `Any
+    | s ->
+      pf "unknown delivery model %S (fifo | any)@." s;
+      exit 1
+  in
+  let contamination =
+    match String.lowercase_ascii family with
+    | "contamination" -> true
+    | "full" -> false
+    | s ->
+      pf "unknown menu family %S (contamination | full)@." s;
+      exit 1
+  in
+  let faulty = Pset.of_list (List.init t (fun i -> n - 1 - i)) in
+  let need_majority () =
+    if 2 * t >= n then (
+      pf "error: this algorithm requires t < n/2 (got n=%d t=%d)@." n t;
+      exit 1)
+  in
+  match String.lowercase_ascii algo with
+  | "anuc" ->
+    Mc_anuc_drive.default_go ~n ~faulty ~max_states ~delivery
+      ~flavour:Consensus.Spec.Nonuniform ~default_depth:11
+      ~menu:
+        (if contamination then Mc.Menu.contamination ~plus:true ~n ~faulty ()
+         else Mc.Menu.omega_sigma_nu_plus ~n ~faulty)
+      depth_opt
+  | "naive-sn" ->
+    Mc_naive_drive.default_go ~n ~faulty ~max_states ~delivery
+      ~flavour:Consensus.Spec.Nonuniform ~default_depth:34
+      ~menu:
+        (if contamination then Mc.Menu.contamination ~n ~faulty ()
+         else Mc.Menu.omega_sigma_nu ~n ~faulty)
+      depth_opt
+  | "mr-sigma" ->
+    Mc_naive_drive.default_go ~n ~faulty ~max_states ~delivery
+      ~flavour:Consensus.Spec.Uniform ~default_depth:10
+      ~menu:(Mc.Menu.omega_sigma ~n ~faulty)
+      depth_opt
+  | "mr-majority" ->
+    need_majority ();
+    Mc_maj_drive.default_go ~n ~faulty ~max_states ~delivery
+      ~flavour:Consensus.Spec.Uniform ~default_depth:11
+      ~menu:(Mc.Menu.leader_only ~n ~faulty)
+      depth_opt
+  | "ct" ->
+    need_majority ();
+    Mc_ct_drive.default_go ~n ~faulty ~max_states ~delivery
+      ~flavour:Consensus.Spec.Uniform ~default_depth:13
+      ~menu:(Mc.Menu.suspects ~n ~faulty)
+      depth_opt
+  | s ->
+    pf "unknown algorithm %S (anuc | naive-sn | mr-majority | mr-sigma | \
+        ct)@."
+      s;
+    exit 1
+
+(* ---------------------------------------------------------------- *)
 (* cmdliner plumbing                                                 *)
 (* ---------------------------------------------------------------- *)
 
@@ -209,12 +359,12 @@ let experiments_cmd =
     Arg.(
       value
       & opt (some string) None
-      & info [ "only" ] ~docv:"ID" ~doc:"Run a single experiment (e1..e10).")
+      & info [ "only" ] ~docv:"ID" ~doc:"Run a single experiment (e1..e11).")
   in
   Cmd.v
     (Cmd.info "experiments"
        ~doc:"Validate the paper's theorems (the E-table of DESIGN.md)")
-    Term.(const run_experiments $ quick $ only)
+    Term.(const run_experiments $ quick $ only $ seed_arg)
 
 let check_cmd =
   let detector =
@@ -240,7 +390,7 @@ let ablation_cmd =
   Cmd.v
     (Cmd.info "ablation"
        ~doc:"The A_nuc mechanism-necessity study (distrust / awareness)")
-    Term.(const run_ablation $ quick)
+    Term.(const run_ablation $ quick $ seed_arg)
 
 let scenario_cmd =
   let scenario_arg =
@@ -253,12 +403,72 @@ let scenario_cmd =
     (Cmd.info "scenario" ~doc:"Run a proof scenario from the paper")
     Term.(const run_scenario $ scenario_arg)
 
+let mc_cmd =
+  let algo =
+    Arg.(
+      value & opt string "anuc"
+      & info [ "algo" ] ~docv:"ALGO"
+          ~doc:"anuc | naive-sn | mr-majority | mr-sigma | ct.")
+  in
+  let n =
+    Arg.(
+      value & opt int 3
+      & info [ "n" ] ~docv:"N" ~doc:"Number of processes (small: n <= 4).")
+  in
+  let t =
+    Arg.(
+      value & opt int 1
+      & info [ "t" ] ~docv:"T"
+          ~doc:
+            "Maximum number of faulty processes; the last $(docv) pids are \
+             the faulty set of the explored environment.")
+  in
+  let depth =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "depth" ] ~docv:"D"
+          ~doc:
+            "Exploration depth bound (default: a per-algorithm depth at \
+             which the interesting behaviour is reachable).")
+  in
+  let family =
+    Arg.(
+      value & opt string "contamination"
+      & info [ "family" ] ~docv:"FAMILY"
+          ~doc:
+            "Detector-menu family: the focused Section 6.3 'contamination' \
+             sub-family, or the 'full' class menu (much larger state \
+             space).")
+  in
+  let max_states =
+    Arg.(
+      value & opt int 2_000_000
+      & info [ "max-states" ] ~docv:"S"
+          ~doc:"Abort (inconclusively) after exploring $(docv) states.")
+  in
+  let delivery =
+    Arg.(
+      value & opt string "fifo"
+      & info [ "delivery" ] ~docv:"MODEL"
+          ~doc:
+            "Channel model: 'fifo' (per-channel send order; exhaustive for \
+             FIFO links) or 'any' (every per-channel reordering).")
+  in
+  Cmd.v
+    (Cmd.info "mc"
+       ~doc:
+         "Exhaustively model-check an algorithm over every admissible \
+          schedule of a small universe")
+    Term.(
+      const run_mc $ algo $ n $ t $ depth $ family $ max_states $ delivery)
+
 let main_cmd =
   Cmd.group
     (Cmd.info "nuc_cli" ~version:"1.0.0"
        ~doc:
          "The weakest failure detector to solve nonuniform consensus — \
           executable reproduction")
-    [ run_cmd; experiments_cmd; check_cmd; scenario_cmd; ablation_cmd ]
+    [ run_cmd; experiments_cmd; check_cmd; scenario_cmd; ablation_cmd; mc_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

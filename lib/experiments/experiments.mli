@@ -20,32 +20,32 @@ type row = {
 
 val pp_row : Format.formatter -> row -> unit
 
-val e1_extract_sigma_nu : ?quick:bool -> unit -> row
+val e1_extract_sigma_nu : ?quick:bool -> ?seed_base:int -> unit -> row
 (** Thm 5.4: [T_{D->Sigma-nu}] emulates Sigma-nu from a detector that
     solves nonuniform consensus (witness: [A_nuc] with
     [(Omega, Sigma-nu+)]). *)
 
-val e2_extract_sigma : ?quick:bool -> unit -> row
+val e2_extract_sigma : ?quick:bool -> ?seed_base:int -> unit -> row
 (** Thm 5.8: the same algorithm emulates full Sigma when the witness
     solves uniform consensus (MR with Sigma quorums). *)
 
-val e3_boost : ?quick:bool -> unit -> row
+val e3_boost : ?quick:bool -> ?seed_base:int -> unit -> row
 (** Thm 6.7: [T_{Sigma-nu -> Sigma-nu+}] emulates Sigma-nu+. *)
 
-val e4_anuc : ?quick:bool -> unit -> row
+val e4_anuc : ?quick:bool -> ?seed_base:int -> unit -> row
 (** Thm 6.27: [A_nuc] solves nonuniform consensus with
     [(Omega, Sigma-nu+)] in every [E_t]. *)
 
-val e5_stack : ?quick:bool -> unit -> row
+val e5_stack : ?quick:bool -> ?seed_base:int -> unit -> row
 (** Thm 6.28: the composed stack solves nonuniform consensus from raw
     [(Omega, Sigma-nu)]. *)
 
-val e6_contamination : ?quick:bool -> unit -> row
+val e6_contamination : ?quick:bool -> ?seed_base:int -> unit -> row
 (** Section 6.3: the naive substitution violates nonuniform agreement
     under a legal Sigma-nu history; [A_nuc] survives the same
     adversary family. *)
 
-val e7_sigma_scratch : ?quick:bool -> unit -> row
+val e7_sigma_scratch : ?quick:bool -> ?seed_base:int -> unit -> row
 (** Thm 7.1 (IF): Sigma is implementable from scratch when [t < n/2]. *)
 
 val e8_attack : ?quick:bool -> unit -> row
@@ -66,8 +66,18 @@ val e10_not_uniform : ?quick:bool -> unit -> row
     certifies the implementation does not secretly solve the stronger
     problem its detector cannot pay for. *)
 
-val all : ?quick:bool -> unit -> row list
-(** Every E-row, in order. *)
+val e11_model_check : ?quick:bool -> unit -> row
+(** Section 6.3 via exhaustive bounded model checking ([lib/mc]): the
+    checker verifies every admissible schedule of [A_nuc] on [E_1(3)]
+    under the Sigma-nu+ contamination family up to its depth bound
+    with zero violations, and {e discovers} the naive Sigma-nu
+    baseline's nonuniform-agreement counterexample — certified by
+    [Runner.replay] applicability and perpetual-clause legality of the
+    sampled detector history — without any hand-written script. *)
+
+val all : ?quick:bool -> ?seed_base:int -> unit -> row list
+(** Every E-row, in order. [seed_base] offsets the seed lists of the
+    randomized rows (default 0 reproduces the historical sweeps). *)
 
 (** {1 Measurement sweeps (B-tables)} *)
 
@@ -138,7 +148,7 @@ val pp_ablation_row : Format.formatter -> ablation_row -> unit
 
 val ablation_header : string
 
-val ablation : ?quick:bool -> unit -> ablation_row list
+val ablation : ?quick:bool -> ?seed_base:int -> unit -> ablation_row list
 (** B5 / mechanism-necessity study: the full [A_nuc] and its three
     ablated variants, each (a) attacked by the scripted Section 6.3
     adversary, and (b) swept over randomized adversarial oracles. The
@@ -146,3 +156,23 @@ val ablation : ?quick:bool -> unit -> ablation_row list
     and they cost extra rounds. Expected shape: the full algorithm and
     single-mechanism variants resist the script (each mechanism blocks
     a different step of it); the doubly-ablated variant falls to it. *)
+
+type mc_row = {
+  mc_algorithm : string;
+  mc_menu : string;  (** detector-menu family driving the exploration *)
+  mc_depth : int;  (** exploration depth bound *)
+  mc_stats : Mc.stats;
+  mc_outcome : string;
+      (** "exhausted, no violation" or the certified counterexample *)
+  mc_pass : bool;  (** the run matched its expected verdict *)
+}
+
+val pp_mc_row : Format.formatter -> mc_row -> unit
+
+val mc_header : string
+
+val mc_table : ?quick:bool -> unit -> mc_row list
+(** B6: model-checker throughput — the two E11 explorations
+    (exhaustive [A_nuc] verification; naive-Sigma-nu counterexample
+    discovery) with explored/deduplicated state counts and
+    states-per-second. *)

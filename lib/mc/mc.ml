@@ -1,0 +1,589 @@
+(* Bounded model checking of Sim automata: exhaustive exploration of
+   every admissible schedule of a small universe up to a depth bound.
+
+   The randomized runner samples interleavings; the proof scenarios
+   script one interleaving by hand. This module closes the gap in
+   between: for n <= 4 it walks the *whole* tree of (scheduling x
+   message delivery x failure-detector value) choices, deduplicating
+   confluent interleavings through canonical state memoization and
+   pruning commuting step pairs with sleep sets, and evaluates safety
+   properties at every reachable state.
+
+   Abstraction. The walker's configuration is (per-process automaton
+   states, per-channel pending-message multisets) — deliberately
+   *without* the runner's global clock or the envelopes' seq/sent_at
+   metadata, which distinguish confluent interleavings and would
+   defeat memoization. This is sound for any automaton whose [step]
+   depends only on the sender and payload of the received envelope
+   (true of every automaton in this repository). A counterexample
+   path is re-executed concretely afterwards, with real times and
+   sequence numbers, into a [Runner.replay]-compatible trace.
+
+   Failure detectors. The adversary picks, at every step, any value
+   from a per-process finite menu. A menu is legal for a detector
+   class when every combination of its values satisfies the class's
+   *perpetual* clauses (quorum intersection, self-inclusion,
+   conditional nonintersection); the "there is a time after which"
+   clauses of Omega and of completeness constrain no finite prefix —
+   any explored run extends to an admissible full history by
+   switching the detector to a benign regime after the horizon.
+   [Menu.validate] certifies legality by running the repo's own
+   [Fd.Check] clauses over the dense menu history, which dominates
+   every selectable run history. *)
+
+open Procset
+
+(* ---------------------------------------------------------------- *)
+(* Failure-detector menus                                            *)
+(* ---------------------------------------------------------------- *)
+
+module Menu = struct
+  type kind = Sigma | Sigma_nu | Sigma_nu_plus | Omega_only | Suspects_menu
+
+  type t = {
+    name : string;
+    kind : kind;
+    values : Pid.t -> Sim.Fd_value.t list;
+  }
+
+  let dedup_psets sets =
+    List.fold_left
+      (fun acc q -> if List.exists (Pset.equal q) acc then acc else q :: acc)
+      [] sets
+    |> List.rev
+
+  let pair l q =
+    Sim.Fd_value.Pair (Sim.Fd_value.Leader l, Sim.Fd_value.Quorum q)
+
+  (* Omega constrains no finite prefix, so leader menus only shape the
+     adversary's power: a correct process may trust any correct
+     process; a faulty process may (also) trust itself. *)
+  let leaders ~n ~faulty p =
+    let correct = Pset.complement ~n faulty in
+    let base = Pset.elements correct in
+    if Pset.mem p faulty then p :: base else base
+
+  (* A pairwise-intersecting quorum family for the Sigma-nu classes:
+     a correct process outputs either the correct set C or its own
+     {p} ∪ F.  Any two such quorums at correct processes intersect
+     (C ∩ C, C ∩ ({p} ∪ F) ∋ p, ({p} ∪ F) ∩ ({q} ∪ F) ⊇ F ≠ ∅); a
+     faulty process is unconstrained by Sigma-nu and outputs all-faulty
+     quorums, which conditional nonintersection exempts. Every quorum
+     contains its owner, so the family is also Sigma-nu+-legal. *)
+  let nu_quorums ~n ~faulty p =
+    let correct = Pset.complement ~n faulty in
+    if Pset.mem p faulty then dedup_psets [ Pset.singleton p; faulty ]
+    else if Pset.is_empty faulty then [ correct ]
+    else dedup_psets [ correct; Pset.add p faulty ]
+
+  (* Uniform Sigma: every quorum, even at faulty processes, must
+     intersect every other; all menu quorums contain the pivot. *)
+  let sigma_quorums ~n ~faulty p =
+    let correct = Pset.complement ~n faulty in
+    let pivot = Pset.min_elt correct in
+    dedup_psets [ correct; Pset.of_list [ pivot; p ] ]
+
+  let cross ~n ~faulty quorums p =
+    List.concat_map
+      (fun l -> List.map (pair l) (quorums ~n ~faulty p))
+      (leaders ~n ~faulty p)
+
+  let omega_sigma_nu ~n ~faulty =
+    {
+      name = "(Omega, Sigma-nu) adversarial";
+      kind = Sigma_nu;
+      values = cross ~n ~faulty nu_quorums;
+    }
+
+  let omega_sigma_nu_plus ~n ~faulty =
+    {
+      name = "(Omega, Sigma-nu+) adversarial";
+      kind = Sigma_nu_plus;
+      values = cross ~n ~faulty nu_quorums;
+    }
+
+  let omega_sigma ~n ~faulty =
+    {
+      name = "(Omega, Sigma) pivot";
+      kind = Sigma;
+      values = cross ~n ~faulty sigma_quorums;
+    }
+
+  (* The focused Sigma-nu sub-family behind the Section 6.3
+     contamination argument: the lowest correct process is pinned to
+     (its own leadership, the correct set); every other correct
+     process may switch between the correct set and its own
+     {p} ∪ F quorum; faulty processes see themselves. All quorums at
+     correct processes pairwise intersect, so the family is
+     Sigma-nu-legal — yet the {p} ∪ F switch lets a faulty process
+     contaminate round boundaries. Exhaustive search under this menu
+     is what separates A_nuc from the naive Sigma-nu baseline. *)
+  let contamination ?(plus = false) ~n ~faulty () =
+    let correct = Pset.complement ~n faulty in
+    let c0 = Pset.min_elt correct in
+    {
+      name =
+        Printf.sprintf "(Omega, Sigma-nu%s) contamination family"
+          (if plus then "+" else "");
+      kind = (if plus then Sigma_nu_plus else Sigma_nu);
+      values =
+        (fun p ->
+          if Pset.mem p faulty then [ pair p (Pset.singleton p) ]
+          else if p = c0 then [ pair c0 correct ]
+          else dedup_psets [ correct; Pset.add p faulty ]
+               |> List.map (pair p));
+    }
+
+  let leader_only ~n ~faulty =
+    {
+      name = "Omega adversarial";
+      kind = Omega_only;
+      values =
+        (fun p ->
+          List.map (fun l -> Sim.Fd_value.Leader l) (leaders ~n ~faulty p));
+    }
+
+  let suspects ~n ~faulty =
+    {
+      name = "<>S adversarial";
+      kind = Suspects_menu;
+      values =
+        (fun _ ->
+          let sets =
+            dedup_psets
+              [ faulty; Pset.empty; Pset.add (Pset.min_elt (Pset.complement ~n faulty)) faulty ]
+          in
+          List.map (fun s -> Sim.Fd_value.Suspects s) sets);
+    }
+
+  let quorum_of = function
+    | Sim.Fd_value.Quorum q | Sim.Fd_value.Pair (_, Sim.Fd_value.Quorum q) ->
+      Some q
+    | _ -> None
+
+  (* The dense menu history: every menu value of every process, each at
+     its own sampled time. A run's sampled history is a subset of it,
+     and the perpetual clauses are universally quantified over samples,
+     so menu legality implies legality of every selectable run. *)
+  let menu_history ~n menu =
+    Fd.History.of_samples ~n
+      (List.concat_map
+         (fun p -> List.mapi (fun i v -> (p, i, v)) (menu.values p))
+         (Pid.all ~n))
+
+  let perpetual_clauses kind pattern h =
+    let ( let* ) = Result.bind in
+    let quorums_only h =
+      Fd.History.map
+        (fun v ->
+          match quorum_of v with
+          | Some q -> Sim.Fd_value.Quorum q
+          | None -> v)
+        h
+    in
+    let as_err = Result.map_error (Format.asprintf "%a" Fd.Check.pp_violation) in
+    match kind with
+    | Omega_only | Suspects_menu -> Ok ()
+    | Sigma -> as_err (Fd.Check.intersection ~uniform:true pattern (quorums_only h))
+    | Sigma_nu ->
+      as_err (Fd.Check.intersection ~uniform:false pattern (quorums_only h))
+    | Sigma_nu_plus ->
+      let h = quorums_only h in
+      let* () = as_err (Fd.Check.intersection ~uniform:false pattern h) in
+      let* () = as_err (Fd.Check.self_inclusion h) in
+      as_err (Fd.Check.conditional_nonintersection pattern h)
+
+  let validate ~n ~faulty menu =
+    let pattern =
+      Sim.Failure_pattern.make ~n
+        ~crashes:(List.map (fun p -> (p, 1_000_000)) (Pset.elements faulty))
+    in
+    perpetual_clauses menu.kind pattern (menu_history ~n menu)
+end
+
+(* [history_legal] checks the sampled detector history of a concrete
+   explored run against the perpetual clauses of the menu's detector
+   class — the finite-prefix fragment of admissibility (the eventual
+   clauses are vacuous on prefixes, exactly as in [Core.Scenario]). *)
+let history_legal ~kind ~pattern samples =
+  let n = Sim.Failure_pattern.n pattern in
+  Menu.perpetual_clauses kind pattern (Fd.History.of_samples ~n samples)
+
+(* ---------------------------------------------------------------- *)
+(* Exploration statistics (shared across functor instantiations)     *)
+(* ---------------------------------------------------------------- *)
+
+type stats = {
+  transitions : int;  (** edges taken (including into already-seen states) *)
+  distinct_states : int;  (** canonical states after deduplication *)
+  dedup_hits : int;  (** transitions absorbed by memoization *)
+  sleep_skipped : int;  (** moves pruned by sleep sets *)
+  decided_leaves : int;  (** states where [stop] held, not expanded *)
+  depth_leaves : int;  (** states truncated by the depth bound *)
+  max_depth : int;
+  truncated : bool;  (** hit [max_states]; exploration incomplete *)
+  wall_seconds : float;
+}
+
+let states_per_sec s =
+  if s.wall_seconds <= 0.0 then infinity
+  else float_of_int s.distinct_states /. s.wall_seconds
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "%d transitions, %d distinct states (%d dedup hits, %d sleep-pruned), \
+     %d decided leaves, %d depth leaves, %.0f states/s%s"
+    s.transitions s.distinct_states s.dedup_hits s.sleep_skipped
+    s.decided_leaves s.depth_leaves (states_per_sec s)
+    (if s.truncated then " [TRUNCATED]" else "")
+
+(* ---------------------------------------------------------------- *)
+(* The checker functor                                               *)
+(* ---------------------------------------------------------------- *)
+
+module Make (A : Sim.Automaton.S) = struct
+  module R = Sim.Runner.Make (A)
+
+  type move = {
+    m_pid : Pid.t;
+    m_fd : Sim.Fd_value.t;
+    m_recv : (Pid.t * int) option;
+        (* (src, index into the src->pid channel); [None] = lambda *)
+  }
+
+  let move_equal a b =
+    a.m_pid = b.m_pid && a.m_recv = b.m_recv
+    && Sim.Fd_value.equal a.m_fd b.m_fd
+
+  type property = {
+    prop_name : string;
+    prop_check : (Pid.t -> A.state) -> (unit, string) result;
+  }
+
+  let invariant ~name f = { prop_name = name; prop_check = f }
+
+  let consensus_props ~decision ~proposals ~flavour ~pattern =
+    let outcome states =
+      Consensus.Spec.outcome ~pattern ~proposals ~decisions:(fun p ->
+          decision (states p))
+    in
+    [
+      {
+        prop_name = "validity";
+        prop_check = (fun states -> Consensus.Spec.check_validity (outcome states));
+      };
+      {
+        prop_name =
+          Format.asprintf "%a agreement" Consensus.Spec.pp_flavour flavour;
+        prop_check =
+          (fun states ->
+            Consensus.Spec.check_agreement flavour (outcome states));
+      };
+    ]
+
+  let decided_stop ~decision ~scope states =
+    Pset.for_all (fun p -> decision (states p) <> None) scope
+
+  type counterexample = {
+    cx_property : string;
+    cx_detail : string;
+    cx_moves : move list;  (** abstract schedule from the initial state *)
+    cx_steps : R.replay_step list;  (** concrete, [R.replay]-compatible *)
+    cx_samples : (Pid.t * int * Sim.Fd_value.t) list;
+        (** the detector history actually sampled, for legality checks *)
+    cx_states : A.state array;  (** final states along the schedule *)
+  }
+
+  type report = { stats : stats; violation : counterexample option }
+
+  (* -------------------------------------------------------------- *)
+  (* Abstract configurations                                         *)
+  (* -------------------------------------------------------------- *)
+
+  (* chans.(src * n + dst): pending payloads src -> dst, send order.
+     Mailbox *contents* are part of the canonical state; envelope
+     metadata is not (see the module header). *)
+  type config = { states : A.state array; chans : A.message list array }
+
+  module Tbl = Hashtbl.Make (struct
+    type t = config
+
+    (* The automaton states of this repository are pure data
+       (ints, options, Pset bitsets, Maps), so polymorphic structural
+       equality and hashing are sound here. Shape differences between
+       structurally different but extensionally equal Maps only cost
+       dedup hits, never soundness. *)
+    let equal a b = a.states = b.states && a.chans = b.chans
+    let hash c = Hashtbl.hash_param 150 600 c
+  end)
+
+  type entry = { mutable remaining : int; mutable slept : move list }
+
+  let rec remove_nth i = function
+    | [] -> invalid_arg "remove_nth"
+    | x :: rest -> if i = 0 then rest else x :: remove_nth (i - 1) rest
+
+  let initial_config ~n ~inputs =
+    {
+      states = Array.init n (fun p -> A.initial ~n ~self:p (inputs p));
+      chans = Array.make (n * n) [];
+    }
+
+  (* Delivery choices for process [p]. Under [`Fifo] each channel
+     delivers in send order, so only its head is eligible — pending
+     channel states stay suffixes of the send sequence instead of
+     arbitrary sub-multisets, which keeps the reachable space
+     polynomial in the per-channel traffic. Under [`Any], any pending
+     message may be delivered (one representative per payload-distinct
+     entry), matching the runner's full [Matching]-choice latitude. *)
+  let recv_options ~n ~delivery cfg p =
+    let opts = ref [] in
+    for src = n - 1 downto 0 do
+      match (delivery, cfg.chans.((src * n) + p)) with
+      | _, [] -> ()
+      | `Fifo, _ :: _ -> opts := (src, 0) :: !opts
+      | `Any, q ->
+        let rec go i seen = function
+          | [] -> ()
+          | m :: rest ->
+            if List.exists (A.equal_message m) seen then go (i + 1) seen rest
+            else begin
+              opts := (src, i) :: !opts;
+              go (i + 1) (m :: seen) rest
+            end
+        in
+        go 0 [] q
+    done;
+    !opts
+
+  let moves_of ~n ~delivery ~menus cfg =
+    List.concat_map
+      (fun p ->
+        let recvs =
+          List.map (fun r -> Some r) (recv_options ~n ~delivery cfg p)
+          @ [ None ]
+        in
+        List.concat_map
+          (fun m_recv ->
+            List.map (fun m_fd -> { m_pid = p; m_fd; m_recv }) menus.(p))
+          recvs)
+      (Pid.all ~n)
+
+  let apply ~n cfg mv =
+    let p = mv.m_pid in
+    let received, chans =
+      match mv.m_recv with
+      | None -> (None, cfg.chans)
+      | Some (src, idx) ->
+        let c = (src * n) + p in
+        let q = cfg.chans.(c) in
+        let payload = List.nth q idx in
+        let chans = Array.copy cfg.chans in
+        chans.(c) <- remove_nth idx q;
+        (* seq/sent_at are not part of the abstraction; the automata
+           only read src and payload *)
+        (Some { Sim.Envelope.src; dst = p; seq = 0; sent_at = 0; payload }, chans)
+    in
+    let st, sends = A.step ~n ~self:p cfg.states.(p) received mv.m_fd in
+    let states = Array.copy cfg.states in
+    states.(p) <- st;
+    let chans =
+      if sends <> [] && chans == cfg.chans then Array.copy chans else chans
+    in
+    List.iter
+      (fun (dst, m) -> chans.((p * n) + dst) <- chans.((p * n) + dst) @ [ m ])
+      sends;
+    { states; chans }
+
+  (* -------------------------------------------------------------- *)
+  (* Exploration                                                     *)
+  (* -------------------------------------------------------------- *)
+
+  exception Found of string * string * move list
+  exception Limit
+
+  let subset_moves a b =
+    List.for_all (fun m -> List.exists (move_equal m) b) a
+
+  (* Re-execute an abstract schedule with real envelopes: runner-style
+     per-sender sequence numbers and a global clock, producing the
+     trace [R.replay] validates. *)
+  let concretize ~n ~inputs moves =
+    let states = Array.init n (fun p -> A.initial ~n ~self:p (inputs p)) in
+    let chans = Array.make (n * n) [] in
+    let send_seq = Array.make n 0 in
+    let time = ref 1 in
+    let steps = ref [] and samples = ref [] in
+    List.iter
+      (fun mv ->
+        let p = mv.m_pid in
+        let received =
+          match mv.m_recv with
+          | None -> None
+          | Some (src, idx) ->
+            let c = (src * n) + p in
+            let env = List.nth chans.(c) idx in
+            chans.(c) <- remove_nth idx chans.(c);
+            Some env
+        in
+        samples := (p, !time, mv.m_fd) :: !samples;
+        steps := { R.r_pid = p; r_received = received; r_fd = mv.m_fd } :: !steps;
+        let st, sends = A.step ~n ~self:p states.(p) received mv.m_fd in
+        states.(p) <- st;
+        List.iter
+          (fun (dst, payload) ->
+            let seq = send_seq.(p) in
+            send_seq.(p) <- seq + 1;
+            chans.((p * n) + dst) <-
+              chans.((p * n) + dst)
+              @ [ { Sim.Envelope.src = p; dst; seq; sent_at = !time; payload } ])
+          sends;
+        incr time)
+      moves;
+    (List.rev !steps, List.rev !samples, states)
+
+  let run ?(sleep = true) ?(dedup = true) ?(delivery = `Fifo)
+      ?(max_states = 2_000_000) ?stop ~n ~menu ~depth ~inputs ~props () =
+    let t0 = Unix.gettimeofday () in
+    let menus = Array.init n (fun p -> menu.Menu.values p) in
+    let visited = Tbl.create 65536 in
+    let transitions = ref 0
+    and dedup_hits = ref 0
+    and sleep_skipped = ref 0
+    and decided_leaves = ref 0
+    and depth_leaves = ref 0
+    and max_depth = ref 0
+    and truncated = ref false in
+    let check_props cfg path_rev =
+      List.iter
+        (fun pr ->
+          match pr.prop_check (fun p -> cfg.states.(p)) with
+          | Ok () -> ()
+          | Error d -> raise (Found (pr.prop_name, d, List.rev path_rev)))
+        props
+    in
+    let rec dfs cfg remaining slept path_rev =
+      if depth - remaining > !max_depth then max_depth := depth - remaining;
+      let expand_with slept =
+        let all = moves_of ~n ~delivery ~menus cfg in
+        let explored = ref [] in
+        List.iter
+          (fun mv ->
+            if sleep && List.exists (move_equal mv) slept then
+              incr sleep_skipped
+            else begin
+              let child = apply ~n cfg mv in
+              incr transitions;
+              if child.states = cfg.states && child.chans = cfg.chans then
+                (* self-loop (e.g. a lambda step whose detector value
+                   unlocks nothing): no new state, and every move
+                   enabled at the child is enabled here — skip *)
+                incr dedup_hits
+              else begin
+              let child_slept =
+                if sleep then
+                  List.filter
+                    (fun m -> m.m_pid <> mv.m_pid)
+                    (!explored @ slept)
+                else []
+              in
+              dfs child (remaining - 1) child_slept (mv :: path_rev);
+              if sleep then explored := mv :: !explored
+              end
+            end)
+          all
+      in
+      match Tbl.find_opt visited cfg with
+      | Some e when dedup ->
+        if e.remaining >= remaining && subset_moves e.slept slept then
+          incr dedup_hits
+        else begin
+          (* Revisit with a bigger budget or a smaller sleep set:
+             re-expand for the uncovered part, with the intersection of
+             the sleep sets (sound for both visits). *)
+          let slept' = List.filter (fun m -> List.exists (move_equal m) e.slept) slept in
+          e.remaining <- max e.remaining remaining;
+          e.slept <- slept';
+          if remaining > 0 then expand_with slept'
+          else incr depth_leaves
+        end
+      | Some _ -> (* dedup off: count the revisit but explore anyway *)
+        incr dedup_hits;
+        if (match stop with Some f -> f (fun p -> cfg.states.(p)) | None -> false)
+        then incr decided_leaves
+        else if remaining = 0 then incr depth_leaves
+        else expand_with slept
+      | None ->
+        if Tbl.length visited >= max_states then begin
+          truncated := true;
+          raise Limit
+        end;
+        check_props cfg path_rev;
+        if
+          match stop with
+          | Some f -> f (fun p -> cfg.states.(p))
+          | None -> false
+        then begin
+          (* all-decided goal state: safety can no longer change in
+             the checked scope; never expand, at any budget *)
+          Tbl.add visited cfg { remaining = max_int; slept = [] };
+          incr decided_leaves
+        end
+        else begin
+          Tbl.add visited cfg { remaining; slept };
+          if remaining = 0 then incr depth_leaves else expand_with slept
+        end
+    in
+    let root = initial_config ~n ~inputs in
+    let violation =
+      try
+        dfs root depth [] [];
+        None
+      with
+      | Limit -> None
+      | Found (prop, detail, moves) -> Some (prop, detail, moves)
+    in
+    let stats =
+      {
+        transitions = !transitions;
+        distinct_states = Tbl.length visited;
+        dedup_hits = !dedup_hits;
+        sleep_skipped = !sleep_skipped;
+        decided_leaves = !decided_leaves;
+        depth_leaves = !depth_leaves;
+        max_depth = !max_depth;
+        truncated = !truncated;
+        wall_seconds = Unix.gettimeofday () -. t0;
+      }
+    in
+    match violation with
+    | None -> { stats; violation = None }
+    | Some (cx_property, cx_detail, cx_moves) ->
+      let cx_steps, cx_samples, cx_states =
+        concretize ~n ~inputs cx_moves
+      in
+      {
+        stats;
+        violation =
+          Some { cx_property; cx_detail; cx_moves; cx_steps; cx_samples; cx_states };
+      }
+
+  let replay_counterexample ~n ~inputs cx = R.replay ~n ~inputs cx.cx_steps
+
+  let pp_replay_step fmt (s : R.replay_step) =
+    (match s.R.r_received with
+    | None -> Format.fprintf fmt "p%d receives lambda" s.R.r_pid
+    | Some env ->
+      Format.fprintf fmt "p%d receives p%d->p%d#%d %a" s.R.r_pid
+        env.Sim.Envelope.src env.Sim.Envelope.dst env.Sim.Envelope.seq
+        A.pp_message env.Sim.Envelope.payload);
+    Format.fprintf fmt ", fd = %a" Sim.Fd_value.pp s.R.r_fd
+
+  let pp_counterexample fmt cx =
+    Format.fprintf fmt "@[<v>violates %s: %s@,schedule (%d steps):@,"
+      cx.cx_property cx.cx_detail (List.length cx.cx_steps);
+    List.iteri
+      (fun i s -> Format.fprintf fmt "  t=%-3d %a@," (i + 1) pp_replay_step s)
+      cx.cx_steps;
+    Format.fprintf fmt "@]"
+end

@@ -1,0 +1,188 @@
+(** Bounded model checking: exhaustive exploration of all admissible
+    schedules of a [Sim.Automaton] for small universes.
+
+    The walker explores every interleaving of (process scheduling,
+    message-delivery choice, failure-detector value from a per-process
+    menu) up to a depth bound, deduplicating confluent interleavings by
+    canonical-state memoization and pruning commuting step pairs with
+    sleep sets; safety properties are evaluated at every distinct
+    reachable state. A violating schedule is re-executed concretely
+    into a [Runner.replay]-compatible trace. See DESIGN.md for the
+    state encoding, the pruning soundness argument and the depth-bound
+    semantics. *)
+
+open Procset
+
+module Menu : sig
+  (** Finite failure-detector menus: at every step the adversary gives
+      a process any value from its menu. A menu is admissible for its
+      detector class when every combination of choices satisfies the
+      class's perpetual clauses; the eventual clauses constrain no
+      finite prefix. *)
+
+  type kind = Sigma | Sigma_nu | Sigma_nu_plus | Omega_only | Suspects_menu
+
+  type t = {
+    name : string;
+    kind : kind;
+    values : Pid.t -> Sim.Fd_value.t list;
+  }
+
+  val omega_sigma_nu : n:int -> faulty:Pset.t -> t
+  (** [(Leader, Quorum)] pairs legal for [(Omega, Sigma-nu)]: correct
+      processes trust any correct leader and output pairwise-
+      intersecting quorums ([C] or [{p} ∪ F]); faulty processes may
+      output all-faulty quorums. This family contains the Section 6.3
+      contamination histories. *)
+
+  val omega_sigma_nu_plus : n:int -> faulty:Pset.t -> t
+  (** The same family, which also satisfies self-inclusion and
+      conditional nonintersection — legal for [(Omega, Sigma-nu+)]. *)
+
+  val omega_sigma : n:int -> faulty:Pset.t -> t
+  (** Uniformly intersecting quorums through a correct pivot — legal
+      for [(Omega, Sigma)]. *)
+
+  val contamination : ?plus:bool -> n:int -> faulty:Pset.t -> unit -> t
+  (** The focused Sigma-nu sub-family behind the Section 6.3
+      contamination argument: the lowest correct process pinned to
+      (its own leadership, the correct set), the other correct
+      processes free to switch between the correct set and their own
+      [{p} ∪ F], faulty processes seeing themselves. Legal for
+      [(Omega, Sigma-nu)] — and, every quorum containing its owner,
+      for [(Omega, Sigma-nu+)] when [plus] is set (the kind checked by
+      {!validate}). Small enough that exhaustive exploration reaches
+      the depth at which decisions — and the naive baseline's
+      contaminated decisions — occur. *)
+
+  val leader_only : n:int -> faulty:Pset.t -> t
+  (** Bare [Leader] values (for MR-majority). *)
+
+  val suspects : n:int -> faulty:Pset.t -> t
+  (** [Suspects] menus for [<>S]-driven algorithms (CT): the adversary
+      may suspect nobody, exactly the faulty set, or additionally one
+      correct process. *)
+
+  val validate : n:int -> faulty:Pset.t -> t -> (unit, string) result
+  (** Certifies menu admissibility by checking the detector class's
+      perpetual clauses ({!Fd.Check.intersection},
+      {!Fd.Check.self_inclusion},
+      {!Fd.Check.conditional_nonintersection}) over the dense history
+      containing every menu value — which dominates every history an
+      exploration can sample. *)
+end
+
+val history_legal :
+  kind:Menu.kind ->
+  pattern:Sim.Failure_pattern.t ->
+  (Pid.t * int * Sim.Fd_value.t) list ->
+  (unit, string) result
+(** Checks the detector samples of one concrete explored run against
+    the perpetual clauses of the class — the finite-prefix fragment of
+    admissibility, as in [Core.Scenario]'s history validation. *)
+
+type stats = {
+  transitions : int;  (** edges taken (including into already-seen states) *)
+  distinct_states : int;  (** canonical states after deduplication *)
+  dedup_hits : int;  (** transitions absorbed by memoization *)
+  sleep_skipped : int;  (** moves pruned by sleep sets *)
+  decided_leaves : int;  (** states where [stop] held, not expanded *)
+  depth_leaves : int;  (** states truncated by the depth bound *)
+  max_depth : int;
+  truncated : bool;  (** hit [max_states]; exploration incomplete *)
+  wall_seconds : float;
+}
+(** Exploration statistics; shared by every {!Make} instantiation. *)
+
+val states_per_sec : stats -> float
+val pp_stats : Format.formatter -> stats -> unit
+
+module Make (A : Sim.Automaton.S) : sig
+  module R : module type of Sim.Runner.Make (A)
+
+  type move = {
+    m_pid : Pid.t;  (** the process taking the step *)
+    m_fd : Sim.Fd_value.t;  (** the detector value it sees *)
+    m_recv : (Pid.t * int) option;
+        (** [Some (src, i)]: deliver the [i]-th pending message of the
+            [src -> m_pid] channel; [None]: receive lambda *)
+  }
+
+  type property = {
+    prop_name : string;
+    prop_check : (Pid.t -> A.state) -> (unit, string) result;
+  }
+  (** A safety property, evaluated at every distinct reachable
+      state. *)
+
+  val invariant :
+    name:string ->
+    ((Pid.t -> A.state) -> (unit, string) result) ->
+    property
+  (** A user-supplied invariant. *)
+
+  val consensus_props :
+    decision:(A.state -> Consensus.Value.t option) ->
+    proposals:(Pid.t -> Consensus.Value.t) ->
+    flavour:Consensus.Spec.flavour ->
+    pattern:Sim.Failure_pattern.t ->
+    property list
+  (** Validity and (uniform or nonuniform) agreement over the
+      decisions visible in a configuration, via {!Consensus.Spec}. *)
+
+  val decided_stop :
+    decision:(A.state -> 'v option) ->
+    scope:Pset.t ->
+    (Pid.t -> A.state) ->
+    bool
+  (** Goal predicate: every process of [scope] has decided. *)
+
+  type counterexample = {
+    cx_property : string;
+    cx_detail : string;
+    cx_moves : move list;
+    cx_steps : R.replay_step list;
+    cx_samples : (Pid.t * int * Sim.Fd_value.t) list;
+    cx_states : A.state array;
+  }
+
+  type report = { stats : stats; violation : counterexample option }
+
+  val run :
+    ?sleep:bool ->
+    ?dedup:bool ->
+    ?delivery:[ `Fifo | `Any ] ->
+    ?max_states:int ->
+    ?stop:((Pid.t -> A.state) -> bool) ->
+    n:int ->
+    menu:Menu.t ->
+    depth:int ->
+    inputs:(Pid.t -> A.input) ->
+    props:property list ->
+    unit ->
+    report
+  (** [run ~n ~menu ~depth ~inputs ~props ()] explores every schedule
+      of at most [depth] steps. [sleep] (default true) enables
+      sleep-set pruning; [dedup] (default true) enables canonical-state
+      memoization; [delivery] (default [`Fifo]) picks the channel
+      model: [`Fifo] delivers each (src, dst) channel in send order —
+      the standard FIFO-link network model, under which the exploration
+      is exhaustive; [`Any] additionally explores every per-channel
+      reordering the runner's [Matching] latitude allows, at a steep
+      state-space cost; [max_states] (default 2e6) aborts exploration
+      (the report is marked [truncated]); [stop] marks goal states that
+      are recorded but not expanded. Returns the first property violation
+      found, with its concrete schedule, or [None] after exhausting the
+      bounded space. *)
+
+  val replay_counterexample :
+    n:int ->
+    inputs:(Pid.t -> A.input) ->
+    counterexample ->
+    (A.state array, string) result
+  (** Validates the concrete counterexample trace with {!R.replay} —
+      the independent applicability check of Lemma 2.2. *)
+
+  val pp_replay_step : Format.formatter -> R.replay_step -> unit
+  val pp_counterexample : Format.formatter -> counterexample -> unit
+end

@@ -1,0 +1,89 @@
+(* Hand-rolled JSON serialization (no new dependencies) for the
+   benchmark reports. See DESIGN.md for the document schema. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let add_escaped b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let rec emit b ~indent v =
+  let pad n = String.make n ' ' in
+  match v with
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (string_of_bool v)
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f ->
+    (* JSON has no nan/infinity; map them to null *)
+    if Float.is_finite f then Buffer.add_string b (Printf.sprintf "%.12g" f)
+    else Buffer.add_string b "null"
+  | Str s ->
+    Buffer.add_char b '"';
+    add_escaped b s;
+    Buffer.add_char b '"'
+  | List [] -> Buffer.add_string b "[]"
+  | List xs ->
+    Buffer.add_string b "[\n";
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_string b ",\n";
+        Buffer.add_string b (pad (indent + 2));
+        emit b ~indent:(indent + 2) x)
+      xs;
+    Buffer.add_char b '\n';
+    Buffer.add_string b (pad indent);
+    Buffer.add_char b ']'
+  | Obj [] -> Buffer.add_string b "{}"
+  | Obj kvs ->
+    Buffer.add_string b "{\n";
+    List.iteri
+      (fun i (k, x) ->
+        if i > 0 then Buffer.add_string b ",\n";
+        Buffer.add_string b (pad (indent + 2));
+        Buffer.add_char b '"';
+        add_escaped b k;
+        Buffer.add_string b "\": ";
+        emit b ~indent:(indent + 2) x)
+      kvs;
+    Buffer.add_char b '\n';
+    Buffer.add_string b (pad indent);
+    Buffer.add_char b '}'
+
+let to_string v =
+  let b = Buffer.create 4096 in
+  emit b ~indent:0 v;
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+let to_channel oc v = output_string oc (to_string v)
+
+let schema_keys =
+  [
+    "schema_version";
+    "generated_at_unix";
+    "e_table";
+    "b1_latency";
+    "b2_stabilization";
+    "b3_dag_growth";
+    "b5_ablation";
+    "b6_model_check";
+    "b4_micro";
+    "run_metrics";
+  ]

@@ -1,0 +1,30 @@
+(** Hand-rolled JSON serialization for the benchmark reports
+    ([bench/main.exe --json]); no external JSON dependency.
+
+    Emission rules the schema's consumers may rely on: non-finite
+    floats serialize as [null] (JSON has no nan/infinity); strings are
+    escaped with the two-character sequences for quote, backslash,
+    newline, tab and carriage return, and [\uXXXX] for the remaining
+    control characters; objects and nonempty lists are emitted
+    multi-line with two-space indentation. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Serialize, followed by one trailing newline. *)
+
+val to_channel : out_channel -> t -> unit
+(** [to_channel oc v] writes [to_string v] to [oc]. *)
+
+val schema_keys : string list
+(** The top-level keys of the BENCH_*.json document, in emission
+    order. [bench/main.exe] constructs its document from this list, so
+    the printer, the documented schema and the golden test cannot
+    drift apart. *)

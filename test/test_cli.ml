@@ -1,0 +1,64 @@
+(* Determinism of the seeded entry points: the same seed must produce
+   byte-identical output, at the library level and through the
+   nuc_cli binary itself. *)
+
+let read_all ic =
+  let b = Buffer.create 1024 in
+  (try
+     while true do
+       Buffer.add_channel b ic 1
+     done
+   with End_of_file -> ());
+  Buffer.contents b
+
+(* Resolve the binary relative to this test executable, so the test
+   works both under `dune runtest` (cwd = test dir) and `dune exec`
+   (cwd = workspace root). *)
+let nuc_cli =
+  Filename.concat
+    (Filename.dirname Sys.executable_name)
+    (Filename.concat Filename.parent_dir_name
+       (Filename.concat "bin" "nuc_cli.exe"))
+
+let run_cli args =
+  let cmd = Filename.quote_command nuc_cli args in
+  let ic = Unix.open_process_in cmd in
+  let out = read_all ic in
+  match Unix.close_process_in ic with
+  | Unix.WEXITED 0 -> out
+  | Unix.WEXITED c -> Alcotest.failf "%s exited with %d:\n%s" cmd c out
+  | _ -> Alcotest.failf "%s killed" cmd
+
+let test_cli_run_same_seed () =
+  let args = [ "run"; "--algo"; "a_nuc"; "-n"; "4"; "-t"; "1"; "--seed"; "7" ] in
+  let out1 = run_cli args in
+  let out2 = run_cli args in
+  Alcotest.(check bool) "produced output" true (String.length out1 > 0);
+  Alcotest.(check string) "identical output for identical seed" out1 out2
+
+let test_cli_experiments_same_seed () =
+  let args = [ "experiments"; "--quick"; "--only"; "e1"; "--seed"; "3" ] in
+  let out1 = run_cli args in
+  let out2 = run_cli args in
+  Alcotest.(check string) "identical output for identical seed" out1 out2
+
+let test_library_rows_same_seed () =
+  let r1 = Experiments.e1_extract_sigma_nu ~quick:true ~seed_base:5 () in
+  let r2 = Experiments.e1_extract_sigma_nu ~quick:true ~seed_base:5 () in
+  Alcotest.(check bool) "identical E1 rows" true (r1 = r2);
+  let a1 = Experiments.ablation ~quick:true ~seed_base:2 () in
+  let a2 = Experiments.ablation ~quick:true ~seed_base:2 () in
+  Alcotest.(check bool) "identical ablation tables" true (a1 = a2)
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "run subcommand" `Quick test_cli_run_same_seed;
+          Alcotest.test_case "experiments subcommand" `Quick
+            test_cli_experiments_same_seed;
+          Alcotest.test_case "library rows" `Quick
+            test_library_rows_same_seed;
+        ] );
+    ]

@@ -225,13 +225,7 @@ let test_mr_one_round_when_stable () =
 (* Chandra-Toueg <>S consensus                                     *)
 (* -------------------------------------------------------------- *)
 
-let ct_family =
-  {
-    Tutil.family_name = "<>S";
-    make =
-      (fun ~seed pattern -> Fd.Oracle.eventually_strong ~seed pattern);
-  }
-
+let ct_family = Tutil.eventually_strong
 let ct = (module Consensus.Ct : Tutil.CONSENSUS)
 
 (* CT solves uniform consensus whenever a majority is correct. *)
@@ -276,6 +270,76 @@ let test_ct_late_stabilization () =
   | Ok () -> ()
   | Error e -> Alcotest.fail e
 
+(* -------------------------------------------------------------- *)
+(* Section 6.3 contamination, on every `dune runtest`              *)
+(* -------------------------------------------------------------- *)
+
+(* The naive substitution of Sigma-nu quorums into MR is unsafe: the
+   scripted Section 6.3 adversary drives two correct processes to
+   different decisions under a detector history that provably
+   satisfies (Omega, Sigma-nu). *)
+let test_contamination_naive_violates () =
+  let o = Core.Scenario.contamination_naive_mr () in
+  Alcotest.(check bool)
+    "nonuniform agreement violated among correct processes" true
+    o.Core.Scenario.agreement_violated;
+  (match o.Core.Scenario.history_valid with
+  | Ok () -> ()
+  | Error v ->
+    Alcotest.failf "the adversary's history must be legal: %a"
+      Fd.Check.pp_violation v);
+  (* the violation is the one of the paper: p0 and p1 are both
+     correct yet decide the two different proposed values *)
+  match (o.Core.Scenario.decisions.(0), o.Core.Scenario.decisions.(1)) with
+  | Some d0, Some d1 when d0 <> d1 -> ()
+  | d0, d1 ->
+    Alcotest.failf "expected split correct decisions, got %a / %a"
+      Consensus.Value.pp_opt d0 Consensus.Value.pp_opt d1
+
+(* A_nuc does not fall to the same script: some scripted wait never
+   completes (a safety mechanism refuses the step), or the script
+   runs to completion without an agreement violation. *)
+let test_contamination_anuc_resists () =
+  let module C = Core.Scenario.Contaminate (Core.Anuc) in
+  match C.run () with
+  | Error _ -> (* blocked: distrust or quorum-awareness engaged *) ()
+  | Ok o ->
+    Alcotest.(check bool)
+      "A_nuc kept nonuniform agreement under the Sec-6.3 script" false
+      o.Core.Scenario.agreement_violated
+
+(* ... while the doubly-ablated skeleton demonstrably falls,
+   pinning that the mechanisms (not the script) are what resist. *)
+let test_contamination_ablated_falls () =
+  let o = Core.Scenario.contamination_anuc_unsafe () in
+  Alcotest.(check bool)
+    "A_nuc without distrust+awareness violates NU agreement" true
+    o.Core.Scenario.agreement_violated;
+  match o.Core.Scenario.history_valid with
+  | Ok () -> ()
+  | Error v ->
+    Alcotest.failf "the adversary's history must be legal: %a"
+      Fd.Check.pp_violation v
+
+(* MR-Sigma solves uniform consensus on universes drawn from the
+   shared generator (shrinking lands on a minimal crash schedule). *)
+let prop_mr_sigma_generated_universes =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"MR-Sigma uniform on generated universes"
+       ~count:25
+       (QCheck.pair
+          (Tutil.arb_universe ~min_n:2 ~max_n:6 ~crash_window:100 ())
+          QCheck.(int_range 0 10_000))
+       (fun (u, seed) ->
+         let pattern = Tutil.universe_pattern u in
+         let _, _, check, _ =
+           Tutil.run_once
+             (module Consensus.Mr.With_quorum)
+             ~family:Tutil.benign_sigma ~flavour:Consensus.Spec.Uniform
+             ~pattern ~seed ~max_steps:6000 ()
+         in
+         Result.is_ok check))
+
 let () =
   Alcotest.run "consensus"
     [
@@ -285,6 +349,15 @@ let () =
           Alcotest.test_case "agreement flavours" `Quick
             test_spec_agreement_flavours;
           Alcotest.test_case "validity" `Quick test_spec_validity;
+        ] );
+      ( "contamination",
+        [
+          Alcotest.test_case "naive MR+Sigma-nu violates (Sec 6.3)" `Quick
+            test_contamination_naive_violates;
+          Alcotest.test_case "A_nuc resists the script" `Quick
+            test_contamination_anuc_resists;
+          Alcotest.test_case "doubly-ablated skeleton falls" `Quick
+            test_contamination_ablated_falls;
         ] );
       ( "chandra-toueg",
         [
@@ -306,5 +379,6 @@ let () =
           Alcotest.test_case "n = 2" `Quick test_mr_n2;
           Alcotest.test_case "fast decision when stable" `Quick
             test_mr_one_round_when_stable;
+          prop_mr_sigma_generated_universes;
         ] );
     ]

@@ -382,12 +382,17 @@ let test_history_container () =
   | _ -> Alcotest.fail "project_snd"
 
 let prop_oracle_deterministic =
+  (* patterns from the shared Tutil generator, not one pinned schedule *)
   QCheck_alcotest.to_alcotest
-    (QCheck.Test.make ~name:"oracles are deterministic in (seed, p, t)"
-       ~count:200
-       QCheck.(triple int (int_bound 3) (int_bound 100))
-       (fun (seed, p, t) ->
-         let pattern = Sim.Failure_pattern.make ~n:4 ~crashes:[ (3, 25) ] in
+    (QCheck.Test.make
+       ~name:"oracles are deterministic in (pattern, seed, p, t)" ~count:200
+       QCheck.(
+         pair
+           (Tutil.arb_universe ~max_n:6 ~crash_window:50 ())
+           (triple int small_nat (int_bound 100)))
+       (fun (u, (seed, p, t)) ->
+         let pattern = Tutil.universe_pattern u in
+         let p = p mod u.Tutil.u_n in
          let o1 = Fd.Oracle.sigma_nu_plus ~seed ~stab_time:stab pattern in
          let o2 = Fd.Oracle.sigma_nu_plus ~seed ~stab_time:stab pattern in
          Sim.Fd_value.equal (o1.Fd.Oracle.query p t) (o2.Fd.Oracle.query p t)))

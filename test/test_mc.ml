@@ -1,0 +1,237 @@
+(* Tests for the bounded model checker (lib/mc): menu admissibility,
+   the two E11 explorations (exhaustive A_nuc verification and
+   discovery of the Section 6.3 counterexample for the naive Sigma-nu
+   baseline), and the soundness of the pruning machinery. *)
+open Procset
+
+module M_naive = Mc.Make (Consensus.Mr.With_quorum)
+module M_anuc = Mc.Make (Core.Anuc)
+
+(* The E11 universe: three processes, p2 allowed to be faulty, its
+   crash scheduled past every depth bound we explore. *)
+let n = 3
+let faulty = Pset.singleton 2
+let proposals p = if Pset.mem p faulty then 1 else 0
+let pattern ~depth = Sim.Failure_pattern.make ~n ~crashes:[ (2, depth + 1) ]
+
+(* -------------------------------------------------------------- *)
+(* Menu admissibility                                             *)
+(* -------------------------------------------------------------- *)
+
+let test_menus_admissible () =
+  List.iter
+    (fun menu ->
+      match Mc.Menu.validate ~n ~faulty menu with
+      | Ok () -> ()
+      | Error e ->
+        Alcotest.failf "menu %s must be admissible: %s" menu.Mc.Menu.name e)
+    [
+      Mc.Menu.omega_sigma_nu ~n ~faulty;
+      Mc.Menu.omega_sigma_nu_plus ~n ~faulty;
+      Mc.Menu.omega_sigma ~n ~faulty;
+      Mc.Menu.contamination ~n ~faulty ();
+      Mc.Menu.contamination ~plus:true ~n ~faulty ();
+      Mc.Menu.leader_only ~n ~faulty;
+      Mc.Menu.suspects ~n ~faulty;
+    ]
+
+let test_bogus_menu_rejected () =
+  (* per-process singleton quorums at correct processes violate the
+     intersection clause of every Sigma variant *)
+  let bogus =
+    {
+      Mc.Menu.name = "bogus singletons";
+      kind = Mc.Menu.Sigma_nu;
+      values =
+        (fun p ->
+          [
+            Sim.Fd_value.Pair
+              (Sim.Fd_value.Leader p, Sim.Fd_value.Quorum (Pset.singleton p));
+          ]);
+    }
+  in
+  match Mc.Menu.validate ~n ~faulty bogus with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "disjoint correct quorums must be rejected"
+
+(* -------------------------------------------------------------- *)
+(* Exhaustive A_nuc verification (the E11 'verify' half)           *)
+(* -------------------------------------------------------------- *)
+
+let anuc_report ~depth =
+  let pattern = pattern ~depth in
+  let menu = Mc.Menu.contamination ~plus:true ~n ~faulty () in
+  let props =
+    M_anuc.consensus_props ~decision:Core.Anuc.decision ~proposals
+      ~flavour:Consensus.Spec.Nonuniform ~pattern
+  in
+  let stop =
+    M_anuc.decided_stop ~decision:Core.Anuc.decision
+      ~scope:(Sim.Failure_pattern.correct pattern)
+  in
+  M_anuc.run ~n ~menu ~depth ~inputs:proposals ~props ~stop ()
+
+let test_anuc_exhaustive_no_violation () =
+  let r = anuc_report ~depth:8 in
+  (match r.M_anuc.violation with
+  | None -> ()
+  | Some cx ->
+    Alcotest.failf "A_nuc must survive exhaustive exploration: %s (%s)"
+      cx.M_anuc.cx_property cx.M_anuc.cx_detail);
+  Alcotest.(check bool) "exploration not truncated" false
+    r.M_anuc.stats.Mc.truncated;
+  Alcotest.(check bool) "explored a nontrivial space" true
+    (r.M_anuc.stats.Mc.distinct_states > 10_000)
+
+(* -------------------------------------------------------------- *)
+(* Counterexample discovery for the naive baseline                 *)
+(* -------------------------------------------------------------- *)
+
+let naive_report ~depth =
+  let pattern = pattern ~depth in
+  let menu = Mc.Menu.contamination ~n ~faulty () in
+  let props =
+    M_naive.consensus_props ~decision:Consensus.Mr.With_quorum.decision
+      ~proposals ~flavour:Consensus.Spec.Nonuniform ~pattern
+  in
+  let stop =
+    M_naive.decided_stop ~decision:Consensus.Mr.With_quorum.decision
+      ~scope:(Sim.Failure_pattern.correct pattern)
+  in
+  M_naive.run ~n ~menu ~depth ~inputs:proposals ~props ~stop ()
+
+let test_naive_counterexample_found_and_certified () =
+  let depth = 32 in
+  let r = naive_report ~depth in
+  match r.M_naive.violation with
+  | None ->
+    Alcotest.fail
+      "the model checker must find the Sec-6.3 contamination violation"
+  | Some cx ->
+    Alcotest.(check string)
+      "the violated property is nonuniform agreement" "nonuniform agreement"
+      cx.M_naive.cx_property;
+    (* independent certification: the schedule replays on the real
+       runner and reproduces the split decisions... *)
+    (match M_naive.replay_counterexample ~n ~inputs:proposals cx with
+    | Error e -> Alcotest.failf "counterexample must replay: %s" e
+    | Ok states ->
+      let decisions =
+        List.map
+          (fun p -> Consensus.Mr.With_quorum.decision states.(p))
+          [ 0; 1 ]
+      in
+      (match decisions with
+      | [ Some a; Some b ] when a <> b -> ()
+      | _ ->
+        Alcotest.fail
+          "replaying the schedule must reproduce the split correct \
+           decisions"));
+    (* ...and the detector values the schedule consumed are legal for
+       (Omega, Sigma-nu) on this pattern *)
+    (match
+       Mc.history_legal ~kind:Mc.Menu.Sigma_nu ~pattern:(pattern ~depth)
+         cx.M_naive.cx_samples
+     with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "sampled history must be legal: %s" e)
+
+(* -------------------------------------------------------------- *)
+(* Pruning soundness, pinned on a small case                       *)
+(* -------------------------------------------------------------- *)
+
+(* Sleep sets and memoization prune transitions, never states: the
+   same depth-5 exploration with everything disabled walks the full
+   schedule tree (15x the transitions) yet sees exactly the same
+   distinct states and reaches the same verdict. *)
+let test_pruning_reduces_without_changing_verdict () =
+  let depth = 5 in
+  let pattern = pattern ~depth in
+  let menu = Mc.Menu.contamination ~n ~faulty () in
+  let props =
+    M_naive.consensus_props ~decision:Consensus.Mr.With_quorum.decision
+      ~proposals ~flavour:Consensus.Spec.Nonuniform ~pattern
+  in
+  let run ~sleep ~dedup =
+    M_naive.run ~sleep ~dedup ~n ~menu ~depth ~inputs:proposals ~props ()
+  in
+  let pruned = run ~sleep:true ~dedup:true in
+  let bare = run ~sleep:false ~dedup:false in
+  Alcotest.(check bool)
+    "same verdict" true
+    (Option.is_none pruned.M_naive.violation
+    = Option.is_none bare.M_naive.violation);
+  Alcotest.(check int) "same distinct states"
+    bare.M_naive.stats.Mc.distinct_states
+    pruned.M_naive.stats.Mc.distinct_states;
+  Alcotest.(check bool) "pruning is load-bearing" true
+    (pruned.M_naive.stats.Mc.transitions
+    < bare.M_naive.stats.Mc.transitions);
+  Alcotest.(check bool) "sleep sets fired" true
+    (pruned.M_naive.stats.Mc.sleep_skipped > 0);
+  Alcotest.(check bool) "memoization fired" true
+    (pruned.M_naive.stats.Mc.dedup_hits > 0);
+  (* dedup load-bearing: strictly fewer states than transitions *)
+  Alcotest.(check bool) "deduped states < explored transitions" true
+    (pruned.M_naive.stats.Mc.distinct_states
+    < pruned.M_naive.stats.Mc.transitions)
+
+(* -------------------------------------------------------------- *)
+(* User invariants and stop states                                 *)
+(* -------------------------------------------------------------- *)
+
+(* A user invariant that fails immediately is reported with the
+   (empty) schedule that reaches its state. *)
+let test_user_invariant_violation_surfaces () =
+  let menu = Mc.Menu.contamination ~n ~faulty () in
+  let props =
+    [
+      M_naive.invariant ~name:"no process in round 2" (fun st ->
+          if
+            List.exists
+              (fun p -> Consensus.Mr.With_quorum.round (st p) >= 2)
+              [ 0; 1; 2 ]
+          then Error "some process reached round 2"
+          else Ok ());
+    ]
+  in
+  let r = M_naive.run ~n ~menu ~depth:40 ~inputs:proposals ~props () in
+  match r.M_naive.violation with
+  | Some cx ->
+    Alcotest.(check string) "names the invariant" "no process in round 2"
+      cx.M_naive.cx_property
+  | None -> Alcotest.fail "round 2 is reachable within depth 40"
+
+(* E11 end to end, exactly as the experiments table runs it. *)
+let test_e11_quick_passes () =
+  let row = Experiments.e11_model_check ~quick:true () in
+  if not row.Experiments.pass then
+    Alcotest.failf "E11 failed: %s" row.Experiments.measured
+
+let () =
+  Alcotest.run "mc"
+    [
+      ( "menus",
+        [
+          Alcotest.test_case "families admissible" `Quick
+            test_menus_admissible;
+          Alcotest.test_case "bogus menu rejected" `Quick
+            test_bogus_menu_rejected;
+        ] );
+      ( "exploration",
+        [
+          Alcotest.test_case "A_nuc exhaustive, no violation" `Quick
+            test_anuc_exhaustive_no_violation;
+          Alcotest.test_case "naive-Sn counterexample certified" `Quick
+            test_naive_counterexample_found_and_certified;
+          Alcotest.test_case "user invariant surfaces" `Quick
+            test_user_invariant_violation_surfaces;
+        ] );
+      ( "pruning",
+        [
+          Alcotest.test_case "prunes transitions, not states" `Quick
+            test_pruning_reduces_without_changing_verdict;
+        ] );
+      ( "experiments",
+        [ Alcotest.test_case "E11 (quick) passes" `Quick test_e11_quick_passes ] );
+    ]

@@ -1,0 +1,253 @@
+(* Golden test for the BENCH_*.json printer (lib/report): the exact
+   serialized form of an awkward document — non-finite floats, quotes
+   and control characters inside strings, empty containers — is
+   pinned, re-parsed with a minimal in-test JSON reader, and the
+   documented schema key list is checked. *)
+
+(* -------------------------------------------------------------- *)
+(* A minimal JSON reader (for this test only)                     *)
+(* -------------------------------------------------------------- *)
+
+type json =
+  | JNull
+  | JBool of bool
+  | JNum of float
+  | JStr of string
+  | JList of json list
+  | JObj of (string * json) list
+
+exception Bad of string
+
+let parse (s : string) : json =
+  let i = ref 0 in
+  let len = String.length s in
+  let peek () = if !i < len then Some s.[!i] else None in
+  let advance () = incr i in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> raise (Bad (Printf.sprintf "expected %c at %d" c !i))
+  in
+  let literal word v =
+    if !i + String.length word <= len && String.sub s !i (String.length word) = word
+    then begin
+      i := !i + String.length word;
+      v
+    end
+    else raise (Bad ("bad literal at " ^ string_of_int !i))
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> raise (Bad "unterminated string")
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some '"' -> Buffer.add_char b '"'; advance ()
+        | Some '\\' -> Buffer.add_char b '\\'; advance ()
+        | Some 'n' -> Buffer.add_char b '\n'; advance ()
+        | Some 't' -> Buffer.add_char b '\t'; advance ()
+        | Some 'r' -> Buffer.add_char b '\r'; advance ()
+        | Some 'u' ->
+          advance ();
+          if !i + 4 > len then raise (Bad "bad \\u escape");
+          let code = int_of_string ("0x" ^ String.sub s !i 4) in
+          i := !i + 4;
+          if code < 128 then Buffer.add_char b (Char.chr code)
+          else raise (Bad "non-ascii \\u escape")
+        | _ -> raise (Bad "unknown escape"));
+        go ()
+      | Some c ->
+        Buffer.add_char b c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !i in
+    let num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> num_char c | None -> false) do
+      advance ()
+    done;
+    JNum (float_of_string (String.sub s start (!i - start)))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some 'n' -> literal "null" JNull
+    | Some 't' -> literal "true" (JBool true)
+    | Some 'f' -> literal "false" (JBool false)
+    | Some '"' -> JStr (parse_string ())
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        JList []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            items (v :: acc)
+          | Some ']' ->
+            advance ();
+            List.rev (v :: acc)
+          | _ -> raise (Bad "expected , or ]")
+        in
+        JList (items [])
+      end
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        JObj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((k, v) :: acc)
+          | Some '}' ->
+            advance ();
+            List.rev ((k, v) :: acc)
+          | _ -> raise (Bad "expected , or }")
+        in
+        JObj (members [])
+      end
+    | _ -> parse_number ()
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !i <> len then raise (Bad "trailing garbage");
+  v
+
+(* -------------------------------------------------------------- *)
+(* The pinned document                                             *)
+(* -------------------------------------------------------------- *)
+
+let awkward_doc =
+  Report.Obj
+    [
+      ("schema_version", Report.Int 1);
+      ("not_a_number", Report.Float Float.nan);
+      ("too_big", Report.Float Float.infinity);
+      ("too_small", Report.Float Float.neg_infinity);
+      ("quoted", Report.Str {|he said "hi" \ bye|});
+      ("control", Report.Str "tab\there\nline\x01end");
+      ("empty_list", Report.List []);
+      ("empty_obj", Report.Obj []);
+      ( "rows",
+        Report.List
+          [ Report.Obj [ ("pass", Report.Bool true) ]; Report.Null ] );
+      ("avg", Report.Float 1.5);
+    ]
+
+let golden =
+  "{\n\
+  \  \"schema_version\": 1,\n\
+  \  \"not_a_number\": null,\n\
+  \  \"too_big\": null,\n\
+  \  \"too_small\": null,\n\
+  \  \"quoted\": \"he said \\\"hi\\\" \\\\ bye\",\n\
+  \  \"control\": \"tab\\there\\nline\\u0001end\",\n\
+  \  \"empty_list\": [],\n\
+  \  \"empty_obj\": {},\n\
+  \  \"rows\": [\n\
+  \    {\n\
+  \      \"pass\": true\n\
+  \    },\n\
+  \    null\n\
+  \  ],\n\
+  \  \"avg\": 1.5\n\
+   }\n"
+
+let test_golden_exact () =
+  Alcotest.(check string)
+    "serialized form is pinned" golden
+    (Report.to_string awkward_doc)
+
+let test_reparse () =
+  match parse (Report.to_string awkward_doc) with
+  | JObj kvs ->
+    let get k = List.assoc k kvs in
+    (* non-finite floats became null *)
+    List.iter
+      (fun k ->
+        match get k with
+        | JNull -> ()
+        | _ -> Alcotest.failf "%s must serialize as null" k)
+      [ "not_a_number"; "too_big"; "too_small" ];
+    (* escaped strings round-trip *)
+    (match get "quoted" with
+    | JStr s ->
+      Alcotest.(check string) "quotes round-trip" {|he said "hi" \ bye|} s
+    | _ -> Alcotest.fail "quoted: not a string");
+    (match get "control" with
+    | JStr s ->
+      Alcotest.(check string) "control chars round-trip" "tab\there\nline\x01end" s
+    | _ -> Alcotest.fail "control: not a string");
+    (match get "rows" with
+    | JList [ JObj [ ("pass", JBool true) ]; JNull ] -> ()
+    | _ -> Alcotest.fail "rows: wrong structure");
+    (match get "avg" with
+    | JNum f -> Alcotest.(check (float 1e-9)) "number round-trips" 1.5 f
+    | _ -> Alcotest.fail "avg: not a number")
+  | _ -> Alcotest.fail "top level must be an object"
+
+(* The documented schema: the bench document is built from this very
+   list (List.map2 in bench/main.ml), so pinning it here means the
+   printer, DESIGN.md and the document cannot drift independently. *)
+let test_schema_keys () =
+  Alcotest.(check (list string))
+    "documented top-level keys"
+    [
+      "schema_version";
+      "generated_at_unix";
+      "e_table";
+      "b1_latency";
+      "b2_stabilization";
+      "b3_dag_growth";
+      "b5_ablation";
+      "b6_model_check";
+      "b4_micro";
+      "run_metrics";
+    ]
+    Report.schema_keys
+
+let () =
+  Alcotest.run "report"
+    [
+      ( "json-printer",
+        [
+          Alcotest.test_case "golden form" `Quick test_golden_exact;
+          Alcotest.test_case "re-parses" `Quick test_reparse;
+          Alcotest.test_case "schema keys" `Quick test_schema_keys;
+        ] );
+    ]

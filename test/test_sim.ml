@@ -615,115 +615,48 @@ let test_runner_metrics () =
 (* Replay round-trips on the real automata                         *)
 (* -------------------------------------------------------------- *)
 
-module Anuc_r = Sim.Runner.Make (Core.Anuc)
-module Mrq_r = Sim.Runner.Make (Consensus.Mr.With_quorum)
-module Ct_r = Sim.Runner.Make (Consensus.Ct)
-
 (* Replay of a recorded randomized run must be applicable and
    reproduce each automaton's final decision (Lemma 2.2 exercised on
-   the actual consensus algorithms, not just the ring probe). *)
+   the actual consensus algorithms, not just the ring probe). The
+   patterns come from the shared generator in Tutil, so failures
+   shrink to a minimal crash schedule. *)
+let arb_replay_universe =
+  QCheck.pair
+    (Tutil.arb_universe ~min_n:3 ~max_n:5 ~crash_window:60 ())
+    QCheck.(int_range 0 10_000)
+
 let prop_replay_roundtrip_anuc =
   QCheck_alcotest.to_alcotest
     (QCheck.Test.make ~name:"replay round-trips A_nuc runs" ~count:12
-       QCheck.(int_range 0 10_000)
-       (fun seed ->
-         let pattern = Sim.Failure_pattern.make ~n:4 ~crashes:[ (3, 40) ] in
-         let correct = Sim.Failure_pattern.correct pattern in
-         let oracle =
-           Fd.Oracle.pair
-             (Fd.Oracle.omega ~seed ~stab_time:0 pattern)
-             (Fd.Oracle.sigma_nu_plus ~seed ~stab_time:0 pattern)
-         in
-         let inputs p = (p + seed) mod 2 in
-         let run =
-           Anuc_r.exec ~seed ~pattern ~fd:oracle.Fd.Oracle.query ~inputs
-             ~max_steps:2500
-             ~stop:(fun st _ ->
-               Pset.for_all (fun p -> Core.Anuc.decision (st p) <> None)
-                 correct)
-             ()
-         in
-         run.Anuc_r.stopped_early
-         &&
-         match
-           Anuc_r.replay ~n:4 ~inputs
-             (Anuc_r.to_replay (Array.to_list run.Anuc_r.steps))
-         with
-         | Error _ -> false
-         | Ok states ->
-           List.for_all
-             (fun p ->
-               Core.Anuc.decision states.(p)
-               = Core.Anuc.decision run.Anuc_r.states.(p))
-             [ 0; 1; 2; 3 ]))
+       arb_replay_universe
+       (fun (u, seed) ->
+         Tutil.replay_roundtrips
+           (module Core.Anuc)
+           ~family:Tutil.benign_nu_plus ~seed
+           ~pattern:(Tutil.universe_pattern u) ()))
 
 let prop_replay_roundtrip_mr =
   QCheck_alcotest.to_alcotest
     (QCheck.Test.make ~name:"replay round-trips MR-Sigma runs" ~count:12
-       QCheck.(int_range 0 10_000)
-       (fun seed ->
-         let pattern = Sim.Failure_pattern.make ~n:4 ~crashes:[ (3, 40) ] in
-         let correct = Sim.Failure_pattern.correct pattern in
-         let oracle =
-           Fd.Oracle.pair
-             (Fd.Oracle.omega ~seed ~stab_time:0 pattern)
-             (Fd.Oracle.sigma ~seed ~stab_time:0 pattern)
-         in
-         let inputs p = (p + seed) mod 2 in
-         let run =
-           Mrq_r.exec ~seed ~pattern ~fd:oracle.Fd.Oracle.query ~inputs
-             ~max_steps:2500
-             ~stop:(fun st _ ->
-               Pset.for_all
-                 (fun p -> Consensus.Mr.With_quorum.decision (st p) <> None)
-                 correct)
-             ()
-         in
-         run.Mrq_r.stopped_early
-         &&
-         match
-           Mrq_r.replay ~n:4 ~inputs
-             (Mrq_r.to_replay (Array.to_list run.Mrq_r.steps))
-         with
-         | Error _ -> false
-         | Ok states ->
-           List.for_all
-             (fun p ->
-               Consensus.Mr.With_quorum.decision states.(p)
-               = Consensus.Mr.With_quorum.decision run.Mrq_r.states.(p))
-             [ 0; 1; 2; 3 ]))
+       arb_replay_universe
+       (fun (u, seed) ->
+         Tutil.replay_roundtrips
+           (module Consensus.Mr.With_quorum)
+           ~family:Tutil.benign_sigma ~seed
+           ~pattern:(Tutil.universe_pattern u) ()))
 
 let prop_replay_roundtrip_ct =
   QCheck_alcotest.to_alcotest
     (QCheck.Test.make ~name:"replay round-trips CT runs" ~count:12
-       QCheck.(int_range 0 10_000)
-       (fun seed ->
-         let pattern = Sim.Failure_pattern.make ~n:4 ~crashes:[ (3, 40) ] in
-         let correct = Sim.Failure_pattern.correct pattern in
-         let oracle = Fd.Oracle.eventually_strong ~seed ~stab_time:0 pattern in
-         let inputs p = (p + seed) mod 2 in
-         let run =
-           Ct_r.exec ~seed ~pattern ~fd:oracle.Fd.Oracle.query ~inputs
-             ~max_steps:2500
-             ~stop:(fun st _ ->
-               Pset.for_all
-                 (fun p -> Consensus.Ct.decision (st p) <> None)
-                 correct)
-             ()
-         in
-         run.Ct_r.stopped_early
-         &&
-         match
-           Ct_r.replay ~n:4 ~inputs
-             (Ct_r.to_replay (Array.to_list run.Ct_r.steps))
-         with
-         | Error _ -> false
-         | Ok states ->
-           List.for_all
-             (fun p ->
-               Consensus.Ct.decision states.(p)
-               = Consensus.Ct.decision run.Ct_r.states.(p))
-             [ 0; 1; 2; 3 ]))
+       (QCheck.pair
+          (Tutil.arb_universe ~min_n:3 ~max_n:5 ~majority_correct:true
+             ~crash_window:60 ())
+          QCheck.(int_range 0 10_000))
+       (fun (u, seed) ->
+         Tutil.replay_roundtrips
+           (module Consensus.Ct)
+           ~family:Tutil.eventually_strong ~seed
+           ~pattern:(Tutil.universe_pattern u) ()))
 
 let () =
   Alcotest.run "sim"

@@ -1,6 +1,8 @@
 (* Shared helpers for the consensus and core test suites: run a
    consensus automaton under a given oracle family over randomized
-   patterns and seeds, and evaluate the problem's properties. *)
+   patterns and seeds, evaluate the problem's properties, and the one
+   shared definition of a randomly generated environment/failure
+   pattern for qcheck properties. *)
 open Procset
 
 module type CONSENSUS = sig
@@ -67,6 +69,12 @@ let adversarial_nu =
              pattern));
   }
 
+let eventually_strong =
+  {
+    family_name = "<>S";
+    make = (fun ~seed pattern -> Fd.Oracle.eventually_strong ~seed pattern);
+  }
+
 type sweep_result = {
   runs : int;
   undecided_runs : int;  (** runs where some correct process never decided *)
@@ -131,3 +139,94 @@ let sweep (module A : CONSENSUS) ~family ~flavour ~n ~t_range ~seeds
         seeds)
     t_range;
   { runs = !runs; undecided_runs = !undecided; steps_total = !steps }
+
+(* -------------------------------------------------------------- *)
+(* QCheck generators for environments and failure patterns        *)
+(* -------------------------------------------------------------- *)
+
+(* A randomly generated universe: an environment E_t(n) together with
+   the crash times of one admissible pattern (distinct pids, at most
+   t of them, never everybody). The sim, fd and consensus suites all
+   generate their patterns through this one definition, so they agree
+   on what "a random admissible pattern" means — and share its
+   shrinker: counterexamples lose crashes first, then crash times
+   shrink toward 0 (the harshest schedule), which keeps the universe
+   in the same environment while it shrinks. *)
+type universe = {
+  u_n : int;
+  u_t : int;  (* the bound of the environment E_t *)
+  u_crashes : (Pid.t * int) list;  (* (pid, crash time); pids distinct *)
+}
+
+let universe_env u = Sim.Env.make ~n:u.u_n ~max_faulty:u.u_t
+let universe_pattern u = Sim.Failure_pattern.make ~n:u.u_n ~crashes:u.u_crashes
+
+let print_universe u =
+  Printf.sprintf "{n=%d; t=%d; crashes=[%s]}" u.u_n u.u_t
+    (String.concat "; "
+       (List.map (fun (p, t) -> Printf.sprintf "p%d@%d" p t) u.u_crashes))
+
+let universe_gen ?(min_n = 2) ?(max_n = 8) ?(majority_correct = false)
+    ?(crash_window = 120) () =
+  let open QCheck.Gen in
+  int_range min_n max_n >>= fun n ->
+  let t_max = if majority_correct then (n - 1) / 2 else n - 1 in
+  int_range 0 t_max >>= fun t ->
+  (* one independent coin and crash time per process, keeping the
+     first t heads: every crash set of size <= t is reachable *)
+  list_repeat n (pair bool (int_bound crash_window)) >>= fun coins ->
+  let picked = ref 0 in
+  let crashes =
+    List.concat
+      (List.mapi
+         (fun p (heads, time) ->
+           if heads && !picked < t then begin
+             incr picked;
+             [ (p, time) ]
+           end
+           else [])
+         coins)
+  in
+  return { u_n = n; u_t = t; u_crashes = crashes }
+
+let shrink_universe u =
+  let open QCheck.Iter in
+  QCheck.Shrink.list
+    ~shrink:(fun (p, t) -> QCheck.Shrink.int t >|= fun t' -> (p, t'))
+    u.u_crashes
+  >|= fun crashes -> { u with u_crashes = crashes }
+
+let arb_universe ?min_n ?max_n ?majority_correct ?crash_window () =
+  QCheck.make ~print:print_universe ~shrink:shrink_universe
+    (universe_gen ?min_n ?max_n ?majority_correct ?crash_window ())
+
+(* -------------------------------------------------------------- *)
+(* Replay round-trips                                             *)
+(* -------------------------------------------------------------- *)
+
+(* Execute one recorded run of [A] and round-trip it through
+   [Runner.replay]: true iff the run decided, the recorded trace is
+   applicable, and the replayed states reproduce every final
+   decision (vacuously true if the run hit [max_steps] undecided —
+   the generators can produce patterns too harsh for the budget). *)
+let replay_roundtrips (type st) (module A : CONSENSUS with type state = st)
+    ~family ~seed ~pattern ?(max_steps = 6000) () =
+  let module R = Sim.Runner.Make (A) in
+  let n = Sim.Failure_pattern.n pattern in
+  let correct = Sim.Failure_pattern.correct pattern in
+  let inputs p = (p + seed) mod 2 in
+  let oracle = family.make ~seed pattern in
+  let run =
+    R.exec ~seed ~pattern ~fd:oracle.Fd.Oracle.query ~inputs ~max_steps
+      ~stop:(fun st _ ->
+        Pset.for_all (fun p -> A.decision (st p) <> None) correct)
+      ()
+  in
+  (not run.R.stopped_early)
+  ||
+  match R.replay ~n ~inputs (R.to_replay (Array.to_list run.R.steps)) with
+  | Error _ -> false
+  | Ok states ->
+    List.for_all
+      (fun p -> A.decision states.(p) = A.decision run.R.states.(p))
+      (List.init n Fun.id)

@@ -245,6 +245,7 @@ let json_of_mc_rows rows =
              ("transitions", Json.Int s.Mc.transitions);
              ("distinct_states", Json.Int s.Mc.distinct_states);
              ("dedup_hits", Json.Int s.Mc.dedup_hits);
+             ("self_loops", Json.Int s.Mc.self_loops);
              ("sleep_skipped", Json.Int s.Mc.sleep_skipped);
              ("decided_leaves", Json.Int s.Mc.decided_leaves);
              ("depth_leaves", Json.Int s.Mc.depth_leaves);

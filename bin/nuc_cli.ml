@@ -196,21 +196,30 @@ struct
   module M = Mc.Make (A)
 
   let go ~n ~faulty ~menu ~depth ~flavour ~max_states ~delivery =
-    (match Mc.Menu.validate ~n ~faulty menu with
+    let proposals p = if Pset.mem p faulty then 1 else 0 in
+    let crashes = Pset.fold (fun p l -> (p, depth + 1) :: l) faulty [] in
+    let pattern = Sim.Failure_pattern.make ~n ~crashes in
+    (match Mc.Menu.validate ~pattern menu with
     | Ok () -> pf "menu %s: admissible@." menu.Mc.Menu.name
     | Error e ->
       pf "menu %s: INADMISSIBLE (%s)@." menu.Mc.Menu.name e;
       exit 1);
-    let proposals p = if Pset.mem p faulty then 1 else 0 in
-    let crashes = Pset.fold (fun p l -> (p, depth + 1) :: l) faulty [] in
-    let pattern = Sim.Failure_pattern.make ~n ~crashes in
     let props =
       M.consensus_props ~decision:A.decision ~proposals ~flavour ~pattern
     in
-    let stop =
-      M.decided_stop ~decision:A.decision
-        ~scope:(Sim.Failure_pattern.correct pattern)
+    (* The stop scope must match the agreement flavour: uniform
+       agreement/validity constrain faulty processes' decisions too
+       (they keep stepping until depth + 1), so for uniform checks a
+       state only counts as a goal once *every* process decided —
+       stopping when the correct ones decided would prune
+       continuations in which a faulty process decides a conflicting
+       or unproposed value. *)
+    let stop_scope =
+      match flavour with
+      | Consensus.Spec.Uniform -> Pset.full ~n
+      | Consensus.Spec.Nonuniform -> Sim.Failure_pattern.correct pattern
     in
+    let stop = M.decided_stop ~decision:A.decision ~scope:stop_scope in
     let r = M.run ~n ~menu ~depth ~inputs:proposals ~props ~stop ~max_states
         ~delivery ()
     in

@@ -580,7 +580,7 @@ let mc_verify_anuc ~depth =
            ~scope:(Sim.Failure_pattern.correct pattern))
       ()
   in
-  (Mc.Menu.validate ~n ~faulty menu, report)
+  (Mc.Menu.validate ~pattern menu, report)
 
 (* Exhaustive search for the naive-Sigma-nu contamination violation:
    MR with detector-supplied quorums driven by a legal Sigma-nu menu.
@@ -608,7 +608,7 @@ let mc_attack_naive ~depth =
             cx.Mc_naive.cx_samples ))
       report.Mc_naive.violation
   in
-  (Mc.Menu.validate ~n ~faulty menu, report, certified)
+  (Mc.Menu.validate ~pattern menu, report, certified)
 
 let anuc_mc_depth ~quick = if quick then 9 else 11
 let naive_mc_depth ~quick = if quick then 32 else 34

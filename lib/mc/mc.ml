@@ -193,12 +193,15 @@ module Menu = struct
       let* () = as_err (Fd.Check.self_inclusion h) in
       as_err (Fd.Check.conditional_nonintersection pattern h)
 
-  let validate ~n ~faulty menu =
-    let pattern =
-      Sim.Failure_pattern.make ~n
-        ~crashes:(List.map (fun p -> (p, 1_000_000)) (Pset.elements faulty))
-    in
-    perpetual_clauses menu.kind pattern (menu_history ~n menu)
+  (* Certify against the caller's pattern — the one the exploration
+     actually runs under — so the certificate cannot silently apply to
+     a different pattern than the one checked. The perpetual clauses
+     read the pattern only through its correct/faulty split, never
+     through crash times, so the dense menu history's small artificial
+     sample times need no alignment with the pattern's crash times. *)
+  let validate ~pattern menu =
+    perpetual_clauses menu.kind pattern
+      (menu_history ~n:(Sim.Failure_pattern.n pattern) menu)
 end
 
 (* [history_legal] checks the sampled detector history of a concrete
@@ -216,7 +219,9 @@ let history_legal ~kind ~pattern samples =
 type stats = {
   transitions : int;  (** edges taken (including into already-seen states) *)
   distinct_states : int;  (** canonical states after deduplication *)
-  dedup_hits : int;  (** transitions absorbed by memoization *)
+  dedup_hits : int;
+      (** transitions absorbed by memoization (0 when [dedup] is off) *)
+  self_loops : int;  (** transitions skipped because child = parent *)
   sleep_skipped : int;  (** moves pruned by sleep sets *)
   decided_leaves : int;  (** states where [stop] held, not expanded *)
   depth_leaves : int;  (** states truncated by the depth bound *)
@@ -231,9 +236,9 @@ let states_per_sec s =
 
 let pp_stats fmt s =
   Format.fprintf fmt
-    "%d transitions, %d distinct states (%d dedup hits, %d sleep-pruned), \
-     %d decided leaves, %d depth leaves, %.0f states/s%s"
-    s.transitions s.distinct_states s.dedup_hits s.sleep_skipped
+    "%d transitions, %d distinct states (%d dedup hits, %d self-loops, %d \
+     sleep-pruned), %d decided leaves, %d depth leaves, %.0f states/s%s"
+    s.transitions s.distinct_states s.dedup_hits s.self_loops s.sleep_skipped
     s.decided_leaves s.depth_leaves (states_per_sec s)
     (if s.truncated then " [TRUNCATED]" else "")
 
@@ -449,6 +454,7 @@ module Make (A : Sim.Automaton.S) = struct
     let visited = Tbl.create 65536 in
     let transitions = ref 0
     and dedup_hits = ref 0
+    and self_loops = ref 0
     and sleep_skipped = ref 0
     and decided_leaves = ref 0
     and depth_leaves = ref 0
@@ -478,7 +484,7 @@ module Make (A : Sim.Automaton.S) = struct
                 (* self-loop (e.g. a lambda step whose detector value
                    unlocks nothing): no new state, and every move
                    enabled at the child is enabled here — skip *)
-                incr dedup_hits
+                incr self_loops
               else begin
               let child_slept =
                 if sleep then
@@ -498,17 +504,24 @@ module Make (A : Sim.Automaton.S) = struct
         if e.remaining >= remaining && subset_moves e.slept slept then
           incr dedup_hits
         else begin
-          (* Revisit with a bigger budget or a smaller sleep set:
-             re-expand for the uncovered part, with the intersection of
-             the sleep sets (sound for both visits). *)
+          (* Revisit with a bigger budget or an uncovered sleep set:
+             re-expand with the *current* budget and the intersection of
+             the two sleep sets (sound for both visits). The entry is
+             only updated when the (budget, sleep set) pair explored
+             right now dominates the stored one — the entry must always
+             describe an exploration that actually happened, never a
+             mixture of two visits' coverage (a max-budget/intersected-
+             sleep-set mixture would absorb later visits whose schedules
+             were never walked). *)
           let slept' = List.filter (fun m -> List.exists (move_equal m) e.slept) slept in
-          e.remaining <- max e.remaining remaining;
-          e.slept <- slept';
+          if remaining >= e.remaining then begin
+            e.remaining <- remaining;
+            e.slept <- slept'
+          end;
           if remaining > 0 then expand_with slept'
           else incr depth_leaves
         end
-      | Some _ -> (* dedup off: count the revisit but explore anyway *)
-        incr dedup_hits;
+      | Some _ -> (* dedup off: nothing is absorbed; re-explore the revisit *)
         if (match stop with Some f -> f (fun p -> cfg.states.(p)) | None -> false)
         then incr decided_leaves
         else if remaining = 0 then incr depth_leaves
@@ -548,6 +561,7 @@ module Make (A : Sim.Automaton.S) = struct
         transitions = !transitions;
         distinct_states = Tbl.length visited;
         dedup_hits = !dedup_hits;
+        self_loops = !self_loops;
         sleep_skipped = !sleep_skipped;
         decided_leaves = !decided_leaves;
         depth_leaves = !depth_leaves;

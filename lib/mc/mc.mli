@@ -63,13 +63,15 @@ module Menu : sig
       may suspect nobody, exactly the faulty set, or additionally one
       correct process. *)
 
-  val validate : n:int -> faulty:Pset.t -> t -> (unit, string) result
+  val validate : pattern:Sim.Failure_pattern.t -> t -> (unit, string) result
   (** Certifies menu admissibility by checking the detector class's
       perpetual clauses ({!Fd.Check.intersection},
       {!Fd.Check.self_inclusion},
       {!Fd.Check.conditional_nonintersection}) over the dense history
       containing every menu value — which dominates every history an
-      exploration can sample. *)
+      exploration can sample. [pattern] must be the failure pattern the
+      exploration runs under (the same one given to {!history_legal}),
+      so the certificate and the run refer to one pattern. *)
 end
 
 val history_legal :
@@ -84,7 +86,9 @@ val history_legal :
 type stats = {
   transitions : int;  (** edges taken (including into already-seen states) *)
   distinct_states : int;  (** canonical states after deduplication *)
-  dedup_hits : int;  (** transitions absorbed by memoization *)
+  dedup_hits : int;
+      (** transitions absorbed by memoization (0 when [dedup] is off) *)
+  self_loops : int;  (** transitions skipped because child = parent *)
   sleep_skipped : int;  (** moves pruned by sleep sets *)
   decided_leaves : int;  (** states where [stop] held, not expanded *)
   depth_leaves : int;  (** states truncated by the depth bound *)
@@ -135,7 +139,12 @@ module Make (A : Sim.Automaton.S) : sig
     scope:Pset.t ->
     (Pid.t -> A.state) ->
     bool
-  (** Goal predicate: every process of [scope] has decided. *)
+  (** Goal predicate: every process of [scope] has decided. Stopped
+      states are never expanded, so [scope] must contain every process
+      whose decision the checked properties constrain: the correct set
+      for nonuniform agreement, but [Pset.full] for uniform agreement —
+      with a correct-only scope a faulty process could decide a
+      conflicting value in a pruned continuation. *)
 
   type counterexample = {
     cx_property : string;

@@ -21,7 +21,7 @@ let pattern ~depth = Sim.Failure_pattern.make ~n ~crashes:[ (2, depth + 1) ]
 let test_menus_admissible () =
   List.iter
     (fun menu ->
-      match Mc.Menu.validate ~n ~faulty menu with
+      match Mc.Menu.validate ~pattern:(pattern ~depth:40) menu with
       | Ok () -> ()
       | Error e ->
         Alcotest.failf "menu %s must be admissible: %s" menu.Mc.Menu.name e)
@@ -50,7 +50,7 @@ let test_bogus_menu_rejected () =
           ]);
     }
   in
-  match Mc.Menu.validate ~n ~faulty bogus with
+  match Mc.Menu.validate ~pattern:(pattern ~depth:40) bogus with
   | Error _ -> ()
   | Ok () -> Alcotest.fail "disjoint correct quorums must be rejected"
 
@@ -171,6 +171,11 @@ let test_pruning_reduces_without_changing_verdict () =
     (pruned.M_naive.stats.Mc.sleep_skipped > 0);
   Alcotest.(check bool) "memoization fired" true
     (pruned.M_naive.stats.Mc.dedup_hits > 0);
+  (* dedup_hits counts memoization absorptions only: with dedup off
+     nothing is absorbed, and self-loop skips live in their own
+     counter *)
+  Alcotest.(check int) "dedup off absorbs nothing" 0
+    bare.M_naive.stats.Mc.dedup_hits;
   (* dedup load-bearing: strictly fewer states than transitions *)
   Alcotest.(check bool) "deduped states < explored transitions" true
     (pruned.M_naive.stats.Mc.distinct_states

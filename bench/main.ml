@@ -10,8 +10,8 @@
    - the B-tables: decision latency of the consensus algorithms
      across environments (B1), sensitivity to the detectors'
      stabilization time (B2), the cost of the DAG-based
-     transformation machinery (B3), and model-checker throughput
-     (B6);
+     transformation machinery (B3), model-checker throughput (B6),
+     and liveness degradation under injected message loss (B7);
    - bechamel microbenchmarks of the substrate hot paths (B4).
 
    Run with: dune exec bench/main.exe
@@ -258,6 +258,35 @@ let json_of_mc_rows rows =
        rows)
 
 (* ---------------------------------------------------------------- *)
+(* B7: liveness degradation under message loss                       *)
+(* ---------------------------------------------------------------- *)
+
+let b7_fault_latency ~smoke () =
+  hr "B7: A_nuc decision latency vs message-drop rate (n=4, t=1; \
+      non-deciders hit the step budget — nothing retransmits a dropped \
+      message)";
+  pf "%s@." Experiments.fault_header;
+  let rows = Experiments.fault_table ~quick:smoke () in
+  List.iter (fun r -> pf "%a@." Experiments.pp_fault_row r) rows;
+  rows
+
+let json_of_fault_rows rows =
+  Json.List
+    (List.map
+       (fun (r : Experiments.fault_row) ->
+         Json.Obj
+           [
+             ("algorithm", Json.Str r.f_algorithm);
+             ("drop_rate", Json.Float r.f_drop);
+             ("runs", Json.Int r.f_runs);
+             ("decided", Json.Int r.f_decided);
+             ("step_budget", Json.Int r.f_budget);
+             ("avg_steps_decided", Json.Float r.f_avg_steps);
+             ("avg_net_dropped", Json.Float r.f_avg_dropped);
+           ])
+       rows)
+
+(* ---------------------------------------------------------------- *)
 (* Substrate run metrics: one instrumented reference run             *)
 (* ---------------------------------------------------------------- *)
 
@@ -300,6 +329,9 @@ let json_of_metrics (m : Sim.Runner.metrics) =
       ("messages_sent", Json.Int m.sent);
       ("messages_delivered", Json.Int m.delivered);
       ("messages_dropped", Json.Int m.dropped);
+      ("messages_duplicated", Json.Int m.duplicated);
+      ("messages_reordered", Json.Int m.reordered);
+      ("messages_undelivered_at_stop", Json.Int m.undelivered_at_stop);
       ("mailbox_hwm", Json.Int m.mailbox_hwm);
       ("wall_seconds", Json.Float m.wall_seconds);
     ]
@@ -465,6 +497,7 @@ let () =
   let b3 = b3_dag_growth ~smoke () in
   let b5 = b5_ablation () in
   let b6 = b6_model_check ~smoke () in
+  let b7 = b7_fault_latency ~smoke () in
   let metrics = run_metrics () in
   let b4 = b4_micro ~smoke () in
   match json_file with
@@ -482,6 +515,7 @@ let () =
         json_of_dag_rows b3;
         json_of_ablation_rows b5;
         json_of_mc_rows b6;
+        json_of_fault_rows b7;
         json_of_micro_rows b4;
         json_of_metrics metrics;
       ]

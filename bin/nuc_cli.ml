@@ -46,7 +46,42 @@ let algo_conv =
           | Experiments.Stack -> "stack"
           | Experiments.Ct -> "ct") )
 
-let run_consensus algo n t seed =
+(* --partition 20-60:0,1|2,3 — window FROM-UNTIL, then '|'-separated
+   connectivity groups of ','-separated pids. *)
+let partition_conv =
+  let parse s =
+    let err =
+      `Msg
+        (Printf.sprintf
+           "bad partition %S (expected FROM-UNTIL:G|G|... e.g. 20-60:0,1|2,3)"
+           s)
+    in
+    try
+      match String.split_on_char ':' s with
+      | [ window; gs ] -> (
+        match String.split_on_char '-' window with
+        | [ a; b ] ->
+          let groups =
+            String.split_on_char '|' gs
+            |> List.map (fun g ->
+                   Pset.of_list
+                     (List.map
+                        (fun x -> int_of_string (String.trim x))
+                        (String.split_on_char ',' g)))
+          in
+          Ok
+            {
+              Sim.Faults.from_t = int_of_string (String.trim a);
+              until_t = int_of_string (String.trim b);
+              groups;
+            }
+        | _ -> Error err)
+      | _ -> Error err
+    with Failure _ -> Error err
+  in
+  Cmdliner.Arg.conv (parse, Sim.Faults.pp_partition)
+
+let run_consensus algo n t seed drop dup reorder partitions =
   if t >= n then (
     pf "error: need t < n@.";
     exit 1);
@@ -54,7 +89,15 @@ let run_consensus algo n t seed =
   then (
     pf "error: this algorithm requires t < n/2 (got n=%d t=%d)@." n t;
     exit 1);
-  let r = Experiments.latency algo ~n ~t ~seeds:[ seed ] in
+  let faults =
+    try Sim.Faults.make ~drop ~dup ~reorder ~partitions ~seed ()
+    with Invalid_argument m ->
+      pf "error: %s@." m;
+      exit 1
+  in
+  if not (Sim.Faults.is_none faults) then
+    pf "fault spec: %a@." Sim.Faults.pp faults;
+  let r = Experiments.latency ~faults algo ~n ~t ~seeds:[ seed ] in
   pf "%s, n=%d, E_%d, seed %d:@."  r.Experiments.algorithm n t seed;
   pf "  all correct processes decided: %b@."
     (r.Experiments.decided = r.Experiments.runs);
@@ -88,15 +131,16 @@ let run_experiments quick only seed =
           ("e6", fun ~quick -> Experiments.e6_contamination ~quick ~seed_base:seed);
           ("e7", fun ~quick -> Experiments.e7_sigma_scratch ~quick ~seed_base:seed);
           ("e8", fun ~quick -> Experiments.e8_attack ~quick);
-          ("e9", fun ~quick -> Experiments.e9_merge ~quick);
+          ("e9", fun ~quick -> Experiments.e9_merge ~quick ?step_budget:None);
           ("e10", fun ~quick -> Experiments.e10_not_uniform ~quick);
           ("e11", fun ~quick -> Experiments.e11_model_check ~quick);
+          ("e12", fun ~quick -> Experiments.e12_faults ~quick ~seed_base:seed);
         ]
       in
       match List.assoc_opt (String.lowercase_ascii id) pick with
       | Some f -> [ f ~quick () ]
       | None ->
-        pf "unknown experiment %S (expected e1..e11)@." id;
+        pf "unknown experiment %S (expected e1..e12)@." id;
         exit 1)
   in
   List.iter (fun r -> pf "%a@.@." Experiments.pp_row r) rows;
@@ -195,7 +239,7 @@ end) =
 struct
   module M = Mc.Make (A)
 
-  let go ~n ~faulty ~menu ~depth ~flavour ~max_states ~delivery =
+  let go ~n ~faulty ~menu ~depth ~flavour ~max_states ~max_drops ~delivery =
     let proposals p = if Pset.mem p faulty then 1 else 0 in
     let crashes = Pset.fold (fun p l -> (p, depth + 1) :: l) faulty [] in
     let pattern = Sim.Failure_pattern.make ~n ~crashes in
@@ -221,7 +265,7 @@ struct
     in
     let stop = M.decided_stop ~decision:A.decision ~scope:stop_scope in
     let r = M.run ~n ~menu ~depth ~inputs:proposals ~props ~stop ~max_states
-        ~delivery ()
+        ?max_drops ~delivery ()
     in
     pf "%a@." Mc.pp_stats r.M.stats;
     match r.M.violation with
@@ -256,10 +300,10 @@ struct
       in
       if not (ok_replay && ok_hist) then exit 1
 
-  let default_go ~n ~faulty ~max_states ~delivery ~flavour ~default_depth
-      ~menu depth_opt =
+  let default_go ~n ~faulty ~max_states ~max_drops ~delivery ~flavour
+      ~default_depth ~menu depth_opt =
     let depth = Option.value depth_opt ~default:default_depth in
-    go ~n ~faulty ~menu ~depth ~flavour ~max_states ~delivery
+    go ~n ~faulty ~menu ~depth ~flavour ~max_states ~max_drops ~delivery
 end
 
 module Mc_anuc_drive = Mc_drive (Core.Anuc)
@@ -267,7 +311,7 @@ module Mc_naive_drive = Mc_drive (Consensus.Mr.With_quorum)
 module Mc_maj_drive = Mc_drive (Consensus.Mr.Majority)
 module Mc_ct_drive = Mc_drive (Consensus.Ct)
 
-let run_mc algo n t depth_opt family max_states delivery =
+let run_mc algo n t depth_opt family max_states max_drops delivery =
   if t >= n || t < 1 then (
     pf "error: need 1 <= t < n@.";
     exit 1);
@@ -279,12 +323,13 @@ let run_mc algo n t depth_opt family max_states delivery =
       pf "unknown delivery model %S (fifo | any)@." s;
       exit 1
   in
-  let contamination =
+  let family =
     match String.lowercase_ascii family with
-    | "contamination" -> true
-    | "full" -> false
+    | "contamination" -> `Contamination
+    | "lossy" -> `Lossy
+    | "full" -> `Full
     | s ->
-      pf "unknown menu family %S (contamination | full)@." s;
+      pf "unknown menu family %S (contamination | lossy | full)@." s;
       exit 1
   in
   let faulty = Pset.of_list (List.init t (fun i -> n - 1 - i)) in
@@ -295,33 +340,37 @@ let run_mc algo n t depth_opt family max_states delivery =
   in
   match String.lowercase_ascii algo with
   | "anuc" ->
-    Mc_anuc_drive.default_go ~n ~faulty ~max_states ~delivery
+    Mc_anuc_drive.default_go ~n ~faulty ~max_states ~max_drops ~delivery
       ~flavour:Consensus.Spec.Nonuniform ~default_depth:11
       ~menu:
-        (if contamination then Mc.Menu.contamination ~plus:true ~n ~faulty ()
-         else Mc.Menu.omega_sigma_nu_plus ~n ~faulty)
+        (match family with
+        | `Contamination -> Mc.Menu.contamination ~plus:true ~n ~faulty ()
+        | `Lossy -> Mc.Menu.lossy ~plus:true ~n ~faulty ()
+        | `Full -> Mc.Menu.omega_sigma_nu_plus ~n ~faulty)
       depth_opt
   | "naive-sn" ->
-    Mc_naive_drive.default_go ~n ~faulty ~max_states ~delivery
+    Mc_naive_drive.default_go ~n ~faulty ~max_states ~max_drops ~delivery
       ~flavour:Consensus.Spec.Nonuniform ~default_depth:34
       ~menu:
-        (if contamination then Mc.Menu.contamination ~n ~faulty ()
-         else Mc.Menu.omega_sigma_nu ~n ~faulty)
+        (match family with
+        | `Contamination -> Mc.Menu.contamination ~n ~faulty ()
+        | `Lossy -> Mc.Menu.lossy ~n ~faulty ()
+        | `Full -> Mc.Menu.omega_sigma_nu ~n ~faulty)
       depth_opt
   | "mr-sigma" ->
-    Mc_naive_drive.default_go ~n ~faulty ~max_states ~delivery
+    Mc_naive_drive.default_go ~n ~faulty ~max_states ~max_drops ~delivery
       ~flavour:Consensus.Spec.Uniform ~default_depth:10
       ~menu:(Mc.Menu.omega_sigma ~n ~faulty)
       depth_opt
   | "mr-majority" ->
     need_majority ();
-    Mc_maj_drive.default_go ~n ~faulty ~max_states ~delivery
+    Mc_maj_drive.default_go ~n ~faulty ~max_states ~max_drops ~delivery
       ~flavour:Consensus.Spec.Uniform ~default_depth:11
       ~menu:(Mc.Menu.leader_only ~n ~faulty)
       depth_opt
   | "ct" ->
     need_majority ();
-    Mc_ct_drive.default_go ~n ~faulty ~max_states ~delivery
+    Mc_ct_drive.default_go ~n ~faulty ~max_states ~max_drops ~delivery
       ~flavour:Consensus.Spec.Uniform ~default_depth:13
       ~menu:(Mc.Menu.suspects ~n ~faulty)
       depth_opt
@@ -356,9 +405,45 @@ let run_cmd =
       & info [ "algo" ] ~docv:"ALGO"
           ~doc:"Algorithm: a_nuc | mr_majority | mr_sigma | stack | ct.")
   in
+  let drop =
+    Arg.(
+      value & opt float 0.0
+      & info [ "drop" ] ~docv:"P"
+          ~doc:
+            "Drop each cross-process message with probability $(docv) \
+             (deterministic in --seed).")
+  in
+  let dup =
+    Arg.(
+      value & opt float 0.0
+      & info [ "dup" ] ~docv:"P"
+          ~doc:
+            "Deliver each surviving cross-process message twice with \
+             probability $(docv).")
+  in
+  let reorder =
+    Arg.(
+      value & opt int 0
+      & info [ "reorder" ] ~docv:"W"
+          ~doc:
+            "Let a delivered message jump ahead of up to $(docv) queued \
+             messages at its destination.")
+  in
+  let partition =
+    Arg.(
+      value
+      & opt_all partition_conv []
+      & info [ "partition" ] ~docv:"SPEC"
+          ~doc:
+            "Sever cross-group links during a window; $(docv) is \
+             FROM-UNTIL:G|G|... with comma-separated pids per group, e.g. \
+             20-60:0,1|2,3. Repeatable.")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one consensus instance in a simulated system")
-    Term.(const run_consensus $ algo $ n_arg $ t_arg $ seed_arg)
+    Term.(
+      const run_consensus $ algo $ n_arg $ t_arg $ seed_arg $ drop $ dup
+      $ reorder $ partition)
 
 let experiments_cmd =
   let quick =
@@ -447,7 +532,9 @@ let mc_cmd =
       & info [ "family" ] ~docv:"FAMILY"
           ~doc:
             "Detector-menu family: the focused Section 6.3 'contamination' \
-             sub-family, or the 'full' class menu (much larger state \
+             sub-family, the same family over 'lossy' links (the network \
+             may drop any deliverable message), or the 'full' class menu \
+             (much larger state \
              space).")
   in
   let max_states =
@@ -455,6 +542,18 @@ let mc_cmd =
       value & opt int 2_000_000
       & info [ "max-states" ] ~docv:"S"
           ~doc:"Abort (inconclusively) after exploring $(docv) states.")
+  in
+  let max_drops =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-drops" ] ~docv:"K"
+          ~doc:
+            "With --family lossy: bound the network to at most $(docv) \
+             dropped messages per schedule (default: unlimited). The \
+             exploration is then exhaustive for every schedule with at \
+             most $(docv) losses — the loss-bounded analogue of --depth, \
+             which keeps deep lossy explorations tractable.")
   in
   let delivery =
     Arg.(
@@ -470,7 +569,8 @@ let mc_cmd =
          "Exhaustively model-check an algorithm over every admissible \
           schedule of a small universe")
     Term.(
-      const run_mc $ algo $ n $ t $ depth $ family $ max_states $ delivery)
+      const run_mc $ algo $ n $ t $ depth $ family $ max_states $ max_drops
+      $ delivery)
 
 let main_cmd =
   Cmd.group

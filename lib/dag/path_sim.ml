@@ -7,10 +7,12 @@ module Make (A : Sim.Automaton.S) = struct
     stopped : bool;
     messages_sent : int;
     messages_delivered : int;
+    messages_dropped : int;
     mailbox_hwm : int;
   }
 
-  let run ~n ~inputs ~path ?(until = fun _ -> false) () =
+  let run ~n ~inputs ~path ?(faults = Sim.Faults.none)
+      ?(until = fun _ -> false) () =
     let states = Array.init n (fun p -> A.initial ~n ~self:p (inputs p)) in
     let buffers = Array.init n (fun _ -> Sim.Mailbox.create ()) in
     let send_seq = Array.make n 0 in
@@ -19,6 +21,7 @@ module Make (A : Sim.Automaton.S) = struct
     let stopped = ref false in
     let sent = ref 0 in
     let delivered = ref 0 in
+    let dropped = ref 0 in
     let hwm = ref 0 in
     let rec exec = function
       | [] -> ()
@@ -33,13 +36,22 @@ module Make (A : Sim.Automaton.S) = struct
           (fun (dst, payload) ->
             let seq = send_seq.(p) in
             send_seq.(p) <- seq + 1;
-            let env =
-              { Sim.Envelope.src = p; dst; seq; sent_at = !time; payload }
-            in
             incr sent;
-            Sim.Mailbox.enqueue buffers.(dst) env;
-            let depth = Sim.Mailbox.length buffers.(dst) in
-            if depth > !hwm then hwm := depth)
+            let v = Sim.Faults.verdict faults ~src:p ~dst ~seq ~time:!time in
+            if v.Sim.Faults.copies = 0 then incr dropped
+            else begin
+              let env =
+                { Sim.Envelope.src = p; dst; seq; sent_at = !time; payload }
+              in
+              let buf = buffers.(dst) in
+              let len = Sim.Mailbox.length buf in
+              let at = max 0 (len - v.Sim.Faults.displace) in
+              if at < len then Sim.Mailbox.insert_nth buf at env
+              else Sim.Mailbox.enqueue buf env;
+              if v.Sim.Faults.copies = 2 then Sim.Mailbox.enqueue buf env;
+              let depth = Sim.Mailbox.length buf in
+              if depth > !hwm then hwm := depth
+            end)
           sends;
         incr time;
         incr executed;
@@ -52,6 +64,7 @@ module Make (A : Sim.Automaton.S) = struct
       stopped = !stopped;
       messages_sent = !sent;
       messages_delivered = !delivered;
+      messages_dropped = !dropped;
       mailbox_hwm = !hwm;
     }
 

@@ -20,6 +20,8 @@ module Make (A : Sim.Automaton.S) : sig
     messages_sent : int;  (** messages enqueued along the prefix *)
     messages_delivered : int;
         (** steps of the prefix that received a message *)
+    messages_dropped : int;
+        (** sends lost to the fault spec; 0 without one *)
     mailbox_hwm : int;
         (** high-water mark of any single mailbox depth *)
   }
@@ -28,6 +30,7 @@ module Make (A : Sim.Automaton.S) : sig
     n:int ->
     inputs:(Procset.Pid.t -> A.input) ->
     path:(Procset.Pid.t * Sim.Fd_value.t) list ->
+    ?faults:Sim.Faults.t ->
     ?until:(A.state array -> bool) ->
     unit ->
     result
@@ -36,7 +39,10 @@ module Make (A : Sim.Automaton.S) : sig
       [inputs]. If [until] is supplied, execution stops after the
       first step whose resulting configuration satisfies it; the
       executed prefix length identifies the deciding schedule prefix
-      (and hence its participants). *)
+      (and hence its participants). [faults] (default
+      {!Sim.Faults.none}) applies the same deterministic per-send
+      fault verdicts as [Sim.Runner]: the canonical schedule then
+      delivers the oldest {e surviving} message of each step. *)
 
   val participants : path:(Procset.Pid.t * Sim.Fd_value.t) list ->
     prefix:int -> Procset.Pset.t

@@ -416,7 +416,7 @@ let e8_attack ?(quick = false) () =
    quorums stay on its side), merge them, replay the merged schedule,
    and observe a single run in which processes of the two sides have
    decided differently. *)
-let e9_merge ?quick:_ () =
+let e9_merge ?quick:_ ?(step_budget = 400) () =
   let n = 4 in
   let part_a = Pset.of_list [ 0; 1 ] and part_b = Pset.of_list [ 2; 3 ] in
   let pattern = Sim.Failure_pattern.failure_free ~n in
@@ -426,27 +426,44 @@ let e9_merge ?quick:_ () =
       (Sim.Fd_value.Leader (Pset.min_elt side), Sim.Fd_value.Quorum side)
   in
   let inputs p = if Pset.mem p part_a then 0 else 1 in
+  (* A side that fails to decide within the budget is reported as a
+     failed row, never as an exception: one bad row must not kill the
+     whole experiment table (or the CI bench job) the way the old
+     [failwith "side did not decide"] did. *)
   let drive side =
     let s = Mrq_runner.Session.create ~pattern ~fd ~inputs () in
     let members = Pset.elements side in
     let rec go i =
-      if i > 400 then failwith "side did not decide"
+      if i > step_budget then
+        Error
+          (Format.asprintf "side %a did not decide within %d steps" Pset.pp
+             side step_budget)
       else if
         List.for_all
           (fun p ->
             Consensus.Mr.With_quorum.decision (Mrq_runner.Session.state s p)
             <> None)
           members
-      then ()
+      then Ok (Mrq_runner.Session.finish s)
       else begin
         Mrq_runner.Session.step s (List.nth members (i mod List.length members));
         go (i + 1)
       end
     in
-    go 0;
-    Mrq_runner.Session.finish s
+    go 0
   in
-  let run_a = drive part_a and run_b = drive part_b in
+  match (drive part_a, drive part_b) with
+  | Error e, _ | _, Error e ->
+    {
+      id = "E9";
+      theorem = "Lemma 2.2: run merging (as used by Lemma 5.3)";
+      expected =
+        "merged run applicable, per-process states preserved, and the two \
+         sides decide differently in one run";
+      measured = "no merge attempted: " ^ e;
+      pass = false;
+    }
+  | Ok run_a, Ok run_b ->
   let merged =
     Mrq_runner.merge_traces
       (Array.to_list run_a.Mrq_runner.steps)
@@ -658,6 +675,176 @@ let e11_model_check ?(quick = false) () =
     pass = anuc_ok && naive_ok;
   }
 
+(* ---------------------------------------------------------------- *)
+(* E12: adversarial network faults (Sim.Faults)                      *)
+(* ---------------------------------------------------------------- *)
+
+(* The lossy-link variants of the two E11 explorations: identical
+   detector menus, plus a network adversary that may drop any
+   deliverable cross-process message. Drop moves consume depth, so
+   the A_nuc bound sits lower than E11's for comparable run time. *)
+let anuc_lossy_mc_depth ~quick = if quick then 7 else 8
+let naive_lossy_mc_depth ~quick = if quick then 32 else 33
+
+let mc_verify_anuc_lossy ~depth =
+  let n, faulty, pattern, proposals = mc_universe ~depth in
+  let menu = Mc.Menu.lossy ~plus:true ~n ~faulty () in
+  let report =
+    Mc_anuc.run ~n ~menu ~depth ~inputs:proposals
+      ~props:
+        (Mc_anuc.consensus_props ~decision:Core.Anuc.decision ~proposals
+           ~flavour:Consensus.Spec.Nonuniform ~pattern)
+      ~stop:
+        (Mc_anuc.decided_stop ~decision:Core.Anuc.decision
+           ~scope:(Sim.Failure_pattern.correct pattern))
+      ()
+  in
+  (Mc.Menu.validate ~pattern menu, report)
+
+(* Unlike the A_nuc verification, the depth-32+ attack cannot afford
+   the unbounded drop alphabet (the lossy state space at that depth
+   dwarfs [max_states]); a loss budget of one keeps the exploration
+   exhaustive for every schedule with at most one network drop —
+   which still strictly contains the loss-free space the Section 6.3
+   counterexample lives in. *)
+let naive_lossy_drop_budget = 1
+
+let mc_attack_naive_lossy ~depth =
+  let n, faulty, pattern, proposals = mc_universe ~depth in
+  let menu = Mc.Menu.lossy ~n ~faulty () in
+  let report =
+    Mc_naive.run ~n ~menu ~depth ~max_drops:naive_lossy_drop_budget
+      ~inputs:proposals
+      ~props:
+        (Mc_naive.consensus_props
+           ~decision:Consensus.Mr.With_quorum.decision ~proposals
+           ~flavour:Consensus.Spec.Nonuniform ~pattern)
+      ~stop:
+        (Mc_naive.decided_stop ~decision:Consensus.Mr.With_quorum.decision
+           ~scope:(Sim.Failure_pattern.correct pattern))
+      ()
+  in
+  let certified =
+    Option.map
+      (fun cx ->
+        ( Mc_naive.replay_counterexample ~n ~inputs:proposals cx,
+          Mc.history_legal ~kind:menu.Mc.Menu.kind ~pattern
+            cx.Mc_naive.cx_samples ))
+      report.Mc_naive.violation
+  in
+  (Mc.Menu.validate ~pattern menu, report, certified)
+
+let e12_faults ?(quick = false) ?(seed_base = 0) () =
+  (* (a) randomized A_nuc runs under the full fault menu — drops,
+     duplication, reordering, and a partition that heals before the
+     detectors stabilize: consensus must hold end to end and the
+     recorded trace must still pass conformance (replayed under the
+     run's own fault spec). *)
+  let t = tally () in
+  let n = 4 in
+  let runs = if quick then 6 else 16 in
+  List.iter
+    (fun seed ->
+      let pattern = random_pattern ~seed ~n ~t:1 in
+      let correct = Sim.Failure_pattern.correct pattern in
+      let proposals p = (p + seed) mod 2 in
+      let oracle =
+        Fd.Oracle.pair
+          (Fd.Oracle.omega ~seed ~stab_time:60 pattern)
+          (Fd.Oracle.sigma_nu_plus ~seed ~stab_time:60 pattern)
+      in
+      let faults =
+        Sim.Faults.make ~drop:0.1 ~dup:0.1 ~reorder:3
+          ~partitions:
+            [
+              {
+                Sim.Faults.from_t = 20;
+                until_t = 55;
+                groups = [ Pset.of_list [ 0; 1 ]; Pset.of_list [ 2; 3 ] ];
+              };
+            ]
+          ~seed ()
+      in
+      let run =
+        Anuc_runner.exec ~seed ~faults ~pattern ~fd:oracle.Fd.Oracle.query
+          ~inputs:proposals ~max_steps:8000
+          ~stop:(fun st _ ->
+            Pset.for_all (fun p -> Core.Anuc.decision (st p) <> None) correct)
+          ()
+      in
+      let outcome =
+        Consensus.Spec.outcome ~pattern ~proposals ~decisions:(fun p ->
+            Core.Anuc.decision run.Anuc_runner.states.(p))
+      in
+      (* Safety only: a dropped message is never retransmitted, so a
+         loss on the critical path legitimately stalls liveness (the
+         degradation B7 quantifies) — but no fault may ever induce a
+         validity or NU-agreement violation. *)
+      (match
+         (match Consensus.Spec.check_validity outcome with
+         | Error _ as e -> e
+         | Ok () ->
+           Consensus.Spec.check_agreement Consensus.Spec.Nonuniform outcome)
+       with
+      | Ok () -> record t true ""
+      | Error e ->
+        record t false (Printf.sprintf "seed %d: %s" seed e));
+      match
+        Anuc_runner.conformance ~fd:oracle.Fd.Oracle.query ~inputs:proposals
+          run
+      with
+      | Ok () -> record t true ""
+      | Error e ->
+        record t false (Printf.sprintf "seed %d: conformance: %s" seed e))
+    (List.init runs (fun i -> seed_base + i));
+  (* (b) the Section 6.3 dichotomy survives the lossy network model:
+     exhaustive exploration still clears A_nuc and still convicts the
+     naive baseline, counterexample certified as in E11. *)
+  let anuc_legal, anuc_r =
+    mc_verify_anuc_lossy ~depth:(anuc_lossy_mc_depth ~quick)
+  in
+  let naive_legal, naive_r, certified =
+    mc_attack_naive_lossy ~depth:(naive_lossy_mc_depth ~quick)
+  in
+  let anuc_ok =
+    Result.is_ok anuc_legal
+    && anuc_r.Mc_anuc.violation = None
+    && not anuc_r.Mc_anuc.stats.Mc.truncated
+  in
+  let naive_ok =
+    Result.is_ok naive_legal
+    &&
+    match (naive_r.Mc_naive.violation, certified) with
+    | Some cx, Some (replay, history) ->
+      cx.Mc_naive.cx_property = "nonuniform agreement"
+      && Result.is_ok replay && Result.is_ok history
+    | _ -> false
+  in
+  let measured =
+    Printf.sprintf
+      "A_nuc: %d/%d faulty runs safe+conformant%s; lossy mc: A_nuc %d states \
+       exhausted to depth %d, 0 violations; naive: %s"
+      (t.total - t.failed) t.total
+      (if t.failed = 0 then "" else Printf.sprintf " (first: %s)" t.note)
+      anuc_r.Mc_anuc.stats.Mc.distinct_states
+      (anuc_lossy_mc_depth ~quick)
+      (match naive_r.Mc_naive.violation with
+      | None -> "no violation found (UNEXPECTED)"
+      | Some cx ->
+        Printf.sprintf "%d-step certified NU-agreement counterexample"
+          (List.length cx.Mc_naive.cx_steps))
+  in
+  {
+    id = "E12";
+    theorem = "Sim.Faults: consensus under an adversarial network";
+    expected =
+      "A_nuc keeps validity + NU agreement under drops/dups/reordering and \
+       healed partitions; the naive Sigma-nu baseline still falls over \
+       lossy links";
+    measured;
+    pass = t.failed = 0 && anuc_ok && naive_ok;
+  }
+
 let all ?(quick = false) ?(seed_base = 0) () =
   [
     e1_extract_sigma_nu ~quick ~seed_base ();
@@ -671,6 +858,7 @@ let all ?(quick = false) ?(seed_base = 0) () =
     e9_merge ~quick ();
     e10_not_uniform ~quick ();
     e11_model_check ~quick ();
+    e12_faults ~quick ~seed_base ();
   ]
 
 (* ---------------------------------------------------------------- *)
@@ -708,9 +896,10 @@ let algo_name = function
   | Ct -> "CT-<>S"
 
 (* One measured consensus run: (decided?, decision rounds of correct
-   deciders, steps, messages, mailbox high-water mark). *)
-let measure_one ~algo ~pattern ~seed ~stab_time ~max_steps :
-    bool * int list * int * int * int =
+   deciders, steps, messages, mailbox high-water mark, messages the
+   fault spec dropped). *)
+let measure_one ?(faults = Sim.Faults.none) ~algo ~pattern ~seed ~stab_time
+    ~max_steps () : bool * int list * int * int * int * int =
   let proposals p = (p + seed) mod 2 in
   let correct = Sim.Failure_pattern.correct pattern in
   let omega = Fd.Oracle.omega ~seed ~stab_time pattern in
@@ -720,8 +909,8 @@ let measure_one ~algo ~pattern ~seed ~stab_time ~max_steps :
       Fd.Oracle.pair omega (Fd.Oracle.sigma_nu_plus ~seed ~stab_time pattern)
     in
     let run =
-      Anuc_runner.exec ~seed ~record:false ~pattern ~fd:oracle.Fd.Oracle.query
-        ~inputs:proposals ~max_steps
+      Anuc_runner.exec ~seed ~faults ~record:false ~pattern
+        ~fd:oracle.Fd.Oracle.query ~inputs:proposals ~max_steps
         ~stop:(fun st _ ->
           Pset.for_all (fun p -> Core.Anuc.decision (st p) <> None) correct)
         ()
@@ -738,13 +927,14 @@ let measure_one ~algo ~pattern ~seed ~stab_time ~max_steps :
       rounds,
       run.Anuc_runner.step_count,
       run.Anuc_runner.messages_sent,
-      run.Anuc_runner.metrics.Sim.Runner.mailbox_hwm )
+      run.Anuc_runner.metrics.Sim.Runner.mailbox_hwm,
+      run.Anuc_runner.metrics.Sim.Runner.dropped )
   | Stack ->
     let oracle =
       Fd.Oracle.pair omega (Fd.Oracle.sigma_nu ~seed ~stab_time pattern)
     in
     let run =
-      Stack_runner.exec ~seed ~record:false ~pattern
+      Stack_runner.exec ~seed ~faults ~record:false ~pattern
         ~fd:oracle.Fd.Oracle.query ~inputs:proposals ~max_steps
         ~stop:(fun st _ ->
           Pset.for_all (fun p -> Core.Stack.decision (st p) <> None) correct)
@@ -762,14 +952,15 @@ let measure_one ~algo ~pattern ~seed ~stab_time ~max_steps :
       rounds,
       run.Stack_runner.step_count,
       run.Stack_runner.messages_sent,
-      run.Stack_runner.metrics.Sim.Runner.mailbox_hwm )
+      run.Stack_runner.metrics.Sim.Runner.mailbox_hwm,
+      run.Stack_runner.metrics.Sim.Runner.dropped )
   | Mr_majority ->
     let oracle =
       Fd.Oracle.pair omega (Fd.Oracle.sigma ~seed ~stab_time pattern)
     in
     let run =
-      Mrm_runner.exec ~seed ~record:false ~pattern ~fd:oracle.Fd.Oracle.query
-        ~inputs:proposals ~max_steps
+      Mrm_runner.exec ~seed ~faults ~record:false ~pattern
+        ~fd:oracle.Fd.Oracle.query ~inputs:proposals ~max_steps
         ~stop:(fun st _ ->
           Pset.for_all
             (fun p -> Consensus.Mr.Majority.decision (st p) <> None)
@@ -790,12 +981,13 @@ let measure_one ~algo ~pattern ~seed ~stab_time ~max_steps :
       rounds,
       run.Mrm_runner.step_count,
       run.Mrm_runner.messages_sent,
-      run.Mrm_runner.metrics.Sim.Runner.mailbox_hwm )
+      run.Mrm_runner.metrics.Sim.Runner.mailbox_hwm,
+      run.Mrm_runner.metrics.Sim.Runner.dropped )
   | Ct ->
     let oracle = Fd.Oracle.eventually_strong ~seed ~stab_time pattern in
     let run =
-      Ct_runner.exec ~seed ~record:false ~pattern ~fd:oracle.Fd.Oracle.query
-        ~inputs:proposals ~max_steps
+      Ct_runner.exec ~seed ~faults ~record:false ~pattern
+        ~fd:oracle.Fd.Oracle.query ~inputs:proposals ~max_steps
         ~stop:(fun st _ ->
           Pset.for_all
             (fun p -> Consensus.Ct.decision (st p) <> None)
@@ -814,14 +1006,15 @@ let measure_one ~algo ~pattern ~seed ~stab_time ~max_steps :
       rounds,
       run.Ct_runner.step_count,
       run.Ct_runner.messages_sent,
-      run.Ct_runner.metrics.Sim.Runner.mailbox_hwm )
+      run.Ct_runner.metrics.Sim.Runner.mailbox_hwm,
+      run.Ct_runner.metrics.Sim.Runner.dropped )
   | Mr_sigma ->
     let oracle =
       Fd.Oracle.pair omega (Fd.Oracle.sigma ~seed ~stab_time pattern)
     in
     let run =
-      Mrq_runner.exec ~seed ~record:false ~pattern ~fd:oracle.Fd.Oracle.query
-        ~inputs:proposals ~max_steps
+      Mrq_runner.exec ~seed ~faults ~record:false ~pattern
+        ~fd:oracle.Fd.Oracle.query ~inputs:proposals ~max_steps
         ~stop:(fun st _ ->
           Pset.for_all
             (fun p -> Consensus.Mr.With_quorum.decision (st p) <> None)
@@ -842,18 +1035,20 @@ let measure_one ~algo ~pattern ~seed ~stab_time ~max_steps :
       rounds,
       run.Mrq_runner.step_count,
       run.Mrq_runner.messages_sent,
-      run.Mrq_runner.metrics.Sim.Runner.mailbox_hwm )
+      run.Mrq_runner.metrics.Sim.Runner.mailbox_hwm,
+      run.Mrq_runner.metrics.Sim.Runner.dropped )
 
-let latency algo ~n ~t ~seeds =
+let latency ?(faults = Sim.Faults.none) algo ~n ~t ~seeds =
   let decided = ref 0 in
   let rounds_sum = ref 0 and rounds_n = ref 0 in
   let steps_sum = ref 0 and msgs_sum = ref 0 and hwm_sum = ref 0 in
   List.iter
     (fun seed ->
       let pattern = random_pattern ~seed ~n ~t in
-      let ok, rounds, steps, msgs, hwm =
-        measure_one ~algo ~pattern ~seed ~stab_time:60
+      let ok, rounds, steps, msgs, hwm, _dropped =
+        measure_one ~faults ~algo ~pattern ~seed ~stab_time:60
           ~max_steps:(if algo = Stack then 9000 else 6000)
+          ()
       in
       if ok then incr decided;
       List.iter
@@ -889,9 +1084,10 @@ let stabilization_series algo ~n ~t ~stabs ~seeds =
       List.iter
         (fun seed ->
           let pattern = random_pattern ~seed ~n ~t in
-          let _, _, steps, _, _ =
+          let _, _, steps, _, _, _ =
             measure_one ~algo ~pattern ~seed ~stab_time
               ~max_steps:(if algo = Stack then 12000 else 8000)
+              ()
           in
           steps_sum := !steps_sum + steps)
         seeds;
@@ -902,6 +1098,68 @@ let stabilization_series algo ~n ~t ~stabs ~seeds =
           float_of_int !steps_sum /. float_of_int (List.length seeds);
       })
     stabs
+
+(* B7: liveness degradation under message loss. Each run gets a step
+   budget (the same one B1 uses); a run that has not fully decided
+   when the budget runs out is counted as non-terminating — the
+   documented cutoff — and excluded from the latency mean. *)
+type fault_row = {
+  f_algorithm : string;
+  f_drop : float;  (** injected per-message drop probability *)
+  f_runs : int;
+  f_decided : int;  (** runs fully decided within the step budget *)
+  f_budget : int;  (** the non-termination cutoff, in steps *)
+  f_avg_steps : float;  (** mean steps to full decision, decided runs only *)
+  f_avg_dropped : float;  (** mean messages dropped by the network per run *)
+}
+
+let fault_header =
+  Printf.sprintf "%-12s %6s %5s %8s %8s %11s %12s" "algorithm" "drop" "runs"
+    "decided" "budget" "steps_dec" "net_dropped"
+
+let pp_fault_row fmt r =
+  Format.fprintf fmt "%-12s %6.2f %5d %8d %8d %11.1f %12.1f" r.f_algorithm
+    r.f_drop r.f_runs r.f_decided r.f_budget r.f_avg_steps r.f_avg_dropped
+
+let fault_latency algo ~n ~t ~drops ~seeds =
+  let budget = if algo = Stack then 9000 else 6000 in
+  List.map
+    (fun drop ->
+      let decided = ref 0 and dec_steps = ref 0 and dropped_sum = ref 0 in
+      List.iter
+        (fun seed ->
+          let pattern = random_pattern ~seed ~n ~t in
+          let faults =
+            if drop = 0.0 then Sim.Faults.none
+            else Sim.Faults.make ~drop ~seed ()
+          in
+          let ok, _, steps, _, _, ndropped =
+            measure_one ~faults ~algo ~pattern ~seed ~stab_time:60
+              ~max_steps:budget ()
+          in
+          if ok then begin
+            incr decided;
+            dec_steps := !dec_steps + steps
+          end;
+          dropped_sum := !dropped_sum + ndropped)
+        seeds;
+      let runs = List.length seeds in
+      {
+        f_algorithm = algo_name algo;
+        f_drop = drop;
+        f_runs = runs;
+        f_decided = !decided;
+        f_budget = budget;
+        f_avg_steps =
+          (if !decided = 0 then nan
+           else float_of_int !dec_steps /. float_of_int !decided);
+        f_avg_dropped = float_of_int !dropped_sum /. float_of_int runs;
+      })
+    drops
+
+let fault_table ?(quick = false) () =
+  let seeds = List.init (if quick then 10 else 30) Fun.id in
+  fault_latency Anuc ~n:4 ~t:1 ~drops:[ 0.0; 0.05; 0.2 ] ~seeds
 
 type dag_row = {
   d_steps : int;
@@ -918,13 +1176,13 @@ let dag_growth ~n ~steps_list =
   let oracle = Fd.Oracle.sigma_nu ~stab_time:60 pattern in
   List.map
     (fun max_steps ->
-      let t0 = Unix.gettimeofday () in
+      let t0 = Sim.Clock.now () in
       let run =
         Tsp_runner.exec ~pattern ~record:false ~fd:oracle.Fd.Oracle.query
           ~inputs:(fun _ -> ())
           ~max_steps ()
       in
-      let wall_ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
+      let wall_ms = 1000.0 *. Sim.Clock.elapsed t0 in
       let st = run.Tsp_runner.states.(0) in
       let g = Core.T_sigma_plus.dag st in
       let spine_len =

@@ -52,10 +52,13 @@ val e8_attack : ?quick:bool -> unit -> row
 (** Thm 7.1 (ONLY IF): the two-run construction defeats any live
     emulator when [t >= n/2]; the harvested quorums are disjoint. *)
 
-val e9_merge : ?quick:bool -> unit -> row
+val e9_merge : ?quick:bool -> ?step_budget:int -> unit -> row
 (** Lemma 2.2 / Lemma 5.3: two deciding runs with disjoint
     participants merge into one run in which correct processes
-    disagree — the heart of the necessity proof. *)
+    disagree — the heart of the necessity proof. [step_budget]
+    (default 400) bounds each partitioned side; a side that does not
+    decide within it yields a failed row ("no merge attempted"), never
+    an exception. *)
 
 val e10_not_uniform : ?quick:bool -> unit -> row
 (** [A_nuc] solves strictly nonuniform consensus: under a legal
@@ -74,6 +77,20 @@ val e11_model_check : ?quick:bool -> unit -> row
     baseline's nonuniform-agreement counterexample — certified by
     [Runner.replay] applicability and perpetual-clause legality of the
     sampled detector history — without any hand-written script. *)
+
+val e12_faults : ?quick:bool -> ?seed_base:int -> unit -> row
+(** [Sim.Faults] end to end: (a) randomized [A_nuc] runs under the
+    full fault menu — message drops, duplication, reordering, and a
+    partition that heals before detector stabilization — must keep
+    validity and NU agreement (liveness may legitimately degrade —
+    nothing retransmits a dropped message; B7 quantifies that), and
+    their recorded traces must pass {!Sim.Runner.Make.conformance}
+    (replay under the run's own fault spec); (b) the Section 6.3
+    dichotomy survives the lossy network model: bounded exploration
+    over {!Mc.Menu.lossy} clears [A_nuc] exhaustively while still
+    convicting the naive Sigma-nu baseline with a certified
+    counterexample (under a loss-budget bound that keeps the deep
+    exploration tractable; see [Mc.Make.run]'s [max_drops]). *)
 
 val all : ?quick:bool -> ?seed_base:int -> unit -> row list
 (** Every E-row, in order. [seed_base] offsets the seed lists of the
@@ -102,9 +119,13 @@ val latency_header : string
 (** Which algorithm a latency sweep measures. *)
 type algo = Anuc | Mr_majority | Mr_sigma | Stack | Ct
 
-val latency : algo -> n:int -> t:int -> seeds:int list -> latency_row
+val latency :
+  ?faults:Sim.Faults.t -> algo -> n:int -> t:int -> seeds:int list ->
+  latency_row
 (** B1: decision latency of one algorithm in [E_t] over random
-    patterns. [Mr_majority] and [Ct] require [t < n/2]. *)
+    patterns. [Mr_majority] and [Ct] require [t < n/2]. [faults]
+    (default {!Sim.Faults.none}) runs every sweep under a network
+    fault spec. *)
 
 type stab_row = {
   stab_time : int;
@@ -116,6 +137,35 @@ val stabilization_series :
   algo -> n:int -> t:int -> stabs:int list -> seeds:int list -> stab_row list
 (** B2: decision latency as a function of the detectors' stabilization
     time. *)
+
+type fault_row = {
+  f_algorithm : string;
+  f_drop : float;  (** injected per-message drop probability *)
+  f_runs : int;
+  f_decided : int;  (** runs fully decided within the step budget *)
+  f_budget : int;  (** the non-termination cutoff, in steps *)
+  f_avg_steps : float;
+      (** mean steps to full decision over decided runs only ([nan]
+          when none decided) *)
+  f_avg_dropped : float;  (** mean messages dropped by the network per run *)
+}
+
+val pp_fault_row : Format.formatter -> fault_row -> unit
+
+val fault_header : string
+
+val fault_latency :
+  algo -> n:int -> t:int -> drops:float list -> seeds:int list -> fault_row list
+(** B7: liveness degradation under message loss — one row per drop
+    probability, same random patterns and oracles as B1. The step
+    budget (B1's [max_steps]) is the documented non-termination
+    cutoff: a run that has not fully decided within it counts as
+    non-terminating ([f_decided] excludes it) and is excluded from
+    [f_avg_steps]; no exception escapes. *)
+
+val fault_table : ?quick:bool -> unit -> fault_row list
+(** The canonical B7 sweep: [A_nuc] on [E_1(4)] at drop rates
+    {0, 0.05, 0.2}. *)
 
 type dag_row = {
   d_steps : int;  (** run length *)

@@ -44,6 +44,10 @@ module Menu = struct
     name : string;
     kind : kind;
     values : Pid.t -> Sim.Fd_value.t list;
+    lossy : bool;
+        (* when set, [Make.run] adds a message-drop alphabet to every
+           transition: the network adversary may silently discard the
+           deliverable message of any cross-process channel *)
   }
 
   let dedup_psets sets =
@@ -93,6 +97,7 @@ module Menu = struct
       name = "(Omega, Sigma-nu) adversarial";
       kind = Sigma_nu;
       values = cross ~n ~faulty nu_quorums;
+      lossy = false;
     }
 
   let omega_sigma_nu_plus ~n ~faulty =
@@ -100,6 +105,7 @@ module Menu = struct
       name = "(Omega, Sigma-nu+) adversarial";
       kind = Sigma_nu_plus;
       values = cross ~n ~faulty nu_quorums;
+      lossy = false;
     }
 
   let omega_sigma ~n ~faulty =
@@ -107,6 +113,7 @@ module Menu = struct
       name = "(Omega, Sigma) pivot";
       kind = Sigma;
       values = cross ~n ~faulty sigma_quorums;
+      lossy = false;
     }
 
   (* The focused Sigma-nu sub-family behind the Section 6.3
@@ -132,7 +139,19 @@ module Menu = struct
           else if p = c0 then [ pair c0 correct ]
           else dedup_psets [ correct; Pset.add p faulty ]
                |> List.map (pair p));
+      lossy = false;
     }
+
+  (* The contamination family over lossy links: identical detector
+     menus, but every transition additionally offers the network the
+     choice of silently dropping a deliverable cross-process message.
+     Detector legality is untouched — [validate] certifies the same
+     clauses — while the schedule space strictly contains the
+     loss-free one, so a loss-free counterexample survives and a
+     loss-free exhaustiveness claim is strengthened. *)
+  let lossy ?plus ~n ~faulty () =
+    let base = contamination ?plus ~n ~faulty () in
+    { base with name = base.name ^ " + lossy links"; lossy = true }
 
   let leader_only ~n ~faulty =
     {
@@ -141,6 +160,7 @@ module Menu = struct
       values =
         (fun p ->
           List.map (fun l -> Sim.Fd_value.Leader l) (leaders ~n ~faulty p));
+      lossy = false;
     }
 
   let suspects ~n ~faulty =
@@ -154,6 +174,7 @@ module Menu = struct
               [ faulty; Pset.empty; Pset.add (Pset.min_elt (Pset.complement ~n faulty)) faulty ]
           in
           List.map (fun s -> Sim.Fd_value.Suspects s) sets);
+      lossy = false;
     }
 
   let quorum_of = function
@@ -254,10 +275,14 @@ module Make (A : Sim.Automaton.S) = struct
     m_fd : Sim.Fd_value.t;
     m_recv : (Pid.t * int) option;
         (* (src, index into the src->pid channel); [None] = lambda *)
+    m_drop : bool;
+        (* lossy-menu network move: the message designated by
+           [m_recv] (addressed to [m_pid]) is discarded instead of
+           delivered; no process steps, [m_fd] is [Unit] *)
   }
 
   let move_equal a b =
-    a.m_pid = b.m_pid && a.m_recv = b.m_recv
+    a.m_pid = b.m_pid && a.m_recv = b.m_recv && a.m_drop = b.m_drop
     && Sim.Fd_value.equal a.m_fd b.m_fd
 
   type property = {
@@ -322,7 +347,13 @@ module Make (A : Sim.Automaton.S) = struct
     let hash c = Hashtbl.hash_param 150 600 c
   end)
 
-  type entry = { mutable remaining : int; mutable slept : move list }
+  type entry = {
+    mutable remaining : int;
+    mutable drops : int;
+        (* drop budget left at the recorded visit; coverage is
+           monotone in it exactly as in [remaining] *)
+    mutable slept : move list;
+  }
 
   let rec remove_nth i = function
     | [] -> invalid_arg "remove_nth"
@@ -361,21 +392,63 @@ module Make (A : Sim.Automaton.S) = struct
     done;
     !opts
 
-  let moves_of ~n ~delivery ~menus cfg =
-    List.concat_map
-      (fun p ->
-        let recvs =
-          List.map (fun r -> Some r) (recv_options ~n ~delivery cfg p)
-          @ [ None ]
-        in
-        List.concat_map
-          (fun m_recv ->
-            List.map (fun m_fd -> { m_pid = p; m_fd; m_recv }) menus.(p))
-          recvs)
-      (Pid.all ~n)
+  let moves_of ~n ~delivery ~lossy ~menus cfg =
+    let process_moves =
+      List.concat_map
+        (fun p ->
+          let recvs =
+            List.map (fun r -> Some r) (recv_options ~n ~delivery cfg p)
+            @ [ None ]
+          in
+          List.concat_map
+            (fun m_recv ->
+              List.map
+                (fun m_fd -> { m_pid = p; m_fd; m_recv; m_drop = false })
+                menus.(p))
+            recvs)
+        (Pid.all ~n)
+    in
+    if not lossy then process_moves
+    else
+      (* Network moves, enumerated after the process moves so DFS
+         walks the loss-free subtree first. Dropping only deliverable
+         messages loses no generality: under FIFO links the delivered
+         sequence of a channel with arbitrary loss is exactly a
+         subsequence of the send sequence, and every subsequence is
+         generated by the per-head deliver-or-drop choice (and
+         likewise per eligible representative under [`Any]).
+         Self-channels are exempt, as in [Sim.Faults]. *)
+      process_moves
+      @ List.concat_map
+          (fun p ->
+            List.filter_map
+              (fun (src, i) ->
+                if Pid.equal src p then None
+                else
+                  Some
+                    {
+                      m_pid = p;
+                      m_fd = Sim.Fd_value.Unit;
+                      m_recv = Some (src, i);
+                      m_drop = true;
+                    })
+              (recv_options ~n ~delivery cfg p))
+          (Pid.all ~n)
 
   let apply ~n cfg mv =
     let p = mv.m_pid in
+    if mv.m_drop then begin
+      (* network move: discard the designated message; no process
+         steps, so the states array is shared untouched *)
+      let src, idx =
+        match mv.m_recv with Some r -> r | None -> assert false
+      in
+      let c = (src * n) + p in
+      let chans = Array.copy cfg.chans in
+      chans.(c) <- remove_nth idx chans.(c);
+      { states = cfg.states; chans }
+    end
+    else begin
     let received, chans =
       match mv.m_recv with
       | None -> (None, cfg.chans)
@@ -399,6 +472,7 @@ module Make (A : Sim.Automaton.S) = struct
       (fun (dst, m) -> chans.((p * n) + dst) <- chans.((p * n) + dst) @ [ m ])
       sends;
     { states; chans }
+    end
 
   (* -------------------------------------------------------------- *)
   (* Exploration                                                     *)
@@ -422,6 +496,17 @@ module Make (A : Sim.Automaton.S) = struct
     List.iter
       (fun mv ->
         let p = mv.m_pid in
+        if mv.m_drop then begin
+          (* the network discards the message: no schedule step, no
+             detector sample, no tick — on the concrete trace a drop
+             is just a message nobody ever receives *)
+          let src, idx =
+            match mv.m_recv with Some r -> r | None -> assert false
+          in
+          let c = (src * n) + p in
+          chans.(c) <- remove_nth idx chans.(c)
+        end
+        else begin
         let received =
           match mv.m_recv with
           | None -> None
@@ -443,13 +528,16 @@ module Make (A : Sim.Automaton.S) = struct
               chans.((p * n) + dst)
               @ [ { Sim.Envelope.src = p; dst; seq; sent_at = !time; payload } ])
           sends;
-        incr time)
+        incr time
+        end)
       moves;
     (List.rev !steps, List.rev !samples, states)
 
   let run ?(sleep = true) ?(dedup = true) ?(delivery = `Fifo)
-      ?(max_states = 2_000_000) ?stop ~n ~menu ~depth ~inputs ~props () =
-    let t0 = Unix.gettimeofday () in
+      ?(max_states = 2_000_000) ?(max_drops = max_int) ?stop ~n ~menu ~depth
+      ~inputs ~props () =
+    let t0 = Sim.Clock.now () in
+    let lossy = menu.Menu.lossy in
     let menus = Array.init n (fun p -> menu.Menu.values p) in
     let visited = Tbl.create 65536 in
     let transitions = ref 0
@@ -468,10 +556,12 @@ module Make (A : Sim.Automaton.S) = struct
           | Error d -> raise (Found (pr.prop_name, d, List.rev path_rev)))
         props
     in
-    let rec dfs cfg remaining slept path_rev =
+    let rec dfs cfg remaining drops slept path_rev =
       if depth - remaining > !max_depth then max_depth := depth - remaining;
       let expand_with slept =
-        let all = moves_of ~n ~delivery ~menus cfg in
+        (* the drop alphabet switches off once the path's loss budget
+           is spent *)
+        let all = moves_of ~n ~delivery ~lossy:(lossy && drops > 0) ~menus cfg in
         let explored = ref [] in
         List.iter
           (fun mv ->
@@ -487,13 +577,22 @@ module Make (A : Sim.Automaton.S) = struct
                 incr self_loops
               else begin
               let child_slept =
+                (* pid-disjoint moves commute — including network
+                   drops, which touch only (_, m_pid) channels — so
+                   earlier siblings and inherited sleepers with a
+                   different pid stay asleep. Drop moves themselves
+                   are conservatively never slept (they are filtered
+                   out rather than recorded), costing only dedup hits,
+                   never coverage. *)
                 if sleep then
                   List.filter
-                    (fun m -> m.m_pid <> mv.m_pid)
+                    (fun m -> (not m.m_drop) && m.m_pid <> mv.m_pid)
                     (!explored @ slept)
                 else []
               in
-              dfs child (remaining - 1) child_slept (mv :: path_rev);
+              dfs child (remaining - 1)
+                (if mv.m_drop then drops - 1 else drops)
+                child_slept (mv :: path_rev);
               if sleep then explored := mv :: !explored
               end
             end)
@@ -501,8 +600,10 @@ module Make (A : Sim.Automaton.S) = struct
       in
       match Tbl.find_opt visited cfg with
       | Some e when dedup ->
-        if e.remaining >= remaining && subset_moves e.slept slept then
-          incr dedup_hits
+        if
+          e.remaining >= remaining && e.drops >= drops
+          && subset_moves e.slept slept
+        then incr dedup_hits
         else begin
           (* Revisit with a bigger budget or an uncovered sleep set:
              re-expand with the *current* budget and the intersection of
@@ -514,8 +615,9 @@ module Make (A : Sim.Automaton.S) = struct
              sleep-set mixture would absorb later visits whose schedules
              were never walked). *)
           let slept' = List.filter (fun m -> List.exists (move_equal m) e.slept) slept in
-          if remaining >= e.remaining then begin
+          if remaining >= e.remaining && drops >= e.drops then begin
             e.remaining <- remaining;
+            e.drops <- drops;
             e.slept <- slept'
           end;
           if remaining > 0 then expand_with slept'
@@ -539,18 +641,18 @@ module Make (A : Sim.Automaton.S) = struct
         then begin
           (* all-decided goal state: safety can no longer change in
              the checked scope; never expand, at any budget *)
-          Tbl.add visited cfg { remaining = max_int; slept = [] };
+          Tbl.add visited cfg { remaining = max_int; drops = max_int; slept = [] };
           incr decided_leaves
         end
         else begin
-          Tbl.add visited cfg { remaining; slept };
+          Tbl.add visited cfg { remaining; drops; slept };
           if remaining = 0 then incr depth_leaves else expand_with slept
         end
     in
     let root = initial_config ~n ~inputs in
     let violation =
       try
-        dfs root depth [] [];
+        dfs root depth max_drops [] [];
         None
       with
       | Limit -> None
@@ -567,7 +669,7 @@ module Make (A : Sim.Automaton.S) = struct
         depth_leaves = !depth_leaves;
         max_depth = !max_depth;
         truncated = !truncated;
-        wall_seconds = Unix.gettimeofday () -. t0;
+        wall_seconds = Sim.Clock.elapsed t0;
       }
     in
     match violation with
@@ -599,5 +701,11 @@ module Make (A : Sim.Automaton.S) = struct
     List.iteri
       (fun i s -> Format.fprintf fmt "  t=%-3d %a@," (i + 1) pp_replay_step s)
       cx.cx_steps;
+    (match List.length (List.filter (fun m -> m.m_drop) cx.cx_moves) with
+    | 0 -> ()
+    | k ->
+      Format.fprintf fmt
+        "  (plus %d message%s dropped by the network along the way)@," k
+        (if k = 1 then "" else "s"));
     Format.fprintf fmt "@]"
 end

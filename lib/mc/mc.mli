@@ -26,6 +26,10 @@ module Menu : sig
     name : string;
     kind : kind;
     values : Pid.t -> Sim.Fd_value.t list;
+    lossy : bool;
+        (** when set, [Make.run] additionally lets the network drop
+            the deliverable message of any cross-process channel at
+            every transition (see {!lossy}) *)
   }
 
   val omega_sigma_nu : n:int -> faulty:Pset.t -> t
@@ -54,6 +58,17 @@ module Menu : sig
       {!validate}). Small enough that exhaustive exploration reaches
       the depth at which decisions — and the naive baseline's
       contaminated decisions — occur. *)
+
+  val lossy : ?plus:bool -> n:int -> faulty:Pset.t -> unit -> t
+  (** The {!contamination} family over lossy links: identical
+      detector menus, plus a network adversary that may silently
+      discard the deliverable message of any cross-process channel at
+      each transition. Under FIFO links arbitrary loss makes each
+      channel's delivered sequence exactly a subsequence of its send
+      sequence, and the per-head deliver-or-drop choice generates
+      every subsequence — so the exploration stays exhaustive for the
+      lossy network model. The schedule space strictly contains the
+      loss-free one; detector legality ({!validate}) is unchanged. *)
 
   val leader_only : n:int -> faulty:Pset.t -> t
   (** Bare [Leader] values (for MR-majority). *)
@@ -110,6 +125,11 @@ module Make (A : Sim.Automaton.S) : sig
     m_recv : (Pid.t * int) option;
         (** [Some (src, i)]: deliver the [i]-th pending message of the
             [src -> m_pid] channel; [None]: receive lambda *)
+    m_drop : bool;
+        (** lossy-menu network move: the message designated by
+            [m_recv] is discarded instead of delivered — no process
+            steps, no detector value is sampled ([m_fd] is [Unit]),
+            and the concretized trace contains no step for it *)
   }
 
   type property = {
@@ -162,6 +182,7 @@ module Make (A : Sim.Automaton.S) : sig
     ?dedup:bool ->
     ?delivery:[ `Fifo | `Any ] ->
     ?max_states:int ->
+    ?max_drops:int ->
     ?stop:((Pid.t -> A.state) -> bool) ->
     n:int ->
     menu:Menu.t ->
@@ -182,7 +203,20 @@ module Make (A : Sim.Automaton.S) : sig
       (the report is marked [truncated]); [stop] marks goal states that
       are recorded but not expanded. Returns the first property violation
       found, with its concrete schedule, or [None] after exhausting the
-      bounded space. *)
+      bounded space.
+
+      When [menu.lossy] is set, every transition additionally offers
+      the network moves described at {!Menu.lossy}; a drop consumes
+      one unit of [depth] like any other move. The loss-free subtree
+      is explored first, so a loss-free counterexample is found
+      before any lossy one. [max_drops] (default unlimited) bounds the
+      number of drops {e per schedule}: exploration is then exhaustive
+      for the runs in which the network loses at most [max_drops]
+      messages — the loss-bounded analogue of the depth bound, which
+      keeps deep lossy explorations tractable. The memoization entry
+      tracks the remaining loss budget alongside the remaining depth,
+      so absorption stays sound across paths that reach a state with
+      different budgets. *)
 
   val replay_counterexample :
     n:int ->

@@ -1,0 +1,17 @@
+(* The single wall-clock source for every timing site in the
+   repository (runner, model checker, bench drivers).
+
+   [Unix.gettimeofday] can step backwards under NTP adjustment, which
+   turned benchmark rows negative. There is no monotonic clock in the
+   stdlib/unix surface we depend on, so we enforce monotonicity
+   ourselves: [now] never returns a value smaller than one it has
+   already returned, and [elapsed] clamps at zero as a last resort. *)
+
+let last = ref neg_infinity
+
+let now () =
+  let t = Unix.gettimeofday () in
+  if t > !last then last := t;
+  !last
+
+let elapsed t0 = Float.max 0.0 (now () -. t0)

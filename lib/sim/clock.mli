@@ -1,0 +1,15 @@
+(** Monotonic wall-clock readings for metrics.
+
+    All [wall_seconds]-style metrics in the repository must be
+    computed from this module, never from raw [Unix.gettimeofday]
+    deltas: a wall-clock step (e.g. NTP) between two raw readings
+    can make a duration negative or wildly wrong. *)
+
+val now : unit -> float
+(** The current time in seconds, monotonically nondecreasing across
+    calls within a process: a backwards wall-clock step is absorbed
+    by returning the largest value seen so far. *)
+
+val elapsed : float -> float
+(** [elapsed t0] is [now () -. t0] clamped at [0.0]. [t0] should be a
+    previous result of {!now}. *)

@@ -1,0 +1,125 @@
+(* Declarative per-link network faults (drop / duplicate / reorder /
+   partition), applied deterministically from a spec-local seed.
+
+   Determinism is load-bearing in two ways:
+
+   - Fault decisions are pure hashes of (spec seed, src, dst, seq,
+     time, salt), NOT draws from the scheduler's RNG. A spec with all
+     rates zero therefore leaves the scheduler's random stream — and
+     hence every pre-existing seeded run — completely untouched, and
+     two runs with the same seed and the same spec make identical
+     fault decisions message for message.
+
+   - The same verdict can be recomputed from the recorded trace alone:
+     [Runner.replay] re-derives each message's (src, dst, seq,
+     send time) while re-executing the schedule, so a faulty run
+     round-trips exactly.
+
+   A process's messages to itself are exempt from every fault: they
+   model local delivery, not the network (and severing them would
+   break algorithms in uninteresting ways). *)
+
+open Procset
+
+type partition = {
+  from_t : int;
+  until_t : int;
+  groups : Pset.t list;
+}
+
+type t = {
+  drop : float;
+  dup : float;
+  reorder : int;
+  partitions : partition list;
+  seed : int;
+}
+
+let none = { drop = 0.0; dup = 0.0; reorder = 0; partitions = []; seed = 0 }
+
+let make ?(drop = 0.0) ?(dup = 0.0) ?(reorder = 0) ?(partitions = [])
+    ?(seed = 0) () =
+  let check_rate name r =
+    if not (r >= 0.0 && r <= 1.0) then
+      invalid_arg (Printf.sprintf "Faults.make: %s = %g not in [0, 1]" name r)
+  in
+  check_rate "drop" drop;
+  check_rate "dup" dup;
+  if reorder < 0 then
+    invalid_arg (Printf.sprintf "Faults.make: reorder = %d < 0" reorder);
+  List.iter
+    (fun pt ->
+      if pt.from_t > pt.until_t then
+        invalid_arg
+          (Printf.sprintf "Faults.make: partition window [%d, %d] is empty"
+             pt.from_t pt.until_t))
+    partitions;
+  { drop; dup; reorder; partitions; seed }
+
+let is_none f =
+  f.drop = 0.0 && f.dup = 0.0 && f.reorder = 0 && f.partitions = []
+
+(* [Hashtbl.hash] of a small int tuple is a full deterministic mix of
+   every component into [0, 2^30); dividing by 2^30 gives a uniform
+   enough unit float for fault sampling. *)
+let unit_float f ~src ~dst ~seq ~time ~salt =
+  let h = Hashtbl.hash (f.seed, src, dst, seq, time, salt) in
+  float_of_int (h land 0x3FFFFFFF) /. 1073741824.0
+
+let severed f ~src ~dst ~time =
+  (not (Pid.equal src dst))
+  && List.exists
+       (fun pt ->
+         time >= pt.from_t && time <= pt.until_t
+         && not
+              (List.exists
+                 (fun g -> Pset.mem src g && Pset.mem dst g)
+                 pt.groups))
+       f.partitions
+
+type verdict = { copies : int; displace : int }
+
+let pass = { copies = 1; displace = 0 }
+
+let verdict f ~src ~dst ~seq ~time =
+  if is_none f || Pid.equal src dst then pass
+  else if severed f ~src ~dst ~time then { copies = 0; displace = 0 }
+  else begin
+    let copies =
+      if f.drop > 0.0 && unit_float f ~src ~dst ~seq ~time ~salt:1 < f.drop
+      then 0
+      else if f.dup > 0.0 && unit_float f ~src ~dst ~seq ~time ~salt:2 < f.dup
+      then 2
+      else 1
+    in
+    let displace =
+      if copies = 0 || f.reorder = 0 then 0
+      else
+        int_of_float
+          (unit_float f ~src ~dst ~seq ~time ~salt:3
+          *. float_of_int (f.reorder + 1))
+    in
+    { copies; displace }
+  end
+
+let pp_partition fmt pt =
+  Format.fprintf fmt "[%d,%d]:%a" pt.from_t pt.until_t
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "|")
+       Pset.pp)
+    pt.groups
+
+let pp fmt f =
+  if is_none f then Format.pp_print_string fmt "no faults"
+  else
+    Format.fprintf fmt "@[<h>drop %.3g, dup %.3g, reorder %d%a, seed %d@]"
+      f.drop f.dup f.reorder
+      (fun fmt -> function
+        | [] -> ()
+        | pts ->
+          Format.fprintf fmt ", partitions %a"
+            (Format.pp_print_list
+               ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ";")
+               pp_partition)
+            pts)
+      f.partitions f.seed

@@ -1,0 +1,94 @@
+(** Declarative per-link network faults with deterministic seeded
+    application.
+
+    The paper's admissibility model (run properties (6)–(7) of
+    Section 2.6) only promises that messages to {e correct} processes
+    are {e eventually} delivered; the base simulator implements a
+    strictly stronger network (reliable, loss-free, un-duplicated
+    FIFO links). A fault spec selectively weakens that network back
+    towards the model:
+
+    - {b drop}: each cross-process message is lost with probability
+      [drop];
+    - {b dup}: a surviving message is delivered twice with probability
+      [dup] (same identity, two buffer entries);
+    - {b reorder}: a surviving message may jump ahead of up to
+      [reorder] already-queued messages at its destination (uniform
+      displacement in [0, reorder]);
+    - {b partitions}: during each window [[from_t, until_t]] a message
+      is severed (permanently lost) unless some group of the window
+      contains both endpoints.
+
+    Mapping onto the paper: a finite run prefix with [drop < 1] and
+    healing partitions is always a prefix of an admissible run — every
+    lost message can be read as a delivery delayed past the observed
+    horizon, and retransmitting senders restore liveness after a
+    partition heals. Faults therefore never violate properties
+    (6)–(7) of the {e infinite} model; what they break is the bounded
+    delivery {e surrogate} the runner's conformance check uses on
+    finite prefixes, which is why that surrogate is skipped for faulty
+    runs.
+
+    Fault decisions are pure hashes of
+    [(seed, src, dst, seq, send time, salt)] — never draws from the
+    scheduler's RNG — so a zero-rate spec leaves pre-existing seeded
+    runs byte-identical, and replay re-derives the exact same verdicts
+    from the trace. Messages a process sends to itself are exempt from
+    all faults (they model local delivery, not the network). *)
+
+type partition = {
+  from_t : int;  (** first simulated time of the window, inclusive *)
+  until_t : int;  (** last simulated time of the window, inclusive *)
+  groups : Procset.Pset.t list;
+      (** connectivity groups: a message survives the window iff some
+          group contains both its source and its destination *)
+}
+
+type t = private {
+  drop : float;
+  dup : float;
+  reorder : int;
+  partitions : partition list;
+  seed : int;
+}
+
+val none : t
+(** The empty spec: no faults, [is_none none = true]. *)
+
+val make :
+  ?drop:float ->
+  ?dup:float ->
+  ?reorder:int ->
+  ?partitions:partition list ->
+  ?seed:int ->
+  unit ->
+  t
+(** Build a validated spec (defaults: all fault-free, seed 0).
+    @raise Invalid_argument if a rate is outside [0, 1], [reorder]
+    is negative, or a partition window has [from_t > until_t]. *)
+
+val is_none : t -> bool
+(** No drops, no dups, no reordering, no partitions — the spec cannot
+    affect any run. (The seed is ignored: a zero-rate spec makes no
+    decisions.) *)
+
+val severed : t -> src:Procset.Pid.t -> dst:Procset.Pid.t -> time:int -> bool
+(** Is the [src -> dst] link cut by an active partition window at
+    [time]? Always false for [src = dst]. *)
+
+type verdict = {
+  copies : int;  (** 0 = dropped, 1 = delivered, 2 = duplicated *)
+  displace : int;
+      (** forward displacement of the delivered copy: it is inserted
+          ahead of up to [displace] already-queued messages *)
+}
+
+val verdict :
+  t -> src:Procset.Pid.t -> dst:Procset.Pid.t -> seq:int -> time:int -> verdict
+(** The fault decision for one message send, a pure function of the
+    spec and the message identity — identical whenever recomputed,
+    e.g. by {!Runner.Make.replay}. Severed messages are dropped
+    regardless of [drop]. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_partition : Format.formatter -> partition -> unit

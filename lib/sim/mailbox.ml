@@ -76,6 +76,20 @@ let remove_nth t i =
   t.size <- t.size - 1;
   x
 
+let insert_nth t i x =
+  if i < 0 || i > t.size then
+    invalid_arg
+      (Printf.sprintf "Mailbox.insert_nth: index %d, size %d" i t.size);
+  if i > t.front_len then consolidate t;
+  let rec ins j = function
+    | rest when j = 0 -> x :: rest
+    | [] -> assert false
+    | y :: rest -> y :: ins (j - 1) rest
+  in
+  t.front <- ins i t.front;
+  t.front_len <- t.front_len + 1;
+  t.size <- t.size + 1
+
 let remove_first t pred =
   let rec scan acc = function
     | [] -> None

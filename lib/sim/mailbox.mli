@@ -35,6 +35,14 @@ val remove_nth : 'a t -> int -> 'a
     [k] (0 = oldest), preserving the order of the rest. Amortized
     O(k). @raise Invalid_argument if [k] is out of bounds. *)
 
+val insert_nth : 'a t -> int -> 'a -> unit
+(** [insert_nth t k x] inserts [x] at FIFO index [k] (0 = oldest,
+    [length t] = newest end), shifting later elements back by one.
+    Used by the fault layer to deliver a reordered message ahead of
+    already-queued ones; O(k) worst case, which only ever runs on the
+    fault path. @raise Invalid_argument if [k < 0] or
+    [k > length t]. *)
+
 val remove_first : 'a t -> ('a -> bool) -> 'a option
 (** Remove and return the oldest element satisfying the predicate,
     preserving the order of the rest; [None] if no element matches.

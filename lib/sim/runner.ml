@@ -5,14 +5,19 @@ type metrics = {
   sent : int;
   delivered : int;
   dropped : int;
+  duplicated : int;
+  reordered : int;
+  undelivered_at_stop : int;
   mailbox_hwm : int;
   wall_seconds : float;
 }
 
 let pp_metrics fmt m =
   Format.fprintf fmt
-    "@[<h>sent %d, delivered %d, dropped %d, mailbox hwm %d, %.3f s@]" m.sent
-    m.delivered m.dropped m.mailbox_hwm m.wall_seconds
+    "@[<h>sent %d, delivered %d, dropped %d, duplicated %d, reordered %d, \
+     undelivered %d, mailbox hwm %d, %.3f s@]"
+    m.sent m.delivered m.dropped m.duplicated m.reordered
+    m.undelivered_at_stop m.mailbox_hwm m.wall_seconds
 
 module Make (A : Automaton.S) = struct
   type recorded_step = {
@@ -25,6 +30,7 @@ module Make (A : Automaton.S) = struct
 
   type run = {
     pattern : Failure_pattern.t;
+    faults : Faults.t;
     states : A.state array;
     steps : recorded_step array;
     step_count : int;
@@ -48,6 +54,7 @@ module Make (A : Automaton.S) = struct
   type ctx = {
     n : int;
     c_pattern : Failure_pattern.t;
+    c_faults : Faults.t;
     fd : Pid.t -> int -> Fd_value.t;
     states : A.state array;
     buffers : A.message Envelope.t Mailbox.t array;
@@ -59,16 +66,20 @@ module Make (A : Automaton.S) = struct
     mutable step_count : int;
     mutable msgs_sent : int;
     mutable msgs_delivered : int;
+    mutable msgs_dropped : int;
+    mutable msgs_duplicated : int;
+    mutable msgs_reordered : int;
     mutable hwm : int; (* mailbox depth high-water mark *)
     wall_start : float;
     record : bool;
   }
 
-  let make_ctx ~pattern ~fd ~inputs ~record =
+  let make_ctx ~pattern ~faults ~fd ~inputs ~record =
     let n = Failure_pattern.n pattern in
     {
       n;
       c_pattern = pattern;
+      c_faults = faults;
       fd;
       states = Array.init n (fun p -> A.initial ~n ~self:p (inputs p));
       buffers = Array.init n (fun _ -> Mailbox.create ());
@@ -79,8 +90,11 @@ module Make (A : Automaton.S) = struct
       step_count = 0;
       msgs_sent = 0;
       msgs_delivered = 0;
+      msgs_dropped = 0;
+      msgs_duplicated = 0;
+      msgs_reordered = 0;
       hwm = 0;
-      wall_start = Unix.gettimeofday ();
+      wall_start = Clock.now ();
       record;
     }
 
@@ -96,9 +110,27 @@ module Make (A : Automaton.S) = struct
           { Envelope.src; dst; seq; sent_at = ctx.time; payload }
         in
         ctx.msgs_sent <- ctx.msgs_sent + 1;
-        Mailbox.enqueue ctx.buffers.(dst) env;
-        let depth = Mailbox.length ctx.buffers.(dst) in
-        if depth > ctx.hwm then ctx.hwm <- depth)
+        let v =
+          Faults.verdict ctx.c_faults ~src ~dst ~seq ~time:ctx.time
+        in
+        if v.Faults.copies = 0 then
+          ctx.msgs_dropped <- ctx.msgs_dropped + 1
+        else begin
+          let buf = ctx.buffers.(dst) in
+          let len = Mailbox.length buf in
+          let at = max 0 (len - v.Faults.displace) in
+          if at < len then begin
+            ctx.msgs_reordered <- ctx.msgs_reordered + 1;
+            Mailbox.insert_nth buf at env
+          end
+          else Mailbox.enqueue buf env;
+          if v.Faults.copies = 2 then begin
+            ctx.msgs_duplicated <- ctx.msgs_duplicated + 1;
+            Mailbox.enqueue buf env
+          end;
+          let depth = Mailbox.length buf in
+          if depth > ctx.hwm then ctx.hwm <- depth
+        end)
       payloads
 
   (* Remove and return the first buffered message for [p] satisfying
@@ -132,13 +164,17 @@ module Make (A : Automaton.S) = struct
         steps_per_process = Array.copy ctx.steps_of;
         sent = ctx.msgs_sent;
         delivered = ctx.msgs_delivered;
-        dropped = List.length undelivered;
+        dropped = ctx.msgs_dropped;
+        duplicated = ctx.msgs_duplicated;
+        reordered = ctx.msgs_reordered;
+        undelivered_at_stop = List.length undelivered;
         mailbox_hwm = ctx.hwm;
-        wall_seconds = Unix.gettimeofday () -. ctx.wall_start;
+        wall_seconds = Clock.elapsed ctx.wall_start;
       }
     in
     {
       pattern = ctx.c_pattern;
+      faults = ctx.c_faults;
       states = Array.copy ctx.states;
       steps = Array.of_list (List.rev ctx.rev_steps);
       step_count = ctx.step_count;
@@ -156,10 +192,10 @@ module Make (A : Automaton.S) = struct
       a.(j) <- tmp
     done
 
-  let exec ?(seed = 0) ?max_msg_age ?(lambda_prob = 0.15)
-      ?(stop = fun _ _ -> false) ?(record = true) ~pattern ~fd ~inputs
-      ~max_steps () =
-    let ctx = make_ctx ~pattern ~fd ~inputs ~record in
+  let exec ?(seed = 0) ?(faults = Faults.none) ?max_msg_age
+      ?(lambda_prob = 0.15) ?(stop = fun _ _ -> false) ?(record = true)
+      ~pattern ~fd ~inputs ~max_steps () =
+    let ctx = make_ctx ~pattern ~faults ~fd ~inputs ~record in
     let n = ctx.n in
     let max_msg_age =
       match max_msg_age with Some a -> max 1 a | None -> 4 * n
@@ -196,8 +232,9 @@ module Make (A : Automaton.S) = struct
     done;
     finish ctx ~stopped_early:!stopped
 
-  let exec_script ?(record = true) ~pattern ~fd ~inputs ~script () =
-    let ctx = make_ctx ~pattern ~fd ~inputs ~record in
+  let exec_script ?(record = true) ?(faults = Faults.none) ~pattern ~fd
+      ~inputs ~script () =
+    let ctx = make_ctx ~pattern ~faults ~fd ~inputs ~record in
     List.iter
       (fun { actor = p; choice } ->
         if not (Pid.valid ~n:ctx.n p) then
@@ -246,8 +283,9 @@ module Make (A : Automaton.S) = struct
   module Session = struct
     type t = ctx
 
-    let create ?(record = true) ~pattern ~fd ~inputs () =
-      make_ctx ~pattern ~fd ~inputs ~record
+    let create ?(record = true) ?(faults = Faults.none) ~pattern ~fd ~inputs
+        () =
+      make_ctx ~pattern ~faults ~fd ~inputs ~record
 
     let take_choice ctx p choice =
       match choice with
@@ -318,7 +356,7 @@ module Make (A : Automaton.S) = struct
     in
     to_replay (interleave [] s0 s1)
 
-  let replay ~n ~inputs steps =
+  let replay ~n ?(faults = Faults.none) ~inputs steps =
     let states = Array.init n (fun p -> A.initial ~n ~self:p (inputs p)) in
     let buffers = Array.init n (fun _ -> Mailbox.create ()) in
     let send_seq = Array.make n 0 in
@@ -352,10 +390,18 @@ module Make (A : Automaton.S) = struct
               (fun (dst, payload) ->
                 let seq = send_seq.(p) in
                 send_seq.(p) <- seq + 1;
-                let env =
-                  { Envelope.src = p; dst; seq; sent_at = !time; payload }
-                in
-                Mailbox.enqueue buffers.(dst) env)
+                (* Same identity, same send time, same spec: the
+                   verdict recomputed here is the one the original
+                   execution applied. Displacement only permutes the
+                   buffer, which identity matching ignores. *)
+                let v = Faults.verdict faults ~src:p ~dst ~seq ~time:!time in
+                if v.Faults.copies > 0 then begin
+                  let env =
+                    { Envelope.src = p; dst; seq; sent_at = !time; payload }
+                  in
+                  Mailbox.enqueue buffers.(dst) env;
+                  if v.Faults.copies = 2 then Mailbox.enqueue buffers.(dst) env
+                end)
               sends
           end;
           incr time
@@ -435,27 +481,34 @@ module Make (A : Automaton.S) = struct
         (Failure_pattern.correct run.pattern)
         (Ok ())
     in
-    (* (7) delivery surrogate: leftovers to correct processes are recent *)
+    (* (7) delivery surrogate: leftovers to correct processes are
+       recent. Skipped for faulty runs: property (7) is an
+       infinite-run promise, and under injected faults the finite
+       surrogate is simply false — a reordered head can starve an old
+       message past any bound, and a partitioned sender's messages
+       are legally read as deliveries delayed past the horizon. *)
     let bound =
       match delivery_bound with Some b -> b | None -> 40 * n
     in
     let* () =
-      List.fold_left
-        (fun acc e ->
-          let* () = acc in
-          if
-            Procset.Pset.mem e.Envelope.dst
-              (Failure_pattern.correct run.pattern)
-            && last_time - e.Envelope.sent_at > bound
-          then
-            err "message %a->%a sent at %d still undelivered at %d"
-              Pid.pp e.Envelope.src Pid.pp e.Envelope.dst e.Envelope.sent_at
-              last_time
-          else Ok ())
-        (Ok ()) run.undelivered
+      if not (Faults.is_none run.faults) then Ok ()
+      else
+        List.fold_left
+          (fun acc e ->
+            let* () = acc in
+            if
+              Procset.Pset.mem e.Envelope.dst
+                (Failure_pattern.correct run.pattern)
+              && last_time - e.Envelope.sent_at > bound
+            then
+              err "message %a->%a sent at %d still undelivered at %d"
+                Pid.pp e.Envelope.src Pid.pp e.Envelope.dst e.Envelope.sent_at
+                last_time
+            else Ok ())
+          (Ok ()) run.undelivered
     in
-    (* (1) applicability, via replay *)
-    match replay ~n ~inputs (to_replay steps) with
+    (* (1) applicability, via replay under the run's own fault spec *)
+    match replay ~n ~faults:run.faults ~inputs (to_replay steps) with
     | Ok _ -> Ok ()
     | Error e -> Error e
     end

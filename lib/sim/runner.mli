@@ -23,18 +23,28 @@
 type metrics = {
   steps_per_process : int array;
       (** steps taken by each process, indexed by pid *)
-  sent : int;  (** messages enqueued by all processes *)
+  sent : int;  (** messages sent by all processes (logical sends) *)
   delivered : int;  (** steps that received a (non-lambda) message *)
   dropped : int;
-      (** messages still buffered when the run ended (the simulator
-          never loses a message mid-run; these are end-of-run
-          leftovers, including sends to crashed processes) *)
+      (** messages lost by injected faults (random drops and severed
+          partition links); always 0 without a fault spec *)
+  duplicated : int;
+      (** extra copies enqueued by injected duplication faults *)
+  reordered : int;
+      (** messages the fault layer inserted ahead of already-queued
+          ones at their destination *)
+  undelivered_at_stop : int;
+      (** messages still buffered when the run ended — end-of-run
+          leftovers, including sends to crashed processes (this is
+          what the pre-fault-layer [dropped] counted) *)
   mailbox_hwm : int;
       (** high-water mark of any single process's mailbox depth *)
   wall_seconds : float;  (** wall-clock duration of the execution *)
 }
 (** Per-run observability counters, shared by every instantiation of
-    {!Make} (and mirrored by [Dagsim.Path_sim]). *)
+    {!Make} (and mirrored by [Dagsim.Path_sim]). The conservation law
+    [sent - dropped + duplicated = delivered + undelivered_at_stop]
+    holds for every run. *)
 
 val pp_metrics : Format.formatter -> metrics -> unit
 
@@ -49,6 +59,7 @@ module Make (A : Automaton.S) : sig
 
   type run = {
     pattern : Failure_pattern.t;
+    faults : Faults.t;  (** the fault spec the run executed under *)
     states : A.state array;  (** last state of each process *)
     steps : recorded_step array;  (** full trace, empty if unrecorded *)
     step_count : int;  (** number of steps taken *)
@@ -60,6 +71,7 @@ module Make (A : Automaton.S) : sig
 
   val exec :
     ?seed:int ->
+    ?faults:Faults.t ->
     ?max_msg_age:int ->
     ?lambda_prob:float ->
     ?stop:((Procset.Pid.t -> A.state) -> int -> bool) ->
@@ -74,10 +86,15 @@ module Make (A : Automaton.S) : sig
       of [max_steps] ticks or until [stop states time] holds (checked
       at round boundaries). [fd p t] is the history value [H(p, t)].
       [seed] (default 0) fixes the scheduler's randomness; runs are
-      fully deterministic given their arguments. [max_msg_age]
-      (default [4 * n]) bounds message delay; [lambda_prob] (default
-      0.15) is the chance a step receives lambda while messages are
-      pending. [record] (default true) keeps the full trace. *)
+      fully deterministic given their arguments. [faults] (default
+      {!Faults.none}) injects link faults at send time; fault
+      decisions are pure hashes of the spec and the message identity,
+      never scheduler RNG draws, so a zero-rate spec leaves the run
+      byte-identical to one executed without the fault layer.
+      [max_msg_age] (default [4 * n]) bounds message delay;
+      [lambda_prob] (default 0.15) is the chance a step receives
+      lambda while messages are pending. [record] (default true)
+      keeps the full trace. *)
 
   (** How a scripted step picks the message to receive. *)
   type msg_choice =
@@ -97,6 +114,7 @@ module Make (A : Automaton.S) : sig
 
   val exec_script :
     ?record:bool ->
+    ?faults:Faults.t ->
     pattern:Failure_pattern.t ->
     fd:(Procset.Pid.t -> int -> Fd_value.t) ->
     inputs:(Procset.Pid.t -> A.input) ->
@@ -104,7 +122,9 @@ module Make (A : Automaton.S) : sig
     unit ->
     run
   (** [exec_script ~script ()] executes exactly the scripted steps, in
-      order, one tick each, starting at time 1. *)
+      order, one tick each, starting at time 1. [faults] applies to
+      sends exactly as in {!exec}; a scripted [Oldest]/[Matching]
+      choice over a faulted buffer sees the post-fault contents. *)
 
   (** Step-by-step execution with feedback, for adaptive adversaries:
       the proof-scenario drivers (the contamination scenario of
@@ -116,6 +136,7 @@ module Make (A : Automaton.S) : sig
 
     val create :
       ?record:bool ->
+      ?faults:Faults.t ->
       pattern:Failure_pattern.t ->
       fd:(Procset.Pid.t -> int -> Fd_value.t) ->
       inputs:(Procset.Pid.t -> A.input) ->
@@ -176,6 +197,13 @@ module Make (A : Automaton.S) : sig
       {!exec_script} generally fail (6)/(7) by design — pass large
       windows to check only the hard model constraints.
 
+      For a run executed under a nonempty fault spec the delivery
+      surrogate (7) is skipped — reordering can legally starve an old
+      message past any finite bound, and a drop is, on a finite
+      prefix, indistinguishable from a delivery delayed past the
+      horizon — while (1)/(3)–(6) are checked unchanged; replay runs
+      under the run's own recorded spec.
+
       A run with [step_count = 0] conforms trivially and yields
       [Ok ()] — there is nothing to check, and in particular the
       delivery surrogate is not consulted. A run that took steps but
@@ -185,6 +213,7 @@ module Make (A : Automaton.S) : sig
 
   val replay :
     n:int ->
+    ?faults:Faults.t ->
     inputs:(Procset.Pid.t -> A.input) ->
     replay_step list ->
     (A.state array, string) result
@@ -193,5 +222,12 @@ module Make (A : Automaton.S) : sig
       each received message must be present in the reconstructed
       message buffer (matched by unique identity and payload
       equality). Returns the final states, or [Error reason] if some
-      step is inapplicable — the executable core of Lemma 2.2. *)
+      step is inapplicable — the executable core of Lemma 2.2.
+
+      [faults] (default {!Faults.none}) must be the spec the original
+      run executed under: replay re-derives each send's (src, dst,
+      seq, time) identity, so it recomputes the exact drop/duplicate
+      verdicts the execution applied and a faulty run round-trips
+      exactly. Reorder displacement needs no reapplication — identity
+      matching is order-insensitive. *)
 end

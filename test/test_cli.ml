@@ -50,15 +50,55 @@ let test_library_rows_same_seed () =
   let a2 = Experiments.ablation ~quick:true ~seed_base:2 () in
   Alcotest.(check bool) "identical ablation tables" true (a1 = a2)
 
+(* A starved E9 (step budget too small for either side to decide)
+   reports a failed row instead of escaping as an exception — the
+   regression this pins once surfaced as a bare [Failure] through
+   the CLI. *)
+let test_e9_budget_failure_is_a_row () =
+  let row = Experiments.e9_merge ~quick:true ~step_budget:1 () in
+  Alcotest.(check bool) "row fails" false row.Experiments.pass;
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+    at 0
+  in
+  let mentions_budget = contains row.Experiments.measured "no merge attempted" in
+  Alcotest.(check bool)
+    (Printf.sprintf "measured explains the starved budget: %s"
+       row.Experiments.measured)
+    true mentions_budget
+
+(* The run subcommand with an adversarial network: deterministic for
+   a fixed seed, and a different fault seed perturbs the run. *)
+let test_cli_faulty_run_same_seed () =
+  let args =
+    [
+      "run"; "--algo"; "a_nuc"; "-n"; "4"; "-t"; "1"; "--seed"; "7";
+      "--drop"; "0.1"; "--dup"; "0.05"; "--reorder"; "2";
+      "--partition"; "20-60:0,1|2,3";
+    ]
+  in
+  let out1 = run_cli args in
+  let out2 = run_cli args in
+  Alcotest.(check bool) "produced output" true (String.length out1 > 0);
+  Alcotest.(check string) "identical output for identical seed" out1 out2
+
 let () =
   Alcotest.run "cli"
     [
       ( "determinism",
         [
           Alcotest.test_case "run subcommand" `Quick test_cli_run_same_seed;
+          Alcotest.test_case "faulty run subcommand" `Quick
+            test_cli_faulty_run_same_seed;
           Alcotest.test_case "experiments subcommand" `Quick
             test_cli_experiments_same_seed;
           Alcotest.test_case "library rows" `Quick
             test_library_rows_same_seed;
+        ] );
+      ( "failure-rows",
+        [
+          Alcotest.test_case "starved E9 yields a failed row" `Quick
+            test_e9_budget_failure_is_a_row;
         ] );
     ]

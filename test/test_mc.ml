@@ -31,6 +31,8 @@ let test_menus_admissible () =
       Mc.Menu.omega_sigma ~n ~faulty;
       Mc.Menu.contamination ~n ~faulty ();
       Mc.Menu.contamination ~plus:true ~n ~faulty ();
+      Mc.Menu.lossy ~n ~faulty ();
+      Mc.Menu.lossy ~plus:true ~n ~faulty ();
       Mc.Menu.leader_only ~n ~faulty;
       Mc.Menu.suspects ~n ~faulty;
     ]
@@ -48,6 +50,7 @@ let test_bogus_menu_rejected () =
             Sim.Fd_value.Pair
               (Sim.Fd_value.Leader p, Sim.Fd_value.Quorum (Pset.singleton p));
           ]);
+      lossy = false;
     }
   in
   match Mc.Menu.validate ~pattern:(pattern ~depth:40) bogus with
@@ -82,6 +85,67 @@ let test_anuc_exhaustive_no_violation () =
     r.M_anuc.stats.Mc.truncated;
   Alcotest.(check bool) "explored a nontrivial space" true
     (r.M_anuc.stats.Mc.distinct_states > 10_000)
+
+(* Same verification over lossy links: the adversary may also drop or
+   stall in-flight messages, and A_nuc still has no safety violation
+   within the (smaller, because the space is much larger) bound. *)
+let test_anuc_lossy_exhaustive_no_violation () =
+  let depth = 6 in
+  let pattern = pattern ~depth in
+  let menu = Mc.Menu.lossy ~plus:true ~n ~faulty () in
+  let props =
+    M_anuc.consensus_props ~decision:Core.Anuc.decision ~proposals
+      ~flavour:Consensus.Spec.Nonuniform ~pattern
+  in
+  let stop =
+    M_anuc.decided_stop ~decision:Core.Anuc.decision
+      ~scope:(Sim.Failure_pattern.correct pattern)
+  in
+  let r = M_anuc.run ~n ~menu ~depth ~inputs:proposals ~props ~stop () in
+  (match r.M_anuc.violation with
+  | None -> ()
+  | Some cx ->
+    Alcotest.failf "A_nuc must survive lossy exploration: %s (%s)"
+      cx.M_anuc.cx_property cx.M_anuc.cx_detail);
+  Alcotest.(check bool) "exploration not truncated" false
+    r.M_anuc.stats.Mc.truncated;
+  (* the drop moves genuinely enlarge the space beyond the loss-free
+     menu at the same depth *)
+  let loss_free =
+    M_anuc.run ~n
+      ~menu:(Mc.Menu.contamination ~plus:true ~n ~faulty ())
+      ~depth ~inputs:proposals ~props ~stop ()
+  in
+  Alcotest.(check bool) "lossy space strictly larger" true
+    (r.M_anuc.stats.Mc.distinct_states
+    > loss_free.M_anuc.stats.Mc.distinct_states)
+
+(* A drop budget of zero switches the drop alphabet off entirely: the
+   lossy menu degenerates, state for state and transition for
+   transition, to the loss-free contamination exploration. *)
+let test_lossy_zero_budget_is_loss_free () =
+  let depth = 5 in
+  let pattern = pattern ~depth in
+  let props =
+    M_naive.consensus_props ~decision:Consensus.Mr.With_quorum.decision
+      ~proposals ~flavour:Consensus.Spec.Nonuniform ~pattern
+  in
+  let run menu ~max_drops =
+    M_naive.run ~max_drops ~n ~menu ~depth ~inputs:proposals ~props ()
+  in
+  let budgetless =
+    run (Mc.Menu.lossy ~n ~faulty ()) ~max_drops:0
+  in
+  let loss_free = run (Mc.Menu.contamination ~n ~faulty ()) ~max_drops:max_int in
+  Alcotest.(check int) "same distinct states"
+    loss_free.M_naive.stats.Mc.distinct_states
+    budgetless.M_naive.stats.Mc.distinct_states;
+  Alcotest.(check int) "same transitions"
+    loss_free.M_naive.stats.Mc.transitions
+    budgetless.M_naive.stats.Mc.transitions;
+  Alcotest.(check bool) "same verdict" true
+    (Option.is_none budgetless.M_naive.violation
+    = Option.is_none loss_free.M_naive.violation)
 
 (* -------------------------------------------------------------- *)
 (* Counterexample discovery for the naive baseline                 *)
@@ -213,6 +277,13 @@ let test_e11_quick_passes () =
   if not row.Experiments.pass then
     Alcotest.failf "E11 failed: %s" row.Experiments.measured
 
+(* E12 end to end: faulty-network runs keep safety, and the lossy
+   model-check halves agree with E11's verdicts. *)
+let test_e12_quick_passes () =
+  let row = Experiments.e12_faults ~quick:true () in
+  if not row.Experiments.pass then
+    Alcotest.failf "E12 failed: %s" row.Experiments.measured
+
 let () =
   Alcotest.run "mc"
     [
@@ -227,6 +298,8 @@ let () =
         [
           Alcotest.test_case "A_nuc exhaustive, no violation" `Quick
             test_anuc_exhaustive_no_violation;
+          Alcotest.test_case "A_nuc lossy exhaustive, no violation" `Quick
+            test_anuc_lossy_exhaustive_no_violation;
           Alcotest.test_case "naive-Sn counterexample certified" `Quick
             test_naive_counterexample_found_and_certified;
           Alcotest.test_case "user invariant surfaces" `Quick
@@ -236,7 +309,12 @@ let () =
         [
           Alcotest.test_case "prunes transitions, not states" `Quick
             test_pruning_reduces_without_changing_verdict;
+          Alcotest.test_case "zero drop budget is loss-free" `Quick
+            test_lossy_zero_budget_is_loss_free;
         ] );
       ( "experiments",
-        [ Alcotest.test_case "E11 (quick) passes" `Quick test_e11_quick_passes ] );
+        [
+          Alcotest.test_case "E11 (quick) passes" `Quick test_e11_quick_passes;
+          Alcotest.test_case "E12 (quick) passes" `Quick test_e12_quick_passes;
+        ] );
     ]

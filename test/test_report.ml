@@ -236,6 +236,7 @@ let test_schema_keys () =
       "b3_dag_growth";
       "b5_ablation";
       "b6_model_check";
+      "b7_fault_latency";
       "b4_micro";
       "run_metrics";
     ]

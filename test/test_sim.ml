@@ -142,6 +142,52 @@ let test_mailbox_remove_first () =
     (Sim.Mailbox.to_list mb);
   Alcotest.(check int) "length tracked" 2 (Sim.Mailbox.length mb)
 
+let test_mailbox_insert_nth () =
+  let mb = Sim.Mailbox.of_list [ 10; 11; 12 ] in
+  ignore (Sim.Mailbox.dequeue_oldest mb);
+  Sim.Mailbox.enqueue mb 13;
+  (* mailbox is [11;12;13] split across front and back *)
+  Sim.Mailbox.insert_nth mb 0 1;
+  Alcotest.(check (list int)) "insert at the oldest end" [ 1; 11; 12; 13 ]
+    (Sim.Mailbox.to_list mb);
+  Sim.Mailbox.insert_nth mb 2 2;
+  Alcotest.(check (list int)) "insert in the middle" [ 1; 11; 2; 12; 13 ]
+    (Sim.Mailbox.to_list mb);
+  Sim.Mailbox.insert_nth mb 5 3;
+  Alcotest.(check (list int)) "insert at the newest end"
+    [ 1; 11; 2; 12; 13; 3 ]
+    (Sim.Mailbox.to_list mb);
+  Alcotest.(check int) "length tracked" 6 (Sim.Mailbox.length mb);
+  (try
+     Sim.Mailbox.insert_nth mb 7 99;
+     Alcotest.fail "out-of-bounds index must raise"
+   with Invalid_argument _ -> ());
+  try
+    Sim.Mailbox.insert_nth mb (-1) 99;
+    Alcotest.fail "negative index must raise"
+  with Invalid_argument _ -> ()
+
+let prop_mailbox_insert_model =
+  (* insert_nth agrees with list insertion at random positions over
+     random mailbox shapes (the split position varies with the
+     enqueue/dequeue prefix) *)
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"insert_nth agrees with a list model" ~count:300
+       QCheck.(pair (list small_nat) (list (pair small_nat small_nat)))
+       (fun (init, inserts) ->
+         let mb = Sim.Mailbox.of_list init in
+         let model = ref init in
+         List.for_all
+           (fun (pos, x) ->
+             let i = pos mod (List.length !model + 1) in
+             Sim.Mailbox.insert_nth mb i x;
+             (model :=
+                List.filteri (fun j _ -> j < i) !model
+                @ [ x ]
+                @ List.filteri (fun j _ -> j >= i) !model);
+             Sim.Mailbox.to_list mb = !model)
+           inserts))
+
 let prop_mailbox_model =
   (* the mailbox agrees with a plain-list model under random
      enqueue / dequeue / remove_nth sequences *)
@@ -216,9 +262,10 @@ module R = Sim.Runner.Make (Ring)
 
 let fd_unit _ _ = Sim.Fd_value.Unit
 
-let run_ring ?seed ?(crashes = []) ?(max_steps = 300) ?lambda_prob () =
+let run_ring ?seed ?(crashes = []) ?(max_steps = 300) ?lambda_prob ?faults ()
+    =
   let pattern = Sim.Failure_pattern.make ~n:4 ~crashes in
-  R.exec ?seed ?lambda_prob ~pattern ~fd:fd_unit
+  R.exec ?seed ?lambda_prob ?faults ~pattern ~fd:fd_unit
     ~inputs:(fun _ -> ())
     ~max_steps ()
 
@@ -600,16 +647,156 @@ let test_runner_metrics () =
     (Array.fold_left ( + ) 0 m.Sim.Runner.steps_per_process);
   Alcotest.(check int) "sent mirrors messages_sent" run.R.messages_sent
     m.Sim.Runner.sent;
-  Alcotest.(check int) "every send is delivered or dropped"
+  Alcotest.(check int) "every send is delivered or still buffered"
     m.Sim.Runner.sent
-    (m.Sim.Runner.delivered + m.Sim.Runner.dropped);
-  Alcotest.(check int) "dropped counts the undelivered leftovers"
+    (m.Sim.Runner.delivered + m.Sim.Runner.undelivered_at_stop);
+  Alcotest.(check int) "undelivered_at_stop counts the leftovers"
     (List.length run.R.undelivered)
-    m.Sim.Runner.dropped;
+    m.Sim.Runner.undelivered_at_stop;
+  Alcotest.(check int) "no faults: nothing dropped" 0 m.Sim.Runner.dropped;
+  Alcotest.(check int) "no faults: nothing duplicated" 0
+    m.Sim.Runner.duplicated;
+  Alcotest.(check int) "no faults: nothing reordered" 0
+    m.Sim.Runner.reordered;
   Alcotest.(check bool) "mailbox high-water mark observed" true
     (m.Sim.Runner.mailbox_hwm >= 1);
   Alcotest.(check bool) "wall clock nonnegative" true
     (m.Sim.Runner.wall_seconds >= 0.0)
+
+(* -------------------------------------------------------------- *)
+(* Network faults (Sim.Faults)                                     *)
+(* -------------------------------------------------------------- *)
+
+(* Everything observable except the wall clock. *)
+let run_equal r1 r2 =
+  r1.R.states = r2.R.states
+  && r1.R.steps = r2.R.steps
+  && r1.R.step_count = r2.R.step_count
+  && r1.R.messages_sent = r2.R.messages_sent
+  && r1.R.undelivered = r2.R.undelivered
+  && r1.R.stopped_early = r2.R.stopped_early
+  && { r1.R.metrics with Sim.Runner.wall_seconds = 0.0 }
+     = { r2.R.metrics with Sim.Runner.wall_seconds = 0.0 }
+
+(* Random fault specs as printable/shrinkable tuples:
+   (drop, dup in tenths; reorder window; spec seed). *)
+let arb_fault_quad =
+  QCheck.quad
+    QCheck.(int_bound 9)
+    QCheck.(int_bound 9)
+    QCheck.(int_bound 4)
+    QCheck.small_nat
+
+let spec_of (drop10, dup10, reorder, fseed) =
+  Sim.Faults.make
+    ~drop:(float_of_int drop10 /. 10.0)
+    ~dup:(float_of_int dup10 /. 10.0)
+    ~reorder ~seed:fseed ()
+
+let prop_faulty_run_deterministic =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"same seed + same fault spec => identical run"
+       ~count:40
+       QCheck.(pair arb_fault_quad (int_range 0 10_000))
+       (fun (fq, seed) ->
+         let faults = spec_of fq in
+         run_equal (run_ring ~seed ~faults ()) (run_ring ~seed ~faults ())))
+
+let prop_faulty_run_conforms =
+  (* a faulty recorded run round-trips: conformance replays it under
+     the run's own spec and re-derives the exact verdicts — and the
+     message-accounting conservation law holds *)
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"faulty runs replay and conform" ~count:40
+       QCheck.(pair arb_fault_quad (int_range 0 10_000))
+       (fun (fq, seed) ->
+         let faults = spec_of fq in
+         let run = run_ring ~seed ~faults () in
+         let m = run.R.metrics in
+         let conserved =
+           m.Sim.Runner.sent - m.Sim.Runner.dropped
+           + m.Sim.Runner.duplicated
+           = m.Sim.Runner.delivered + m.Sim.Runner.undelivered_at_stop
+         in
+         match R.conformance ~fd:fd_unit ~inputs:(fun _ -> ()) run with
+         | Ok () -> conserved
+         | Error e -> QCheck.Test.fail_reportf "conformance: %s" e))
+
+let prop_zero_rate_spec_is_identity =
+  (* a zero-rate spec (whatever its seed) leaves seeded runs
+     byte-identical to runs executed with no spec at all *)
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"zero-rate fault spec changes nothing" ~count:40
+       QCheck.(int_range 0 10_000)
+       (fun seed ->
+         let zero = Sim.Faults.make ~seed:(seed + 77) () in
+         run_equal (run_ring ~seed ()) (run_ring ~seed ~faults:zero ())))
+
+(* A total partition between {0,1} and {2,3} severs the two
+   cross-group ring links (1->2 and 3->0) for the whole run: the cut
+   destinations hear nothing, the in-group link still works, and
+   every severed send is counted as dropped. *)
+let test_partition_severs_links () =
+  let faults =
+    Sim.Faults.make
+      ~partitions:
+        [
+          {
+            Sim.Faults.from_t = 0;
+            until_t = max_int;
+            groups = [ Pset.of_list [ 0; 1 ]; Pset.of_list [ 2; 3 ] ];
+          };
+        ]
+      ()
+  in
+  let run = run_ring ~seed:11 ~faults ~max_steps:100 () in
+  Alcotest.(check (list (pair int int)))
+    "p2 heard nothing across the cut" []
+    run.R.states.(2).Ring.inbox;
+  Alcotest.(check (list (pair int int)))
+    "p0 heard nothing across the cut" []
+    run.R.states.(0).Ring.inbox;
+  Alcotest.(check bool) "p1 still hears p0" true
+    (run.R.states.(1).Ring.inbox <> []);
+  let m = run.R.metrics in
+  Alcotest.(check int) "every cross-group send was dropped"
+    (run.R.states.(1).Ring.steps + run.R.states.(3).Ring.steps)
+    m.Sim.Runner.dropped;
+  (* the faulty run still validates end to end *)
+  match R.conformance ~fd:fd_unit ~inputs:(fun _ -> ()) run with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "partitioned run must conform: %s" e
+
+let test_partition_heals () =
+  let faults =
+    Sim.Faults.make
+      ~partitions:
+        [
+          {
+            Sim.Faults.from_t = 0;
+            until_t = 10;
+            groups = [ Pset.of_list [ 0; 1 ]; Pset.of_list [ 2; 3 ] ];
+          };
+        ]
+      ()
+  in
+  let run = run_ring ~seed:11 ~faults ~max_steps:200 () in
+  Alcotest.(check bool) "p2 hears p1 again after the heal" true
+    (List.exists (fun (src, _) -> src = 1) run.R.states.(2).Ring.inbox);
+  Alcotest.(check bool) "only window-time sends were lost" true
+    (run.R.metrics.Sim.Runner.dropped < run.R.metrics.Sim.Runner.sent / 4)
+
+let test_duplication_counted () =
+  let faults = Sim.Faults.make ~dup:1.0 () in
+  let run = run_ring ~seed:3 ~faults ~max_steps:120 () in
+  let m = run.R.metrics in
+  (* the ring only sends cross-process messages, so every send
+     duplicates *)
+  Alcotest.(check int) "every send duplicated" m.Sim.Runner.sent
+    m.Sim.Runner.duplicated;
+  Alcotest.(check int) "conservation law"
+    (m.Sim.Runner.sent + m.Sim.Runner.duplicated)
+    (m.Sim.Runner.delivered + m.Sim.Runner.undelivered_at_stop)
 
 (* -------------------------------------------------------------- *)
 (* Replay round-trips on the real automata                         *)
@@ -675,7 +862,21 @@ let () =
           Alcotest.test_case "indexed removal" `Quick test_mailbox_remove_nth;
           Alcotest.test_case "predicate removal" `Quick
             test_mailbox_remove_first;
+          Alcotest.test_case "indexed insertion" `Quick
+            test_mailbox_insert_nth;
+          prop_mailbox_insert_model;
           prop_mailbox_model;
+        ] );
+      ( "faults",
+        [
+          prop_faulty_run_deterministic;
+          prop_faulty_run_conforms;
+          prop_zero_rate_spec_is_identity;
+          Alcotest.test_case "partition severs links" `Quick
+            test_partition_severs_links;
+          Alcotest.test_case "partition heals" `Quick test_partition_heals;
+          Alcotest.test_case "duplication counted" `Quick
+            test_duplication_counted;
         ] );
       ( "runner",
         [

@@ -11,7 +11,8 @@
      across environments (B1), sensitivity to the detectors'
      stabilization time (B2), the cost of the DAG-based
      transformation machinery (B3), model-checker throughput (B6),
-     and liveness degradation under injected message loss (B7);
+     liveness degradation under injected message loss (B7), and
+     randomized-explorer throughput and coverage saturation (B8);
    - bechamel microbenchmarks of the substrate hot paths (B4).
 
    Run with: dune exec bench/main.exe
@@ -287,6 +288,36 @@ let json_of_fault_rows rows =
        rows)
 
 (* ---------------------------------------------------------------- *)
+(* B8: randomized-explorer throughput                                *)
+(* ---------------------------------------------------------------- *)
+
+let b8_fuzz ~smoke () =
+  hr "B8: randomized schedule explorer (lib/explore) — the two E13 \
+      campaigns on E_2(5)";
+  pf "%s@." Experiments.fuzz_header;
+  let rows = Experiments.fuzz_table ~quick:smoke () in
+  List.iter (fun r -> pf "%a@." Experiments.pp_fuzz_row r) rows;
+  rows
+
+let json_of_fuzz_rows rows =
+  Json.List
+    (List.map
+       (fun (r : Experiments.fuzz_row) ->
+         Json.Obj
+           [
+             ("algorithm", Json.Str r.fz_algorithm);
+             ("mode", Json.Str r.fz_mode);
+             ("runs", Json.Int r.fz_runs);
+             ("steps", Json.Int r.fz_steps);
+             ("runs_per_sec", Json.Float r.fz_runs_per_sec);
+             ("distinct_states", Json.Int r.fz_states);
+             ("last_batch_new_states", Json.Int r.fz_last_new_states);
+             ("shrink_ratio", Json.Float r.fz_shrink_ratio);
+             ("outcome", Json.Str r.fz_outcome);
+           ])
+       rows)
+
+(* ---------------------------------------------------------------- *)
 (* Substrate run metrics: one instrumented reference run             *)
 (* ---------------------------------------------------------------- *)
 
@@ -498,6 +529,7 @@ let () =
   let b5 = b5_ablation () in
   let b6 = b6_model_check ~smoke () in
   let b7 = b7_fault_latency ~smoke () in
+  let b8 = b8_fuzz ~smoke () in
   let metrics = run_metrics () in
   let b4 = b4_micro ~smoke () in
   match json_file with
@@ -516,6 +548,7 @@ let () =
         json_of_ablation_rows b5;
         json_of_mc_rows b6;
         json_of_fault_rows b7;
+        json_of_fuzz_rows b8;
         json_of_micro_rows b4;
         json_of_metrics metrics;
       ]

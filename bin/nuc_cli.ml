@@ -7,9 +7,11 @@
      check        generate an oracle history and validate it
      scenario     the proof scenarios (contamination | separation)
      mc           exhaustive bounded model checking (lib/mc)
+     fuzz         randomized schedule exploration (lib/explore)
 
    Every subcommand that consumes randomness takes --seed (default 0,
-   deterministic); mc and scenario are fully deterministic. *)
+   deterministic); mc and scenario are fully deterministic, and fuzz
+   is deterministic in --seed. *)
 
 open Procset
 
@@ -135,12 +137,13 @@ let run_experiments quick only seed =
           ("e10", fun ~quick -> Experiments.e10_not_uniform ~quick);
           ("e11", fun ~quick -> Experiments.e11_model_check ~quick);
           ("e12", fun ~quick -> Experiments.e12_faults ~quick ~seed_base:seed);
+          ("e13", fun ~quick -> Experiments.e13_fuzz ~quick ~seed_base:seed);
         ]
       in
       match List.assoc_opt (String.lowercase_ascii id) pick with
       | Some f -> [ f ~quick () ]
       | None ->
-        pf "unknown experiment %S (expected e1..e12)@." id;
+        pf "unknown experiment %S (expected e1..e13)@." id;
         exit 1)
   in
   List.iter (fun r -> pf "%a@.@." Experiments.pp_row r) rows;
@@ -239,7 +242,11 @@ end) =
 struct
   module M = Mc.Make (A)
 
-  let go ~n ~faulty ~menu ~depth ~flavour ~max_states ~max_drops ~delivery =
+  (* [corrupt] (--selftest-corrupt-cx) deliberately damages a found
+     counterexample before certification — the negative-path selftest
+     for the certification machinery and its nonzero exit code. *)
+  let go ~n ~faulty ~menu ~depth ~flavour ~max_states ~max_drops ~delivery
+      ~corrupt =
     let proposals p = if Pset.mem p faulty then 1 else 0 in
     let crashes = Pset.fold (fun p l -> (p, depth + 1) :: l) faulty [] in
     let pattern = Sim.Failure_pattern.make ~n ~crashes in
@@ -277,6 +284,26 @@ struct
       end
       else pf "exhausted: no violation within depth %d@." depth
     | Some cx ->
+      let cx =
+        if not corrupt then cx
+        else
+          {
+            cx with
+            M.cx_steps =
+              List.map
+                (fun (s : M.R.replay_step) ->
+                  match s.r_received with
+                  | None -> s
+                  | Some env ->
+                    {
+                      s with
+                      r_received =
+                        Some { env with Sim.Envelope.seq = env.seq + 1000 };
+                    })
+                cx.M.cx_steps;
+          }
+      in
+      if corrupt then pf "selftest: corrupted counterexample receives@.";
       pf "%a@." M.pp_counterexample cx;
       let ok_replay =
         match M.replay_counterexample ~n ~inputs:proposals cx with
@@ -301,9 +328,10 @@ struct
       if not (ok_replay && ok_hist) then exit 1
 
   let default_go ~n ~faulty ~max_states ~max_drops ~delivery ~flavour
-      ~default_depth ~menu depth_opt =
+      ~corrupt ~default_depth ~menu depth_opt =
     let depth = Option.value depth_opt ~default:default_depth in
     go ~n ~faulty ~menu ~depth ~flavour ~max_states ~max_drops ~delivery
+      ~corrupt
 end
 
 module Mc_anuc_drive = Mc_drive (Core.Anuc)
@@ -311,7 +339,7 @@ module Mc_naive_drive = Mc_drive (Consensus.Mr.With_quorum)
 module Mc_maj_drive = Mc_drive (Consensus.Mr.Majority)
 module Mc_ct_drive = Mc_drive (Consensus.Ct)
 
-let run_mc algo n t depth_opt family max_states max_drops delivery =
+let run_mc algo n t depth_opt family max_states max_drops delivery corrupt =
   if t >= n || t < 1 then (
     pf "error: need 1 <= t < n@.";
     exit 1);
@@ -340,7 +368,7 @@ let run_mc algo n t depth_opt family max_states max_drops delivery =
   in
   match String.lowercase_ascii algo with
   | "anuc" ->
-    Mc_anuc_drive.default_go ~n ~faulty ~max_states ~max_drops ~delivery
+    Mc_anuc_drive.default_go ~n ~faulty ~max_states ~max_drops ~delivery ~corrupt
       ~flavour:Consensus.Spec.Nonuniform ~default_depth:11
       ~menu:
         (match family with
@@ -349,7 +377,7 @@ let run_mc algo n t depth_opt family max_states max_drops delivery =
         | `Full -> Mc.Menu.omega_sigma_nu_plus ~n ~faulty)
       depth_opt
   | "naive-sn" ->
-    Mc_naive_drive.default_go ~n ~faulty ~max_states ~max_drops ~delivery
+    Mc_naive_drive.default_go ~n ~faulty ~max_states ~max_drops ~delivery ~corrupt
       ~flavour:Consensus.Spec.Nonuniform ~default_depth:34
       ~menu:
         (match family with
@@ -358,22 +386,194 @@ let run_mc algo n t depth_opt family max_states max_drops delivery =
         | `Full -> Mc.Menu.omega_sigma_nu ~n ~faulty)
       depth_opt
   | "mr-sigma" ->
-    Mc_naive_drive.default_go ~n ~faulty ~max_states ~max_drops ~delivery
+    Mc_naive_drive.default_go ~n ~faulty ~max_states ~max_drops ~delivery ~corrupt
       ~flavour:Consensus.Spec.Uniform ~default_depth:10
       ~menu:(Mc.Menu.omega_sigma ~n ~faulty)
       depth_opt
   | "mr-majority" ->
     need_majority ();
-    Mc_maj_drive.default_go ~n ~faulty ~max_states ~max_drops ~delivery
+    Mc_maj_drive.default_go ~n ~faulty ~max_states ~max_drops ~delivery ~corrupt
       ~flavour:Consensus.Spec.Uniform ~default_depth:11
       ~menu:(Mc.Menu.leader_only ~n ~faulty)
       depth_opt
   | "ct" ->
     need_majority ();
-    Mc_ct_drive.default_go ~n ~faulty ~max_states ~max_drops ~delivery
+    Mc_ct_drive.default_go ~n ~faulty ~max_states ~max_drops ~delivery ~corrupt
       ~flavour:Consensus.Spec.Uniform ~default_depth:13
       ~menu:(Mc.Menu.suspects ~n ~faulty)
       depth_opt
+  | s ->
+    pf "unknown algorithm %S (anuc | naive-sn | mr-majority | mr-sigma | \
+        ct)@."
+      s;
+    exit 1
+
+(* ---------------------------------------------------------------- *)
+(* fuzz                                                              *)
+(* ---------------------------------------------------------------- *)
+
+(* One fuzzing drive, shared by every algorithm; mirrors [Mc_drive]
+   but samples schedules ([Explore]) instead of enumerating them. The
+   faulty processes crash past the step bound, exactly as in mc. *)
+module Fuzz_drive (A : sig
+  include Sim.Automaton.S with type input = Consensus.Value.t
+
+  val decision : state -> Consensus.Value.t option
+end) =
+struct
+  module E = Explore.Make (A)
+  module M = E.M
+
+  let go ~algo ~n ~faulty ~menu ~swarm_menus ~flavour ~runs ~sampler ~swarm
+      ~shrink ~seed ~delivery ~max_steps ~max_drops ~batch ~json =
+    let proposals p = if Pset.mem p faulty then 1 else 0 in
+    let crashes = Pset.fold (fun p l -> (p, max_steps + 1) :: l) faulty [] in
+    let pattern = Sim.Failure_pattern.make ~n ~crashes in
+    List.iter
+      (fun (m : Mc.Menu.t) ->
+        match Mc.Menu.validate ~pattern m with
+        | Ok () -> pf "menu %s: admissible@." m.name
+        | Error e ->
+          pf "menu %s: INADMISSIBLE (%s)@." m.name e;
+          exit 1)
+      (menu :: if swarm then swarm_menus else []);
+    let props =
+      M.consensus_props ~decision:A.decision ~proposals ~flavour ~pattern
+    in
+    let stop_scope =
+      match flavour with
+      | Consensus.Spec.Uniform -> Pset.full ~n
+      | Consensus.Spec.Nonuniform -> Sim.Failure_pattern.correct pattern
+    in
+    let stop = M.decided_stop ~decision:A.decision ~scope:stop_scope in
+    let decided st = A.decision st <> None in
+    let swarm_cfg =
+      if not swarm then None
+      else
+        Some
+          {
+            Explore.sw_menus = menu :: swarm_menus;
+            sw_budgets = [ 0; 1; 2 ];
+            sw_stabs = [ max_steps / 3; (2 * max_steps) / 3; max_steps ];
+            sw_samplers = [ Explore.Uniform; Pct 2; Pct 3; Pct 4 ];
+          }
+    in
+    let report =
+      E.fuzz ~algo ~sampler ?swarm:swarm_cfg ~batch_size:batch ~delivery
+        ~max_steps ~max_drops ~shrink ~stop ~decided ~seed ~runs ~n ~menu
+        ~pattern ~inputs:proposals ~props ()
+    in
+    pf "%a@." E.pp_report report;
+    (match json with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      Report.to_channel oc (E.json_of_report report);
+      close_out oc;
+      pf "wrote %s@." path);
+    match report.E.violation with
+    | None -> ()
+    | Some v ->
+      if not (v.E.v_replay_ok && v.E.v_history_ok) then (
+        pf "violation NOT CERTIFIED — failing@.";
+        exit 1)
+end
+
+module Fuzz_anuc_drive = Fuzz_drive (Core.Anuc)
+module Fuzz_naive_drive = Fuzz_drive (Consensus.Mr.With_quorum)
+module Fuzz_maj_drive = Fuzz_drive (Consensus.Mr.Majority)
+module Fuzz_ct_drive = Fuzz_drive (Consensus.Ct)
+
+let parse_sampler s =
+  match String.lowercase_ascii s with
+  | "uniform" -> Ok Explore.Uniform
+  | "pct" -> Ok (Explore.Pct 3)
+  | s when String.length s > 3 && String.sub s 0 3 = "pct" -> (
+    match int_of_string_opt (String.sub s 3 (String.length s - 3)) with
+    | Some d when d >= 1 -> Ok (Explore.Pct d)
+    | _ -> Error (Printf.sprintf "bad PCT depth in %S" s))
+  | s -> Error (Printf.sprintf "unknown sampler %S (uniform | pct | pctD)" s)
+
+let run_fuzz algo n t runs sampler_s swarm shrink seed delivery_s max_steps_opt
+    max_drops batch family json =
+  if t >= n || t < 1 then (
+    pf "error: need 1 <= t < n@.";
+    exit 1);
+  let sampler =
+    match parse_sampler sampler_s with
+    | Ok s -> s
+    | Error e ->
+      pf "error: %s@." e;
+      exit 1
+  in
+  let delivery =
+    match String.lowercase_ascii delivery_s with
+    | "fifo" -> `Fifo
+    | "any" -> `Any
+    | s ->
+      pf "unknown delivery model %S (fifo | any)@." s;
+      exit 1
+  in
+  let max_steps = Option.value max_steps_opt ~default:(18 * n) in
+  let faulty = Pset.of_list (List.init t (fun i -> n - 1 - i)) in
+  let need_majority () =
+    if 2 * t >= n then (
+      pf "error: this algorithm requires t < n/2 (got n=%d t=%d)@." n t;
+      exit 1)
+  in
+  let pick_family ~contamination ~lossy ~full =
+    match String.lowercase_ascii family with
+    | "contamination" -> contamination ()
+    | "lossy" -> lossy ()
+    | "full" -> full ()
+    | s ->
+      pf "unknown menu family %S (contamination | lossy | full)@." s;
+      exit 1
+  in
+  match String.lowercase_ascii algo with
+  | "anuc" ->
+    Fuzz_anuc_drive.go ~algo ~n ~faulty ~flavour:Consensus.Spec.Nonuniform
+      ~menu:
+        (pick_family
+           ~contamination:(fun () ->
+             Mc.Menu.contamination ~plus:true ~n ~faulty ())
+           ~lossy:(fun () -> Mc.Menu.lossy ~plus:true ~n ~faulty ())
+           ~full:(fun () -> Mc.Menu.omega_sigma_nu_plus ~n ~faulty))
+      ~swarm_menus:
+        [
+          Mc.Menu.lossy ~plus:true ~n ~faulty ();
+          Mc.Menu.omega_sigma_nu_plus ~n ~faulty;
+        ]
+      ~runs ~sampler ~swarm ~shrink ~seed ~delivery ~max_steps ~max_drops
+      ~batch ~json
+  | "naive-sn" ->
+    Fuzz_naive_drive.go ~algo ~n ~faulty ~flavour:Consensus.Spec.Nonuniform
+      ~menu:
+        (pick_family
+           ~contamination:(fun () -> Mc.Menu.contamination ~n ~faulty ())
+           ~lossy:(fun () -> Mc.Menu.lossy ~n ~faulty ())
+           ~full:(fun () -> Mc.Menu.omega_sigma_nu ~n ~faulty))
+      ~swarm_menus:
+        [ Mc.Menu.lossy ~n ~faulty (); Mc.Menu.omega_sigma_nu ~n ~faulty ]
+      ~runs ~sampler ~swarm ~shrink ~seed ~delivery ~max_steps ~max_drops
+      ~batch ~json
+  | "mr-sigma" ->
+    Fuzz_naive_drive.go ~algo ~n ~faulty ~flavour:Consensus.Spec.Uniform
+      ~menu:(Mc.Menu.omega_sigma ~n ~faulty)
+      ~swarm_menus:[] ~runs ~sampler ~swarm ~shrink ~seed ~delivery
+      ~max_steps ~max_drops ~batch ~json
+  | "mr-majority" ->
+    need_majority ();
+    Fuzz_maj_drive.go ~algo ~n ~faulty ~flavour:Consensus.Spec.Uniform
+      ~menu:(Mc.Menu.leader_only ~n ~faulty)
+      ~swarm_menus:[] ~runs ~sampler ~swarm ~shrink ~seed ~delivery
+      ~max_steps ~max_drops ~batch ~json
+  | "ct" ->
+    need_majority ();
+    Fuzz_ct_drive.go ~algo ~n ~faulty ~flavour:Consensus.Spec.Uniform
+      ~menu:(Mc.Menu.suspects ~n ~faulty)
+      ~swarm_menus:[] ~runs ~sampler ~swarm ~shrink ~seed ~delivery
+      ~max_steps ~max_drops ~batch ~json
   | s ->
     pf "unknown algorithm %S (anuc | naive-sn | mr-majority | mr-sigma | \
         ct)@."
@@ -453,7 +653,7 @@ let experiments_cmd =
     Arg.(
       value
       & opt (some string) None
-      & info [ "only" ] ~docv:"ID" ~doc:"Run a single experiment (e1..e11).")
+      & info [ "only" ] ~docv:"ID" ~doc:"Run a single experiment (e1..e13).")
   in
   Cmd.v
     (Cmd.info "experiments"
@@ -563,6 +763,16 @@ let mc_cmd =
             "Channel model: 'fifo' (per-channel send order; exhaustive for \
              FIFO links) or 'any' (every per-channel reordering).")
   in
+  let corrupt =
+    Arg.(
+      value & flag
+      & info [ "selftest-corrupt-cx" ]
+          ~doc:
+            "Deliberately corrupt a found counterexample's receives before \
+             certification (selftest of the replay/history checks and the \
+             nonzero exit path; a corrupted counterexample must be \
+             rejected).")
+  in
   Cmd.v
     (Cmd.info "mc"
        ~doc:
@@ -570,7 +780,113 @@ let mc_cmd =
           schedule of a small universe")
     Term.(
       const run_mc $ algo $ n $ t $ depth $ family $ max_states $ max_drops
-      $ delivery)
+      $ delivery $ corrupt)
+
+let fuzz_cmd =
+  let algo =
+    Arg.(
+      value & opt string "naive-sn"
+      & info [ "algo" ] ~docv:"ALGO"
+          ~doc:"anuc | naive-sn | mr-majority | mr-sigma | ct.")
+  in
+  let n =
+    Arg.(value & opt int 5 & info [ "n" ] ~docv:"N" ~doc:"Number of processes.")
+  in
+  let t =
+    Arg.(
+      value & opt int 2
+      & info [ "t" ] ~docv:"T"
+          ~doc:
+            "Maximum number of faulty processes; the last $(docv) pids are \
+             the faulty set.")
+  in
+  let runs =
+    Arg.(
+      value & opt int 10_000
+      & info [ "runs" ] ~docv:"R"
+          ~doc:"Sample at most $(docv) schedules (stops at first violation).")
+  in
+  let sampler =
+    Arg.(
+      value & opt string "uniform"
+      & info [ "sampler" ] ~docv:"S"
+          ~doc:
+            "Schedule sampler: 'uniform' or 'pctD' (PCT with D-1 \
+             priority-change points, e.g. pct3).")
+  in
+  let swarm =
+    Arg.(
+      value & flag
+      & info [ "swarm" ]
+          ~doc:
+            "Resample menu family, loss budget, stabilization step and \
+             sampler once per batch.")
+  in
+  let no_shrink =
+    Arg.(
+      value & flag
+      & info [ "no-shrink" ]
+          ~doc:"Report the raw violating schedule without delta-debugging.")
+  in
+  let delivery =
+    Arg.(
+      value & opt string "fifo"
+      & info [ "delivery" ] ~docv:"MODEL"
+          ~doc:
+            "Channel model runs sample from: 'fifo' (channel heads \
+             only; small branching factor, best find rate — default) \
+             or 'any' (any pending message, the paper's set-shaped \
+             buffer). The shrinker always works in the 'any' space: \
+             its drain-skipping pass frees FIFO-found schedules from \
+             channel-prefix draining.")
+  in
+  let max_steps =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-steps" ] ~docv:"K"
+          ~doc:"Steps per sampled run (default 18*n).")
+  in
+  let max_drops =
+    Arg.(
+      value & opt int 1
+      & info [ "max-drops" ] ~docv:"D"
+          ~doc:
+            "Loss budget per run when the menu family is lossy (swarm may \
+             override per batch).")
+  in
+  let batch =
+    Arg.(
+      value & opt int 1000
+      & info [ "batch" ] ~docv:"B"
+          ~doc:"Runs per coverage batch (and per swarm draw).")
+  in
+  let family =
+    Arg.(
+      value & opt string "contamination"
+      & info [ "family" ] ~docv:"FAMILY"
+          ~doc:
+            "Detector-menu family, as for mc: contamination | lossy | full \
+             (ignored by the uniform algorithms, which have one menu).")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write the fuzz report as JSON to $(docv) (byte-deterministic \
+             in --seed).")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Randomly sample admissible schedules (PCT / uniform / swarm), \
+          track coverage, and shrink+certify any violation found")
+    Term.(
+      const run_fuzz $ algo $ n $ t $ runs $ sampler $ swarm
+      $ Term.app (const not) no_shrink
+      $ seed_arg $ delivery $ max_steps $ max_drops $ batch $ family $ json)
 
 let main_cmd =
   Cmd.group
@@ -578,6 +894,14 @@ let main_cmd =
        ~doc:
          "The weakest failure detector to solve nonuniform consensus — \
           executable reproduction")
-    [ run_cmd; experiments_cmd; check_cmd; scenario_cmd; ablation_cmd; mc_cmd ]
+    [
+      run_cmd;
+      experiments_cmd;
+      check_cmd;
+      scenario_cmd;
+      ablation_cmd;
+      mc_cmd;
+      fuzz_cmd;
+    ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -92,6 +92,19 @@ val e12_faults : ?quick:bool -> ?seed_base:int -> unit -> row
     counterexample (under a loss-budget bound that keeps the deep
     exploration tractable; see [Mc.Make.run]'s [max_drops]). *)
 
+val e13_fuzz : ?quick:bool -> ?seed_base:int -> unit -> row
+(** Section 6.3 beyond the model checker's horizon ([lib/explore]):
+    randomized schedule exploration on [E_2(5)] — a universe whose
+    state space E11's exhaustive search cannot close — finds the
+    naive-Sigma-nu nonuniform-agreement violation, shrinks it to at
+    most 40 moves, and certifies the shrunk schedule with the same
+    replay-applicability + history-legality certificate [lib/mc]
+    issues; [A_nuc] survives the identical sampling budget in swarm
+    mode (menus, loss budgets, stabilization points and samplers
+    rotating per batch). [quick] cuts both budgets to about a
+    thousand runs — still enough for the pinned seed to land the
+    violation. *)
+
 val all : ?quick:bool -> ?seed_base:int -> unit -> row list
 (** Every E-row, in order. [seed_base] offsets the seed lists of the
     randomized rows (default 0 reproduces the historical sweeps). *)
@@ -226,3 +239,25 @@ val mc_table : ?quick:bool -> unit -> mc_row list
     (exhaustive [A_nuc] verification; naive-Sigma-nu counterexample
     discovery) with explored/deduplicated state counts and
     states-per-second. *)
+
+type fuzz_row = {
+  fz_algorithm : string;
+  fz_mode : string;  (** sampler discipline: "uniform" or "swarm" *)
+  fz_runs : int;
+  fz_steps : int;  (** total simulation steps executed *)
+  fz_runs_per_sec : float;
+  fz_states : int;  (** distinct canonical states covered *)
+  fz_last_new_states : int;
+      (** new states in the final batch — the saturation signal *)
+  fz_shrink_ratio : float;  (** shrunk/raw move count; [nan] if no cx *)
+  fz_outcome : string;
+}
+
+val pp_fuzz_row : Format.formatter -> fuzz_row -> unit
+
+val fuzz_header : string
+
+val fuzz_table : ?quick:bool -> unit -> fuzz_row list
+(** B8: randomized-explorer throughput — the two E13 campaigns on
+    [E_2(5)] (naive-Sigma-nu violation hunt; [A_nuc] swarm survival)
+    with sampling rate, coverage saturation and shrink ratio. *)

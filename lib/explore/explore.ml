@@ -1,0 +1,875 @@
+(* Randomized schedule exploration over [Mc.Make.Space]. See
+   explore.mli and DESIGN.md §5c for the sampler math (PCT detection
+   bound, split-seed determinism) and the shrink-certification
+   argument. *)
+
+open Procset
+
+type sampler = Uniform | Pct of int
+
+let sampler_name = function
+  | Uniform -> "uniform"
+  | Pct d -> Printf.sprintf "pct%d" d
+
+let pp_sampler fmt s = Format.pp_print_string fmt (sampler_name s)
+
+type swarm = {
+  sw_menus : Mc.Menu.t list;
+  sw_budgets : int list;
+  sw_stabs : int list;
+  sw_samplers : sampler list;
+}
+
+type batch_point = {
+  bp_batch : int;
+  bp_runs : int;
+  bp_menu : string;
+  bp_sampler : string;
+  bp_budget : int;
+  bp_stab : int;
+  bp_states : int;
+  bp_new_states : int;
+  bp_new_depths : int;
+  bp_new_shapes : int;
+  bp_new_sigs : int;
+}
+
+type totals = {
+  distinct_states : int;
+  decision_depths : int;
+  quorum_shapes : int;
+  fault_signatures : int;
+}
+
+(* Seed-stream salts: the root seed is combined with one of these and
+   the batch/run indices, so the batch draw, the run streams and any
+   future stream family never collide. *)
+let salt_batch = 0x5347 (* "SG" — swarm generation *)
+
+let salt_run = 0x52 (* "R" *)
+
+module Make (A : Sim.Automaton.S) = struct
+  module M = Mc.Make (A)
+  module S = M.Space
+
+  type violation = {
+    v_run : int;
+    v_batch : int;
+    v_property : string;
+    v_detail : string;
+    v_menu : string;
+    v_sampler : string;
+    v_budget : int;
+    v_stab : int;
+    v_moves : M.move list;
+    v_shrunk : M.move list;
+    v_candidates : int;
+    v_cx : M.counterexample;
+    v_replay_ok : bool;
+    v_history_ok : bool;
+  }
+
+  type report = {
+    algorithm : string;
+    seed : int;
+    sampler : string;
+    swarm : bool;
+    runs : int;
+    max_steps : int;
+    steps_total : int;
+    decided_runs : int;
+    quiesced_runs : int;
+    curve : batch_point list;
+    totals : totals;
+    violation : violation option;
+    wall_seconds : float;
+  }
+
+  (* ------------------------------------------------------------------ *)
+  (* Schedule re-execution                                              *)
+  (* ------------------------------------------------------------------ *)
+
+  let check_props props getter =
+    let rec go = function
+      | [] -> None
+      | (p : M.property) :: rest -> (
+        match p.prop_check getter with
+        | Ok () -> go rest
+        | Error detail -> Some (p.prop_name, detail))
+    in
+    go props
+
+  (* Re-executes [moves] from the initial configuration. Returns the
+     length of the shortest violating prefix together with the
+     violated property, or [None] — also when some move is not
+     applicable, so shrink candidates that break FIFO indices are
+     rejected rather than misapplied. *)
+  let violates ~n ~inputs ~props moves =
+    let rec go cfg i = function
+      | [] -> None
+      | mv :: rest ->
+        if not (S.applicable ~n cfg mv) then None
+        else
+          let cfg = S.apply ~n cfg mv in
+          (match check_props props (S.state cfg) with
+          | Some (name, detail) -> Some (i + 1, name, detail)
+          | None -> go cfg (i + 1) rest)
+    in
+    go (S.initial ~n ~inputs) 0 moves
+
+  let take k l = List.filteri (fun i _ -> i < k) l
+
+  (* ------------------------------------------------------------------ *)
+  (* Certified shrinking (ddmin over the recorded schedule)             *)
+  (* ------------------------------------------------------------------ *)
+
+  let shrink_schedule ?(max_candidates = 20_000) ~n ~inputs ~props moves =
+    let spent = ref 0 in
+    let try_ ms =
+      if !spent >= max_candidates then None
+      else (
+        incr spent;
+        violates ~n ~inputs ~props ms)
+    in
+    match try_ moves with
+    | None -> Error "schedule does not reach a property violation"
+    | Some (len, _, _) ->
+      let best = ref (take len moves) in
+      let remove ms lo k =
+        List.filteri (fun i _ -> i < lo || i >= lo + k) ms
+      in
+      (* One sweep at chunk size [k]: try deleting every aligned chunk
+         of the current best schedule; an accepted deletion re-truncates
+         to the new shortest violating prefix. Returns whether any
+         deletion was accepted. *)
+      let sweep k =
+        let progress = ref false in
+        let i = ref 0 in
+        while !i < List.length !best && !spent < max_candidates do
+          match try_ (remove !best !i k) with
+          | Some (len, _, _) ->
+            best := take len (remove !best !i k);
+            progress := true
+          | None -> i := !i + k
+        done;
+        !progress
+      in
+      (* ddmin deletion to a fixed point: halving granularities, then
+         single moves until 1-minimal (no single move deletable). *)
+      let delete_fixpoint () =
+        let k = ref (max 1 (List.length !best / 2)) in
+        while !k > 1 do
+          ignore (sweep !k);
+          k := max 1 (!k / 2)
+        done;
+        while sweep 1 && !spent < max_candidates do
+          ()
+        done
+      in
+      delete_fixpoint ();
+      (* Drain skipping. A FIFO-sampled schedule pays for every needed
+         message by first receiving everything sent before it on the
+         same channel, and plain deletion cannot remove those drain
+         steps: deleting a receive re-aims every later index-0 receive
+         on the channel at the wrong envelope. The paper's message
+         buffer is a set (§2.1), the move alphabet indexes the whole
+         pending list, and the replay certificate names envelopes
+         explicitly — so instead {e park} the skipped message: delete
+         the receive and shift every later same-channel receive (or
+         drop) at an index not below the skipped one up by one, which
+         keeps each of them aimed at the same envelope. This is the
+         pass that lets FIFO-sampled counterexamples shrink past the
+         FIFO-minimal length. *)
+      let skip_drain i =
+        match List.nth_opt !best i with
+        | None | Some { M.m_drop = true; _ } -> None
+        | Some (mv : M.move) ->
+          (match mv.m_recv with
+          | None -> None
+          | Some (src, k) ->
+            Some
+              (!best
+              |> List.mapi (fun j m -> (j, m))
+              |> List.filter_map (fun (j, (m : M.move)) ->
+                     if j = i then None
+                     else if j > i && m.m_pid = mv.m_pid then
+                       match m.m_recv with
+                       | Some (s, k') when s = src && k' >= k ->
+                         Some { m with M.m_recv = Some (s, k' + 1) }
+                       | _ -> Some m
+                     else Some m)))
+      in
+      let drain_sweep () =
+        let progress = ref false in
+        let i = ref 0 in
+        while !i < List.length !best && !spent < max_candidates do
+          match skip_drain !i with
+          | None -> incr i
+          | Some cand ->
+            (match try_ cand with
+            | Some (len, _, _) ->
+              best := take len cand;
+              progress := true
+            | None -> incr i)
+        done;
+        !progress
+      in
+      while drain_sweep () && !spent < max_candidates do
+        delete_fixpoint ()
+      done;
+      (* Loss-budget reduction: drop moves only reduce what the network
+         delivers, so try discarding all of them at once (the sweeps
+         above already tried them one by one). *)
+      (match
+         try_ (List.filter (fun (mv : M.move) -> not mv.m_drop) !best)
+       with
+      | Some (len, _, _) ->
+        best :=
+          take len (List.filter (fun (mv : M.move) -> not mv.m_drop) !best)
+      | None -> ());
+      (* Deletion alone stalls in local minima created by detector
+         choices: a step that sampled a wasteful quorum cannot be
+         deleted when the process's participation is load-bearing, yet
+         resampling its value would let several other steps go.
+         Coordinate descent over fd values: replace one move's value
+         with another value the same process used elsewhere in the raw
+         schedule (so the replacement stays inside the sampled menu),
+         keep the rewrite only if a deletion pass then strictly
+         shortens the schedule. *)
+      let alts_of =
+        let tbl = Hashtbl.create 16 in
+        List.iter
+          (fun (mv : M.move) ->
+            if not mv.m_drop then begin
+              let vs =
+                Option.value ~default:[] (Hashtbl.find_opt tbl mv.m_pid)
+              in
+              if not (List.exists (Sim.Fd_value.equal mv.m_fd) vs) then
+                Hashtbl.replace tbl mv.m_pid (mv.m_fd :: vs)
+            end)
+          moves;
+        fun pid -> Option.value ~default:[] (Hashtbl.find_opt tbl pid)
+      in
+      (* [attempt cand]: adopt the rewritten schedule iff it still
+         violates and a deletion pass then strictly shortens. *)
+      let attempt cand =
+        let len0 = List.length !best in
+        match try_ cand with
+        | None -> false
+        | Some (len, _, _) ->
+          let saved = !best in
+          best := take len cand;
+          delete_fixpoint ();
+          if List.length !best < len0 then true
+          else (
+            best := saved;
+            false)
+      in
+      let rewrite_all pid v =
+        List.map
+          (fun (mv : M.move) ->
+            if mv.m_pid = pid && not mv.m_drop then { mv with m_fd = v }
+            else mv)
+          !best
+      in
+      let rewrite_suffix pid j v =
+        List.mapi
+          (fun i (mv : M.move) ->
+            if i >= j && mv.m_pid = pid && not mv.m_drop then
+              { mv with m_fd = v }
+            else mv)
+          !best
+      in
+      let rewrite_one i v =
+        List.mapi
+          (fun j (mv : M.move) -> if j = i then { mv with m_fd = v } else mv)
+          !best
+      in
+      let pids ms =
+        List.sort_uniq compare
+          (List.filter_map
+             (fun (mv : M.move) -> if mv.m_drop then None else Some mv.m_pid)
+             ms)
+      in
+      (* The process's value-switch points: a schedule that switches
+         quorum families mid-run (the contamination shape) canonicalizes
+         by rewriting whole suffixes, which single-step replacement
+         cannot reach. *)
+      let switch_points pid =
+        let rec go i prev = function
+          | [] -> []
+          | (mv : M.move) :: rest ->
+            if mv.m_drop || mv.m_pid <> pid then go (i + 1) prev rest
+            else if
+              match prev with
+              | None -> false
+              | Some v -> not (Sim.Fd_value.equal v mv.m_fd)
+            then i :: go (i + 1) (Some mv.m_fd) rest
+            else go (i + 1) (Some mv.m_fd) rest
+        in
+        go 0 None !best
+      in
+      let improved = ref true in
+      while !improved && !spent < max_candidates do
+        improved := false;
+        (* Whole-process canonicalization. *)
+        List.iter
+          (fun pid ->
+            List.iter
+              (fun v ->
+                if (not !improved) && attempt (rewrite_all pid v) then
+                  improved := true)
+              (alts_of pid))
+          (pids !best);
+        (* Suffix canonicalization from each value-switch point. *)
+        if not !improved then
+          List.iter
+            (fun pid ->
+              List.iter
+                (fun j ->
+                  List.iter
+                    (fun v ->
+                      if (not !improved) && attempt (rewrite_suffix pid j v)
+                      then improved := true)
+                    (alts_of pid))
+                (switch_points pid))
+            (pids !best);
+        (* Single-move replacement, the finest grain. *)
+        if not !improved then begin
+          let i = ref 0 in
+          while !i < List.length !best && !spent < max_candidates do
+            let mv_i = List.nth !best !i in
+            if not mv_i.m_drop then
+              List.iter
+                (fun v ->
+                  if
+                    (not (Sim.Fd_value.equal v mv_i.m_fd))
+                    && (not !improved)
+                    && attempt (rewrite_one !i v)
+                  then improved := true)
+                (alts_of mv_i.m_pid);
+            incr i
+          done
+        end;
+        (* Value rewrites can unlock fresh drains and vice versa. *)
+        if (not !improved) && drain_sweep () then begin
+          delete_fixpoint ();
+          improved := true
+        end
+      done;
+      Ok (!best, !spent)
+
+  (* ------------------------------------------------------------------ *)
+  (* Samplers                                                           *)
+  (* ------------------------------------------------------------------ *)
+
+  (* Delivery moves outweigh lambda and network drops, and the process
+     scheduled last keeps an inertia bonus: protocol-level progress
+     (complete a phase, finish a round) takes bursts of consecutive
+     same-process steps that a memoryless uniform draw almost never
+     produces — the minimal §6.3 contamination schedules are made of
+     exactly such bursts (a faulty process solo-deciding, a decider
+     draining its quorum's messages). *)
+  let inertia = 5.0
+
+  let move_weight ~prev (mv : M.move) =
+    let base =
+      if mv.m_drop then 1.0
+      else match mv.m_recv with Some _ -> 3.0 | None -> 1.0
+    in
+    if prev = mv.m_pid then base *. inertia else base
+
+  (* Weighted choice among [cands]; total weight is positive because
+     every move weighs at least 1. *)
+  let weighted_pick ~prev rng cands =
+    let total =
+      List.fold_left (fun a (mv, _) -> a +. move_weight ~prev mv) 0.0 cands
+    in
+    let x = Random.State.float rng total in
+    let rec go acc = function
+      | [ last ] -> last
+      | (mv, cfg') :: rest ->
+        let acc = acc +. move_weight ~prev mv in
+        if x < acc then (mv, cfg') else go acc rest
+      | [] -> assert false
+    in
+    go 0.0 cands
+
+  (* PCT per-run scheduler state: distinct per-process priorities and
+     d-1 priority-change points. [pct_next] is the index of the next
+     unused change point; demoted processes get distinct negative
+     priorities so the order among demoted processes is the demotion
+     order, as in the PCT construction. *)
+  type pct = {
+    prio : float array;
+    change_at : int array; (* sorted step indices, d-1 of them *)
+    mutable pct_next : int;
+  }
+
+  let pct_init rng ~n ~d ~max_steps =
+    let perm = Array.init n (fun i -> i) in
+    for i = n - 1 downto 1 do
+      let j = Random.State.int rng (i + 1) in
+      let t = perm.(i) in
+      perm.(i) <- perm.(j);
+      perm.(j) <- t
+    done;
+    let prio = Array.make n 0.0 in
+    Array.iteri (fun rank p -> prio.(p) <- float_of_int (n - rank)) perm;
+    let change_at =
+      Array.init (max 0 (d - 1)) (fun _ ->
+          1 + Random.State.int rng (max 1 (max_steps - 1)))
+    in
+    Array.sort compare change_at;
+    { prio; change_at; pct_next = 0 }
+
+  let pct_pick pct rng ~step cands =
+    (* Fire every change point scheduled at or before this step: demote
+       the currently top-priority process among all processes. *)
+    while
+      pct.pct_next < Array.length pct.change_at
+      && pct.change_at.(pct.pct_next) <= step
+    do
+      let top = ref 0 in
+      Array.iteri
+        (fun p pr -> if pr > pct.prio.(!top) then top := p)
+        pct.prio;
+      pct.prio.(!top) <- -.float_of_int (pct.pct_next + 1);
+      pct.pct_next <- pct.pct_next + 1
+    done;
+    (* Highest-priority process owning a candidate move runs; its move
+       is a weighted draw among that process's candidates. *)
+    let best_pid = ref (-1) in
+    List.iter
+      (fun ((mv : M.move), _) ->
+        if !best_pid < 0 || pct.prio.(mv.m_pid) > pct.prio.(!best_pid) then
+          best_pid := mv.m_pid)
+      cands;
+    let mine =
+      List.filter (fun ((mv : M.move), _) -> mv.m_pid = !best_pid) cands
+    in
+    weighted_pick ~prev:!best_pid rng mine
+
+  (* ------------------------------------------------------------------ *)
+  (* Coverage                                                           *)
+  (* ------------------------------------------------------------------ *)
+
+  type coverage = {
+    states : (int, unit) Hashtbl.t;
+    depths : (int, unit) Hashtbl.t;
+    shapes : (int, unit) Hashtbl.t;
+    sigs : (int, unit) Hashtbl.t;
+  }
+
+  let cov_create () =
+    {
+      states = Hashtbl.create 4096;
+      depths = Hashtbl.create 64;
+      shapes = Hashtbl.create 1024;
+      sigs = Hashtbl.create 64;
+    }
+
+  let cov_add tbl key = if not (Hashtbl.mem tbl key) then Hashtbl.add tbl key ()
+
+  let cov_totals cov =
+    {
+      distinct_states = Hashtbl.length cov.states;
+      decision_depths = Hashtbl.length cov.depths;
+      quorum_shapes = Hashtbl.length cov.shapes;
+      fault_signatures = Hashtbl.length cov.sigs;
+    }
+
+  (* Deep structural hash (same spirit as [Space.key]): a coverage
+     bucket, not an identity. *)
+  let deep_hash v = Hashtbl.hash_param 200 800 v
+
+  (* ------------------------------------------------------------------ *)
+  (* The fuzz loop                                                      *)
+  (* ------------------------------------------------------------------ *)
+
+  type batch_cfg = {
+    c_menu : Mc.Menu.t;
+    c_menus : Sim.Fd_value.t list array;
+    c_sampler : sampler;
+    c_budget : int;
+    c_stab : int;
+  }
+
+  let menus_of ~n (menu : Mc.Menu.t) = Array.init n (fun p -> menu.values p)
+
+  let draw rng base = function
+    | [] -> base
+    | l -> List.nth l (Random.State.int rng (List.length l))
+
+  (* After the stabilization step only each process's first menu value
+     remains on offer — the detector has converged; network moves are
+     unaffected. *)
+  let stabilize (bc : batch_cfg) step moves =
+    if step < bc.c_stab then moves
+    else
+      List.filter
+        (fun (mv : M.move) ->
+          mv.m_drop
+          ||
+          match bc.c_menus.(mv.m_pid) with
+          | [] -> true
+          | v :: _ -> Sim.Fd_value.equal mv.m_fd v)
+        moves
+
+  type run_outcome =
+    | Violation of M.move list * string * string
+    | Decided
+    | Quiesced
+    | Bound
+
+  let exec_run ~n ~inputs ~props ~(bc : batch_cfg) ~delivery ~max_steps ~rng
+      ~cov ~stop ~decided =
+    let pct =
+      match bc.c_sampler with
+      | Uniform -> None
+      | Pct d -> Some (pct_init rng ~n ~d ~max_steps)
+    in
+    let cfg = ref (S.initial ~n ~inputs) in
+    let moves = ref [] in
+    let drops = ref 0 in
+    let first_decision = ref None in
+    let steps = ref 0 in
+    let prev = ref (-1) in
+    let outcome = ref Bound in
+    (try
+       for step = 0 to max_steps - 1 do
+         let lossy = bc.c_menu.lossy && !drops < bc.c_budget in
+         let enabled =
+           S.enabled ~n ~delivery ~lossy ~menus:bc.c_menus !cfg
+           |> stabilize bc step
+         in
+         (* Self-loop moves neither change state nor coverage; a run
+            with only self-loop moves left has quiesced. *)
+         let cands =
+           List.filter_map
+             (fun mv ->
+               let cfg' = S.apply ~n !cfg mv in
+               if S.equal cfg' !cfg then None else Some (mv, cfg'))
+             enabled
+         in
+         if cands = [] then (
+           outcome := Quiesced;
+           raise Exit);
+         let mv, cfg' =
+           match pct with
+           | None -> weighted_pick ~prev:!prev rng cands
+           | Some pct -> pct_pick pct rng ~step cands
+         in
+         cfg := cfg';
+         prev := mv.m_pid;
+         moves := mv :: !moves;
+         incr steps;
+         if mv.m_drop then incr drops;
+         cov_add cov.states (S.key !cfg);
+         (if !first_decision = None then
+            match decided with
+            | Some d when List.exists (fun p -> d (S.state !cfg p)) (Pid.all ~n)
+              ->
+              first_decision := Some step;
+              cov_add cov.depths step
+            | _ -> ());
+         (match check_props props (S.state !cfg) with
+         | Some (name, detail) ->
+           outcome := Violation (List.rev !moves, name, detail);
+           raise Exit
+         | None -> ());
+         match stop with
+         | Some st when st (S.state !cfg) ->
+           outcome := Decided;
+           raise Exit
+         | _ -> ()
+       done
+     with Exit -> ());
+    (* Run-shape coverage: the (process, detector value) sequence of
+       the schedule, and the placement of its network drops. *)
+    let ms = List.rev !moves in
+    cov_add cov.shapes
+      (deep_hash
+         (List.filter_map
+            (fun (mv : M.move) ->
+              if mv.m_drop then None else Some (mv.m_pid, mv.m_fd))
+            ms));
+    cov_add cov.sigs
+      (deep_hash
+         (List.mapi (fun i (mv : M.move) -> (i, mv)) ms
+         |> List.filter_map (fun (i, (mv : M.move)) ->
+                if mv.m_drop then Some (i, mv.m_pid, mv.m_recv) else None)));
+    (!steps, !outcome, ms)
+
+  let fuzz ?(algo = "unnamed") ?(sampler = Uniform) ?swarm ?(batch_size = 1000)
+      ?(delivery = `Fifo) ?max_steps ?(max_drops = 1) ?(shrink = true) ?stop
+      ?decided ~seed ~runs ~n ~menu ~pattern ~inputs ~props () =
+    let t0 = Sim.Clock.now () in
+    let max_steps =
+      match max_steps with Some m -> m | None -> 18 * n
+    in
+    let base =
+      {
+        c_menu = menu;
+        c_menus = menus_of ~n menu;
+        c_sampler = sampler;
+        c_budget = max_drops;
+        c_stab = max_steps;
+      }
+    in
+    let cov = cov_create () in
+    let curve = ref [] in
+    let raw_violation = ref None in
+    let runs_done = ref 0 in
+    let steps_total = ref 0 in
+    let decided_runs = ref 0 in
+    let quiesced_runs = ref 0 in
+    let b = ref 0 in
+    while !raw_violation = None && !runs_done < runs do
+      let bc =
+        match swarm with
+        | None -> base
+        | Some sw ->
+          let rng_b = Random.State.make [| seed; salt_batch; !b |] in
+          let menu = draw rng_b base.c_menu sw.sw_menus in
+          {
+            c_menu = menu;
+            c_menus = menus_of ~n menu;
+            c_budget = draw rng_b base.c_budget sw.sw_budgets;
+            c_stab = draw rng_b base.c_stab sw.sw_stabs;
+            c_sampler = draw rng_b base.c_sampler sw.sw_samplers;
+          }
+      in
+      let states0 = Hashtbl.length cov.states in
+      let depths0 = Hashtbl.length cov.depths in
+      let shapes0 = Hashtbl.length cov.shapes in
+      let sigs0 = Hashtbl.length cov.sigs in
+      let in_batch = min batch_size (runs - !runs_done) in
+      let r = ref 0 in
+      while !raw_violation = None && !r < in_batch do
+        let run_ix = !runs_done in
+        let rng = Random.State.make [| seed; salt_run; !b; run_ix |] in
+        let steps, outcome, _moves =
+          exec_run ~n ~inputs ~props ~bc ~delivery ~max_steps ~rng ~cov ~stop
+            ~decided
+        in
+        steps_total := !steps_total + steps;
+        (match outcome with
+        | Violation (moves, name, detail) ->
+          raw_violation := Some (run_ix, !b, bc, moves, name, detail)
+        | Decided -> incr decided_runs
+        | Quiesced -> incr quiesced_runs
+        | Bound -> ());
+        incr r;
+        incr runs_done
+      done;
+      curve :=
+        {
+          bp_batch = !b;
+          bp_runs = !runs_done;
+          bp_menu = bc.c_menu.name;
+          bp_sampler = sampler_name bc.c_sampler;
+          bp_budget = (if bc.c_menu.lossy then bc.c_budget else 0);
+          bp_stab = bc.c_stab;
+          bp_states = Hashtbl.length cov.states;
+          bp_new_states = Hashtbl.length cov.states - states0;
+          bp_new_depths = Hashtbl.length cov.depths - depths0;
+          bp_new_shapes = Hashtbl.length cov.shapes - shapes0;
+          bp_new_sigs = Hashtbl.length cov.sigs - sigs0;
+        }
+        :: !curve;
+      incr b
+    done;
+    let violation =
+      match !raw_violation with
+      | None -> None
+      | Some (run_ix, batch, bc, moves, name0, detail0) ->
+        let shrunk, candidates =
+          if not shrink then (moves, 0)
+          else
+            match shrink_schedule ~n ~inputs ~props moves with
+            | Ok (ms, spent) -> (ms, spent)
+            | Error _ -> (moves, 0)
+        in
+        (* The shrunk schedule may violate a different property than
+           the raw one did — re-derive, then certify. *)
+        let prop_name, detail =
+          match violates ~n ~inputs ~props shrunk with
+          | Some (_, name, detail) -> (name, detail)
+          | None -> (name0, detail0)
+        in
+        let steps, samples, states = S.concretize ~n ~inputs shrunk in
+        let cx =
+          {
+            M.cx_property = prop_name;
+            cx_detail = detail;
+            cx_moves = shrunk;
+            cx_steps = steps;
+            cx_samples = samples;
+            cx_states = states;
+          }
+        in
+        let replay_ok =
+          match M.replay_counterexample ~n ~inputs cx with
+          | Error _ -> false
+          | Ok replayed -> (
+            match
+              check_props
+                (List.filter
+                   (fun (p : M.property) -> p.prop_name = prop_name)
+                   props)
+                (fun p -> replayed.(p))
+            with
+            | Some _ -> true (* independently re-violates *)
+            | None -> false)
+        in
+        let history_ok =
+          match
+            Mc.history_legal ~kind:bc.c_menu.kind ~pattern samples
+          with
+          | Ok () -> true
+          | Error _ -> false
+        in
+        Some
+          {
+            v_run = run_ix;
+            v_batch = batch;
+            v_property = prop_name;
+            v_detail = detail;
+            v_menu = bc.c_menu.name;
+            v_sampler = sampler_name bc.c_sampler;
+            v_budget = (if bc.c_menu.lossy then bc.c_budget else 0);
+            v_stab = bc.c_stab;
+            v_moves = moves;
+            v_shrunk = shrunk;
+            v_candidates = candidates;
+            v_cx = cx;
+            v_replay_ok = replay_ok;
+            v_history_ok = history_ok;
+          }
+    in
+    {
+      algorithm = algo;
+      seed;
+      sampler = sampler_name sampler;
+      swarm = swarm <> None;
+      runs = !runs_done;
+      max_steps;
+      steps_total = !steps_total;
+      decided_runs = !decided_runs;
+      quiesced_runs = !quiesced_runs;
+      curve = List.rev !curve;
+      totals = cov_totals cov;
+      violation;
+      wall_seconds = Sim.Clock.elapsed t0;
+    }
+
+  (* ------------------------------------------------------------------ *)
+  (* Reporting                                                          *)
+  (* ------------------------------------------------------------------ *)
+
+  let str_of_move (mv : M.move) =
+    let recv =
+      match mv.m_recv with
+      | None -> "lambda"
+      | Some (src, i) -> Printf.sprintf "p%d#%d" src i
+    in
+    if mv.m_drop then Printf.sprintf "drop %s->p%d" recv mv.m_pid
+    else
+      Format.asprintf "p%d recv=%s fd=%a" mv.m_pid recv Sim.Fd_value.pp
+        mv.m_fd
+
+  let json_of_totals t =
+    Report.Obj
+      [
+        ("distinct_states", Report.Int t.distinct_states);
+        ("decision_depths", Report.Int t.decision_depths);
+        ("quorum_shapes", Report.Int t.quorum_shapes);
+        ("fault_signatures", Report.Int t.fault_signatures);
+      ]
+
+  let json_of_batch_point bp =
+    Report.Obj
+      [
+        ("batch", Report.Int bp.bp_batch);
+        ("runs", Report.Int bp.bp_runs);
+        ("menu", Report.Str bp.bp_menu);
+        ("sampler", Report.Str bp.bp_sampler);
+        ("budget", Report.Int bp.bp_budget);
+        ("stab", Report.Int bp.bp_stab);
+        ("states", Report.Int bp.bp_states);
+        ("new_states", Report.Int bp.bp_new_states);
+        ("new_depths", Report.Int bp.bp_new_depths);
+        ("new_shapes", Report.Int bp.bp_new_shapes);
+        ("new_sigs", Report.Int bp.bp_new_sigs);
+      ]
+
+  let json_of_violation v =
+    Report.Obj
+      [
+        ("run", Report.Int v.v_run);
+        ("batch", Report.Int v.v_batch);
+        ("property", Report.Str v.v_property);
+        ("detail", Report.Str v.v_detail);
+        ("menu", Report.Str v.v_menu);
+        ("sampler", Report.Str v.v_sampler);
+        ("budget", Report.Int v.v_budget);
+        ("stab", Report.Int v.v_stab);
+        ("raw_steps", Report.Int (List.length v.v_moves));
+        ("shrunk_steps", Report.Int (List.length v.v_shrunk));
+        ("shrink_candidates", Report.Int v.v_candidates);
+        ("replay_ok", Report.Bool v.v_replay_ok);
+        ("history_ok", Report.Bool v.v_history_ok);
+        ( "schedule",
+          Report.List
+            (List.map (fun mv -> Report.Str (str_of_move mv)) v.v_shrunk) );
+      ]
+
+  (* Deliberately excludes [wall_seconds]: the document must be
+     byte-deterministic in the fuzz arguments. *)
+  let json_of_report r =
+    Report.Obj
+      [
+        ("algorithm", Report.Str r.algorithm);
+        ("seed", Report.Int r.seed);
+        ("sampler", Report.Str r.sampler);
+        ("swarm", Report.Bool r.swarm);
+        ("runs", Report.Int r.runs);
+        ("max_steps", Report.Int r.max_steps);
+        ("steps_total", Report.Int r.steps_total);
+        ("decided_runs", Report.Int r.decided_runs);
+        ("quiesced_runs", Report.Int r.quiesced_runs);
+        ("totals", json_of_totals r.totals);
+        ("curve", Report.List (List.map json_of_batch_point r.curve));
+        ( "violation",
+          match r.violation with
+          | None -> Report.Null
+          | Some v -> json_of_violation v );
+      ]
+
+  let pp_report fmt r =
+    Format.fprintf fmt
+      "@[<v>fuzz %s: %d runs (%d steps), sampler=%s%s, %d decided, %d \
+       quiesced, %.2fs@,\
+       coverage: %d states, %d decision depths, %d shapes, %d fault sigs@]"
+      r.algorithm r.runs r.steps_total r.sampler
+      (if r.swarm then "+swarm" else "")
+      r.decided_runs r.quiesced_runs r.wall_seconds r.totals.distinct_states
+      r.totals.decision_depths r.totals.quorum_shapes
+      r.totals.fault_signatures;
+    match r.violation with
+    | None -> Format.fprintf fmt "@.no violation found@."
+    | Some v ->
+      Format.fprintf fmt
+        "@.VIOLATION of %s at run %d (batch %d, menu %s, sampler %s): %s@.\
+         shrunk %d -> %d moves (%d candidates); replay %s; history %s@."
+        v.v_property v.v_run v.v_batch v.v_menu v.v_sampler v.v_detail
+        (List.length v.v_moves)
+        (List.length v.v_shrunk)
+        v.v_candidates
+        (if v.v_replay_ok then "OK" else "FAILED")
+        (if v.v_history_ok then "OK" else "FAILED");
+      List.iteri
+        (fun i mv -> Format.fprintf fmt "  %2d. %s@." i (str_of_move mv))
+        v.v_shrunk
+end

@@ -686,6 +686,33 @@ module Make (A : Sim.Automaton.S) = struct
 
   let replay_counterexample ~n ~inputs cx = R.replay ~n ~inputs cx.cx_steps
 
+  (* The abstract schedule space behind [run], exposed so randomized
+     exploration ([lib/explore]) samples the exact move alphabet this
+     checker enumerates: a fuzzer finding cannot be an artifact of a
+     different network or detector model, and a fuzz counterexample
+     concretizes through the same [concretize] the checker certifies
+     with. *)
+  module Space = struct
+    type nonrec config = config
+
+    let initial = initial_config
+    let state cfg p = cfg.states.(p)
+    let equal a b = a.states = b.states && a.chans = b.chans
+    let key cfg = Hashtbl.hash_param 150 600 cfg
+    let enabled = moves_of
+
+    let applicable ~n cfg mv =
+      match mv.m_recv with
+      | None -> not mv.m_drop
+      | Some (src, i) ->
+        ((not mv.m_drop) || not (Pid.equal src mv.m_pid))
+        && i >= 0
+        && i < List.length cfg.chans.((src * n) + mv.m_pid)
+
+    let apply = apply
+    let concretize = concretize
+  end
+
   let pp_replay_step fmt (s : R.replay_step) =
     (match s.R.r_received with
     | None -> Format.fprintf fmt "p%d receives lambda" s.R.r_pid

@@ -228,4 +228,60 @@ module Make (A : Sim.Automaton.S) : sig
 
   val pp_replay_step : Format.formatter -> R.replay_step -> unit
   val pp_counterexample : Format.formatter -> counterexample -> unit
+
+  (** The abstract schedule space behind {!run}, exposed for
+      randomized exploration ([Explore]): abstract configurations,
+      the enabled-move alphabet, move application, and the
+      concretization that turns an abstract schedule into a
+      [Runner.replay]-compatible trace. A sampler built on this space
+      draws from exactly the schedules the checker enumerates, and
+      its counterexamples carry the same certificate. *)
+  module Space : sig
+    type config
+    (** Abstract configuration: per-process automaton states plus
+        per-channel pending payloads — the canonical state {!run}
+        memoizes on (no clock, no envelope metadata). *)
+
+    val initial : n:int -> inputs:(Pid.t -> A.input) -> config
+    val state : config -> Pid.t -> A.state
+
+    val equal : config -> config -> bool
+    (** Structural equality — in particular [equal (apply cfg mv) cfg]
+        detects a self-loop move. *)
+
+    val key : config -> int
+    (** The canonical-state hash (the one memoization buckets on);
+        collisions are possible, so it is a coverage statistic, not an
+        identity. *)
+
+    val enabled :
+      n:int ->
+      delivery:[ `Fifo | `Any ] ->
+      lossy:bool ->
+      menus:Sim.Fd_value.t list array ->
+      config ->
+      move list
+    (** Every move admissible at [config] — exactly the alphabet
+        {!run} expands: one move per (process, delivery choice or
+        lambda, menu value), plus, when [lossy], one network-drop move
+        per deliverable cross-process message. *)
+
+    val applicable : n:int -> config -> move -> bool
+    (** Whether the move's delivery choice designates a pending
+        message of [config] (vacuously true for lambda moves) — the
+        schedule-shrinking validity check. *)
+
+    val apply : n:int -> config -> move -> config
+    (** Applies one move. The move must be {!applicable}. *)
+
+    val concretize :
+      n:int ->
+      inputs:(Pid.t -> A.input) ->
+      move list ->
+      R.replay_step list * (Pid.t * int * Sim.Fd_value.t) list * A.state array
+    (** Re-executes an abstract schedule with real envelopes (runner
+        sequence numbers, a global clock) into the
+        [(replay steps, detector samples, final states)] triple that
+        {!replay_counterexample} and {!history_legal} certify. *)
+  end
 end

@@ -85,6 +85,7 @@ let schema_keys =
     "b5_ablation";
     "b6_model_check";
     "b7_fault_latency";
+    "b8_fuzz";
     "b4_micro";
     "run_metrics";
   ]

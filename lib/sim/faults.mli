@@ -19,6 +19,20 @@
       is severed (permanently lost) unless some group of the window
       contains both endpoints.
 
+    Partition-window semantics, pinned by the test suite (changing
+    any of these silently reinterprets every recorded faulty trace):
+    - the window is inclusive at {e both} ends — a message sent at
+      exactly [from_t] or exactly [until_t] is subject to the cut;
+    - overlapping windows compose {e conjunctively}: a message
+      survives an instant iff {e every} window active at that instant
+      has a group containing both endpoints — one failing window
+      severs regardless of the others;
+    - a pid in no group of an active window is isolated from
+      everyone for the window's duration (two ungrouped pids cannot
+      talk to each other either: only co-membership connects);
+    - severing takes priority over the probabilistic dimensions — a
+      severed message is dropped even when [drop = 0] and [dup = 1].
+
     Mapping onto the paper: a finite run prefix with [drop < 1] and
     healing partitions is always a prefix of an admissible run — every
     lost message can be read as a delivery delayed past the observed

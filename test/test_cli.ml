@@ -20,14 +20,28 @@ let nuc_cli =
     (Filename.concat Filename.parent_dir_name
        (Filename.concat "bin" "nuc_cli.exe"))
 
-let run_cli args =
-  let cmd = Filename.quote_command nuc_cli args in
+(* Runs the CLI and returns (exit code, combined output) — for the
+   tests that pin the exit-code contract itself. *)
+let run_cli_status args =
+  let cmd = Filename.quote_command nuc_cli args ^ " 2>&1" in
   let ic = Unix.open_process_in cmd in
   let out = read_all ic in
   match Unix.close_process_in ic with
-  | Unix.WEXITED 0 -> out
-  | Unix.WEXITED c -> Alcotest.failf "%s exited with %d:\n%s" cmd c out
+  | Unix.WEXITED c -> (c, out)
   | _ -> Alcotest.failf "%s killed" cmd
+
+let run_cli args =
+  match run_cli_status args with
+  | 0, out -> out
+  | c, out ->
+    Alcotest.failf "%s exited with %d:\n%s"
+      (Filename.quote_command nuc_cli args)
+      c out
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+  at 0
 
 let test_cli_run_same_seed () =
   let args = [ "run"; "--algo"; "a_nuc"; "-n"; "4"; "-t"; "1"; "--seed"; "7" ] in
@@ -57,11 +71,6 @@ let test_library_rows_same_seed () =
 let test_e9_budget_failure_is_a_row () =
   let row = Experiments.e9_merge ~quick:true ~step_budget:1 () in
   Alcotest.(check bool) "row fails" false row.Experiments.pass;
-  let contains hay needle =
-    let nh = String.length hay and nn = String.length needle in
-    let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
-    at 0
-  in
   let mentions_budget = contains row.Experiments.measured "no merge attempted" in
   Alcotest.(check bool)
     (Printf.sprintf "measured explains the starved budget: %s"
@@ -83,6 +92,101 @@ let test_cli_faulty_run_same_seed () =
   Alcotest.(check bool) "produced output" true (String.length out1 > 0);
   Alcotest.(check string) "identical output for identical seed" out1 out2
 
+(* ---------------------------------------------------------------- *)
+(* Exit-code contract of the verification subcommands.
+
+   `mc` and `fuzz` are meant to be CI gates, so their exit codes are
+   interface, not detail: 0 means "verdict established" (exhausted
+   with no violation, or a violation whose counterexample the
+   independent certificates accept); 1 means "no trustworthy
+   verdict" (state-budget truncation, or a counterexample that fails
+   replay/history certification). These tests pin all four corners
+   on the E_1(3) universe, where each run is fractions of a
+   second. *)
+(* ---------------------------------------------------------------- *)
+
+let mc_naive_args =
+  [ "mc"; "--algo"; "naive-sn"; "-n"; "3"; "-t"; "1"; "--depth"; "32" ]
+
+(* A state budget far below the depth-20 space: the checker must
+   refuse to claim anything (exit 1, "TRUNCATED"), not report "no
+   violation" for a space it never finished. *)
+let test_mc_truncation_exit () =
+  let code, out =
+    run_cli_status
+      [
+        "mc"; "--algo"; "naive-sn"; "-n"; "3"; "-t"; "1"; "--depth"; "20";
+        "--max-states"; "500";
+      ]
+  in
+  Alcotest.(check int) "truncated exploration exits 1" 1 code;
+  Alcotest.(check bool)
+    "output says TRUNCATED" true
+    (contains out "TRUNCATED")
+
+(* The same universe, deep enough for the Section 6.3 counterexample:
+   a *certified* violation is a successful verdict (exit 0) with both
+   certificates printed. *)
+let test_mc_certified_cx_exit () =
+  let code, out = run_cli_status mc_naive_args in
+  Alcotest.(check int) "certified counterexample exits 0" 0 code;
+  Alcotest.(check bool)
+    "replay certificate printed" true
+    (contains out "replay: accepted by Runner.replay");
+  Alcotest.(check bool)
+    "history certificate printed" true
+    (contains out "detector history: perpetual clauses hold")
+
+(* The negative path of the certificate: --selftest-corrupt-cx bumps
+   every received envelope's sequence number before certification, so
+   Runner.replay must reject and the exit code must flip to 1. This
+   is the only way to regression-test that certification actually
+   *can* fail — a bug that made replay vacuously accept would pass
+   every positive test. *)
+let test_mc_uncertified_cx_exit () =
+  let code, out =
+    run_cli_status (mc_naive_args @ [ "--selftest-corrupt-cx" ])
+  in
+  Alcotest.(check int) "uncertified counterexample exits 1" 1 code;
+  Alcotest.(check bool)
+    "replay rejected" true
+    (contains out "replay: REJECTED")
+
+(* fuzz: a certified violation exits 0, and the JSON report is
+   byte-deterministic in the seed (wall-clock is deliberately not
+   serialized). *)
+let test_fuzz_json_deterministic () =
+  let file suffix =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "nuc_fuzz_det_%d_%s.json" (Unix.getpid ()) suffix)
+  in
+  let f1 = file "a" and f2 = file "b" in
+  let args json =
+    [
+      "fuzz"; "--algo"; "naive-sn"; "-n"; "3"; "-t"; "1"; "--runs"; "100";
+      "--seed"; "1"; "--json"; json;
+    ]
+  in
+  let read f =
+    let ic = open_in_bin f in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun f -> try Sys.remove f with Sys_error _ -> ()) [ f1; f2 ])
+    (fun () ->
+      let code1, out1 = run_cli_status (args f1) in
+      let code2, _ = run_cli_status (args f2) in
+      Alcotest.(check int) "certified fuzz violation exits 0" 0 code1;
+      Alcotest.(check int) "second run exits 0" 0 code2;
+      Alcotest.(check bool)
+        "violation found and certified" true
+        (contains out1 "replay OK; history OK");
+      Alcotest.(check string) "byte-identical JSON for identical seed"
+        (read f1) (read f2))
+
 let () =
   Alcotest.run "cli"
     [
@@ -100,5 +204,16 @@ let () =
         [
           Alcotest.test_case "starved E9 yields a failed row" `Quick
             test_e9_budget_failure_is_a_row;
+        ] );
+      ( "exit-codes",
+        [
+          Alcotest.test_case "mc truncation exits 1" `Quick
+            test_mc_truncation_exit;
+          Alcotest.test_case "mc certified cx exits 0" `Quick
+            test_mc_certified_cx_exit;
+          Alcotest.test_case "mc corrupted cx exits 1" `Quick
+            test_mc_uncertified_cx_exit;
+          Alcotest.test_case "fuzz JSON byte-deterministic" `Quick
+            test_fuzz_json_deterministic;
         ] );
     ]

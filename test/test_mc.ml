@@ -246,6 +246,156 @@ let test_pruning_reduces_without_changing_verdict () =
     < pruned.M_naive.stats.Mc.transitions)
 
 (* -------------------------------------------------------------- *)
+(* Stats accounting invariants                                     *)
+(* -------------------------------------------------------------- *)
+
+(* Every explored edge is accounted for exactly once: it either
+   reaches a fresh canonical state (distinct_states - 1 of those,
+   the root being free), is absorbed by memoization (dedup_hits), or
+   is a self-loop (self_loops). The only leak is a revisit that must
+   be *re-expanded* because the stored entry does not dominate the
+   current (budget, sleep set) pair — so on an automaton where every
+   path to a state has the same length, with sleep sets off, the
+   conservation law is exact. *)
+
+(* A bounded monotone counter per process: each non-saturated step
+   increments the local counter, so any path to the state vector
+   (c_0, .., c_{n-1}) has length exactly sum c_i and every revisit
+   carries the same remaining depth budget. At the cap a step is a
+   pure self-loop. *)
+module Toy_counter = struct
+  type input = unit
+  type state = int
+  type message = unit
+
+  let cap = 3
+  let name = "toy-counter"
+  let initial ~n:_ ~self:_ () = 0
+  let step ~n:_ ~self:_ st _received _d = (min cap (st + 1), [])
+  let pp_message fmt () = Format.pp_print_string fmt "()"
+  let equal_message () () = true
+end
+
+module M_toy = Mc.Make (Toy_counter)
+
+let toy_menu =
+  (* one detector value per process: the toy automaton ignores it, so
+     the move alphabet is exactly one lambda step per process *)
+  {
+    Mc.Menu.name = "toy single-value";
+    kind = Mc.Menu.Sigma_nu;
+    values = (fun _ -> [ Sim.Fd_value.Leader 0 ]);
+    lossy = false;
+  }
+
+let toy_run ~depth =
+  M_toy.run ~sleep:false ~n:3 ~menu:toy_menu ~depth
+    ~inputs:(fun _ -> ())
+    ~props:[] ()
+
+let toy_conservation (s : Mc.stats) =
+  Alcotest.(check int)
+    "transitions = dedup_hits + self_loops + (distinct_states - 1)"
+    s.Mc.transitions
+    (s.Mc.dedup_hits + s.Mc.self_loops + (s.Mc.distinct_states - 1))
+
+(* At a depth past the longest simple path (3 * cap), the space is
+   saturated: every reachable state visited, nothing cut by the depth
+   bound, and the edge conservation law holds exactly. *)
+let test_toy_conservation_at_saturation () =
+  let r = toy_run ~depth:((3 * Toy_counter.cap) + 1) in
+  let s = r.M_toy.stats in
+  toy_conservation s;
+  Alcotest.(check int) "all (cap+1)^3 states reached" 64 s.Mc.distinct_states;
+  Alcotest.(check int) "no state cut by the depth bound" 0 s.Mc.depth_leaves;
+  Alcotest.(check bool) "not truncated" false s.Mc.truncated;
+  Alcotest.(check bool) "the cap produces self-loops" true
+    (s.Mc.self_loops > 0)
+
+(* One step short of saturation: the all-capped state is unreachable,
+   the frontier states are depth leaves — and the conservation law
+   still balances, because depth leaves are ordinary fresh states. *)
+let test_toy_conservation_below_saturation () =
+  let r = toy_run ~depth:((3 * Toy_counter.cap) - 1) in
+  let s = r.M_toy.stats in
+  toy_conservation s;
+  Alcotest.(check int) "all but the all-capped state reached" 63
+    s.Mc.distinct_states;
+  Alcotest.(check bool) "frontier cut by the depth bound" true
+    (s.Mc.depth_leaves > 0)
+
+(* On a real exploration (paths of different lengths reach the same
+   state, sleep sets on) re-expanded revisits turn the equality into
+   an inequality: every edge still lands in exactly one bucket or is
+   a re-expansion, never double-counted. *)
+let test_real_run_conservation_inequality () =
+  let r = naive_report ~depth:8 in
+  let s = r.M_naive.stats in
+  Alcotest.(check bool)
+    "transitions >= dedup_hits + self_loops + (distinct_states - 1)" true
+    (s.Mc.transitions
+    >= s.Mc.dedup_hits + s.Mc.self_loops + (s.Mc.distinct_states - 1))
+
+(* -------------------------------------------------------------- *)
+(* Randomized explorer cross-check (lib/explore)                   *)
+(* -------------------------------------------------------------- *)
+
+module Ex_naive = Explore.Make (Consensus.Mr.With_quorum)
+
+(* The fuzzer and the model checker must agree where their horizons
+   overlap: at n = 3 the fuzzer finds, shrinks and certifies the
+   Section 6.3 contamination violation, and an exhaustive Mc run of
+   the same universe at exactly the shrunk schedule's depth confirms
+   a violation of the same property really is in that space. *)
+let test_fuzz_shrink_confirmed_by_mc () =
+  let max_steps = 18 * 3 in
+  let pattern =
+    Sim.Failure_pattern.make ~n ~crashes:[ (2, max_steps + 1) ]
+  in
+  let menu = Mc.Menu.contamination ~n ~faulty () in
+  let props =
+    Ex_naive.M.consensus_props ~decision:Consensus.Mr.With_quorum.decision
+      ~proposals ~flavour:Consensus.Spec.Nonuniform ~pattern
+  in
+  let stop =
+    Ex_naive.M.decided_stop ~decision:Consensus.Mr.With_quorum.decision
+      ~scope:(Sim.Failure_pattern.correct pattern)
+  in
+  let r =
+    Ex_naive.fuzz ~algo:"naive-sn" ~max_steps ~stop
+      ~decided:(fun st -> Consensus.Mr.With_quorum.decision st <> None)
+      ~seed:1 ~runs:200 ~n ~menu ~pattern ~inputs:proposals ~props ()
+  in
+  match r.Ex_naive.violation with
+  | None ->
+    Alcotest.fail "seed 1 must land the n = 3 violation within 200 runs"
+  | Some v ->
+    Alcotest.(check string) "the violated property is nonuniform agreement"
+      "nonuniform agreement" v.Ex_naive.v_property;
+    Alcotest.(check bool) "shrunk schedule certified by replay" true
+      v.Ex_naive.v_replay_ok;
+    Alcotest.(check bool) "shrunk history passes the perpetual clauses" true
+      v.Ex_naive.v_history_ok;
+    Alcotest.(check bool) "shrinking shortened the schedule" true
+      (List.length v.Ex_naive.v_shrunk < List.length v.Ex_naive.v_moves);
+    (* the shrinker's drain-skipping pass works in the unrestricted
+       indexed space, so the shrunk schedule may be shorter than any
+       counterexample the checker's FIFO exploration contains — the
+       cross-check runs the checker at its own certified horizon and
+       demands agreement on the verdict and the violated property *)
+    (match (naive_report ~depth:32).M_naive.violation with
+    | None ->
+      Alcotest.fail
+        "Mc.Make.run must confirm the violation in the same universe"
+    | Some cx ->
+      Alcotest.(check string)
+        "model checker confirms the same property" v.Ex_naive.v_property
+        cx.M_naive.cx_property;
+      Alcotest.(check bool)
+        "shrunk fuzz schedule no longer than the checker's" true
+        (List.length v.Ex_naive.v_shrunk <= List.length cx.M_naive.cx_moves))
+
+(* -------------------------------------------------------------- *)
 (* User invariants and stop states                                 *)
 (* -------------------------------------------------------------- *)
 
@@ -311,6 +461,20 @@ let () =
             test_pruning_reduces_without_changing_verdict;
           Alcotest.test_case "zero drop budget is loss-free" `Quick
             test_lossy_zero_budget_is_loss_free;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "edge conservation at saturation" `Quick
+            test_toy_conservation_at_saturation;
+          Alcotest.test_case "edge conservation below saturation" `Quick
+            test_toy_conservation_below_saturation;
+          Alcotest.test_case "conservation inequality on real runs" `Quick
+            test_real_run_conservation_inequality;
+        ] );
+      ( "fuzz-cross-check",
+        [
+          Alcotest.test_case "fuzzed+shrunk violation confirmed by mc" `Quick
+            test_fuzz_shrink_confirmed_by_mc;
         ] );
       ( "experiments",
         [

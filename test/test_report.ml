@@ -237,6 +237,7 @@ let test_schema_keys () =
       "b5_ablation";
       "b6_model_check";
       "b7_fault_latency";
+      "b8_fuzz";
       "b4_micro";
       "run_metrics";
     ]

@@ -799,6 +799,173 @@ let test_duplication_counted () =
     (m.Sim.Runner.delivered + m.Sim.Runner.undelivered_at_stop)
 
 (* -------------------------------------------------------------- *)
+(* Partition-window boundary semantics (pinned)                    *)
+(* -------------------------------------------------------------- *)
+
+(* The window semantics the .mli documents, pinned move by move:
+   [from_t, until_t] is inclusive at BOTH ends, overlapping windows
+   compose conjunctively (every active window must connect the
+   pair), self-sends are exempt from everything, and severing beats
+   the probabilistic dimensions (a severed message is dropped even
+   with drop = 0 and dup = 1). Changing any of these silently
+   reinterprets every recorded faulty trace, so they get their own
+   tests rather than riding along inside runner scenarios. *)
+
+let split_01_23 =
+  [ Pset.of_list [ 0; 1 ]; Pset.of_list [ 2; 3 ] ]
+
+let window from_t until_t =
+  { Sim.Faults.from_t; until_t; groups = split_01_23 }
+
+let test_partition_window_inclusive () =
+  let faults = Sim.Faults.make ~partitions:[ window 10 20 ] () in
+  let cut time = Sim.Faults.severed faults ~src:1 ~dst:2 ~time in
+  Alcotest.(check bool) "t = from_t - 1 open" false (cut 9);
+  Alcotest.(check bool) "t = from_t cut (inclusive)" true (cut 10);
+  Alcotest.(check bool) "t = until_t cut (inclusive)" true (cut 20);
+  Alcotest.(check bool) "t = until_t + 1 open" false (cut 21);
+  (* the in-group link is never cut, at any time *)
+  List.iter
+    (fun time ->
+      Alcotest.(check bool) "in-group link open" false
+        (Sim.Faults.severed faults ~src:0 ~dst:1 ~time))
+    [ 9; 10; 15; 20; 21 ]
+
+let test_partition_windows_conjoin () =
+  (* Two overlapping windows with different splits: in the overlap a
+     pair must be co-grouped in BOTH to communicate; where only one
+     window is active, only that window's split matters. *)
+  let w1 = window 0 20 (* {0,1} | {2,3} *) in
+  let w2 =
+    {
+      Sim.Faults.from_t = 10;
+      until_t = 30;
+      groups = [ Pset.of_list [ 0; 2 ]; Pset.of_list [ 1; 3 ] ];
+    }
+  in
+  let faults = Sim.Faults.make ~partitions:[ w1; w2 ] () in
+  let cut ~src ~dst time = Sim.Faults.severed faults ~src ~dst ~time in
+  (* 0-1: co-grouped in w1, split by w2 *)
+  Alcotest.(check bool) "0-1 open while only w1 active" false
+    (cut ~src:0 ~dst:1 5);
+  Alcotest.(check bool) "0-1 cut in the overlap (w2 splits it)" true
+    (cut ~src:0 ~dst:1 15);
+  Alcotest.(check bool) "0-1 cut while only w2 active" true
+    (cut ~src:0 ~dst:1 25);
+  (* 0-2: split by w1, co-grouped in w2 *)
+  Alcotest.(check bool) "0-2 cut in the overlap (w1 splits it)" true
+    (cut ~src:0 ~dst:2 15);
+  Alcotest.(check bool) "0-2 open while only w2 active" false
+    (cut ~src:0 ~dst:2 25);
+  (* 0-3: split by both — cut across the union of the windows *)
+  List.iter
+    (fun time ->
+      Alcotest.(check bool) "0-3 cut" true (cut ~src:0 ~dst:3 time))
+    [ 0; 10; 20; 30 ];
+  Alcotest.(check bool) "0-3 open after both heal" false
+    (cut ~src:0 ~dst:3 31)
+
+(* A pid in no group of an active window is cut off from everyone
+   (including co-excluded pids): only co-membership connects. *)
+let test_partition_ungrouped_pid_isolated () =
+  let faults =
+    Sim.Faults.make
+      ~partitions:
+        [ { Sim.Faults.from_t = 0; until_t = 10; groups = [ Pset.of_list [ 0; 1 ] ] } ]
+      ()
+  in
+  Alcotest.(check bool) "2 -> 0 cut" true
+    (Sim.Faults.severed faults ~src:2 ~dst:0 ~time:5);
+  Alcotest.(check bool) "2 -> 3 cut (both ungrouped)" true
+    (Sim.Faults.severed faults ~src:2 ~dst:3 ~time:5)
+
+let prop_partition_self_send_exempt =
+  (* self-sends model local delivery: no generated spec may ever
+     sever or touch one, whatever its windows and rates *)
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"self-sends exempt from every fault spec"
+       ~count:200
+       (QCheck.triple (Tutil.arb_faults ~n:4)
+          QCheck.(int_bound 3)
+          QCheck.(int_bound 200))
+       (fun (faults, p, time) ->
+         (not (Sim.Faults.severed faults ~src:p ~dst:p ~time))
+         && Sim.Faults.verdict faults ~src:p ~dst:p ~seq:0 ~time
+            = { Sim.Faults.copies = 1; displace = 0 }))
+
+let prop_severed_beats_rates =
+  (* inside a total partition the verdict is a drop — even with
+     drop = 0 and dup = 1, which would otherwise force duplication *)
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"severed links drop regardless of dup/drop"
+       ~count:100
+       (QCheck.triple
+          QCheck.(int_bound 3)
+          QCheck.(int_bound 3)
+          QCheck.(int_bound 100))
+       (fun (src, dst, time) ->
+         QCheck.assume (src <> dst);
+         let faults =
+           Sim.Faults.make ~dup:1.0
+             ~partitions:[ { Sim.Faults.from_t = 0; until_t = 200; groups = [] } ]
+             ()
+         in
+         Sim.Faults.verdict faults ~src ~dst ~seq:0 ~time
+         = { Sim.Faults.copies = 0; displace = 0 }))
+
+(* -------------------------------------------------------------- *)
+(* Meta: the shared shrinkers must themselves report minimal       *)
+(* counterexamples                                                 *)
+(* -------------------------------------------------------------- *)
+
+(* Seed a property that must fail ("no process ever crashes") and pin
+   what the universe shrinker reports: one crash, at time 0, in the
+   smallest universe that can still contain it. If this test breaks,
+   every property test built on [Tutil.arb_universe] still *fails*
+   on bugs — but reports noisy, oversized counterexamples. *)
+let test_universe_shrinks_to_minimal () =
+  match
+    Tutil.shrunk_counterexample ~count:500 ~seed:42
+      (Tutil.arb_universe ~min_n:2 ~max_n:8 ())
+      (fun u -> u.Tutil.u_crashes = [])
+  with
+  | None -> Alcotest.fail "the seeded property never failed"
+  | Some u ->
+    (match u.Tutil.u_crashes with
+    | [ (p, time) ] ->
+      Alcotest.(check int) "crash time shrunk to 0" 0 time;
+      Alcotest.(check int)
+        "no smaller universe can hold the crash (n = max 2 (pid + 1))"
+        (max 2 (p + 1))
+        u.Tutil.u_n;
+      Alcotest.(check int) "environment bound shrunk to one crash" 1
+        u.Tutil.u_t
+    | crashes ->
+      Alcotest.failf "expected exactly one shrunk crash, got %d"
+        (List.length crashes))
+
+let test_faults_shrink_to_empty_dimensions () =
+  (* "no spec has partitions" must fail, and shrink to a spec whose
+     every OTHER dimension is zeroed and whose single window has
+     width 0 — only the load-bearing fault survives shrinking *)
+  match
+    Tutil.shrunk_counterexample ~count:500 ~seed:7 (Tutil.arb_faults ~n:4)
+      (fun f -> f.Sim.Faults.partitions = [])
+  with
+  | None -> Alcotest.fail "the seeded property never failed"
+  | Some f ->
+    Alcotest.(check (float 0.0)) "drop shrunk away" 0.0 f.Sim.Faults.drop;
+    Alcotest.(check (float 0.0)) "dup shrunk away" 0.0 f.Sim.Faults.dup;
+    Alcotest.(check int) "reorder shrunk away" 0 f.Sim.Faults.reorder;
+    (match f.Sim.Faults.partitions with
+    | [ pt ] ->
+      Alcotest.(check int) "window narrowed to width 0" pt.Sim.Faults.from_t
+        pt.Sim.Faults.until_t
+    | ps ->
+      Alcotest.failf "expected exactly one shrunk window, got %d"
+        (List.length ps))
+
+(* -------------------------------------------------------------- *)
 (* Replay round-trips on the real automata                         *)
 (* -------------------------------------------------------------- *)
 
@@ -877,6 +1044,24 @@ let () =
           Alcotest.test_case "partition heals" `Quick test_partition_heals;
           Alcotest.test_case "duplication counted" `Quick
             test_duplication_counted;
+        ] );
+      ( "partition-windows",
+        [
+          Alcotest.test_case "window bounds inclusive" `Quick
+            test_partition_window_inclusive;
+          Alcotest.test_case "overlapping windows conjoin" `Quick
+            test_partition_windows_conjoin;
+          Alcotest.test_case "ungrouped pid isolated" `Quick
+            test_partition_ungrouped_pid_isolated;
+          prop_partition_self_send_exempt;
+          prop_severed_beats_rates;
+        ] );
+      ( "shrinker-meta",
+        [
+          Alcotest.test_case "universe shrinks to minimal" `Quick
+            test_universe_shrinks_to_minimal;
+          Alcotest.test_case "fault spec shrinks to one dimension" `Quick
+            test_faults_shrink_to_empty_dimensions;
         ] );
       ( "runner",
         [

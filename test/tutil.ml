@@ -189,12 +189,32 @@ let universe_gen ?(min_n = 2) ?(max_n = 8) ?(majority_correct = false)
   in
   return { u_n = n; u_t = t; u_crashes = crashes }
 
+(* Shrinking order matters for readable counterexamples: first fewer
+   crashes / earlier crash times (the harshest schedule in the same
+   universe), then fewer processes (dropping the tail pids and any of
+   their crashes), then a tighter environment bound. Every shrunk
+   value stays admissible: pids < n, |crashes| <= t <= n - 1. *)
 let shrink_universe u =
   let open QCheck.Iter in
-  QCheck.Shrink.list
-    ~shrink:(fun (p, t) -> QCheck.Shrink.int t >|= fun t' -> (p, t'))
-    u.u_crashes
-  >|= fun crashes -> { u with u_crashes = crashes }
+  let crashes_iter =
+    QCheck.Shrink.list
+      ~shrink:(fun (p, t) -> QCheck.Shrink.int t >|= fun t' -> (p, t'))
+      u.u_crashes
+    >|= fun crashes -> { u with u_crashes = crashes }
+  in
+  let n_iter =
+    QCheck.Shrink.int u.u_n
+    |> filter (fun n' -> n' >= 2)
+    >|= fun n' ->
+    let crashes = List.filter (fun (p, _) -> p < n') u.u_crashes in
+    { u_n = n'; u_t = min u.u_t (n' - 1); u_crashes = crashes }
+  in
+  let t_iter =
+    QCheck.Shrink.int u.u_t
+    |> filter (fun t' -> t' >= List.length u.u_crashes)
+    >|= fun t' -> { u with u_t = t' }
+  in
+  crashes_iter <+> n_iter <+> t_iter
 
 let arb_universe ?min_n ?max_n ?majority_correct ?crash_window () =
   QCheck.make ~print:print_universe ~shrink:shrink_universe
@@ -230,3 +250,117 @@ let replay_roundtrips (type st) (module A : CONSENSUS with type state = st)
     List.for_all
       (fun p -> A.decision states.(p) = A.decision run.R.states.(p))
       (List.init n Fun.id)
+
+(* -------------------------------------------------------------- *)
+(* QCheck generators for fault specs and schedule prefixes        *)
+(* -------------------------------------------------------------- *)
+
+(* A random fault spec over n processes: rates on a coarse grid (so
+   counterexamples print as round numbers), a small reorder window,
+   and up to two partition windows whose groups 2-color the pid
+   space (uncolored pids belong to no group and are cut off from
+   everyone while the window is active). *)
+let partition_gen ~n =
+  let open QCheck.Gen in
+  int_bound 80 >>= fun from_t ->
+  int_bound 40 >>= fun width ->
+  list_repeat n (int_bound 2) >>= fun colors ->
+  let group c =
+    Pset.of_list
+      (List.concat
+         (List.mapi (fun p cp -> if cp = c then [ p ] else []) colors))
+  in
+  let groups =
+    List.filter (fun g -> not (Pset.is_empty g)) [ group 0; group 1 ]
+  in
+  return { Sim.Faults.from_t; until_t = from_t + width; groups }
+
+let faults_gen ~n =
+  let open QCheck.Gen in
+  int_bound 4 >>= fun drop20 ->
+  int_bound 4 >>= fun dup20 ->
+  int_bound 3 >>= fun reorder ->
+  int_bound 1000 >>= fun seed ->
+  list_size (int_bound 2) (partition_gen ~n) >>= fun partitions ->
+  return
+    (Sim.Faults.make
+       ~drop:(float_of_int drop20 /. 20.0)
+       ~dup:(float_of_int dup20 /. 20.0)
+       ~reorder ~partitions ~seed ())
+
+let print_faults f = Format.asprintf "%a" Sim.Faults.pp f
+
+(* Remove whole fault dimensions first (no partitions, no drops, no
+   dups, no reordering), then shrink partition windows: drop a
+   window, then narrow one toward its start time. A counterexample
+   that survives this is minimal in a useful sense: every remaining
+   fault dimension and every remaining window-step is load-bearing. *)
+let shrink_faults (f : Sim.Faults.t) =
+  let open QCheck.Iter in
+  let rebuild ?(drop = f.Sim.Faults.drop) ?(dup = f.Sim.Faults.dup)
+      ?(reorder = f.Sim.Faults.reorder)
+      ?(partitions = f.Sim.Faults.partitions) () =
+    Sim.Faults.make ~drop ~dup ~reorder ~partitions ~seed:f.Sim.Faults.seed ()
+  in
+  let zero_dims =
+    append_l
+      [
+        (if f.Sim.Faults.partitions <> [] then
+           return (rebuild ~partitions:[] ())
+         else empty);
+        (if f.Sim.Faults.drop > 0.0 then return (rebuild ~drop:0.0 ())
+         else empty);
+        (if f.Sim.Faults.dup > 0.0 then return (rebuild ~dup:0.0 ())
+         else empty);
+        (if f.Sim.Faults.reorder > 0 then return (rebuild ~reorder:0 ())
+         else empty);
+      ]
+  in
+  let shrink_partition (pt : Sim.Faults.partition) =
+    QCheck.Shrink.int (pt.Sim.Faults.until_t - pt.Sim.Faults.from_t)
+    >|= fun width ->
+    { pt with Sim.Faults.until_t = pt.Sim.Faults.from_t + width }
+  in
+  let narrowed =
+    QCheck.Shrink.list ~shrink:shrink_partition f.Sim.Faults.partitions
+    >|= fun partitions -> rebuild ~partitions ()
+  in
+  zero_dims <+> narrowed
+
+let arb_faults ~n =
+  QCheck.make ~print:print_faults ~shrink:shrink_faults (faults_gen ~n)
+
+(* A schedule prefix: which process is scheduled at each slot.
+   Shrinks by dropping slots, then by lowering pids — so a failing
+   scheduling property reports the shortest, lowest-numbered
+   activation sequence that still fails. *)
+let schedule_gen ~n ~len =
+  QCheck.Gen.(list_size (int_bound len) (int_bound (n - 1)))
+
+let print_schedule s =
+  String.concat " " (List.map (Printf.sprintf "p%d") s)
+
+let shrink_schedule s = QCheck.Shrink.list ~shrink:QCheck.Shrink.int s
+
+let arb_schedule ~n ~len =
+  QCheck.make ~print:print_schedule ~shrink:shrink_schedule
+    (schedule_gen ~n ~len)
+
+(* -------------------------------------------------------------- *)
+(* Meta-test support: run a qcheck cell and hand back the shrunk   *)
+(* counterexample, so a test can assert on the *reporting* itself  *)
+(* -------------------------------------------------------------- *)
+
+(* Runs [prop] over [arb] with a fixed RNG and returns the fully
+   shrunk counterexample, or [None] if the property never failed.
+   This is how the shrinkers above are themselves tested: seed a
+   property that must fail, then pin what the report shows. *)
+let shrunk_counterexample ?(count = 200) ~seed arb prop =
+  let cell = QCheck.Test.make_cell ~count arb prop in
+  let res =
+    QCheck.Test.check_cell ~rand:(Random.State.make [| seed |]) cell
+  in
+  match QCheck.TestResult.get_state res with
+  | QCheck.TestResult.Failed { instances = cx :: _ } ->
+    Some cx.QCheck.TestResult.instance
+  | _ -> None

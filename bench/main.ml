@@ -318,6 +318,34 @@ let json_of_fuzz_rows rows =
        rows)
 
 (* ---------------------------------------------------------------- *)
+(* B9: parallel exploration scaling                                  *)
+(* ---------------------------------------------------------------- *)
+
+let b9_parallel ~smoke () =
+  hr "B9: multicore scaling of the exploration engines (mc ~jobs over \
+      the striped table; fuzz ~jobs batch sharding) — speedups are \
+      honest host measurements, ~1x on single-core containers";
+  pf "%s@." Experiments.b9_header;
+  let rows = Experiments.b9_parallel_table ~quick:smoke () in
+  List.iter (fun r -> pf "%a@." Experiments.pp_b9_row r) rows;
+  rows
+
+let json_of_b9_rows rows =
+  Json.List
+    (List.map
+       (fun (r : Experiments.b9_row) ->
+         Json.Obj
+           [
+             ("workload", Json.Str r.b9_workload);
+             ("jobs", Json.Int r.b9_jobs);
+             ("wall_seconds", Json.Float r.b9_wall);
+             ("throughput", Json.Float r.b9_throughput);
+             ("speedup", Json.Float r.b9_speedup);
+             ("sequential_equivalent", Json.Bool r.b9_equal);
+           ])
+       rows)
+
+(* ---------------------------------------------------------------- *)
 (* Substrate run metrics: one instrumented reference run             *)
 (* ---------------------------------------------------------------- *)
 
@@ -530,6 +558,7 @@ let () =
   let b6 = b6_model_check ~smoke () in
   let b7 = b7_fault_latency ~smoke () in
   let b8 = b8_fuzz ~smoke () in
+  let b9 = b9_parallel ~smoke () in
   let metrics = run_metrics () in
   let b4 = b4_micro ~smoke () in
   match json_file with
@@ -549,6 +578,7 @@ let () =
         json_of_mc_rows b6;
         json_of_fault_rows b7;
         json_of_fuzz_rows b8;
+        json_of_b9_rows b9;
         json_of_micro_rows b4;
         json_of_metrics metrics;
       ]

@@ -246,7 +246,7 @@ struct
      counterexample before certification — the negative-path selftest
      for the certification machinery and its nonzero exit code. *)
   let go ~n ~faulty ~menu ~depth ~flavour ~max_states ~max_drops ~delivery
-      ~corrupt =
+      ~jobs ~corrupt =
     let proposals p = if Pset.mem p faulty then 1 else 0 in
     let crashes = Pset.fold (fun p l -> (p, depth + 1) :: l) faulty [] in
     let pattern = Sim.Failure_pattern.make ~n ~crashes in
@@ -272,7 +272,7 @@ struct
     in
     let stop = M.decided_stop ~decision:A.decision ~scope:stop_scope in
     let r = M.run ~n ~menu ~depth ~inputs:proposals ~props ~stop ~max_states
-        ?max_drops ~delivery ()
+        ?max_drops ~delivery ~jobs ()
     in
     pf "%a@." Mc.pp_stats r.M.stats;
     match r.M.violation with
@@ -327,11 +327,11 @@ struct
       in
       if not (ok_replay && ok_hist) then exit 1
 
-  let default_go ~n ~faulty ~max_states ~max_drops ~delivery ~flavour
+  let default_go ~n ~faulty ~max_states ~max_drops ~delivery ~jobs ~flavour
       ~corrupt ~default_depth ~menu depth_opt =
     let depth = Option.value depth_opt ~default:default_depth in
     go ~n ~faulty ~menu ~depth ~flavour ~max_states ~max_drops ~delivery
-      ~corrupt
+      ~jobs ~corrupt
 end
 
 module Mc_anuc_drive = Mc_drive (Core.Anuc)
@@ -339,9 +339,13 @@ module Mc_naive_drive = Mc_drive (Consensus.Mr.With_quorum)
 module Mc_maj_drive = Mc_drive (Consensus.Mr.Majority)
 module Mc_ct_drive = Mc_drive (Consensus.Ct)
 
-let run_mc algo n t depth_opt family max_states max_drops delivery corrupt =
+let run_mc algo n t depth_opt family max_states max_drops delivery jobs
+    corrupt =
   if t >= n || t < 1 then (
     pf "error: need 1 <= t < n@.";
+    exit 1);
+  if jobs < 1 then (
+    pf "error: --jobs must be >= 1@.";
     exit 1);
   let delivery =
     match String.lowercase_ascii delivery with
@@ -368,7 +372,7 @@ let run_mc algo n t depth_opt family max_states max_drops delivery corrupt =
   in
   match String.lowercase_ascii algo with
   | "anuc" ->
-    Mc_anuc_drive.default_go ~n ~faulty ~max_states ~max_drops ~delivery ~corrupt
+    Mc_anuc_drive.default_go ~n ~faulty ~max_states ~max_drops ~delivery ~jobs ~corrupt
       ~flavour:Consensus.Spec.Nonuniform ~default_depth:11
       ~menu:
         (match family with
@@ -377,7 +381,7 @@ let run_mc algo n t depth_opt family max_states max_drops delivery corrupt =
         | `Full -> Mc.Menu.omega_sigma_nu_plus ~n ~faulty)
       depth_opt
   | "naive-sn" ->
-    Mc_naive_drive.default_go ~n ~faulty ~max_states ~max_drops ~delivery ~corrupt
+    Mc_naive_drive.default_go ~n ~faulty ~max_states ~max_drops ~delivery ~jobs ~corrupt
       ~flavour:Consensus.Spec.Nonuniform ~default_depth:34
       ~menu:
         (match family with
@@ -386,19 +390,19 @@ let run_mc algo n t depth_opt family max_states max_drops delivery corrupt =
         | `Full -> Mc.Menu.omega_sigma_nu ~n ~faulty)
       depth_opt
   | "mr-sigma" ->
-    Mc_naive_drive.default_go ~n ~faulty ~max_states ~max_drops ~delivery ~corrupt
+    Mc_naive_drive.default_go ~n ~faulty ~max_states ~max_drops ~delivery ~jobs ~corrupt
       ~flavour:Consensus.Spec.Uniform ~default_depth:10
       ~menu:(Mc.Menu.omega_sigma ~n ~faulty)
       depth_opt
   | "mr-majority" ->
     need_majority ();
-    Mc_maj_drive.default_go ~n ~faulty ~max_states ~max_drops ~delivery ~corrupt
+    Mc_maj_drive.default_go ~n ~faulty ~max_states ~max_drops ~delivery ~jobs ~corrupt
       ~flavour:Consensus.Spec.Uniform ~default_depth:11
       ~menu:(Mc.Menu.leader_only ~n ~faulty)
       depth_opt
   | "ct" ->
     need_majority ();
-    Mc_ct_drive.default_go ~n ~faulty ~max_states ~max_drops ~delivery ~corrupt
+    Mc_ct_drive.default_go ~n ~faulty ~max_states ~max_drops ~delivery ~jobs ~corrupt
       ~flavour:Consensus.Spec.Uniform ~default_depth:13
       ~menu:(Mc.Menu.suspects ~n ~faulty)
       depth_opt
@@ -425,7 +429,7 @@ struct
   module M = E.M
 
   let go ~algo ~n ~faulty ~menu ~swarm_menus ~flavour ~runs ~sampler ~swarm
-      ~shrink ~seed ~delivery ~max_steps ~max_drops ~batch ~json =
+      ~shrink ~seed ~delivery ~max_steps ~max_drops ~batch ~jobs ~json =
     let proposals p = if Pset.mem p faulty then 1 else 0 in
     let crashes = Pset.fold (fun p l -> (p, max_steps + 1) :: l) faulty [] in
     let pattern = Sim.Failure_pattern.make ~n ~crashes in
@@ -460,8 +464,8 @@ struct
     in
     let report =
       E.fuzz ~algo ~sampler ?swarm:swarm_cfg ~batch_size:batch ~delivery
-        ~max_steps ~max_drops ~shrink ~stop ~decided ~seed ~runs ~n ~menu
-        ~pattern ~inputs:proposals ~props ()
+        ~max_steps ~max_drops ~shrink ~jobs ~stop ~decided ~seed ~runs ~n
+        ~menu ~pattern ~inputs:proposals ~props ()
     in
     pf "%a@." E.pp_report report;
     (match json with
@@ -495,9 +499,12 @@ let parse_sampler s =
   | s -> Error (Printf.sprintf "unknown sampler %S (uniform | pct | pctD)" s)
 
 let run_fuzz algo n t runs sampler_s swarm shrink seed delivery_s max_steps_opt
-    max_drops batch family json =
+    max_drops batch family jobs json =
   if t >= n || t < 1 then (
     pf "error: need 1 <= t < n@.";
+    exit 1);
+  if jobs < 1 then (
+    pf "error: --jobs must be >= 1@.";
     exit 1);
   let sampler =
     match parse_sampler sampler_s with
@@ -545,7 +552,7 @@ let run_fuzz algo n t runs sampler_s swarm shrink seed delivery_s max_steps_opt
           Mc.Menu.omega_sigma_nu_plus ~n ~faulty;
         ]
       ~runs ~sampler ~swarm ~shrink ~seed ~delivery ~max_steps ~max_drops
-      ~batch ~json
+      ~batch ~jobs ~json
   | "naive-sn" ->
     Fuzz_naive_drive.go ~algo ~n ~faulty ~flavour:Consensus.Spec.Nonuniform
       ~menu:
@@ -556,24 +563,24 @@ let run_fuzz algo n t runs sampler_s swarm shrink seed delivery_s max_steps_opt
       ~swarm_menus:
         [ Mc.Menu.lossy ~n ~faulty (); Mc.Menu.omega_sigma_nu ~n ~faulty ]
       ~runs ~sampler ~swarm ~shrink ~seed ~delivery ~max_steps ~max_drops
-      ~batch ~json
+      ~batch ~jobs ~json
   | "mr-sigma" ->
     Fuzz_naive_drive.go ~algo ~n ~faulty ~flavour:Consensus.Spec.Uniform
       ~menu:(Mc.Menu.omega_sigma ~n ~faulty)
       ~swarm_menus:[] ~runs ~sampler ~swarm ~shrink ~seed ~delivery
-      ~max_steps ~max_drops ~batch ~json
+      ~max_steps ~max_drops ~batch ~jobs ~json
   | "mr-majority" ->
     need_majority ();
     Fuzz_maj_drive.go ~algo ~n ~faulty ~flavour:Consensus.Spec.Uniform
       ~menu:(Mc.Menu.leader_only ~n ~faulty)
       ~swarm_menus:[] ~runs ~sampler ~swarm ~shrink ~seed ~delivery
-      ~max_steps ~max_drops ~batch ~json
+      ~max_steps ~max_drops ~batch ~jobs ~json
   | "ct" ->
     need_majority ();
     Fuzz_ct_drive.go ~algo ~n ~faulty ~flavour:Consensus.Spec.Uniform
       ~menu:(Mc.Menu.suspects ~n ~faulty)
       ~swarm_menus:[] ~runs ~sampler ~swarm ~shrink ~seed ~delivery
-      ~max_steps ~max_drops ~batch ~json
+      ~max_steps ~max_drops ~batch ~jobs ~json
   | s ->
     pf "unknown algorithm %S (anuc | naive-sn | mr-majority | mr-sigma | \
         ct)@."
@@ -596,6 +603,21 @@ let t_arg =
 
 let seed_arg =
   Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+(* Shared by mc and fuzz. Both engines are deterministic in their
+   arguments *excluding* jobs for mc (verdict and distinct-states
+   agree with the sequential run; interleaving-dependent counters may
+   differ) and *including* jobs for fuzz (byte-identical JSON for any
+   job count). *)
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"J"
+        ~doc:
+          "Explore with $(docv) parallel domains (default 1 = the \
+           sequential engine). mc: same verdict and distinct-states \
+           count as --jobs 1; fuzz: byte-identical report for any \
+           $(docv).")
 
 let run_cmd =
   let algo =
@@ -780,7 +802,7 @@ let mc_cmd =
           schedule of a small universe")
     Term.(
       const run_mc $ algo $ n $ t $ depth $ family $ max_states $ max_drops
-      $ delivery $ corrupt)
+      $ delivery $ jobs_arg $ corrupt)
 
 let fuzz_cmd =
   let algo =
@@ -886,7 +908,8 @@ let fuzz_cmd =
     Term.(
       const run_fuzz $ algo $ n $ t $ runs $ sampler $ swarm
       $ Term.app (const not) no_shrink
-      $ seed_arg $ delivery $ max_steps $ max_drops $ batch $ family $ json)
+      $ seed_arg $ delivery $ max_steps $ max_drops $ batch $ family
+      $ jobs_arg $ json)
 
 let main_cmd =
   Cmd.group

@@ -1593,3 +1593,122 @@ let fuzz_table ?(quick = false) () =
     }
   in
   [ naive_row; anuc_row ]
+
+(* ---------------------------------------------------------------- *)
+(* B9: parallel exploration scaling                                  *)
+(* ---------------------------------------------------------------- *)
+
+type b9_row = {
+  b9_workload : string;
+  b9_jobs : int;
+  b9_wall : float;
+  b9_throughput : float;  (** states/s for the mc workload, runs/s for fuzz *)
+  b9_speedup : float;  (** throughput relative to the jobs=1 row *)
+  b9_equal : bool;
+      (** sequential equivalence held: same verdict and distinct-state
+          count (mc), byte-identical JSON report (fuzz) *)
+}
+
+let b9_header =
+  Printf.sprintf "%-30s %4s %9s %12s %8s %6s" "workload" "jobs" "wall(s)"
+    "throughput" "speedup" "equal"
+
+let pp_b9_row fmt r =
+  Format.fprintf fmt "%-30s %4d %9.3f %12.0f %7.2fx %6b" r.b9_workload
+    r.b9_jobs r.b9_wall r.b9_throughput r.b9_speedup r.b9_equal
+
+let b9_jobs = [ 1; 2; 4; 8 ]
+
+(* The mc workload: exhaustive A_nuc verification on E_1(3), the E11
+   'verify' half, at the quick depth — enough states (tens of
+   thousands) for the sharded table to matter, small enough to run
+   four times per bench invocation. *)
+let b9_mc_run ~jobs ~depth =
+  let n, faulty, pattern, proposals = mc_universe ~depth in
+  let menu = Mc.Menu.contamination ~plus:true ~n ~faulty () in
+  Mc_anuc.run ~jobs ~n ~menu ~depth ~inputs:proposals
+    ~props:
+      (Mc_anuc.consensus_props ~decision:Core.Anuc.decision ~proposals
+         ~flavour:Consensus.Spec.Nonuniform ~pattern)
+    ~stop:
+      (Mc_anuc.decided_stop ~decision:Core.Anuc.decision
+         ~scope:(Sim.Failure_pattern.correct pattern))
+    ()
+
+(* The fuzz workload: property-free sampling of the E_1(3) naive
+   universe, so every run executes (no early violation stop) and the
+   per-jobs reports are comparable byte for byte. *)
+let b9_fuzz_run ~jobs ~runs =
+  let n = 3 and t = 1 in
+  let max_steps = fuzz_max_steps ~n in
+  let faulty, pattern, proposals = fuzz_universe ~n ~t ~max_steps in
+  let menu = Mc.Menu.contamination ~n ~faulty () in
+  Ex_naive.fuzz ~algo:"naive-sn" ~max_steps ~jobs ~shrink:false
+    ~decided:(fun st -> Consensus.Mr.With_quorum.decision st <> None)
+    ~seed:e13_fuzz_seed ~runs ~n ~menu ~pattern ~inputs:proposals ~props:[]
+    ()
+
+let b9_parallel_table ?(quick = false) () =
+  let depth = if quick then 7 else anuc_mc_depth ~quick:true in
+  let runs = if quick then 500 else 5_000 in
+  let speedup ~base tp = tp /. Float.max 1e-9 base in
+  let mc_rows =
+    let workload = Printf.sprintf "mc A_nuc E_1(3) depth %d" depth in
+    let rows =
+      List.map
+        (fun jobs ->
+          let r = b9_mc_run ~jobs ~depth in
+          (jobs, r))
+        b9_jobs
+    in
+    let _, base = List.hd rows in
+    let base_tp = Mc.states_per_sec base.Mc_anuc.stats in
+    List.map
+      (fun (jobs, (r : Mc_anuc.report)) ->
+        let tp = Mc.states_per_sec r.Mc_anuc.stats in
+        {
+          b9_workload = workload;
+          b9_jobs = jobs;
+          b9_wall = r.Mc_anuc.stats.Mc.wall_seconds;
+          b9_throughput = tp;
+          b9_speedup = speedup ~base:base_tp tp;
+          b9_equal =
+            Option.is_none r.Mc_anuc.violation
+            = Option.is_none base.Mc_anuc.violation
+            && r.Mc_anuc.stats.Mc.distinct_states
+               = base.Mc_anuc.stats.Mc.distinct_states
+            && (not r.Mc_anuc.stats.Mc.truncated)
+            && not base.Mc_anuc.stats.Mc.truncated;
+        })
+      rows
+  in
+  let fuzz_rows =
+    let workload = Printf.sprintf "fuzz naive-Sn E_1(3) %d runs" runs in
+    let rows =
+      List.map
+        (fun jobs ->
+          let r = b9_fuzz_run ~jobs ~runs in
+          (jobs, r, Report.to_string (Ex_naive.json_of_report r)))
+        b9_jobs
+    in
+    let _, base, base_json = List.hd rows in
+    let base_tp =
+      float_of_int base.Ex_naive.runs
+      /. Float.max 1e-9 base.Ex_naive.wall_seconds
+    in
+    List.map
+      (fun (jobs, (r : Ex_naive.report), json) ->
+        let tp =
+          float_of_int r.Ex_naive.runs /. Float.max 1e-9 r.Ex_naive.wall_seconds
+        in
+        {
+          b9_workload = workload;
+          b9_jobs = jobs;
+          b9_wall = r.Ex_naive.wall_seconds;
+          b9_throughput = tp;
+          b9_speedup = speedup ~base:base_tp tp;
+          b9_equal = String.equal json base_json;
+        })
+      rows
+  in
+  mc_rows @ fuzz_rows

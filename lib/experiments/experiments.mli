@@ -261,3 +261,32 @@ val fuzz_table : ?quick:bool -> unit -> fuzz_row list
 (** B8: randomized-explorer throughput — the two E13 campaigns on
     [E_2(5)] (naive-Sigma-nu violation hunt; [A_nuc] swarm survival)
     with sampling rate, coverage saturation and shrink ratio. *)
+
+type b9_row = {
+  b9_workload : string;
+  b9_jobs : int;
+  b9_wall : float;  (** one coordinating-domain wall-clock read *)
+  b9_throughput : float;  (** states/s for the mc workload, runs/s for fuzz *)
+  b9_speedup : float;  (** throughput relative to the jobs=1 row *)
+  b9_equal : bool;
+      (** the sequential-equivalence contract held on this run: same
+          verdict and distinct-state count as jobs=1 (mc), or
+          byte-identical JSON report (fuzz) *)
+}
+
+val pp_b9_row : Format.formatter -> b9_row -> unit
+
+val b9_header : string
+
+val b9_parallel_table : ?quick:bool -> unit -> b9_row list
+(** B9: multicore scaling of both exploration engines
+    ([Mc.Make.run ~jobs] over the striped shared table;
+    [Explore.Make.fuzz ~jobs] batch sharding) at jobs 1/2/4/8 —
+    exhaustive [A_nuc] verification on [E_1(3)] measured in states/s,
+    property-free fuzz sampling measured in runs/s. Wall times come
+    from one monotonic-clock read on the coordinating domain (never a
+    per-domain sum), and the [b9_equal] column re-checks the
+    determinism contract on every row. Speedups are honest
+    measurements of the host: on a single-core container the parallel
+    rows report ~1x or below (domain scheduling overhead), which is
+    the expected shape there, not a regression. *)

@@ -48,6 +48,10 @@ let salt_batch = 0x5347 (* "SG" — swarm generation *)
 
 let salt_run = 0x52 (* "R" *)
 
+(* Coverage keys are already deep hashes; [Key_set] stores them with
+   identity hashing and a single probe per insertion attempt. *)
+module Kset = Mc.Intern.Key_set
+
 module Make (A : Sim.Automaton.S) = struct
   module M = Mc.Make (A)
   module S = M.Space
@@ -455,28 +459,28 @@ module Make (A : Sim.Automaton.S) = struct
   (* ------------------------------------------------------------------ *)
 
   type coverage = {
-    states : (int, unit) Hashtbl.t;
-    depths : (int, unit) Hashtbl.t;
-    shapes : (int, unit) Hashtbl.t;
-    sigs : (int, unit) Hashtbl.t;
+    states : Kset.t;
+    depths : Kset.t;
+    shapes : Kset.t;
+    sigs : Kset.t;
   }
 
   let cov_create () =
     {
-      states = Hashtbl.create 4096;
-      depths = Hashtbl.create 64;
-      shapes = Hashtbl.create 1024;
-      sigs = Hashtbl.create 64;
+      states = Kset.create 4096;
+      depths = Kset.create 64;
+      shapes = Kset.create 1024;
+      sigs = Kset.create 64;
     }
 
-  let cov_add tbl key = if not (Hashtbl.mem tbl key) then Hashtbl.add tbl key ()
+  let cov_add tbl key = ignore (Kset.add_new tbl key : bool)
 
   let cov_totals cov =
     {
-      distinct_states = Hashtbl.length cov.states;
-      decision_depths = Hashtbl.length cov.depths;
-      quorum_shapes = Hashtbl.length cov.shapes;
-      fault_signatures = Hashtbl.length cov.sigs;
+      distinct_states = Kset.length cov.states;
+      decision_depths = Kset.length cov.depths;
+      quorum_shapes = Kset.length cov.shapes;
+      fault_signatures = Kset.length cov.sigs;
     }
 
   (* Deep structural hash (same spirit as [Space.key]): a coverage
@@ -601,9 +605,81 @@ module Make (A : Sim.Automaton.S) = struct
                 if mv.m_drop then Some (i, mv.m_pid, mv.m_recv) else None)));
     (!steps, !outcome, ms)
 
+  (* One fuzz batch, self-contained: its configuration comes from the
+     batch's own seed stream, each run from the split seed
+     [(seed, salt_run, batch, run)], and coverage goes to a private
+     per-batch tracker recording the keys the batch touched.
+     [exec_run] writes to the tracker but never reads it, so running a
+     batch against a private tracker and merging the key sets in batch
+     order afterwards reproduces the sequential tracker's counts
+     exactly — which is what makes batches the unit of parallelism
+     without giving up byte-determinism. *)
+  type batch_result = {
+    r_bc : batch_cfg;
+    r_runs : int;  (* executed — below plan when a violation stops the batch *)
+    r_steps : int;
+    r_decided : int;
+    r_quiesced : int;
+    r_cov : coverage;
+    r_violation : (int * M.move list * string * string) option;
+        (* (run offset within the batch, raw schedule, property, detail) *)
+  }
+
+  let bc_of ~n ~seed ~base ~swarm b =
+    match swarm with
+    | None -> base
+    | Some sw ->
+      let rng_b = Random.State.make [| seed; salt_batch; b |] in
+      let menu = draw rng_b base.c_menu sw.sw_menus in
+      {
+        c_menu = menu;
+        c_menus = menus_of ~n menu;
+        c_budget = draw rng_b base.c_budget sw.sw_budgets;
+        c_stab = draw rng_b base.c_stab sw.sw_stabs;
+        c_sampler = draw rng_b base.c_sampler sw.sw_samplers;
+      }
+
+  let run_batch ~n ~inputs ~props ~delivery ~max_steps ~seed ~base ~swarm
+      ~batch_size ~runs ~stop ~decided b =
+    let bc = bc_of ~n ~seed ~base ~swarm b in
+    let start = b * batch_size in
+    let in_batch = min batch_size (runs - start) in
+    let cov = cov_create () in
+    let steps_total = ref 0 in
+    let decided_runs = ref 0 in
+    let quiesced_runs = ref 0 in
+    let violation = ref None in
+    let r = ref 0 in
+    while !violation = None && !r < in_batch do
+      let run_ix = start + !r in
+      let rng = Random.State.make [| seed; salt_run; b; run_ix |] in
+      let steps, outcome, _moves =
+        exec_run ~n ~inputs ~props ~bc ~delivery ~max_steps ~rng ~cov ~stop
+          ~decided
+      in
+      steps_total := !steps_total + steps;
+      (match outcome with
+      | Violation (moves, name, detail) ->
+        violation := Some (!r, moves, name, detail)
+      | Decided -> incr decided_runs
+      | Quiesced -> incr quiesced_runs
+      | Bound -> ());
+      incr r
+    done;
+    {
+      r_bc = bc;
+      r_runs = !r;
+      r_steps = !steps_total;
+      r_decided = !decided_runs;
+      r_quiesced = !quiesced_runs;
+      r_cov = cov;
+      r_violation = !violation;
+    }
+
   let fuzz ?(algo = "unnamed") ?(sampler = Uniform) ?swarm ?(batch_size = 1000)
-      ?(delivery = `Fifo) ?max_steps ?(max_drops = 1) ?(shrink = true) ?stop
-      ?decided ~seed ~runs ~n ~menu ~pattern ~inputs ~props () =
+      ?(delivery = `Fifo) ?max_steps ?(max_drops = 1) ?(shrink = true)
+      ?(jobs = 1) ?stop ?decided ~seed ~runs ~n ~menu ~pattern ~inputs ~props
+      () =
     let t0 = Sim.Clock.now () in
     let max_steps =
       match max_steps with Some m -> m | None -> 18 * n
@@ -617,6 +693,33 @@ module Make (A : Sim.Automaton.S) = struct
         c_stab = max_steps;
       }
     in
+    let nbatches = if runs <= 0 then 0 else ((runs - 1) / batch_size) + 1 in
+    let results = Array.make (max 1 nbatches) None in
+    (* Batches are independent given their index, so they are the unit
+       of parallel dispatch over the domain pool. [cutoff] is the
+       earliest batch known to hold a violation: the sequential loop
+       never runs anything past it, so workers skip later batches
+       outright (results past the cutoff are discarded by the merge
+       anyway). Every batch below the final cutoff is computed: the
+       pool hands out indices in increasing order, and the cutoff only
+       ever decreases to an index that was actually computed. *)
+    let cutoff = Atomic.make max_int in
+    let rec lower b =
+      let c = Atomic.get cutoff in
+      if b < c && not (Atomic.compare_and_set cutoff c b) then lower b
+    in
+    Mc.Pool.run ~jobs nbatches (fun ~worker:_ b ->
+        if b <= Atomic.get cutoff then begin
+          let res =
+            run_batch ~n ~inputs ~props ~delivery ~max_steps ~seed ~base
+              ~swarm ~batch_size ~runs ~stop ~decided b
+          in
+          if res.r_violation <> None then lower b;
+          results.(b) <- Some res
+        end);
+    (* Merge in batch order: curve, totals, counters and the earliest
+       violation all replay the sequential loop byte for byte, for any
+       [jobs]. *)
     let cov = cov_create () in
     let curve = ref [] in
     let raw_violation = ref None in
@@ -625,59 +728,46 @@ module Make (A : Sim.Automaton.S) = struct
     let decided_runs = ref 0 in
     let quiesced_runs = ref 0 in
     let b = ref 0 in
-    while !raw_violation = None && !runs_done < runs do
-      let bc =
-        match swarm with
-        | None -> base
-        | Some sw ->
-          let rng_b = Random.State.make [| seed; salt_batch; !b |] in
-          let menu = draw rng_b base.c_menu sw.sw_menus in
+    while !raw_violation = None && !b < nbatches do
+      (match results.(!b) with
+      | None ->
+        (* unreachable: batches up to the earliest violation are
+           always computed *)
+        assert false
+      | Some res ->
+        let states0 = Kset.length cov.states in
+        let depths0 = Kset.length cov.depths in
+        let shapes0 = Kset.length cov.shapes in
+        let sigs0 = Kset.length cov.sigs in
+        Kset.iter (cov_add cov.states) res.r_cov.states;
+        Kset.iter (cov_add cov.depths) res.r_cov.depths;
+        Kset.iter (cov_add cov.shapes) res.r_cov.shapes;
+        Kset.iter (cov_add cov.sigs) res.r_cov.sigs;
+        runs_done := !runs_done + res.r_runs;
+        steps_total := !steps_total + res.r_steps;
+        decided_runs := !decided_runs + res.r_decided;
+        quiesced_runs := !quiesced_runs + res.r_quiesced;
+        let bc = res.r_bc in
+        curve :=
           {
-            c_menu = menu;
-            c_menus = menus_of ~n menu;
-            c_budget = draw rng_b base.c_budget sw.sw_budgets;
-            c_stab = draw rng_b base.c_stab sw.sw_stabs;
-            c_sampler = draw rng_b base.c_sampler sw.sw_samplers;
+            bp_batch = !b;
+            bp_runs = !runs_done;
+            bp_menu = bc.c_menu.name;
+            bp_sampler = sampler_name bc.c_sampler;
+            bp_budget = (if bc.c_menu.lossy then bc.c_budget else 0);
+            bp_stab = bc.c_stab;
+            bp_states = Kset.length cov.states;
+            bp_new_states = Kset.length cov.states - states0;
+            bp_new_depths = Kset.length cov.depths - depths0;
+            bp_new_shapes = Kset.length cov.shapes - shapes0;
+            bp_new_sigs = Kset.length cov.sigs - sigs0;
           }
-      in
-      let states0 = Hashtbl.length cov.states in
-      let depths0 = Hashtbl.length cov.depths in
-      let shapes0 = Hashtbl.length cov.shapes in
-      let sigs0 = Hashtbl.length cov.sigs in
-      let in_batch = min batch_size (runs - !runs_done) in
-      let r = ref 0 in
-      while !raw_violation = None && !r < in_batch do
-        let run_ix = !runs_done in
-        let rng = Random.State.make [| seed; salt_run; !b; run_ix |] in
-        let steps, outcome, _moves =
-          exec_run ~n ~inputs ~props ~bc ~delivery ~max_steps ~rng ~cov ~stop
-            ~decided
-        in
-        steps_total := !steps_total + steps;
-        (match outcome with
-        | Violation (moves, name, detail) ->
-          raw_violation := Some (run_ix, !b, bc, moves, name, detail)
-        | Decided -> incr decided_runs
-        | Quiesced -> incr quiesced_runs
-        | Bound -> ());
-        incr r;
-        incr runs_done
-      done;
-      curve :=
-        {
-          bp_batch = !b;
-          bp_runs = !runs_done;
-          bp_menu = bc.c_menu.name;
-          bp_sampler = sampler_name bc.c_sampler;
-          bp_budget = (if bc.c_menu.lossy then bc.c_budget else 0);
-          bp_stab = bc.c_stab;
-          bp_states = Hashtbl.length cov.states;
-          bp_new_states = Hashtbl.length cov.states - states0;
-          bp_new_depths = Hashtbl.length cov.depths - depths0;
-          bp_new_shapes = Hashtbl.length cov.shapes - shapes0;
-          bp_new_sigs = Hashtbl.length cov.sigs - sigs0;
-        }
-        :: !curve;
+          :: !curve;
+        (match res.r_violation with
+        | Some (local_r, moves, name, detail) ->
+          raw_violation :=
+            Some ((!b * batch_size) + local_r, !b, bc, moves, name, detail)
+        | None -> ()));
       incr b
     done;
     let violation =

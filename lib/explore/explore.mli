@@ -146,6 +146,7 @@ module Make (A : Sim.Automaton.S) : sig
     ?max_steps:int ->
     ?max_drops:int ->
     ?shrink:bool ->
+    ?jobs:int ->
     ?stop:((Pid.t -> A.state) -> bool) ->
     ?decided:(A.state -> bool) ->
     seed:int ->
@@ -183,8 +184,19 @@ module Make (A : Sim.Automaton.S) : sig
       dimension. A violating schedule is shrunk (unless
       [shrink:false]), concretized, and certified against [pattern]
       and the menu's detector class. [algo] (default ["unnamed"]) only
-      labels the report. The report is deterministic in the arguments:
-      same seed, same bytes. *)
+      labels the report.
+
+      [jobs] (default 1) shards whole batches across a domain pool
+      ([Mc.Pool]): every run already derives from the split seed
+      [(seed, batch, run)] and never reads shared state, so batches
+      execute independently against per-domain coverage trackers and
+      are merged in batch order afterwards — curve, totals, counters
+      and the earliest violation replay the sequential loop exactly.
+      The report is therefore deterministic in the arguments {e
+      including} [jobs]: same seed, same bytes, for any job count
+      (pinned in test_explore.ml and test_cli.ml). [wall_seconds] is
+      one monotonic-clock read on the coordinating domain, never a
+      per-domain sum. *)
 
   val shrink_schedule :
     ?max_candidates:int ->

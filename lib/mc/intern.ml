@@ -1,0 +1,122 @@
+(* Canonical-state interning: hash once, then compare by cached hash
+   and compact id.
+
+   The model checker's memo table and the fuzzer's coverage tracker
+   both bucket canonical states with [Hashtbl.hash_param 150 600] — a
+   deep structural walk that a plain [Hashtbl] repeats on every
+   [find_opt]/[add] pair (twice per fresh state). The types here make
+   the hash part of the key: it is computed exactly once, when the
+   key is built, and every later table operation reuses it. Equality
+   prefilters on the cached hash before falling back to the caller's
+   structural equality, which is the collision backstop — two
+   distinct states with equal hashes stay distinct (pinned in
+   test_mc.ml).
+
+   [Striped] is the multicore variant: an N-way sharded table with a
+   per-stripe mutex, the shared visited set of the parallel checker.
+   Insertion order assigns compact ids from one atomic counter, so
+   [length] — the checker's [distinct_states] — is an O(1) read of
+   the id watermark, with no stripe lock held. *)
+
+type 'a hashed = { ih : int; iv : 'a }
+
+let hashed hash v = { ih = hash v; iv = v }
+
+module type KEY = sig
+  type t
+
+  val equal : t -> t -> bool
+end
+
+module Table (K : KEY) = Hashtbl.Make (struct
+  type t = K.t hashed
+
+  let equal a b = a.ih = b.ih && K.equal a.iv b.iv
+  let hash k = k.ih
+end)
+
+module Key_set = struct
+  (* A set of already-hashed int keys (state hashes, shape hashes):
+     identity hashing instead of [Hashtbl.hash]'s mixing pass, and a
+     single membership probe per insertion attempt. *)
+  module H = Hashtbl.Make (struct
+    type t = int
+
+    let equal = Int.equal
+    let hash k = k land max_int
+  end)
+
+  type t = unit H.t
+
+  let create n = H.create n
+  let mem = H.mem
+
+  let add_new t k =
+    if H.mem t k then false
+    else begin
+      H.add t k ();
+      true
+    end
+
+  let length = H.length
+  let iter f t = H.iter (fun k () -> f k) t
+end
+
+module Striped (K : KEY) = struct
+  module T = Table (K)
+
+  type 'v t = {
+    mask : int;
+    locks : Mutex.t array;
+    tables : 'v T.t array;
+    count : int Atomic.t;  (* insertions so far = next compact id *)
+  }
+
+  let rec pow2 n k = if k >= n then k else pow2 n (k * 2)
+
+  let create ?(stripes = 64) cap =
+    let s = pow2 (max 1 (min stripes 4096)) 1 in
+    {
+      mask = s - 1;
+      locks = Array.init s (fun _ -> Mutex.create ());
+      tables = Array.init s (fun _ -> T.create (max 16 (cap / s)));
+      count = Atomic.make 0;
+    }
+
+  let length t = Atomic.get t.count
+
+  let with_key t k f =
+    let i = k.ih land t.mask in
+    let m = t.locks.(i) in
+    Mutex.lock m;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock m)
+      (fun () ->
+        let bound = T.find_opt t.tables.(i) k in
+        let r, insert = f bound in
+        (match (insert, bound) with
+        | Some v, None ->
+          T.add t.tables.(i) k v;
+          Atomic.incr t.count
+        | Some _, Some _ ->
+          invalid_arg "Intern.Striped.with_key: key already bound"
+        | None, _ -> ());
+        r)
+
+  let intern t k mk =
+    let i = k.ih land t.mask in
+    let m = t.locks.(i) in
+    Mutex.lock m;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock m)
+      (fun () ->
+        match T.find_opt t.tables.(i) k with
+        | Some v -> (v, false)
+        | None ->
+          (* the id is drawn under the stripe lock, but from the shared
+             counter, so ids are unique across stripes *)
+          let id = Atomic.fetch_and_add t.count 1 in
+          let v = mk id in
+          T.add t.tables.(i) k v;
+          (v, true))
+end

@@ -33,6 +33,12 @@
 
 open Procset
 
+(* Submodules of the multicore engine, re-exported as part of the
+   library interface: [Mc.Intern] (cached-hash interning tables, the
+   striped shared visited set) and [Mc.Pool] (the domain pool). *)
+module Intern = Intern
+module Pool = Pool
+
 (* ---------------------------------------------------------------- *)
 (* Failure-detector menus                                            *)
 (* ---------------------------------------------------------------- *)
@@ -335,17 +341,30 @@ module Make (A : Sim.Automaton.S) = struct
      metadata is not (see the module header). *)
   type config = { states : A.state array; chans : A.message list array }
 
-  module Tbl = Hashtbl.Make (struct
+  (* The automaton states of this repository are pure data
+     (ints, options, Pset bitsets, Maps), so polymorphic structural
+     equality and hashing are sound here. Shape differences between
+     structurally different but extensionally equal Maps only cost
+     dedup hits, never soundness. *)
+  let config_equal a b = a.states = b.states && a.chans = b.chans
+  let config_hash c = Hashtbl.hash_param 150 600 c
+
+  module Key = struct
     type t = config
 
-    (* The automaton states of this repository are pure data
-       (ints, options, Pset bitsets, Maps), so polymorphic structural
-       equality and hashing are sound here. Shape differences between
-       structurally different but extensionally equal Maps only cost
-       dedup hits, never soundness. *)
-    let equal a b = a.states = b.states && a.chans = b.chans
-    let hash c = Hashtbl.hash_param 150 600 c
-  end)
+    let equal = config_equal
+  end
+
+  (* Memo keys carry their hash: [config_hash] walks the whole
+     canonical state, and a plain [Hashtbl] would recompute it on the
+     [find_opt] and again on the [add] of every fresh state. With
+     [Intern.hashed] the walk happens once per node visit; equality
+     prefilters on the cached hash, with [config_equal] as the
+     collision backstop (pinned in test_mc.ml). *)
+  module Tbl = Intern.Table (Key)
+  module Shared = Intern.Striped (Key)
+
+  let hconfig = Intern.hashed config_hash
 
   type entry = {
     mutable remaining : int;
@@ -533,9 +552,22 @@ module Make (A : Sim.Automaton.S) = struct
       moves;
     (List.rev !steps, List.rev !samples, states)
 
-  let run ?(sleep = true) ?(dedup = true) ?(delivery = `Fifo)
-      ?(max_states = 2_000_000) ?(max_drops = max_int) ?stop ~n ~menu ~depth
-      ~inputs ~props () =
+  (* Shared tail of the sequential and parallel drivers: concretize
+     the violating schedule, if any, into the certified report. *)
+  let finish ~n ~inputs ~stats violation =
+    match violation with
+    | None -> { stats; violation = None }
+    | Some (cx_property, cx_detail, cx_moves) ->
+      let cx_steps, cx_samples, cx_states = concretize ~n ~inputs cx_moves in
+      {
+        stats;
+        violation =
+          Some
+            { cx_property; cx_detail; cx_moves; cx_steps; cx_samples; cx_states };
+      }
+
+  let run_seq ~sleep ~dedup ~delivery ~max_states ~max_drops ~stop ~n ~menu
+      ~depth ~inputs ~props () =
     let t0 = Sim.Clock.now () in
     let lossy = menu.Menu.lossy in
     let menus = Array.init n (fun p -> menu.Menu.values p) in
@@ -558,6 +590,8 @@ module Make (A : Sim.Automaton.S) = struct
     in
     let rec dfs cfg remaining drops slept path_rev =
       if depth - remaining > !max_depth then max_depth := depth - remaining;
+      (* one deep hash per node visit, reused by lookup and insert *)
+      let hc = hconfig cfg in
       let expand_with slept =
         (* the drop alphabet switches off once the path's loss budget
            is spent *)
@@ -598,7 +632,7 @@ module Make (A : Sim.Automaton.S) = struct
             end)
           all
       in
-      match Tbl.find_opt visited cfg with
+      match Tbl.find_opt visited hc with
       | Some e when dedup ->
         if
           e.remaining >= remaining && e.drops >= drops
@@ -641,11 +675,11 @@ module Make (A : Sim.Automaton.S) = struct
         then begin
           (* all-decided goal state: safety can no longer change in
              the checked scope; never expand, at any budget *)
-          Tbl.add visited cfg { remaining = max_int; drops = max_int; slept = [] };
+          Tbl.add visited hc { remaining = max_int; drops = max_int; slept = [] };
           incr decided_leaves
         end
         else begin
-          Tbl.add visited cfg { remaining; drops; slept };
+          Tbl.add visited hc { remaining; drops; slept };
           if remaining = 0 then incr depth_leaves else expand_with slept
         end
     in
@@ -672,17 +706,225 @@ module Make (A : Sim.Automaton.S) = struct
         wall_seconds = Sim.Clock.elapsed t0;
       }
     in
-    match violation with
-    | None -> { stats; violation = None }
-    | Some (cx_property, cx_detail, cx_moves) ->
-      let cx_steps, cx_samples, cx_states =
-        concretize ~n ~inputs cx_moves
+    finish ~n ~inputs ~stats violation
+
+  (* ---------------------------------------------------------------- *)
+  (* Parallel exploration                                              *)
+  (* ---------------------------------------------------------------- *)
+
+  (* The coordinator walks the DFS prefix up to [spawn_depth] against
+     the shared striped visited table, queuing every would-be
+     expansion at the frontier as a task; [jobs] domains then run the
+     queued expansions to completion over the same table.
+
+     Equivalence with the sequential run (same verdict, same
+     [distinct_states] on non-truncated explorations) holds because
+     both are order-independent: a state enters the table the first
+     time any path reaches it, memo absorption only ever cuts a visit
+     whose (depth budget, drop budget, sleep set) coverage is
+     dominated by coverage some other visit has walked or will walk,
+     and sleep sets prune transitions covered by a sibling's subtree —
+     none of which depends on which worker arrives first. The
+     interleaving-dependent quantities ([transitions], [dedup_hits],
+     [self_loops], [sleep_skipped], [depth_leaves]) do vary across
+     runs at [jobs > 1]; [decided_leaves] does not (one per distinct
+     decided state, counted at insertion). When a violation exists,
+     every order finds one — but possibly a different one, so only
+     the verdict is pinned for violating workloads. Per-node table
+     work is one stripe lock per lookup; property evaluation runs
+     outside the lock with a double-checked re-lookup before
+     insertion. *)
+  let run_par ~sleep ~dedup ~delivery ~max_states ~max_drops ~jobs ~stop ~n
+      ~menu ~depth ~inputs ~props () =
+    let t0 = Sim.Clock.now () in
+    let lossy = menu.Menu.lossy in
+    let menus = Array.init n (fun p -> menu.Menu.values p) in
+    let visited : entry Shared.t = Shared.create ~stripes:64 65536 in
+    let violation = Atomic.make None in
+    let truncated = Atomic.make false in
+    let halt = Atomic.make false in
+    (* per-worker counters, slot 0 = the coordinator's prefix walk *)
+    let nw = jobs + 1 in
+    let counters () = Array.init nw (fun _ -> ref 0) in
+    let transitions = counters ()
+    and dedup_hits = counters ()
+    and self_loops = counters ()
+    and sleep_skipped = counters ()
+    and decided_leaves = counters ()
+    and depth_leaves = counters ()
+    and max_depths = counters () in
+    let spawn_depth = max 1 (min 2 (depth - 1)) in
+    let stopped cfg =
+      match stop with Some f -> f (fun p -> cfg.states.(p)) | None -> false
+    in
+    let check_props cfg path_rev =
+      List.iter
+        (fun pr ->
+          match pr.prop_check (fun p -> cfg.states.(p)) with
+          | Ok () -> ()
+          | Error d -> raise (Found (pr.prop_name, d, List.rev path_rev)))
+        props
+    in
+    let frontier = ref [] in
+    (* [sink]: the coordinator's prefix walk queues frontier
+       expansions instead of performing them; workers ([sink=false])
+       expand in place. A queued task resumes exactly at the
+       expansion step — its node is already in the table, claiming
+       the coverage the task will perform. *)
+    let rec expand ~w ~sink cfg remaining drops slept path_rev =
+      if sink && depth - remaining >= spawn_depth then
+        frontier := (cfg, remaining, drops, slept, path_rev) :: !frontier
+      else begin
+        let all =
+          moves_of ~n ~delivery ~lossy:(lossy && drops > 0) ~menus cfg
+        in
+        let explored = ref [] in
+        List.iter
+          (fun mv ->
+            if sleep && List.exists (move_equal mv) slept then
+              incr sleep_skipped.(w)
+            else begin
+              let child = apply ~n cfg mv in
+              incr transitions.(w);
+              if child.states = cfg.states && child.chans = cfg.chans then
+                incr self_loops.(w)
+              else begin
+                let child_slept =
+                  if sleep then
+                    List.filter
+                      (fun m -> (not m.m_drop) && m.m_pid <> mv.m_pid)
+                      (!explored @ slept)
+                  else []
+                in
+                pdfs ~w ~sink child (remaining - 1)
+                  (if mv.m_drop then drops - 1 else drops)
+                  child_slept (mv :: path_rev);
+                if sleep then explored := mv :: !explored
+              end
+            end)
+          all
+      end
+    and pdfs ~w ~sink cfg remaining drops slept path_rev =
+      if Atomic.get halt then raise Limit;
+      if depth - remaining > !(max_depths.(w)) then
+        max_depths.(w) := depth - remaining;
+      let hc = hconfig cfg in
+      (* the same domination/update logic as the sequential walker,
+         run under the stripe lock so the entry mutation is atomic *)
+      let revisit e =
+        if
+          e.remaining >= remaining && e.drops >= drops
+          && subset_moves e.slept slept
+        then `Absorbed
+        else begin
+          let slept' =
+            List.filter (fun m -> List.exists (move_equal m) e.slept) slept
+          in
+          if remaining >= e.remaining && drops >= e.drops then begin
+            e.remaining <- remaining;
+            e.drops <- drops;
+            e.slept <- slept'
+          end;
+          `Expand slept'
+        end
       in
+      let act = function
+        | `Absorbed -> incr dedup_hits.(w)
+        | `Expand slept' ->
+          if remaining > 0 then expand ~w ~sink cfg remaining drops slept' path_rev
+          else incr depth_leaves.(w)
+        | `Known ->
+          (* dedup off: nothing is absorbed; re-explore the revisit *)
+          if stopped cfg then incr decided_leaves.(w)
+          else if remaining = 0 then incr depth_leaves.(w)
+          else expand ~w ~sink cfg remaining drops slept path_rev
+        | `Decided -> incr decided_leaves.(w)
+        | `Inserted ->
+          if remaining = 0 then incr depth_leaves.(w)
+          else expand ~w ~sink cfg remaining drops slept path_rev
+        | `Full ->
+          Atomic.set truncated true;
+          Atomic.set halt true;
+          raise Limit
+      in
+      let first =
+        Shared.with_key visited hc (fun bound ->
+            match bound with
+            | Some e when dedup -> (revisit e, None)
+            | Some _ -> (`Known, None)
+            | None -> (`Fresh, None))
+      in
+      match first with
+      | `Fresh ->
+        (* Property and goal evaluation run outside the stripe lock;
+           the second, double-checked lookup re-examines the binding a
+           racing worker may have created in between. *)
+        if Shared.length visited >= max_states then act `Full
+        else begin
+          check_props cfg path_rev;
+          let decided = stopped cfg in
+          act
+            (Shared.with_key visited hc (fun bound ->
+                 match bound with
+                 | Some e when dedup -> (revisit e, None)
+                 | Some _ -> (`Known, None)
+                 | None ->
+                   if Shared.length visited >= max_states then (`Full, None)
+                   else if decided then
+                     ( `Decided,
+                       Some { remaining = max_int; drops = max_int; slept = [] }
+                     )
+                   else (`Inserted, Some { remaining; drops; slept })))
+        end
+      | (`Absorbed | `Expand _ | `Known) as a -> act a
+    in
+    (* a violation aborts everything; first recorded one wins *)
+    let guard f =
+      try f () with
+      | Limit -> ()
+      | Found (prop, detail, moves) ->
+        ignore (Atomic.compare_and_set violation None (Some (prop, detail, moves)));
+        Atomic.set halt true
+    in
+    let root = initial_config ~n ~inputs in
+    guard (fun () -> pdfs ~w:0 ~sink:true root depth max_drops [] []);
+    let tasks = Array.of_list (List.rev !frontier) in
+    Pool.run ~jobs (Array.length tasks) (fun ~worker i ->
+        if not (Atomic.get halt) then begin
+          let cfg, remaining, drops, slept, path_rev = tasks.(i) in
+          guard (fun () ->
+              expand ~w:(worker + 1) ~sink:false cfg remaining drops slept
+                path_rev)
+        end);
+    let sum a = Array.fold_left (fun acc r -> acc + !r) 0 a in
+    let maxi a = Array.fold_left (fun acc r -> max acc !r) 0 a in
+    let stats =
       {
-        stats;
-        violation =
-          Some { cx_property; cx_detail; cx_moves; cx_steps; cx_samples; cx_states };
+        transitions = sum transitions;
+        distinct_states = Shared.length visited;
+        dedup_hits = sum dedup_hits;
+        self_loops = sum self_loops;
+        sleep_skipped = sum sleep_skipped;
+        decided_leaves = sum decided_leaves;
+        depth_leaves = sum depth_leaves;
+        max_depth = maxi max_depths;
+        truncated = Atomic.get truncated;
+        (* one monotonic-clock read on the coordinating domain — never
+           a sum of per-domain spans *)
+        wall_seconds = Sim.Clock.elapsed t0;
       }
+    in
+    finish ~n ~inputs ~stats (Atomic.get violation)
+
+  let run ?(sleep = true) ?(dedup = true) ?(delivery = `Fifo)
+      ?(max_states = 2_000_000) ?(max_drops = max_int) ?(jobs = 1) ?stop ~n
+      ~menu ~depth ~inputs ~props () =
+    if jobs <= 1 then
+      run_seq ~sleep ~dedup ~delivery ~max_states ~max_drops ~stop ~n ~menu
+        ~depth ~inputs ~props ()
+    else
+      run_par ~sleep ~dedup ~delivery ~max_states ~max_drops ~jobs ~stop ~n
+        ~menu ~depth ~inputs ~props ()
 
   let replay_counterexample ~n ~inputs cx = R.replay ~n ~inputs cx.cx_steps
 
@@ -698,7 +940,7 @@ module Make (A : Sim.Automaton.S) = struct
     let initial = initial_config
     let state cfg p = cfg.states.(p)
     let equal a b = a.states = b.states && a.chans = b.chans
-    let key cfg = Hashtbl.hash_param 150 600 cfg
+    let key cfg = config_hash cfg
     let enabled = moves_of
 
     let applicable ~n cfg mv =

@@ -13,6 +13,15 @@
 
 open Procset
 
+module Intern : module type of Intern
+(** Cached-hash interning tables: hash a canonical state once, reuse
+    the hash for every later lookup; the striped variant is the
+    parallel checker's shared visited set. *)
+
+module Pool : module type of Pool
+(** The hand-rolled domain pool behind [run ~jobs] and the parallel
+    fuzzer. *)
+
 module Menu : sig
   (** Finite failure-detector menus: at every step the adversary gives
       a process any value from its menu. A menu is admissible for its
@@ -183,6 +192,7 @@ module Make (A : Sim.Automaton.S) : sig
     ?delivery:[ `Fifo | `Any ] ->
     ?max_states:int ->
     ?max_drops:int ->
+    ?jobs:int ->
     ?stop:((Pid.t -> A.state) -> bool) ->
     n:int ->
     menu:Menu.t ->
@@ -216,7 +226,22 @@ module Make (A : Sim.Automaton.S) : sig
       keeps deep lossy explorations tractable. The memoization entry
       tracks the remaining loss budget alongside the remaining depth,
       so absorption stays sound across paths that reach a state with
-      different budgets. *)
+      different budgets.
+
+      [jobs] (default 1) parallelizes the exploration over that many
+      domains: the root frontier (depth-2 expansions) is fanned out
+      over a striped shared visited table ({!Intern.Striped}), with
+      sleep-set pruning kept per-worker. [jobs <= 1] is exactly the
+      sequential walker. At [jobs > 1] the verdict and — on
+      non-truncated explorations — [distinct_states] and
+      [decided_leaves] equal the sequential run's (exploration order
+      does not change which states are reachable within the bounds;
+      pinned per menu family in test_mc.ml), while the
+      interleaving-dependent counters ([transitions], [dedup_hits],
+      [self_loops], [sleep_skipped], [depth_leaves], [max_depth]) and
+      the identity of the counterexample, when one exists, may vary.
+      [wall_seconds] is always one monotonic-clock read on the
+      coordinating domain, never a per-domain sum. *)
 
   val replay_counterexample :
     n:int ->

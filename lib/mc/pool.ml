@@ -1,0 +1,53 @@
+(* A hand-rolled domain pool over the stdlib multicore primitives —
+   no dependency beyond [Domain] and [Atomic].
+
+   The work queue is an atomic task counter over [0 .. count-1]:
+   workers fetch-and-add until the range is exhausted. That is enough
+   for both parallel consumers in this repository — the checker's
+   root-frontier tasks and the fuzzer's batches — because tasks
+   communicate through their own shared state (striped visited table,
+   per-batch result slots) and self-skip when a halt/cutoff flag is
+   already set, so the pool never needs a blocking queue or condition
+   variables.
+
+   [jobs <= 1] (or a single task) runs inline on the calling domain:
+   the sequential paths of the checker and fuzzer must not pay a
+   domain spawn, and — for the fuzzer's byte-determinism guarantee —
+   must remain the exact same code as the parallel merge, differing
+   only in where tasks execute. *)
+
+let default_jobs () = max 1 (Domain.recommended_domain_count ())
+
+let run ~jobs count f =
+  if count > 0 then begin
+    let jobs = max 1 (min jobs count) in
+    if jobs = 1 then
+      for i = 0 to count - 1 do
+        f ~worker:0 i
+      done
+    else begin
+      let next = Atomic.make 0 in
+      let failed = Atomic.make None in
+      let work worker () =
+        let rec loop () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < count && Atomic.get failed = None then begin
+            (try f ~worker i
+             with e ->
+               let bt = Printexc.get_raw_backtrace () in
+               (* first failure wins; the rest of the pool drains *)
+               ignore (Atomic.compare_and_set failed None (Some (e, bt))));
+            loop ()
+          end
+        in
+        loop ()
+      in
+      let domains = Array.init jobs (fun w -> Domain.spawn (work w)) in
+      Array.iter Domain.join domains;
+      (* [Domain.join] publishes every worker's writes to this domain
+         before we read any shared result. *)
+      match Atomic.get failed with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ()
+    end
+  end

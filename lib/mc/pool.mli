@@ -1,0 +1,26 @@
+(** A hand-rolled domain pool (stdlib [Domain] + [Atomic] only): the
+    execution substrate of the parallel model checker and fuzzer.
+
+    Tasks are indices [0 .. count-1] drawn from one atomic counter,
+    so workers claim them in increasing order — which is what the
+    fuzzer's earliest-violating-batch cutoff relies on: every batch
+    below a claimed index has already been claimed by some worker. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()], at least 1 — the [--jobs]
+    default a CLI may offer. *)
+
+val run : jobs:int -> int -> (worker:int -> int -> unit) -> unit
+(** [run ~jobs count f] executes [f ~worker i] for every
+    [i < count]. With [jobs <= 1] (or [count <= 1]) everything runs
+    inline on the calling domain with [worker = 0] — no domain is
+    spawned. Otherwise [min jobs count] domains each loop on the
+    shared counter; [worker] is the domain's index (from 0), usable
+    to index per-worker accumulator slots. All domains are joined
+    before [run] returns, so workers' writes are published to the
+    caller. If any [f] raises, the pool stops claiming further tasks
+    and the first exception recorded (by wall-clock order, not task
+    index) is re-raised on the caller once every domain has joined.
+    Cooperative early exit (a violation found, a cutoff passed)
+    should instead use a halt flag consulted by [f] itself — tasks
+    then drain cheaply without tearing down the pool. *)

@@ -86,6 +86,7 @@ let schema_keys =
     "b6_model_check";
     "b7_fault_latency";
     "b8_fuzz";
+    "b9_parallel";
     "b4_micro";
     "run_metrics";
   ]

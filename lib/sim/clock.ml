@@ -1,17 +1,27 @@
 (* The single wall-clock source for every timing site in the
-   repository (runner, model checker, bench drivers).
+   repository (runner, model checker, fuzzer, bench drivers).
 
    [Unix.gettimeofday] can step backwards under NTP adjustment, which
    turned benchmark rows negative. There is no monotonic clock in the
    stdlib/unix surface we depend on, so we enforce monotonicity
    ourselves: [now] never returns a value smaller than one it has
-   already returned, and [elapsed] clamps at zero as a last resort. *)
+   already returned, and [elapsed] clamps at zero as a last resort.
 
-let last = ref neg_infinity
+   The high-water mark is an [Atomic] maintained by compare-and-set:
+   the parallel checker and fuzzer read the clock from more than one
+   domain, and a plain [ref] race could publish a stale maximum and
+   un-monotonize readings across domains. Timing discipline under
+   parallelism is coordinator-reads-only — [wall_seconds] is one
+   [elapsed] on the coordinating domain, never a per-domain sum — but
+   the clock itself must stay safe for any caller. *)
 
-let now () =
-  let t = Unix.gettimeofday () in
-  if t > !last then last := t;
-  !last
+let last = Atomic.make neg_infinity
 
+let rec note t =
+  let cur = Atomic.get last in
+  if t <= cur then cur
+  else if Atomic.compare_and_set last cur t then t
+  else note t
+
+let now () = note (Unix.gettimeofday ())
 let elapsed t0 = Float.max 0.0 (now () -. t0)

@@ -8,7 +8,14 @@
 val now : unit -> float
 (** The current time in seconds, monotonically nondecreasing across
     calls within a process: a backwards wall-clock step is absorbed
-    by returning the largest value seen so far. *)
+    by returning the largest value seen so far. The high-water mark
+    is maintained atomically, so readings stay monotonic across
+    domains too.
+
+    Discipline under parallelism: a [wall_seconds] metric is one
+    {!elapsed} read on the coordinating domain after workers join —
+    never a sum of per-domain spans, which would report CPU time
+    inflated by the job count instead of wall time. *)
 
 val elapsed : float -> float
 (** [elapsed t0] is [now () -. t0] clamped at [0.0]. [t0] should be a

@@ -187,6 +187,79 @@ let test_fuzz_json_deterministic () =
       Alcotest.(check string) "byte-identical JSON for identical seed"
         (read f1) (read f2))
 
+(* ---------------------------------------------------------------- *)
+(* --jobs: the parallel engines behind the same interface.
+
+   The contract the flag ships with: fuzz output (and its JSON file)
+   is byte-identical for any job count; mc agrees with the sequential
+   run on the verdict and the distinct-state count (its
+   interleaving-dependent counters may differ, so the comparison is
+   on the parsed figures, not the bytes). *)
+(* ---------------------------------------------------------------- *)
+
+let test_fuzz_jobs_json_identical () =
+  let file suffix =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "nuc_fuzz_jobs_%d_%s.json" (Unix.getpid ()) suffix)
+  in
+  let f1 = file "j1" and f4 = file "j4" in
+  let args jobs json =
+    [
+      "fuzz"; "--algo"; "naive-sn"; "-n"; "3"; "-t"; "1"; "--runs"; "100";
+      "--seed"; "1"; "--jobs"; jobs; "--json"; json;
+    ]
+  in
+  let read f =
+    let ic = open_in_bin f in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun f -> try Sys.remove f with Sys_error _ -> ()) [ f1; f4 ])
+    (fun () ->
+      let code1, _ = run_cli_status (args "1" f1) in
+      let code4, _ = run_cli_status (args "4" f4) in
+      Alcotest.(check int) "--jobs 1 exits 0" 0 code1;
+      Alcotest.(check int) "--jobs 4 exits 0" 0 code4;
+      Alcotest.(check string) "byte-identical JSON across job counts"
+        (read f1) (read f4))
+
+(* Pulls "<N> distinct states" out of the mc stats line. *)
+let distinct_states_of out =
+  let marker = " distinct states" in
+  let nh = String.length out and nm = String.length marker in
+  let rec find i =
+    if i + nm > nh then Alcotest.failf "no distinct-states figure in:\n%s" out
+    else if String.sub out i nm = marker then i
+    else find (i + 1)
+  in
+  let stop = find 0 in
+  let rec start i =
+    if i > 0 && (match out.[i - 1] with '0' .. '9' -> true | _ -> false)
+    then start (i - 1)
+    else i
+  in
+  let b = start stop in
+  int_of_string (String.sub out b (stop - b))
+
+let test_mc_jobs_equivalent () =
+  let args jobs =
+    [
+      "mc"; "--algo"; "naive-sn"; "-n"; "3"; "-t"; "1"; "--depth"; "9";
+      "--jobs"; jobs;
+    ]
+  in
+  let out1 = run_cli (args "1") in
+  let out2 = run_cli (args "2") in
+  Alcotest.(check bool) "sequential run exhausts" true
+    (contains out1 "exhausted: no violation");
+  Alcotest.(check bool) "parallel run reaches the same verdict" true
+    (contains out2 "exhausted: no violation");
+  Alcotest.(check int) "same distinct-state count"
+    (distinct_states_of out1) (distinct_states_of out2)
+
 let () =
   Alcotest.run "cli"
     [
@@ -215,5 +288,12 @@ let () =
             test_mc_uncertified_cx_exit;
           Alcotest.test_case "fuzz JSON byte-deterministic" `Quick
             test_fuzz_json_deterministic;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "fuzz --jobs JSON byte-identical" `Quick
+            test_fuzz_jobs_json_identical;
+          Alcotest.test_case "mc --jobs verdict equivalent" `Quick
+            test_mc_jobs_equivalent;
         ] );
     ]

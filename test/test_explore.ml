@@ -24,9 +24,9 @@ let stop =
   Ex.M.decided_stop ~decision:Consensus.Mr.With_quorum.decision
     ~scope:(Sim.Failure_pattern.correct pattern)
 
-let fuzz ?sampler ?swarm ?batch_size ?(shrink = true) ~seed ~runs () =
-  Ex.fuzz ~algo:"naive-sn" ?sampler ?swarm ?batch_size ~shrink ~max_steps
-    ~stop
+let fuzz ?sampler ?swarm ?batch_size ?(shrink = true) ?jobs ~seed ~runs () =
+  Ex.fuzz ~algo:"naive-sn" ?sampler ?swarm ?batch_size ~shrink ?jobs
+    ~max_steps ~stop
     ~decided:(fun st -> Consensus.Mr.With_quorum.decision st <> None)
     ~seed ~runs ~n ~menu ~pattern ~inputs:proposals ~props ()
 
@@ -42,6 +42,60 @@ let test_json_byte_deterministic () =
   Alcotest.(check string) "byte-identical JSON for identical seed"
     (Report.to_string (Ex.json_of_report r1))
     (Report.to_string (Ex.json_of_report r2))
+
+(* Parallel batch sharding must not move a byte: the report is
+   deterministic in the arguments *including* [jobs] — per-batch
+   trackers merged in batch order replay the sequential tracker
+   exactly, and the earliest violating batch wins regardless of which
+   domain ran it. Pinned on both report shapes: a campaign that stops
+   at a violation (batch cutoff in play) and one that runs to
+   completion (full curve merge). *)
+let test_jobs_byte_identical_violation () =
+  let bytes ~jobs =
+    Report.to_string (Ex.json_of_report (fuzz ~jobs ~seed:1 ~runs:150 ()))
+  in
+  let base = bytes ~jobs:1 in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check string)
+        (Printf.sprintf "jobs=%d matches jobs=1 (violation case)" jobs)
+        base (bytes ~jobs))
+    [ 2; 4 ]
+
+let test_jobs_byte_identical_full_campaign () =
+  let run ~jobs =
+    Ex.fuzz ~algo:"naive-sn" ~batch_size:50 ~jobs ~max_steps ~stop
+      ~decided:(fun st -> Consensus.Mr.With_quorum.decision st <> None)
+      ~seed:4 ~runs:300 ~n ~menu ~pattern ~inputs:proposals ~props:[] ()
+  in
+  let bytes ~jobs = Report.to_string (Ex.json_of_report (run ~jobs)) in
+  let base = bytes ~jobs:1 in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check string)
+        (Printf.sprintf "jobs=%d matches jobs=1 (no-violation case)" jobs)
+        base (bytes ~jobs))
+    [ 2; 4 ]
+
+(* Swarm draws are per batch — exactly the sharding unit — so the
+   rotation must also be invariant under the job count. *)
+let test_jobs_byte_identical_swarm () =
+  let swarm =
+    {
+      Explore.sw_menus = [ menu; Mc.Menu.lossy ~n ~faulty () ];
+      sw_budgets = [ 0; 1 ];
+      sw_stabs = [ max_steps / 2; max_steps ];
+      sw_samplers = [ Explore.Uniform; Pct 2; Pct 3 ];
+    }
+  in
+  let run ~jobs =
+    Ex.fuzz ~algo:"naive-sn" ~swarm ~batch_size:20 ~jobs ~max_steps ~stop
+      ~decided:(fun st -> Consensus.Mr.With_quorum.decision st <> None)
+      ~seed:5 ~runs:200 ~n ~menu ~pattern ~inputs:proposals ~props:[] ()
+  in
+  let bytes ~jobs = Report.to_string (Ex.json_of_report (run ~jobs)) in
+  Alcotest.(check string) "jobs=3 matches jobs=1 (swarm case)"
+    (bytes ~jobs:1) (bytes ~jobs:3)
 
 (* Different seeds genuinely decorrelate the streams: the violating
    run index (or the coverage totals, when neither seed violates)
@@ -174,6 +228,12 @@ let () =
         [
           Alcotest.test_case "JSON byte-deterministic in the seed" `Quick
             test_json_byte_deterministic;
+          Alcotest.test_case "JSON byte-identical across jobs (violation)"
+            `Quick test_jobs_byte_identical_violation;
+          Alcotest.test_case "JSON byte-identical across jobs (full)" `Quick
+            test_jobs_byte_identical_full_campaign;
+          Alcotest.test_case "JSON byte-identical across jobs (swarm)" `Quick
+            test_jobs_byte_identical_swarm;
           Alcotest.test_case "seeds decorrelated" `Quick test_seeds_decorrelated;
           Alcotest.test_case "samplers sample differently" `Quick
             test_samplers_differ;

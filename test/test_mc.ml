@@ -396,6 +396,186 @@ let test_fuzz_shrink_confirmed_by_mc () =
         (List.length v.Ex_naive.v_shrunk <= List.length cx.M_naive.cx_moves))
 
 (* -------------------------------------------------------------- *)
+(* Parallel driver: sequential equivalence, interning, wall clock  *)
+(* -------------------------------------------------------------- *)
+
+(* The parallel driver ([run ~jobs]) must agree with the sequential
+   one on every order-independent observable: the verdict, the
+   distinct-state count, and the decided-leaf count — per menu
+   family, at a pinned depth. Interleaving-dependent counters
+   (transitions, dedup_hits, max_depth) may legitimately differ. *)
+let test_parallel_matches_sequential () =
+  let depth = 5 in
+  let pattern = pattern ~depth in
+  let props =
+    M_naive.consensus_props ~decision:Consensus.Mr.With_quorum.decision
+      ~proposals ~flavour:Consensus.Spec.Nonuniform ~pattern
+  in
+  let stop =
+    M_naive.decided_stop ~decision:Consensus.Mr.With_quorum.decision
+      ~scope:(Sim.Failure_pattern.correct pattern)
+  in
+  List.iter
+    (fun (menu : Mc.Menu.t) ->
+      let run ~jobs =
+        M_naive.run ~jobs ~n ~menu ~depth ~inputs:proposals ~props ~stop
+          ~max_drops:1 ()
+      in
+      let seq = run ~jobs:1 and par = run ~jobs:3 in
+      Alcotest.(check bool)
+        (menu.Mc.Menu.name ^ ": same verdict")
+        (Option.is_none seq.M_naive.violation)
+        (Option.is_none par.M_naive.violation);
+      Alcotest.(check int)
+        (menu.Mc.Menu.name ^ ": same distinct states")
+        seq.M_naive.stats.Mc.distinct_states
+        par.M_naive.stats.Mc.distinct_states;
+      Alcotest.(check int)
+        (menu.Mc.Menu.name ^ ": same decided leaves")
+        seq.M_naive.stats.Mc.decided_leaves
+        par.M_naive.stats.Mc.decided_leaves;
+      Alcotest.(check bool)
+        (menu.Mc.Menu.name ^ ": neither truncated")
+        false
+        (seq.M_naive.stats.Mc.truncated || par.M_naive.stats.Mc.truncated))
+    [
+      Mc.Menu.contamination ~n ~faulty ();
+      Mc.Menu.lossy ~n ~faulty ();
+      Mc.Menu.omega_sigma_nu ~n ~faulty;
+      Mc.Menu.omega_sigma ~n ~faulty;
+    ]
+
+(* The same contract for A_nuc under the plus family — the other
+   automaton the experiments drive in parallel. *)
+let test_parallel_matches_sequential_anuc () =
+  let depth = 6 in
+  let pattern = pattern ~depth in
+  let menu = Mc.Menu.contamination ~plus:true ~n ~faulty () in
+  let props =
+    M_anuc.consensus_props ~decision:Core.Anuc.decision ~proposals
+      ~flavour:Consensus.Spec.Nonuniform ~pattern
+  in
+  let stop =
+    M_anuc.decided_stop ~decision:Core.Anuc.decision
+      ~scope:(Sim.Failure_pattern.correct pattern)
+  in
+  let run ~jobs =
+    M_anuc.run ~jobs ~n ~menu ~depth ~inputs:proposals ~props ~stop ()
+  in
+  let seq = run ~jobs:1 and par = run ~jobs:4 in
+  Alcotest.(check bool) "same verdict"
+    (Option.is_none seq.M_anuc.violation)
+    (Option.is_none par.M_anuc.violation);
+  Alcotest.(check int) "same distinct states"
+    seq.M_anuc.stats.Mc.distinct_states par.M_anuc.stats.Mc.distinct_states;
+  Alcotest.(check int) "same decided leaves"
+    seq.M_anuc.stats.Mc.decided_leaves par.M_anuc.stats.Mc.decided_leaves
+
+(* A violation found by the parallel driver is a real one: at the
+   certified horizon the parallel run still convicts the naive
+   baseline of the same property, and its counterexample passes the
+   same independent replay certificate. (The *schedule* may differ
+   from the sequential one — first insertion wins — but the property
+   and the certificates may not.) *)
+let test_parallel_cx_certified () =
+  let depth = 32 in
+  let pattern = pattern ~depth in
+  let menu = Mc.Menu.contamination ~n ~faulty () in
+  let props =
+    M_naive.consensus_props ~decision:Consensus.Mr.With_quorum.decision
+      ~proposals ~flavour:Consensus.Spec.Nonuniform ~pattern
+  in
+  let stop =
+    M_naive.decided_stop ~decision:Consensus.Mr.With_quorum.decision
+      ~scope:(Sim.Failure_pattern.correct pattern)
+  in
+  let r =
+    M_naive.run ~jobs:4 ~n ~menu ~depth ~inputs:proposals ~props ~stop ()
+  in
+  match r.M_naive.violation with
+  | None -> Alcotest.fail "parallel run must find the Sec-6.3 violation"
+  | Some cx ->
+    Alcotest.(check string) "same property as the sequential verdict"
+      "nonuniform agreement" cx.M_naive.cx_property;
+    (match M_naive.replay_counterexample ~n ~inputs:proposals cx with
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "parallel counterexample must replay: %s" e);
+    (match
+       Mc.history_legal ~kind:Mc.Menu.Sigma_nu ~pattern cx.M_naive.cx_samples
+     with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "sampled history must be legal: %s" e)
+
+(* Hash-collision safety of the interned tables: [hash_param 150 600]
+   traverses at most 150 meaningful words, so int lists longer than
+   that differing only at the tail collide by construction. The
+   cached-hash equality must fall through to the structural backstop
+   and keep the keys distinct — in the single-domain table and in the
+   striped shared one. *)
+module L_key = struct
+  type t = int list
+
+  let equal = List.equal Int.equal
+end
+
+module L_tbl = Mc.Intern.Table (L_key)
+module L_striped = Mc.Intern.Striped (L_key)
+
+let test_hash_collision_not_conflated () =
+  let base = List.init 400 (fun i -> i) in
+  let a = base @ [ 1 ] and b = base @ [ 2 ] in
+  let hash = Hashtbl.hash_param 150 600 in
+  Alcotest.(check int) "the crafted collision is real" (hash a) (hash b);
+  Alcotest.(check bool) "the values are structurally distinct" false
+    (L_key.equal a b);
+  let h = Mc.Intern.hashed hash in
+  let t = L_tbl.create 16 in
+  L_tbl.add t (h a) "a";
+  L_tbl.add t (h b) "b";
+  Alcotest.(check int) "both keys live in the table" 2 (L_tbl.length t);
+  Alcotest.(check (option string)) "a retrievable" (Some "a")
+    (L_tbl.find_opt t (h a));
+  Alcotest.(check (option string)) "b retrievable" (Some "b")
+    (L_tbl.find_opt t (h b));
+  let st = L_striped.create ~stripes:4 16 in
+  let ida, fresh_a = L_striped.intern st (h a) (fun id -> id) in
+  let idb, fresh_b = L_striped.intern st (h b) (fun id -> id) in
+  Alcotest.(check bool) "a freshly interned" true fresh_a;
+  Alcotest.(check bool) "b freshly interned" true fresh_b;
+  Alcotest.(check bool) "distinct compact ids" true (ida <> idb);
+  Alcotest.(check int) "striped watermark counts both" 2
+    (L_striped.length st);
+  let ida', fresh_a' = L_striped.intern st (h a) (fun id -> id) in
+  Alcotest.(check bool) "re-intern is a hit" false fresh_a';
+  Alcotest.(check int) "re-intern returns the original id" ida ida'
+
+(* Wall-clock accounting under parallelism: [wall_seconds] is one
+   monotonic-clock read on the coordinating domain, never a sum of
+   per-domain spans. On a many-core host the jobs=4 run is faster; on
+   a single-core host it pays scheduling overhead — but a *summed*
+   accounting would report ~4x the sequential wall, which this bound
+   rejects on any host. *)
+let test_parallel_wall_not_summed () =
+  let depth = 8 in
+  let pattern = pattern ~depth in
+  let menu = Mc.Menu.contamination ~n ~faulty () in
+  let props =
+    M_naive.consensus_props ~decision:Consensus.Mr.With_quorum.decision
+      ~proposals ~flavour:Consensus.Spec.Nonuniform ~pattern
+  in
+  let run ~jobs =
+    M_naive.run ~jobs ~n ~menu ~depth ~inputs:proposals ~props ()
+  in
+  let w1 = (run ~jobs:1).M_naive.stats.Mc.wall_seconds in
+  let w4 = (run ~jobs:4).M_naive.stats.Mc.wall_seconds in
+  Alcotest.(check bool) "wall clocks are positive" true (w1 > 0. && w4 > 0.);
+  Alcotest.(check bool)
+    (Printf.sprintf "jobs=4 wall (%.3fs) is not a per-domain sum of the \
+                     jobs=1 wall (%.3fs)" w4 w1)
+    true
+    (w4 < (2. *. w1) +. 0.5)
+
+(* -------------------------------------------------------------- *)
 (* User invariants and stop states                                 *)
 (* -------------------------------------------------------------- *)
 
@@ -470,6 +650,19 @@ let () =
             test_toy_conservation_below_saturation;
           Alcotest.test_case "conservation inequality on real runs" `Quick
             test_real_run_conservation_inequality;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "jobs>1 matches sequential (naive, 4 menus)"
+            `Quick test_parallel_matches_sequential;
+          Alcotest.test_case "jobs>1 matches sequential (A_nuc)" `Quick
+            test_parallel_matches_sequential_anuc;
+          Alcotest.test_case "parallel counterexample certified" `Quick
+            test_parallel_cx_certified;
+          Alcotest.test_case "hash collisions not conflated" `Quick
+            test_hash_collision_not_conflated;
+          Alcotest.test_case "wall clock not summed across domains" `Quick
+            test_parallel_wall_not_summed;
         ] );
       ( "fuzz-cross-check",
         [

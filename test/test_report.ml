@@ -238,10 +238,54 @@ let test_schema_keys () =
       "b6_model_check";
       "b7_fault_latency";
       "b8_fuzz";
+      "b9_parallel";
       "b4_micro";
       "run_metrics";
     ]
     Report.schema_keys
+
+(* One b9_parallel row exactly as bench/main.ml emits it (keys and
+   value kinds pinned): the scaling table rides the same printer, so
+   a drift in the row shape shows up here before it shows up in a
+   consumer. *)
+let b9_row_doc =
+  Report.Obj
+    [
+      ("workload", Report.Str "mc A_nuc E_1(3) depth 9");
+      ("jobs", Report.Int 4);
+      ("wall_seconds", Report.Float 0.25);
+      ("throughput", Report.Float 120000.);
+      ("speedup", Report.Float 2.5);
+      ("sequential_equivalent", Report.Bool true);
+    ]
+
+let b9_golden =
+  "{\n\
+  \  \"workload\": \"mc A_nuc E_1(3) depth 9\",\n\
+  \  \"jobs\": 4,\n\
+  \  \"wall_seconds\": 0.25,\n\
+  \  \"throughput\": 120000,\n\
+  \  \"speedup\": 2.5,\n\
+  \  \"sequential_equivalent\": true\n\
+   }\n"
+
+let test_b9_row_golden () =
+  Alcotest.(check string)
+    "b9 row serialized form is pinned" b9_golden
+    (Report.to_string b9_row_doc);
+  match parse (Report.to_string b9_row_doc) with
+  | JObj kvs ->
+    Alcotest.(check (list string))
+      "b9 row keys"
+      [
+        "workload"; "jobs"; "wall_seconds"; "throughput"; "speedup";
+        "sequential_equivalent";
+      ]
+      (List.map fst kvs);
+    (match List.assoc "sequential_equivalent" kvs with
+    | JBool true -> ()
+    | _ -> Alcotest.fail "sequential_equivalent: not true")
+  | _ -> Alcotest.fail "b9 row must re-parse as an object"
 
 let () =
   Alcotest.run "report"
@@ -251,5 +295,6 @@ let () =
           Alcotest.test_case "golden form" `Quick test_golden_exact;
           Alcotest.test_case "re-parses" `Quick test_reparse;
           Alcotest.test_case "schema keys" `Quick test_schema_keys;
+          Alcotest.test_case "b9 row pinned" `Quick test_b9_row_golden;
         ] );
     ]

@@ -346,6 +346,20 @@ let json_of_b9_rows rows =
        rows)
 
 (* ---------------------------------------------------------------- *)
+(* B10: served replication throughput                                *)
+(* ---------------------------------------------------------------- *)
+
+let b10_serve ~smoke () =
+  hr "B10: closed-loop replicated-log serving (Smr over A_nuc), clients x \
+      batch, on the deterministic simulator and the concurrent executor — \
+      latencies are logical ticks; executor wall times on single-core \
+      containers include domain scheduling overhead";
+  pf "%s@." Experiments.b10_header;
+  let rows = Experiments.b10_serve_table ~quick:smoke () in
+  List.iter (fun r -> pf "%a@." Experiments.pp_b10_row r) rows;
+  rows
+
+(* ---------------------------------------------------------------- *)
 (* Substrate run metrics: one instrumented reference run             *)
 (* ---------------------------------------------------------------- *)
 
@@ -559,6 +573,7 @@ let () =
   let b7 = b7_fault_latency ~smoke () in
   let b8 = b8_fuzz ~smoke () in
   let b9 = b9_parallel ~smoke () in
+  let b10 = b10_serve ~smoke () in
   let metrics = run_metrics () in
   let b4 = b4_micro ~smoke () in
   match json_file with
@@ -579,6 +594,7 @@ let () =
         json_of_fault_rows b7;
         json_of_fuzz_rows b8;
         json_of_b9_rows b9;
+        Experiments.json_of_b10_rows b10;
         json_of_micro_rows b4;
         json_of_metrics metrics;
       ]

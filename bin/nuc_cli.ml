@@ -8,6 +8,7 @@
      scenario     the proof scenarios (contamination | separation)
      mc           exhaustive bounded model checking (lib/mc)
      fuzz         randomized schedule exploration (lib/explore)
+     serve        closed-loop replicated-log serving (lib/smr Load driver)
 
    Every subcommand that consumes randomness takes --seed (default 0,
    deterministic); mc and scenario are fully deterministic, and fuzz
@@ -588,6 +589,77 @@ let run_fuzz algo n t runs sampler_s swarm shrink seed delivery_s max_steps_opt
     exit 1
 
 (* ---------------------------------------------------------------- *)
+(* serve                                                             *)
+(* ---------------------------------------------------------------- *)
+
+(* Closed-loop clients over the replicated log: always one run on the
+   deterministic simulator (the replayable reference), plus one on the
+   concurrent executor when --jobs > 1. Exits 1 if any run shows
+   divergent live-replica logs or misses its slot target — the same
+   gate the serve-smoke CI job relies on. *)
+let run_serve n clients slots batch window pipeline compaction jobs seed
+    max_steps json =
+  if n < 2 then (
+    pf "serve: n must be >= 2@.";
+    exit 2);
+  if clients < 1 || slots < 1 then (
+    pf "serve: clients and slots must be >= 1@.";
+    exit 2);
+  let commands_per_client =
+    max 2 (((2 * batch * slots) + clients - 1) / clients)
+  in
+  let cfg =
+    {
+      Load.default with
+      n;
+      clients;
+      commands_per_client;
+      batch;
+      pipeline;
+      window;
+      retain = compaction;
+      horizon = max pipeline compaction;
+      target_slots = slots;
+      max_steps;
+      seed;
+      continuous_check = true;
+    }
+  in
+  pf "serve: n=%d clients=%d slots=%d batch=%d window=%d pipeline=%d \
+      compaction=%d seed=%d@."
+    n clients slots batch window pipeline compaction seed;
+  pf "%s@." Experiments.b10_header;
+  let sim_out = Load.run_sim cfg in
+  let rows = ref [ Experiments.b10_row ~substrate:"sim" cfg sim_out ] in
+  pf "%a@." Experiments.pp_b10_row (List.hd !rows);
+  let outcomes = ref [ sim_out ] in
+  if jobs > 1 then begin
+    let exec_out = Load.run_exec ~jobs cfg in
+    let row =
+      Experiments.b10_row
+        ~substrate:(Printf.sprintf "exec(j=%d)" jobs)
+        cfg exec_out
+    in
+    pf "%a@." Experiments.pp_b10_row row;
+    rows := !rows @ [ row ];
+    outcomes := !outcomes @ [ exec_out ]
+  end;
+  (match json with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    Report.to_channel oc
+      (Report.Obj [ ("b10_serve", Experiments.json_of_b10_rows !rows) ]);
+    close_out oc;
+    pf "wrote %s@." path);
+  let divergent = List.exists (fun o -> o.Load.o_divergent) !outcomes in
+  let unreached = List.exists (fun o -> not o.Load.o_reached) !outcomes in
+  if divergent then pf "FAILED: live replica logs diverged@.";
+  if unreached then
+    pf "FAILED: slot target not reached within --max-steps@.";
+  if divergent || unreached then exit 1
+
+(* ---------------------------------------------------------------- *)
 (* cmdliner plumbing                                                 *)
 (* ---------------------------------------------------------------- *)
 
@@ -911,6 +983,80 @@ let fuzz_cmd =
       $ seed_arg $ delivery $ max_steps $ max_drops $ batch $ family
       $ jobs_arg $ json)
 
+let serve_cmd =
+  let clients =
+    Arg.(
+      value & opt int 50
+      & info [ "clients" ] ~docv:"C"
+          ~doc:"Closed-loop clients, homed round-robin on the replicas.")
+  in
+  let slots =
+    Arg.(
+      value & opt int 200
+      & info [ "slots" ] ~docv:"S"
+          ~doc:"Stop once every correct replica has decided $(docv) slots.")
+  in
+  let batch =
+    Arg.(
+      value & opt int 1
+      & info [ "batch" ] ~docv:"B"
+          ~doc:"Commands packed per slot proposal (1-4).")
+  in
+  let window =
+    Arg.(
+      value & opt int 8
+      & info [ "window" ] ~docv:"W"
+          ~doc:"Per-replica in-flight command cap (the client window).")
+  in
+  let pipeline =
+    Arg.(
+      value & opt int 2
+      & info [ "pipeline" ] ~docv:"P"
+          ~doc:"Consensus instances kept open ahead of the first undecided \
+                slot.")
+  in
+  let compaction =
+    Arg.(
+      value & opt int 128
+      & info [ "compaction" ] ~docv:"K"
+          ~doc:
+            "Retention bound: applied-log slots kept before compaction, \
+             and the instance-retirement horizon.")
+  in
+  let serve_n =
+    Arg.(
+      value & opt int 4 & info [ "n" ] ~docv:"N" ~doc:"Number of replicas.")
+  in
+  let max_steps =
+    Arg.(
+      value & opt int 2_000_000
+      & info [ "max-steps" ] ~docv:"K" ~doc:"Step budget per run.")
+  in
+  let serve_jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"J"
+          ~doc:
+            "With $(docv) > 1, additionally run the workload on the \
+             concurrent executor with that many domains (the simulator \
+             reference always runs).")
+  in
+  let json =
+    Arg.(
+      value
+      & opt ~vopt:(Some "SERVE.json") (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the B10-shaped rows as JSON to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve a closed-loop client workload over the replicated log \
+          (state-machine replication on nonuniform consensus)")
+    Term.(
+      const run_serve $ serve_n $ clients $ slots $ batch $ window $ pipeline
+      $ compaction $ serve_jobs $ seed_arg $ max_steps $ json)
+
 let main_cmd =
   Cmd.group
     (Cmd.info "nuc_cli" ~version:"1.0.0"
@@ -925,6 +1071,7 @@ let main_cmd =
       ablation_cmd;
       mc_cmd;
       fuzz_cmd;
+      serve_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

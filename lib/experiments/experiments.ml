@@ -1712,3 +1712,113 @@ let b9_parallel_table ?(quick = false) () =
       rows
   in
   mc_rows @ fuzz_rows
+
+(* ---------------------------------------------------------------- *)
+(* B10: served replication throughput                                *)
+(* ---------------------------------------------------------------- *)
+
+type b10_row = {
+  b10_substrate : string;
+  b10_clients : int;
+  b10_batch : int;
+  b10_window : int;
+  b10_slots : int;
+  b10_ops : int;
+  b10_steps : int;
+  b10_wall : float;
+  b10_ops_per_sec : float;
+  b10_p50 : float;
+  b10_p99 : float;
+  b10_divergent : bool;
+}
+
+let b10_header =
+  Printf.sprintf "%-12s %7s %5s %6s %5s %6s %9s %8s %9s %8s %8s %5s"
+    "substrate" "clients" "batch" "window" "slots" "ops" "steps" "wall(s)"
+    "ops/s" "p50(tk)" "p99(tk)" "div"
+
+let pp_b10_row fmt r =
+  Format.fprintf fmt "%-12s %7d %5d %6d %5d %6d %9d %8.3f %9.0f %8.0f %8.0f %5b"
+    r.b10_substrate r.b10_clients r.b10_batch r.b10_window r.b10_slots
+    r.b10_ops r.b10_steps r.b10_wall r.b10_ops_per_sec r.b10_p50 r.b10_p99
+    r.b10_divergent
+
+let b10_row ~substrate cfg (o : Load.outcome) =
+  {
+    b10_substrate = substrate;
+    b10_clients = cfg.Load.clients;
+    b10_batch = cfg.Load.batch;
+    b10_window = cfg.Load.window;
+    b10_slots = o.Load.o_slots;
+    b10_ops = o.Load.o_ops;
+    b10_steps = o.Load.o_steps;
+    b10_wall = o.Load.o_wall;
+    b10_ops_per_sec = float_of_int o.Load.o_ops /. Float.max 1e-9 o.Load.o_wall;
+    b10_p50 = o.Load.o_p50;
+    b10_p99 = o.Load.o_p99;
+    b10_divergent = o.Load.o_divergent;
+  }
+
+(* Enough commands to feed [target_slots] full batches twice over, so
+   the closed loop never drains before the run stops. *)
+let b10_commands_per_client ~clients ~batch ~target_slots =
+  max 2 (((2 * batch * target_slots) + clients - 1) / clients)
+
+let b10_config ~clients ~batch ~target_slots ~max_steps =
+  {
+    Load.default with
+    n = 4;
+    clients;
+    commands_per_client =
+      b10_commands_per_client ~clients ~batch ~target_slots;
+    batch;
+    pipeline = 2;
+    window = 4 * batch;
+    retain = 128;
+    horizon = 64;
+    target_slots;
+    max_steps;
+    seed = 11;
+  }
+
+let b10_serve_table ?(quick = false) ?(jobs = 2) () =
+  let grid_clients = if quick then [ 16; 64 ] else [ 16; 64; 256 ] in
+  let batches = [ 1; 4 ] in
+  let target_slots = if quick then 40 else 120 in
+  let max_steps = if quick then 400_000 else 2_000_000 in
+  List.concat_map
+    (fun clients ->
+      List.concat_map
+        (fun batch ->
+          let cfg = b10_config ~clients ~batch ~target_slots ~max_steps in
+          let s = Load.run_sim cfg in
+          let e = Load.run_exec ~jobs cfg in
+          [
+            b10_row ~substrate:"sim" cfg s;
+            b10_row ~substrate:(Printf.sprintf "exec(j=%d)" jobs) cfg e;
+          ])
+        batches)
+    grid_clients
+
+(* Shared by bench/main.ml and [nuc_cli serve] so the two emitters of
+   the [b10_serve] key cannot drift apart. *)
+let json_of_b10_rows rows =
+  Report.List
+    (List.map
+       (fun r ->
+         Report.Obj
+           [
+             ("substrate", Report.Str r.b10_substrate);
+             ("clients", Report.Int r.b10_clients);
+             ("batch", Report.Int r.b10_batch);
+             ("window", Report.Int r.b10_window);
+             ("slots", Report.Int r.b10_slots);
+             ("ops", Report.Int r.b10_ops);
+             ("steps", Report.Int r.b10_steps);
+             ("wall_seconds", Report.Float r.b10_wall);
+             ("ops_per_sec", Report.Float r.b10_ops_per_sec);
+             ("p50_ticks", Report.Float r.b10_p50);
+             ("p99_ticks", Report.Float r.b10_p99);
+             ("divergent", Report.Bool r.b10_divergent);
+           ])
+       rows)

@@ -290,3 +290,41 @@ val b9_parallel_table : ?quick:bool -> unit -> b9_row list
     measurements of the host: on a single-core container the parallel
     rows report ~1x or below (domain scheduling overhead), which is
     the expected shape there, not a regression. *)
+
+type b10_row = {
+  b10_substrate : string;  (** ["sim"] or ["exec(j=<jobs>)"] *)
+  b10_clients : int;
+  b10_batch : int;
+  b10_window : int;  (** per-replica in-flight command cap *)
+  b10_slots : int;  (** slots decided at the reference replica *)
+  b10_ops : int;  (** commands applied at the reference replica *)
+  b10_steps : int;
+  b10_wall : float;
+  b10_ops_per_sec : float;
+  b10_p50 : float;  (** median slot-completion gap, logical ticks *)
+  b10_p99 : float;
+  b10_divergent : bool;  (** live-replica log divergence (must be false) *)
+}
+
+val pp_b10_row : Format.formatter -> b10_row -> unit
+
+val b10_header : string
+
+val b10_row : substrate:string -> Load.config -> Load.outcome -> b10_row
+(** One table row from one {!Load} run — exposed so [nuc_cli serve]
+    renders the same shape. *)
+
+val b10_serve_table : ?quick:bool -> ?jobs:int -> unit -> b10_row list
+(** B10: closed-loop replicated-log serving throughput over
+    [Smr.Make_tuned] on [A_nuc], client count x batch size, each
+    config run on both substrates — the deterministic {!Sim.Runner}
+    and the concurrent {!Sim.Executor} with [jobs] (default 2)
+    domains. Latencies are logical-tick slot-completion gaps at the
+    reference replica, so the sim rows are load-comparable even
+    though its wall-clock means nothing physical; executor wall times
+    on a single-core container include domain scheduling overhead,
+    the same caveat as B9. *)
+
+val json_of_b10_rows : b10_row list -> Report.t
+(** The [b10_serve] document fragment, shared by [bench --json] and
+    [nuc_cli serve --json]. *)

@@ -35,9 +35,10 @@ open Procset
 
 (* Submodules of the multicore engine, re-exported as part of the
    library interface: [Mc.Intern] (cached-hash interning tables, the
-   striped shared visited set) and [Mc.Pool] (the domain pool). *)
+   striped shared visited set) and [Mc.Pool] (the domain pool, which
+   lives in [Sim] so the concurrent executor can share it). *)
 module Intern = Intern
-module Pool = Pool
+module Pool = Sim.Pool
 
 (* ---------------------------------------------------------------- *)
 (* Failure-detector menus                                            *)

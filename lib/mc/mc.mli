@@ -18,7 +18,7 @@ module Intern : module type of Intern
     the hash for every later lookup; the striped variant is the
     parallel checker's shared visited set. *)
 
-module Pool : module type of Pool
+module Pool : module type of Sim.Pool
 (** The hand-rolled domain pool behind [run ~jobs] and the parallel
     fuzzer. *)
 

@@ -87,6 +87,7 @@ let schema_keys =
     "b7_fault_latency";
     "b8_fuzz";
     "b9_parallel";
+    "b10_serve";
     "b4_micro";
     "run_metrics";
   ]

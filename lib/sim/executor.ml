@@ -1,0 +1,68 @@
+module Make (A : Automaton.S) = struct
+  module T = Transport.Concurrent
+
+  type outcome = {
+    states : A.state array;
+    step_count : int;
+    final_time : int;
+    stopped_early : bool;
+    stats : Transport.stats;
+    wall_seconds : float;
+  }
+
+  let exec ?jobs ?(faults = Faults.none) ?(slice = 64) ?(lambda_every = 8)
+      ?(stop = fun _ _ -> false) ~pattern ~fd ~inputs ~max_steps () =
+    let jobs = match jobs with Some j -> max 1 j | None -> Pool.default_jobs () in
+    if slice < 1 then invalid_arg "Executor.exec: slice must be >= 1";
+    if lambda_every < 2 then
+      invalid_arg "Executor.exec: lambda_every must be >= 2";
+    let n = Failure_pattern.n pattern in
+    let net : A.message T.t = T.create ~who:A.name ~n ~faults () in
+    let states = Array.init n (fun p -> A.initial ~n ~self:p (inputs p)) in
+    let steps_done = Atomic.make 0 in
+    let wall_start = Clock.now () in
+    (* One slice of process [p] on whichever domain claimed it. Only
+       this domain touches [states.(p)] until the round's join, which
+       publishes the write before [stop] or the next round reads it. *)
+    let run_slice p =
+      let continue = ref true in
+      let k = ref 0 in
+      while !continue && !k < slice && Atomic.get steps_done < max_steps do
+        let t = T.tick net in
+        if Failure_pattern.crashed pattern p t then continue := false
+        else begin
+          let received =
+            if (!k + 1) mod lambda_every = 0 then None else T.recv net p
+          in
+          let d = fd p t in
+          let st, sends = A.step ~n ~self:p states.(p) received d in
+          states.(p) <- st;
+          T.send net ~src:p sends;
+          if received <> None then T.note_delivered net;
+          Atomic.incr steps_done;
+          incr k
+        end
+      done
+    in
+    let stopped = ref false in
+    let live = ref true in
+    while !live && (not !stopped) && Atomic.get steps_done < max_steps do
+      let before = Atomic.get steps_done in
+      Pool.run ~jobs n (fun ~worker:_ p ->
+          if not (Failure_pattern.crashed pattern p (T.now net)) then
+            run_slice p);
+      (* every live process makes progress each round (lambda steps
+         need no messages), so a zero-step round means everyone has
+         crashed — without this the loop would spin forever *)
+      if Atomic.get steps_done = before then live := false
+      else if stop (fun p -> states.(p)) (T.now net) then stopped := true
+    done;
+    {
+      states = Array.copy states;
+      step_count = Atomic.get steps_done;
+      final_time = T.now net;
+      stopped_early = !stopped;
+      stats = T.stats net;
+      wall_seconds = Clock.elapsed wall_start;
+    }
+end

@@ -1,0 +1,63 @@
+(** Running automata on real domains: the concurrent counterpart of
+    {!Runner.Make}.
+
+    [Executor.Make (A)] drives the {e same} deterministic automata as
+    the simulator, but over {!Transport.Concurrent} and a {!Pool} of
+    domains: each round, every live process is claimed by some worker
+    domain and stepped for a slice of consecutive steps; sends go
+    through mutex-guarded mailboxes; every step consumes one tick of a
+    global atomic clock, so times remain strictly increasing across
+    the whole system (though no longer one-step-per-tick: concurrent
+    steps own distinct ticks in an interleaving the OS chooses).
+
+    Determinism boundary (DESIGN.md §5e): per-message fault verdicts
+    are pure hashes of [(seed, src, dst, seq, time)] exactly as in the
+    simulator, so the fault {e mechanism} adds no nondeterminism of
+    its own — but [seq] and [time] depend on the interleaving, so a
+    seeded executor run is statistically, not bitwise, reproducible.
+    Safety properties must hold on every interleaving; replaying a
+    specific trace is the simulator's job.
+
+    The [stop] predicate is evaluated between rounds, after all
+    workers have joined — at that point every state in [states] is
+    published and safe to read. *)
+
+module Make (A : Automaton.S) : sig
+  type outcome = {
+    states : A.state array;  (** last state of each process *)
+    step_count : int;  (** total steps taken by all processes *)
+    final_time : int;  (** last value of the global clock *)
+    stopped_early : bool;  (** [stop] fired before [max_steps] *)
+    stats : Transport.stats;  (** transport traffic counters *)
+    wall_seconds : float;  (** wall-clock duration *)
+  }
+
+  val exec :
+    ?jobs:int ->
+    ?faults:Faults.t ->
+    ?slice:int ->
+    ?lambda_every:int ->
+    ?stop:((Procset.Pid.t -> A.state) -> int -> bool) ->
+    pattern:Failure_pattern.t ->
+    fd:(Procset.Pid.t -> int -> Fd_value.t) ->
+    inputs:(Procset.Pid.t -> A.input) ->
+    max_steps:int ->
+    unit ->
+    outcome
+  (** [exec ~pattern ~fd ~inputs ~max_steps ()] runs all processes
+      until [max_steps] total steps or until [stop states time] holds
+      at a round boundary.
+
+      [jobs] (default {!Pool.default_jobs}) is the domain count;
+      [jobs <= 1] runs every slice inline on the calling domain — a
+      sequential but still slice-interleaved schedule. [slice]
+      (default 64) is how many consecutive steps one process takes
+      per round; smaller slices interleave more finely at more
+      synchronization cost. [lambda_every] (default 8) forces every
+      k-th step of a slice to receive lambda even when messages are
+      pending, so a flooded process still takes the spontaneous steps
+      protocols need for timeouts and retransmissions. Crashed
+      processes ([pattern]) take no further steps from their crash
+      tick onward. [fd p t] must be safe to call from any domain
+      ({!Fd.Oracle} queries are pure, so oracles qualify). *)
+end

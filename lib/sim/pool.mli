@@ -1,5 +1,8 @@
 (** A hand-rolled domain pool (stdlib [Domain] + [Atomic] only): the
-    execution substrate of the parallel model checker and fuzzer.
+    execution substrate of the parallel model checker, the fuzzer and
+    the concurrent executor ({!Executor.Make}). It lives in [sim] so
+    both the verification layer ([mc], which re-exports it as
+    [Mc.Pool]) and the execution layer can share one pool.
 
     Tasks are indices [0 .. count-1] drawn from one atomic counter,
     so workers claim them in increasing order — which is what the

@@ -50,26 +50,21 @@ module Make (A : Automaton.S) = struct
 
   exception Script_error of string
 
-  (* Mutable execution context shared by the fair and scripted modes. *)
+  (* Mutable execution context shared by the fair and scripted modes.
+     The network itself — mailboxes, send sequencing, fault verdicts,
+     traffic counters, the clock — lives in [Transport.Simulated]; the
+     ctx keeps what is the scheduler's own: states, the trace, and
+     per-process step counters. *)
   type ctx = {
     n : int;
     c_pattern : Failure_pattern.t;
     c_faults : Faults.t;
     fd : Pid.t -> int -> Fd_value.t;
     states : A.state array;
-    buffers : A.message Envelope.t Mailbox.t array;
-        (* per-destination pending messages, oldest first *)
-    send_seq : int array; (* per-sender message counter *)
+    net : A.message Transport.Simulated.t;
     steps_of : int array; (* per-process step counter *)
-    mutable time : int;
     mutable rev_steps : recorded_step list;
     mutable step_count : int;
-    mutable msgs_sent : int;
-    mutable msgs_delivered : int;
-    mutable msgs_dropped : int;
-    mutable msgs_duplicated : int;
-    mutable msgs_reordered : int;
-    mutable hwm : int; (* mailbox depth high-water mark *)
     wall_start : float;
     record : bool;
   }
@@ -82,93 +77,50 @@ module Make (A : Automaton.S) = struct
       c_faults = faults;
       fd;
       states = Array.init n (fun p -> A.initial ~n ~self:p (inputs p));
-      buffers = Array.init n (fun _ -> Mailbox.create ());
-      send_seq = Array.make n 0;
+      net = Transport.Simulated.create ~who:A.name ~n ~faults ();
       steps_of = Array.make n 0;
-      time = 1;
       rev_steps = [];
       step_count = 0;
-      msgs_sent = 0;
-      msgs_delivered = 0;
-      msgs_dropped = 0;
-      msgs_duplicated = 0;
-      msgs_reordered = 0;
-      hwm = 0;
       wall_start = Clock.now ();
       record;
     }
 
-  let enqueue ctx ~src payloads =
-    List.iter
-      (fun (dst, payload) ->
-        if not (Pid.valid ~n:ctx.n dst) then
-          invalid_arg
-            (Printf.sprintf "%s: send to invalid pid %d" A.name dst);
-        let seq = ctx.send_seq.(src) in
-        ctx.send_seq.(src) <- seq + 1;
-        let env =
-          { Envelope.src; dst; seq; sent_at = ctx.time; payload }
-        in
-        ctx.msgs_sent <- ctx.msgs_sent + 1;
-        let v =
-          Faults.verdict ctx.c_faults ~src ~dst ~seq ~time:ctx.time
-        in
-        if v.Faults.copies = 0 then
-          ctx.msgs_dropped <- ctx.msgs_dropped + 1
-        else begin
-          let buf = ctx.buffers.(dst) in
-          let len = Mailbox.length buf in
-          let at = max 0 (len - v.Faults.displace) in
-          if at < len then begin
-            ctx.msgs_reordered <- ctx.msgs_reordered + 1;
-            Mailbox.insert_nth buf at env
-          end
-          else Mailbox.enqueue buf env;
-          if v.Faults.copies = 2 then begin
-            ctx.msgs_duplicated <- ctx.msgs_duplicated + 1;
-            Mailbox.enqueue buf env
-          end;
-          let depth = Mailbox.length buf in
-          if depth > ctx.hwm then ctx.hwm <- depth
-        end)
-      payloads
+  let time ctx = Transport.Simulated.now ctx.net
 
   (* Remove and return the first buffered message for [p] satisfying
      [pred], preserving the order of the others. *)
-  let take_matching ctx p pred = Mailbox.remove_first ctx.buffers.(p) pred
-  let take_nth ctx p i = Mailbox.remove_nth ctx.buffers.(p) i
+  let take_matching ctx p pred = Transport.Simulated.take_first ctx.net p pred
+  let take_nth ctx p i = Transport.Simulated.take_nth ctx.net p i
 
   (* One atomic step of process [p] receiving [received] at the current
      time. Advances the clock. *)
   let do_step ctx p received =
-    let d = ctx.fd p ctx.time in
+    let d = ctx.fd p (time ctx) in
     let state, sends = A.step ~n:ctx.n ~self:p ctx.states.(p) received d in
     ctx.states.(p) <- state;
-    enqueue ctx ~src:p sends;
-    if received <> None then
-      ctx.msgs_delivered <- ctx.msgs_delivered + 1;
+    Transport.Simulated.send ctx.net ~src:p sends;
+    if received <> None then Transport.Simulated.note_delivered ctx.net;
     if ctx.record then
       ctx.rev_steps <-
-        { time = ctx.time; pid = p; received; fd = d; state_after = state }
+        { time = time ctx; pid = p; received; fd = d; state_after = state }
         :: ctx.rev_steps;
     ctx.steps_of.(p) <- ctx.steps_of.(p) + 1;
     ctx.step_count <- ctx.step_count + 1;
-    ctx.time <- ctx.time + 1
+    Transport.Simulated.tick ctx.net
 
   let finish ctx ~stopped_early =
-    let undelivered =
-      Array.to_list ctx.buffers |> List.concat_map Mailbox.to_list
-    in
+    let undelivered = Transport.Simulated.undelivered ctx.net in
+    let s = Transport.Simulated.stats ctx.net in
     let metrics =
       {
         steps_per_process = Array.copy ctx.steps_of;
-        sent = ctx.msgs_sent;
-        delivered = ctx.msgs_delivered;
-        dropped = ctx.msgs_dropped;
-        duplicated = ctx.msgs_duplicated;
-        reordered = ctx.msgs_reordered;
+        sent = s.Transport.sent;
+        delivered = s.Transport.delivered;
+        dropped = s.Transport.dropped;
+        duplicated = s.Transport.duplicated;
+        reordered = s.Transport.reordered;
         undelivered_at_stop = List.length undelivered;
-        mailbox_hwm = ctx.hwm;
+        mailbox_hwm = s.Transport.mailbox_hwm;
         wall_seconds = Clock.elapsed ctx.wall_start;
       }
     in
@@ -178,7 +130,7 @@ module Make (A : Automaton.S) = struct
       states = Array.copy ctx.states;
       steps = Array.of_list (List.rev ctx.rev_steps);
       step_count = ctx.step_count;
-      messages_sent = ctx.msgs_sent;
+      messages_sent = s.Transport.sent;
       undelivered;
       stopped_early;
       metrics;
@@ -211,24 +163,24 @@ module Make (A : Automaton.S) = struct
           if
             (not !stopped)
             && ctx.step_count < max_steps
-            && not (Failure_pattern.crashed ctx.c_pattern p ctx.time)
+            && not (Failure_pattern.crashed ctx.c_pattern p (time ctx))
           then begin
             let received =
-              match Mailbox.peek_oldest ctx.buffers.(p) with
+              match Transport.Simulated.peek_oldest ctx.net p with
               | None -> None
               | Some oldest ->
-                if ctx.time - oldest.Envelope.sent_at >= max_msg_age then
-                  Mailbox.dequeue_oldest ctx.buffers.(p)
+                if time ctx - oldest.Envelope.sent_at >= max_msg_age then
+                  Transport.Simulated.recv ctx.net p
                 else if Random.State.float rng 1.0 < lambda_prob then None
                 else
                   Some (take_nth ctx p
                           (Random.State.int rng
-                             (Mailbox.length ctx.buffers.(p))))
+                             (Transport.Simulated.depth ctx.net p)))
             in
             do_step ctx p received
           end)
         order;
-      if stop states_accessor ctx.time then stopped := true
+      if stop states_accessor (time ctx) then stopped := true
     done;
     finish ctx ~stopped_early:!stopped
 
@@ -239,10 +191,10 @@ module Make (A : Automaton.S) = struct
       (fun { actor = p; choice } ->
         if not (Pid.valid ~n:ctx.n p) then
           raise (Script_error (Printf.sprintf "invalid actor pid %d" p));
-        if Failure_pattern.crashed ctx.c_pattern p ctx.time then
+        if Failure_pattern.crashed ctx.c_pattern p (time ctx) then
           raise
             (Script_error
-               (Printf.sprintf "actor p%d is crashed at time %d" p ctx.time));
+               (Printf.sprintf "actor p%d is crashed at time %d" p (time ctx)));
         let received =
           match choice with
           | Lambda -> None
@@ -253,7 +205,7 @@ module Make (A : Automaton.S) = struct
               raise
                 (Script_error
                    (Printf.sprintf "no pending message for p%d at time %d" p
-                      ctx.time)))
+                      (time ctx))))
           | Oldest_from src -> (
             match
               take_matching ctx p (fun e -> Pid.equal e.Envelope.src src)
@@ -264,7 +216,7 @@ module Make (A : Automaton.S) = struct
                 (Script_error
                    (Printf.sprintf
                       "no pending message from p%d for p%d at time %d" src p
-                      ctx.time)))
+                      (time ctx))))
           | Matching pred -> (
             match take_matching ctx p pred with
             | Some e -> Some e
@@ -274,7 +226,7 @@ module Make (A : Automaton.S) = struct
                    (Printf.sprintf
                       "no pending message matching predicate for p%d at \
                        time %d"
-                      p ctx.time)))
+                      p (time ctx))))
         in
         do_step ctx p received)
       script;
@@ -297,7 +249,7 @@ module Make (A : Automaton.S) = struct
           raise
             (Script_error
                (Printf.sprintf "no pending message for p%d at time %d" p
-                  ctx.time)))
+                  (time ctx))))
       | Some (Oldest_from src) -> (
         match take_matching ctx p (fun e -> Pid.equal e.Envelope.src src) with
         | Some e -> Some e
@@ -305,7 +257,7 @@ module Make (A : Automaton.S) = struct
           raise
             (Script_error
                (Printf.sprintf "no pending message from p%d for p%d at time %d"
-                  src p ctx.time)))
+                  src p (time ctx))))
       | Some (Matching pred) -> (
         match take_matching ctx p pred with
         | Some e -> Some e
@@ -314,22 +266,22 @@ module Make (A : Automaton.S) = struct
             (Script_error
                (Printf.sprintf
                   "no pending message matching predicate for p%d at time %d" p
-                  ctx.time)))
+                  (time ctx))))
       | None -> take_matching ctx p (fun _ -> true)
 
     let step ?choice ctx p =
       if not (Pid.valid ~n:ctx.n p) then
         raise (Script_error (Printf.sprintf "invalid actor pid %d" p));
-      if Failure_pattern.crashed ctx.c_pattern p ctx.time then
+      if Failure_pattern.crashed ctx.c_pattern p (time ctx) then
         raise
           (Script_error
-             (Printf.sprintf "actor p%d is crashed at time %d" p ctx.time));
+             (Printf.sprintf "actor p%d is crashed at time %d" p (time ctx)));
       let received = take_choice ctx p choice in
       do_step ctx p received
 
     let state ctx p = ctx.states.(p)
-    let time ctx = ctx.time
-    let pending ctx p = Mailbox.to_list ctx.buffers.(p)
+    let time = time
+    let pending ctx p = Transport.Simulated.pending ctx.net p
     let finish ctx = finish ctx ~stopped_early:false
   end
 

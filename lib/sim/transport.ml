@@ -1,0 +1,213 @@
+open Procset
+
+module type S = sig
+  type 'a t
+
+  val send : 'a t -> src:Pid.t -> (Pid.t * 'a) list -> unit
+  val recv : 'a t -> Pid.t -> 'a Envelope.t option
+  val now : 'a t -> int
+end
+
+type stats = {
+  sent : int;
+  dropped : int;
+  duplicated : int;
+  reordered : int;
+  delivered : int;
+  mailbox_hwm : int;
+}
+
+module Simulated = struct
+  type 'a t = {
+    s_n : int;
+    s_faults : Faults.t;
+    s_who : string;
+    buffers : 'a Envelope.t Mailbox.t array;
+        (* per-destination pending messages, oldest first *)
+    send_seq : int array; (* per-sender message counter *)
+    mutable s_time : int;
+    mutable s_sent : int;
+    mutable s_delivered : int;
+    mutable s_dropped : int;
+    mutable s_duplicated : int;
+    mutable s_reordered : int;
+    mutable s_hwm : int; (* mailbox depth high-water mark *)
+  }
+
+  let create ?(who = "sim") ~n ~faults () =
+    {
+      s_n = n;
+      s_faults = faults;
+      s_who = who;
+      buffers = Array.init n (fun _ -> Mailbox.create ());
+      send_seq = Array.make n 0;
+      s_time = 1;
+      s_sent = 0;
+      s_delivered = 0;
+      s_dropped = 0;
+      s_duplicated = 0;
+      s_reordered = 0;
+      s_hwm = 0;
+    }
+
+  let now t = t.s_time
+  let tick t = t.s_time <- t.s_time + 1
+  let n t = t.s_n
+
+  let send t ~src payloads =
+    List.iter
+      (fun (dst, payload) ->
+        if not (Pid.valid ~n:t.s_n dst) then
+          invalid_arg
+            (Printf.sprintf "%s: send to invalid pid %d" t.s_who dst);
+        let seq = t.send_seq.(src) in
+        t.send_seq.(src) <- seq + 1;
+        let env = { Envelope.src; dst; seq; sent_at = t.s_time; payload } in
+        t.s_sent <- t.s_sent + 1;
+        let v = Faults.verdict t.s_faults ~src ~dst ~seq ~time:t.s_time in
+        if v.Faults.copies = 0 then t.s_dropped <- t.s_dropped + 1
+        else begin
+          let buf = t.buffers.(dst) in
+          let len = Mailbox.length buf in
+          let at = max 0 (len - v.Faults.displace) in
+          if at < len then begin
+            t.s_reordered <- t.s_reordered + 1;
+            Mailbox.insert_nth buf at env
+          end
+          else Mailbox.enqueue buf env;
+          if v.Faults.copies = 2 then begin
+            t.s_duplicated <- t.s_duplicated + 1;
+            Mailbox.enqueue buf env
+          end;
+          let depth = Mailbox.length buf in
+          if depth > t.s_hwm then t.s_hwm <- depth
+        end)
+      payloads
+
+  let recv t p = Mailbox.dequeue_oldest t.buffers.(p)
+  let depth t p = Mailbox.length t.buffers.(p)
+  let peek_oldest t p = Mailbox.peek_oldest t.buffers.(p)
+  let take_nth t p i = Mailbox.remove_nth t.buffers.(p) i
+  let take_first t p pred = Mailbox.remove_first t.buffers.(p) pred
+  let note_delivered t = t.s_delivered <- t.s_delivered + 1
+  let pending t p = Mailbox.to_list t.buffers.(p)
+
+  let undelivered t =
+    Array.to_list t.buffers |> List.concat_map Mailbox.to_list
+
+  let stats t =
+    {
+      sent = t.s_sent;
+      dropped = t.s_dropped;
+      duplicated = t.s_duplicated;
+      reordered = t.s_reordered;
+      delivered = t.s_delivered;
+      mailbox_hwm = t.s_hwm;
+    }
+end
+
+module Concurrent = struct
+  type 'a t = {
+    c_n : int;
+    c_faults : Faults.t;
+    c_who : string;
+    locks : Mutex.t array;
+    boxes : 'a Envelope.t Mailbox.t array;
+    seqs : int Atomic.t array; (* per-sender message counter *)
+    time : int Atomic.t;
+    c_sent : int Atomic.t;
+    c_delivered : int Atomic.t;
+    c_dropped : int Atomic.t;
+    c_duplicated : int Atomic.t;
+    c_reordered : int Atomic.t;
+    c_hwm : int Atomic.t;
+  }
+
+  let create ?(who = "exec") ~n ~faults () =
+    {
+      c_n = n;
+      c_faults = faults;
+      c_who = who;
+      locks = Array.init n (fun _ -> Mutex.create ());
+      boxes = Array.init n (fun _ -> Mailbox.create ());
+      seqs = Array.init n (fun _ -> Atomic.make 0);
+      time = Atomic.make 0;
+      c_sent = Atomic.make 0;
+      c_delivered = Atomic.make 0;
+      c_dropped = Atomic.make 0;
+      c_duplicated = Atomic.make 0;
+      c_reordered = Atomic.make 0;
+      c_hwm = Atomic.make 0;
+    }
+
+  let now t = Atomic.get t.time
+  let tick t = Atomic.fetch_and_add t.time 1 + 1
+  let n t = t.c_n
+
+  let rec bump_max a v =
+    let cur = Atomic.get a in
+    if v > cur && not (Atomic.compare_and_set a cur v) then bump_max a v
+
+  let send t ~src payloads =
+    List.iter
+      (fun (dst, payload) ->
+        if not (Pid.valid ~n:t.c_n dst) then
+          invalid_arg
+            (Printf.sprintf "%s: send to invalid pid %d" t.c_who dst);
+        let seq = Atomic.fetch_and_add t.seqs.(src) 1 in
+        let time = Atomic.get t.time in
+        let env = { Envelope.src; dst; seq; sent_at = time; payload } in
+        Atomic.incr t.c_sent;
+        let v = Faults.verdict t.c_faults ~src ~dst ~seq ~time in
+        if v.Faults.copies = 0 then Atomic.incr t.c_dropped
+        else begin
+          let lock = t.locks.(dst) in
+          Mutex.lock lock;
+          Fun.protect
+            ~finally:(fun () -> Mutex.unlock lock)
+            (fun () ->
+              let buf = t.boxes.(dst) in
+              let len = Mailbox.length buf in
+              let at = max 0 (len - v.Faults.displace) in
+              if at < len then begin
+                Atomic.incr t.c_reordered;
+                Mailbox.insert_nth buf at env
+              end
+              else Mailbox.enqueue buf env;
+              if v.Faults.copies = 2 then begin
+                Atomic.incr t.c_duplicated;
+                Mailbox.enqueue buf env
+              end;
+              bump_max t.c_hwm (Mailbox.length buf))
+        end)
+      payloads
+
+  let recv t p =
+    let lock = t.locks.(p) in
+    Mutex.lock lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock lock)
+      (fun () -> Mailbox.dequeue_oldest t.boxes.(p))
+
+  let depth t p =
+    let lock = t.locks.(p) in
+    Mutex.lock lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock lock)
+      (fun () -> Mailbox.length t.boxes.(p))
+
+  let note_delivered t = Atomic.incr t.c_delivered
+
+  let undelivered t =
+    Array.to_list t.boxes |> List.concat_map Mailbox.to_list
+
+  let stats t =
+    {
+      sent = Atomic.get t.c_sent;
+      dropped = Atomic.get t.c_dropped;
+      duplicated = Atomic.get t.c_duplicated;
+      reordered = Atomic.get t.c_reordered;
+      delivered = Atomic.get t.c_delivered;
+      mailbox_hwm = Atomic.get t.c_hwm;
+    }
+end

@@ -1,0 +1,133 @@
+(** Message transports: the network under an automaton.
+
+    A transport owns the in-flight messages of a system of [n]
+    processes and the clock their send times are stamped with. The
+    core signature {!S} is deliberately small — [send], [recv], [now]
+    over {!Envelope.t} — because that is all an {!Automaton.S} step
+    loop needs; everything else (scheduling policy, fault injection
+    bookkeeping, trace recording) belongs to the loop driving it.
+
+    Two instances ship:
+
+    - {!Simulated} — the deterministic single-domain transport behind
+      {!Runner.Make}. It exposes, beyond {!S}, the surgical mailbox
+      operations (indexed removal, predicate removal, peeking) that
+      the fair scheduler's randomized delivery and the scripted mode's
+      adversarial delivery need. Every run over it is a pure function
+      of its arguments.
+    - {!Concurrent} — the multi-domain transport behind
+      {!Executor.Make}: per-destination mailboxes behind mutexes,
+      send/receive counters in atomics, and a global logical clock
+      advanced by {!Concurrent.tick}. Same fault semantics, real
+      parallelism, no determinism of interleaving (see DESIGN.md §5e
+      for the exact boundary).
+
+    Both instances apply {!Faults} verdicts at send time from the pure
+    hash of the message identity [(src, dst, seq, send time)] — never
+    from a shared RNG — so the fault layer itself cannot introduce
+    cross-domain nondeterminism beyond what the interleaving already
+    did to [seq] and the clock. *)
+
+(** The minimal transport interface an automaton step loop needs. *)
+module type S = sig
+  type 'a t
+
+  val send : 'a t -> src:Procset.Pid.t -> (Procset.Pid.t * 'a) list -> unit
+  (** Stamp, fault-filter and enqueue the payloads at their
+      destinations. @raise Invalid_argument on an out-of-range pid. *)
+
+  val recv : 'a t -> Procset.Pid.t -> 'a Envelope.t option
+  (** Remove and return the oldest pending message for the process,
+      [None] if its mailbox is empty. *)
+
+  val now : 'a t -> int
+  (** The transport's current logical time. *)
+end
+
+type stats = {
+  sent : int;  (** logical sends (before fault filtering) *)
+  dropped : int;  (** lost to drop faults or severed partition links *)
+  duplicated : int;  (** extra copies enqueued by duplication faults *)
+  reordered : int;  (** messages inserted ahead of queued ones *)
+  delivered : int;  (** receives acknowledged via [note_delivered] *)
+  mailbox_hwm : int;  (** deepest any single mailbox ever got *)
+}
+(** Counter snapshot, shared by both instances. The conservation law
+    [sent - dropped + duplicated = delivered + pending-at-stop] holds
+    whenever every delivery was acknowledged. *)
+
+(** The deterministic transport: single-domain, mutable, owned by one
+    scheduler loop. Time starts at 1 and advances only via {!tick}. *)
+module Simulated : sig
+  type 'a t
+
+  val create : ?who:string -> n:int -> faults:Faults.t -> unit -> 'a t
+  (** [who] names the automaton in error messages. *)
+
+  val send : 'a t -> src:Procset.Pid.t -> (Procset.Pid.t * 'a) list -> unit
+  val recv : 'a t -> Procset.Pid.t -> 'a Envelope.t option
+  val now : 'a t -> int
+
+  val tick : 'a t -> unit
+  (** Advance the clock by one. The runner calls this once per step. *)
+
+  val n : 'a t -> int
+
+  val depth : 'a t -> Procset.Pid.t -> int
+  (** Pending-message count for one process. O(1). *)
+
+  val peek_oldest : 'a t -> Procset.Pid.t -> 'a Envelope.t option
+  (** The oldest pending message, not removed. *)
+
+  val take_nth : 'a t -> Procset.Pid.t -> int -> 'a Envelope.t
+  (** Remove the pending message at FIFO index [k] (0 = oldest) — the
+      fair scheduler's randomized delivery.
+      @raise Invalid_argument if out of bounds. *)
+
+  val take_first :
+    'a t -> Procset.Pid.t -> ('a Envelope.t -> bool) -> 'a Envelope.t option
+  (** Remove the oldest pending message satisfying the predicate —
+      scripted/adversarial delivery. *)
+
+  val note_delivered : 'a t -> unit
+  (** Count one delivery (the loop, not [recv], decides what counts:
+      force-delivered, randomly chosen and scripted receives all do). *)
+
+  val pending : 'a t -> Procset.Pid.t -> 'a Envelope.t list
+  (** Snapshot of one mailbox, oldest first. *)
+
+  val undelivered : 'a t -> 'a Envelope.t list
+  (** Every pending message of every process. *)
+
+  val stats : 'a t -> stats
+end
+
+(** The concurrent transport: any domain may send to or receive for
+    any process. Time is a global atomic tick. *)
+module Concurrent : sig
+  type 'a t
+
+  val create : ?who:string -> n:int -> faults:Faults.t -> unit -> 'a t
+
+  val send : 'a t -> src:Procset.Pid.t -> (Procset.Pid.t * 'a) list -> unit
+  (** Safe from any domain. The per-sender sequence number is drawn
+      atomically; the destination mailbox is mutated under its own
+      mutex. Callers stepping one process from one domain at a time
+      (the executor's invariant) get per-sender FIFO [seq] order. *)
+
+  val recv : 'a t -> Procset.Pid.t -> 'a Envelope.t option
+  val now : 'a t -> int
+
+  val tick : 'a t -> int
+  (** Atomically advance the global clock and return the {e new} time
+      — each executor step owns a distinct tick. *)
+
+  val n : 'a t -> int
+  val depth : 'a t -> Procset.Pid.t -> int
+  val note_delivered : 'a t -> unit
+
+  val undelivered : 'a t -> 'a Envelope.t list
+  (** Call only when no other domain is active (after a join). *)
+
+  val stats : 'a t -> stats
+end

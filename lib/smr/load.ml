@@ -1,0 +1,262 @@
+open Procset
+
+type config = {
+  n : int;
+  clients : int;
+  commands_per_client : int;
+  batch : int;
+  pipeline : int;
+  window : int;
+  retain : int;
+  horizon : int;
+  target_slots : int;
+  max_steps : int;
+  seed : int;
+  faults : Sim.Faults.t;
+  crashes : (Pid.t * int) list;
+  continuous_check : bool;
+}
+
+let default =
+  {
+    n = 3;
+    clients = 100;
+    commands_per_client = 4;
+    batch = 1;
+    pipeline = 1;
+    window = 64;
+    retain = 128;
+    horizon = 64;
+    target_slots = 50;
+    max_steps = 1_000_000;
+    seed = 0;
+    faults = Sim.Faults.none;
+    crashes = [];
+    continuous_check = false;
+  }
+
+type outcome = {
+  o_reached : bool;
+  o_slots : int;
+  o_ops : int;
+  o_steps : int;
+  o_ticks : int;
+  o_wall : float;
+  o_p50 : float;
+  o_p99 : float;
+  o_divergent : bool;
+  o_max_open : int;
+  o_log : Consensus.Value.t list;
+  o_log_base : int;
+  o_sent : int;
+}
+
+let validate cfg =
+  if cfg.n < 2 then invalid_arg "Load: n must be >= 2";
+  if cfg.clients < 1 then invalid_arg "Load: clients must be >= 1";
+  if cfg.commands_per_client < 1 then
+    invalid_arg "Load: commands_per_client must be >= 1";
+  if cfg.target_slots < 1 then invalid_arg "Load: target_slots must be >= 1";
+  (* command values are 1 + k*clients + c, so the largest is exactly
+     clients * commands_per_client *)
+  if cfg.batch > 1 && cfg.clients * cfg.commands_per_client > Smr.Batch.max_command
+  then
+    invalid_arg
+      (Printf.sprintf
+         "Load: %d clients x %d commands exceeds Batch.max_command (%d); \
+          shrink the workload or use batch = 1"
+         cfg.clients cfg.commands_per_client Smr.Batch.max_command)
+
+(* Request rounds outer, clients (ascending) inner: the stream
+   interleaves one request per client per round, like a closed-loop
+   pool where every client keeps one request outstanding. *)
+let commands_for cfg p =
+  validate cfg;
+  let buf = ref [] in
+  for k = cfg.commands_per_client - 1 downto 0 do
+    for c = cfg.clients - 1 downto 0 do
+      if c mod cfg.n = p then buf := (1 + (k * cfg.clients) + c) :: !buf
+    done
+  done;
+  !buf
+
+let make_smr cfg : (module Smr.S) =
+  (module Smr.Make_tuned
+            (struct
+              let batch = cfg.batch
+              let pipeline = cfg.pipeline
+              let window = cfg.window
+              let retain = cfg.retain
+              let horizon = cfg.horizon
+            end)
+            (struct
+              include Core.Anuc
+
+              let decision = Core.Anuc.decision
+            end))
+
+module Driver (S : Smr.S) = struct
+  module R = Sim.Runner.Make (S)
+  module E = Sim.Executor.Make (S)
+
+  let rec drop k l =
+    if k = 0 then Some l
+    else match l with [] -> None | _ :: tl -> drop (k - 1) tl
+
+  let rec prefix_eq a b =
+    match (a, b) with
+    | [], _ | _, [] -> true
+    | x :: a, y :: b -> x = y && prefix_eq a b
+
+  (* Two replicas are consistent when their retained logs agree on the
+     overlap of their windows, aligned by compaction base, and their
+     digests agree whenever the bases coincide. Non-overlapping
+     windows are vacuously consistent: the slower replica has not yet
+     decided any slot the faster one still retains. *)
+  let consistent sa sb =
+    let base_a = S.log_base sa and base_b = S.log_base sb in
+    let digest_ok =
+      base_a <> base_b || S.snapshot_digest sa = S.snapshot_digest sb
+    in
+    let overlap_ok =
+      if base_a <= base_b then
+        match drop (base_b - base_a) (S.batches sa) with
+        | None -> true
+        | Some tail -> prefix_eq tail (S.batches sb)
+      else
+        match drop (base_a - base_b) (S.batches sb) with
+        | None -> true
+        | Some tail -> prefix_eq tail (S.batches sa)
+    in
+    digest_ok && overlap_ok
+
+  type tracker = {
+    comp : int array;  (* comp.(i) = tick when the i-th slot completed *)
+    mutable recorded : int;
+    mutable max_open : int;
+    mutable divergent : bool;
+    mutable last_t : int;
+  }
+
+  let check_pairwise tr st live =
+    let rec go = function
+      | [] -> ()
+      | p :: rest ->
+          List.iter
+            (fun q -> if not (consistent (st p) (st q)) then tr.divergent <- true)
+            rest;
+          go rest
+    in
+    go live
+
+  (* The stop predicate doubles as the run's observer: it records slot
+     completion times at the reference replica, the open-instance
+     high-water mark, and (optionally) pairwise consistency — both
+     substrates call it at round boundaries, where all states are
+     safely readable. *)
+  let observe cfg pattern tr st t =
+    tr.last_t <- max tr.last_t t;
+    let correct = Sim.Failure_pattern.correct pattern in
+    let live =
+      List.filter
+        (fun p -> not (Sim.Failure_pattern.crashed pattern p t))
+        (Pid.all ~n:cfg.n)
+    in
+    List.iter
+      (fun p -> tr.max_open <- max tr.max_open (S.open_instances (st p)))
+      live;
+    if cfg.continuous_check then check_pairwise tr st live;
+    let d = min (S.slots_decided (st (Pset.min_elt correct))) cfg.target_slots in
+    while tr.recorded < d do
+      tr.recorded <- tr.recorded + 1;
+      tr.comp.(tr.recorded) <- t
+    done;
+    Pset.for_all (fun p -> S.slots_decided (st p) >= cfg.target_slots) correct
+
+  let percentile gaps q =
+    let m = Array.length gaps in
+    if m = 0 then 0.
+    else
+      let rank = int_of_float (ceil (q *. float_of_int m)) - 1 in
+      float_of_int gaps.(max 0 (min (m - 1) rank))
+
+  let finish cfg ~pattern ~tr ~states ~steps ~ticks ~wall ~sent =
+    let correct = Sim.Failure_pattern.correct pattern in
+    let live = Pset.elements correct in
+    check_pairwise tr (fun p -> states.(p)) live;
+    let sref = states.(Pset.min_elt correct) in
+    let gaps =
+      Array.init tr.recorded (fun i -> tr.comp.(i + 1) - tr.comp.(i))
+    in
+    Array.sort compare gaps;
+    {
+      o_reached =
+        Pset.for_all
+          (fun p -> S.slots_decided states.(p) >= cfg.target_slots)
+          correct;
+      o_slots = S.slots_decided sref;
+      o_ops = S.commands_applied sref;
+      o_steps = steps;
+      o_ticks = max ticks tr.last_t;
+      o_wall = wall;
+      o_p50 = percentile gaps 0.50;
+      o_p99 = percentile gaps 0.99;
+      o_divergent = tr.divergent;
+      o_max_open = tr.max_open;
+      o_log = S.log sref;
+      o_log_base = S.log_base sref;
+      o_sent = sent;
+    }
+
+  let setup cfg =
+    let pattern = Sim.Failure_pattern.make ~n:cfg.n ~crashes:cfg.crashes in
+    let oracle =
+      Fd.Oracle.pair
+        (Fd.Oracle.omega ~seed:cfg.seed pattern)
+        (Fd.Oracle.sigma_nu_plus ~seed:cfg.seed pattern)
+    in
+    let tr =
+      {
+        comp = Array.make (cfg.target_slots + 1) 0;
+        recorded = 0;
+        max_open = 0;
+        divergent = false;
+        last_t = 0;
+      }
+    in
+    (pattern, oracle, tr)
+
+  let sim cfg =
+    let pattern, oracle, tr = setup cfg in
+    let run =
+      R.exec ~seed:cfg.seed ~faults:cfg.faults ~record:false
+        ~stop:(observe cfg pattern tr) ~pattern ~fd:oracle.Fd.Oracle.query
+        ~inputs:(commands_for cfg) ~max_steps:cfg.max_steps ()
+    in
+    finish cfg ~pattern ~tr ~states:run.R.states ~steps:run.R.step_count
+      ~ticks:run.R.step_count ~wall:run.R.metrics.Sim.Runner.wall_seconds
+      ~sent:run.R.messages_sent
+
+  let exec ~jobs cfg =
+    let pattern, oracle, tr = setup cfg in
+    let out =
+      E.exec ~jobs ~faults:cfg.faults ~stop:(observe cfg pattern tr) ~pattern
+        ~fd:oracle.Fd.Oracle.query ~inputs:(commands_for cfg)
+        ~max_steps:cfg.max_steps ()
+    in
+    finish cfg ~pattern ~tr ~states:out.E.states ~steps:out.E.step_count
+      ~ticks:out.E.final_time ~wall:out.E.wall_seconds
+      ~sent:out.E.stats.Sim.Transport.sent
+end
+
+let run_sim cfg =
+  validate cfg;
+  let (module S : Smr.S) = make_smr cfg in
+  let module D = Driver (S) in
+  D.sim cfg
+
+let run_exec ~jobs cfg =
+  validate cfg;
+  let (module S : Smr.S) = make_smr cfg in
+  let module D = Driver (S) in
+  D.exec ~jobs cfg

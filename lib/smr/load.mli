@@ -1,0 +1,82 @@
+(** Closed-loop client load over the replicated log.
+
+    Thousands of simulated clients, each homed on a replica, submit
+    fixed command streams; the replica's in-flight window ([window])
+    caps how many of its clients' commands may sit in undecided
+    proposals at once, which is exactly a closed-loop client pool
+    with that many outstanding requests. The same workload runs on
+    either substrate:
+
+    - {!run_sim} — the deterministic {!Sim.Runner} (seeded,
+      replayable, one step per tick);
+    - {!run_exec} — the concurrent {!Sim.Executor} over real domains
+      (wall-clock throughput, interleaving chosen by the OS).
+
+    Because an automaton's input is fixed at [initial], client
+    streams are preloaded into each replica's pending queue; a
+    command counts as {e submitted} when it leaves the queue for a
+    slot proposal, and {e applied} when its slot's decision is
+    harvested. Decision latency is measured at the reference replica
+    (the smallest correct pid) as the gap, in logical ticks, between
+    consecutive slot completions. *)
+
+type config = {
+  n : int;  (** replicas *)
+  clients : int;  (** simulated clients, homed round-robin *)
+  commands_per_client : int;  (** length of each client's stream *)
+  batch : int;  (** commands packed per slot (see {!Smr.TUNING}) *)
+  pipeline : int;  (** consensus instances open ahead *)
+  window : int;  (** per-replica in-flight command cap *)
+  retain : int;  (** applied-log slots kept before compaction *)
+  horizon : int;  (** instance retirement depth *)
+  target_slots : int;  (** stop once every correct replica decided this many *)
+  max_steps : int;  (** step budget *)
+  seed : int;  (** scheduler / oracle / fault seed *)
+  faults : Sim.Faults.t;
+  crashes : (Procset.Pid.t * int) list;
+  continuous_check : bool;
+      (** check pairwise live-log consistency at every round boundary
+          (not just at the end) — O(n² · retained) per round, meant
+          for tests, not throughput measurement *)
+}
+
+val default : config
+(** [n 3; clients 100; commands_per_client 4; batch 1; pipeline 1;
+    window 64; retain 128; horizon 64; target_slots 50;
+    max_steps 1_000_000; seed 0; no faults; no crashes;
+    no continuous check]. *)
+
+type outcome = {
+  o_reached : bool;  (** every correct replica hit [target_slots] *)
+  o_slots : int;  (** slots decided at the reference replica *)
+  o_ops : int;  (** commands applied at the reference replica *)
+  o_steps : int;  (** total steps taken *)
+  o_ticks : int;  (** final logical time *)
+  o_wall : float;  (** wall-clock seconds *)
+  o_p50 : float;  (** median slot-completion gap, logical ticks *)
+  o_p99 : float;  (** 99th-percentile slot-completion gap *)
+  o_divergent : bool;
+      (** some pair of live replicas had inconsistent logs — with
+          [continuous_check], at any observed round; always also
+          checked on the final states *)
+  o_max_open : int;  (** high-water mark of open consensus instances *)
+  o_log : Consensus.Value.t list;  (** reference replica's retained log *)
+  o_log_base : int;  (** its compaction base *)
+  o_sent : int;  (** transport-level messages sent *)
+}
+
+val commands_for : config -> Procset.Pid.t -> Consensus.Value.t list
+(** The command stream preloaded at one replica: its clients' streams
+    interleaved round-robin, one request per client per round. Values
+    are unique across the whole workload (and within
+    [Smr.Batch.max_command] when [batch > 1]).
+    @raise Invalid_argument if the workload cannot be encoded. *)
+
+val run_sim : config -> outcome
+(** The workload under the deterministic simulator. Pure function of
+    the config. *)
+
+val run_exec : jobs:int -> config -> outcome
+(** The workload under the concurrent executor with [jobs] domains.
+    Safety observables ([o_divergent]) hold on every interleaving;
+    throughput and latency vary run to run. *)

@@ -1,9 +1,68 @@
 let noop : Consensus.Value.t = -1
 
+module Batch = struct
+  let bits = 14
+  let max_command = (1 lsl bits) - 1
+  let max_len = 4
+
+  (* [len] in the top bits, then the commands: a batch of k commands
+     occupies 14k + ceil(log2 max_len) bits, well inside a 63-bit
+     int. The empty batch is [noop]. *)
+  let encode = function
+    | [] -> noop
+    | cmds ->
+      let len = List.length cmds in
+      if len > max_len then
+        invalid_arg
+          (Printf.sprintf "Smr.Batch.encode: %d commands > max %d" len
+             max_len);
+      List.fold_left
+        (fun acc c ->
+          if c < 0 || c > max_command then
+            invalid_arg
+              (Printf.sprintf
+                 "Smr.Batch.encode: command %d outside [0, %d]" c
+                 max_command);
+          (acc lsl bits) lor c)
+        len cmds
+
+  let decode v =
+    if Consensus.Value.equal v noop then []
+    else begin
+      (* the length field of the true k sits exactly at bit 14k; for
+         any smaller shift the quotient still contains command bits
+         and exceeds [max_len], so the ascending scan is unambiguous *)
+      let rec find_len k =
+        if k > max_len then
+          invalid_arg (Printf.sprintf "Smr.Batch.decode: %d is not a batch" v)
+        else if v lsr (bits * k) = k then k
+        else find_len (k + 1)
+      in
+      let k = find_len 1 in
+      List.init k (fun i -> (v lsr (bits * (k - 1 - i))) land max_command)
+    end
+end
+
 module type CONSENSUS = sig
   include Sim.Automaton.S with type input = Consensus.Value.t
 
   val decision : state -> Consensus.Value.t option
+end
+
+module type TUNING = sig
+  val batch : int
+  val pipeline : int
+  val window : int
+  val retain : int
+  val horizon : int
+end
+
+module Defaults : TUNING = struct
+  let batch = 1
+  let pipeline = 1
+  let window = max_int
+  let retain = max_int
+  let horizon = 64
 end
 
 module type S = sig
@@ -15,114 +74,428 @@ module type S = sig
        and type message := message
 
   val log : state -> Consensus.Value.t list
+  val batches : state -> Consensus.Value.t list list
+  val log_base : state -> int
+  val snapshot_digest : state -> int
   val slots_decided : state -> int
+  val commands_applied : state -> int
   val current_slot : state -> int
+  val open_instances : state -> int
+  val pending_len : state -> int
   val pp_message : Format.formatter -> message -> unit
   val equal_message : message -> message -> bool
 end
 
-module Make (C : CONSENSUS) : S = struct
+module Make_tuned (T : TUNING) (C : CONSENSUS) : S = struct
   module Imap = Map.Make (Int)
+  module Vset = Set.Make (Int)
 
-  type message = { slot : int; inner : C.message }
+  let () =
+    if T.batch < 1 || T.batch > Batch.max_len then
+      invalid_arg
+        (Printf.sprintf "Smr: batch must be in [1, %d]" Batch.max_len);
+    if T.pipeline < 1 then invalid_arg "Smr: pipeline must be >= 1";
+    if T.window < 1 then invalid_arg "Smr: window must be >= 1";
+    if T.retain < 1 then invalid_arg "Smr: retain must be >= 1";
+    (* instances for the whole pipeline window must be admissible:
+       a peer's messages for slot [st.slot + pipeline - 1] arrive
+       while we may still be at [st.slot] *)
+    if T.horizon < T.pipeline then
+      invalid_arg "Smr: horizon must be >= pipeline"
+
+  type message =
+    | Slot of { slot : int; inner : C.message }
+    | Forward of Consensus.Value.t list
+        (** a non-leader routing pending commands to the leader *)
+
   type input = Consensus.Value.t list
 
   type state = {
-    commands : Consensus.Value.t list;  (** pending command queue *)
-    instances : C.state Imap.t;  (** per-slot consensus states *)
-    applied : Consensus.Value.t list;  (** decided prefix, newest first *)
-    slot : int;  (** the slot this replica currently runs *)
-    rotate : int;  (** round-robin cursor over older instances *)
+    (* the pending-command queue: an amortized-O(1) two-list FIFO.
+       Fixes the [List.nth_opt commands slot] bug — commands are
+       dequeued when proposed and re-queued at the front when a
+       competing proposal wins their slot, so nothing is lost and
+       nothing is silently re-proposed by position. *)
+    pending_f : Consensus.Value.t list; (* front, oldest first *)
+    pending_b : Consensus.Value.t list; (* back, newest first *)
+    pending_n : int;
+    pending_set : Vset.t; (* values pending or in flight (dedup gate) *)
+    inflight : Consensus.Value.t list Imap.t; (* slot -> our proposal *)
+    inflight_n : int; (* total commands across [inflight] *)
+    instances : C.state Imap.t; (* per-slot consensus states *)
+    (* the retained applied suffix, as an amortized-O(1) functional
+       queue of per-slot batches; slots below [base] are compacted
+       into [digest] *)
+    app_f : Consensus.Value.t list list; (* oldest first *)
+    app_b : Consensus.Value.t list list; (* newest first *)
+    app_n : int; (* retained batch (slot) count *)
+    applied_set : Vset.t; (* non-noop values in the retained suffix *)
+    decided_count : int; (* slots decided locally; survives compaction *)
+    applied_cmds : int; (* non-noop commands applied; survives compaction *)
+    base : int; (* first retained slot *)
+    digest : int; (* rolling digest of the compacted prefix *)
+    slot : int; (* first undecided slot *)
+    rotate : int; (* round-robin cursor over open instances *)
+    fwd_slot : int; (* slot at the last leader forward *)
+    fwd_leader : Procset.Pid.t; (* addressee of the last forward *)
   }
 
   let name = "SMR(" ^ C.name ^ ")"
 
-  (* A replica's proposal for a slot: its next pending command. The
-     queue is indexed by slot so that a command is not lost when a
-     competing proposal wins a slot — it is simply proposed again for
-     the next one in a real system; here, keeping the mapping
-     deterministic (slot s gets command s) is enough for the
-     experiments and keeps validity easy to state. *)
-  let proposal_for st s =
-    match List.nth_opt st.commands s with Some c -> c | None -> noop
+  let encode_batch cmds =
+    if T.batch = 1 then match cmds with [] -> noop | [ c ] -> c | _ -> assert false
+    else Batch.encode cmds
+
+  let decode_batch v =
+    if T.batch = 1 then (if Consensus.Value.equal v noop then [] else [ v ])
+    else Batch.decode v
 
   let initial ~n:_ ~self:_ commands =
-    { commands; instances = Imap.empty; applied = []; slot = 0; rotate = 0 }
+    {
+      pending_f = commands;
+      pending_b = [];
+      pending_n = List.length commands;
+      pending_set =
+        List.fold_left (fun s c -> Vset.add c s) Vset.empty commands;
+      inflight = Imap.empty;
+      inflight_n = 0;
+      instances = Imap.empty;
+      app_f = [];
+      app_b = [];
+      app_n = 0;
+      applied_set = Vset.empty;
+      decided_count = 0;
+      applied_cmds = 0;
+      base = 0;
+      digest = 0;
+      slot = 0;
+      rotate = 0;
+      fwd_slot = -1;
+      fwd_leader = -1;
+    }
 
-  let instance ~n ~self st s =
-    match Imap.find_opt s st.instances with
-    | Some inst -> inst
-    | None -> C.initial ~n ~self (proposal_for st s)
+  (* ---------------- pending-queue primitives ---------------- *)
 
-  (* Step the consensus instance of slot [s] with the given delivery,
-     tagging its sends. *)
+  let pending_push_back st c =
+    {
+      st with
+      pending_b = c :: st.pending_b;
+      pending_n = st.pending_n + 1;
+      pending_set = Vset.add c st.pending_set;
+    }
+
+  (* re-queue lost commands ahead of everything else, preserving their
+     order; their values are already members of [pending_set] *)
+  let pending_push_front_list st cs =
+    {
+      st with
+      pending_f = cs @ st.pending_f;
+      pending_n = st.pending_n + List.length cs;
+    }
+
+  let rec pending_pop st =
+    match st.pending_f with
+    | c :: rest ->
+      Some (c, { st with pending_f = rest; pending_n = st.pending_n - 1 })
+    | [] -> (
+      match st.pending_b with
+      | [] -> None
+      | b -> pending_pop { st with pending_f = List.rev b; pending_b = [] })
+
+  let normalize st =
+    if st.pending_f = [] && st.pending_b <> [] then
+      { st with pending_f = List.rev st.pending_b; pending_b = [] }
+    else st
+
+  (* Dequeue the next proposal batch: up to [T.batch] commands, capped
+     by the in-flight window. Values already applied (they reached the
+     log through another replica's slot) are discarded on the way. *)
+  let take_batch st =
+    let budget = min T.batch (T.window - st.inflight_n) in
+    let rec take acc k st =
+      if k = 0 then (List.rev acc, st)
+      else
+        match pending_pop st with
+        | None -> (List.rev acc, st)
+        | Some (c, st') ->
+          if Vset.mem c st'.applied_set then
+            take acc k
+              { st' with pending_set = Vset.remove c st'.pending_set }
+          else take (c :: acc) (k - 1) st'
+    in
+    if budget <= 0 then ([], st) else take [] budget st
+
+  (* ---------------- instance management ---------------- *)
+
+  let retire_floor st = max 0 (st.slot - T.horizon)
+
+  let ensure ~n ~self st s =
+    if Imap.mem s st.instances then st
+    else begin
+      let batch, st = take_batch st in
+      let inst = C.initial ~n ~self (encode_batch batch) in
+      let st =
+        if batch = [] then st
+        else
+          {
+            st with
+            inflight = Imap.add s batch st.inflight;
+            inflight_n = st.inflight_n + List.length batch;
+          }
+      in
+      { st with instances = Imap.add s inst st.instances }
+    end
+
   let step_instance ~n ~self st s received d =
-    let inst = instance ~n ~self st s in
+    let st = ensure ~n ~self st s in
+    let inst = Imap.find s st.instances in
     let inst, sends = C.step ~n ~self inst received d in
     let st = { st with instances = Imap.add s inst st.instances } in
-    let sends =
-      List.map (fun (dst, inner) -> (dst, { slot = s; inner })) sends
-    in
-    (st, sends)
+    ( st,
+      List.map (fun (dst, inner) -> (dst, Slot { slot = s; inner })) sends )
 
-  (* Advance the applied prefix: append decisions of consecutive slots
-     starting at [st.slot]. *)
-  let rec harvest ~n ~self st =
+  (* ---------------- harvest / compaction / retirement ---------------- *)
+
+  let mix h c = (h * 1000003) lxor c
+
+  let apply_decided st v =
+    let decided = decode_batch v in
+    (* exactly-once application: a value already in the retained
+       suffix is filtered out. Decisions are agreed and every replica
+       runs the same tuning, so the filter is identical everywhere
+       and live logs stay consistent. *)
+    let fresh =
+      List.filter (fun c -> not (Vset.mem c st.applied_set)) decided
+    in
+    let stored = if fresh = [] then [ noop ] else fresh in
+    let st =
+      {
+        st with
+        app_b = stored :: st.app_b;
+        app_n = st.app_n + 1;
+        applied_set =
+          List.fold_left (fun s c -> Vset.add c s) st.applied_set fresh;
+        applied_cmds = st.applied_cmds + List.length fresh;
+      }
+    in
+    (* settle our own proposal for this slot: applied commands leave
+       the dedup gate, lost ones go back to the front of the queue *)
+    let st =
+      match Imap.find_opt st.slot st.inflight with
+      | None -> st
+      | Some mine ->
+        let st =
+          {
+            st with
+            inflight = Imap.remove st.slot st.inflight;
+            inflight_n = st.inflight_n - List.length mine;
+          }
+        in
+        let settled, lost =
+          List.partition (fun c -> Vset.mem c st.applied_set) mine
+        in
+        let st =
+          {
+            st with
+            pending_set =
+              List.fold_left
+                (fun s c -> Vset.remove c s)
+                st.pending_set settled;
+          }
+        in
+        pending_push_front_list st lost
+    in
+    { st with decided_count = st.decided_count + 1; slot = st.slot + 1 }
+
+  let rec compact st =
+    if st.app_n <= T.retain then st
+    else
+      match st.app_f with
+      | batch :: rest ->
+        compact
+          {
+            st with
+            app_f = rest;
+            app_n = st.app_n - 1;
+            base = st.base + 1;
+            digest = List.fold_left mix st.digest batch;
+            applied_set =
+              List.fold_left
+                (fun s c ->
+                  if Consensus.Value.equal c noop then s else Vset.remove c s)
+                st.applied_set batch;
+          }
+      | [] -> compact { st with app_f = List.rev st.app_b; app_b = [] }
+
+  (* Retire decided instances that fell below the horizon — without
+     this every instance ever opened stays in [instances] forever.
+     Only the slots that just crossed the floor are removed, so the
+     walk is O(slots advanced), not O(instances). *)
+  let retire ~from_slot st =
+    let old_floor = max 0 (from_slot - T.horizon) in
+    let new_floor = retire_floor st in
+    let rec drop s st =
+      if s >= new_floor then st
+      else drop (s + 1) { st with instances = Imap.remove s st.instances }
+    in
+    drop old_floor st
+
+  let rec harvest st =
     match Imap.find_opt st.slot st.instances with
     | None -> st
     | Some inst -> (
       match C.decision inst with
       | None -> st
-      | Some v ->
-        harvest ~n ~self
-          { st with applied = v :: st.applied; slot = st.slot + 1 })
+      | Some v -> harvest (apply_decided st v))
+
+  let harvest_and_gc st =
+    let from_slot = st.slot in
+    let st = harvest st in
+    if st.slot = from_slot then st else compact (retire ~from_slot st)
+
+  (* ---------------- scheduling within one host step ---------------- *)
+
+  (* Open (and announce) every missing instance of the pipeline
+     window [slot, slot + pipeline). *)
+  let open_window ~n ~self st d =
+    let rec go s st acc =
+      if s >= st.slot + T.pipeline then (st, List.concat (List.rev acc))
+      else if Imap.mem s st.instances then go (s + 1) st acc
+      else
+        let st, sends = step_instance ~n ~self st s None d in
+        go (s + 1) st (sends :: acc)
+    in
+    go st.slot st []
+
+  (* One lambda step for a rotating open instance other than the
+     current slot (which already gets every lambda delivery):
+     replicas that have decided a slot keep serving it (within the
+     horizon) so slower replicas can still assemble quorums for it,
+     and pipelined future instances keep making local progress. *)
+  let pump ~n ~self st d =
+    let m =
+      Imap.cardinal st.instances
+      - if Imap.mem st.slot st.instances then 1 else 0
+    in
+    if m = 0 then (st, [])
+    else begin
+      let idx = st.rotate mod m in
+      let st = { st with rotate = st.rotate + 1 } in
+      let s =
+        let i = ref idx and found = ref (-1) in
+        (try
+           Imap.iter
+             (fun k _ ->
+               if k <> st.slot then
+                 if !i = 0 then begin
+                   found := k;
+                   raise Exit
+                 end
+                 else decr i)
+             st.instances
+         with Exit -> ());
+        !found
+      in
+      if s < 0 then (st, []) else step_instance ~n ~self st s None d
+    end
+
+  let rec leader_of = function
+    | Sim.Fd_value.Leader l -> Some l
+    | Sim.Fd_value.Pair (a, b) -> (
+      match leader_of a with Some _ as r -> r | None -> leader_of b)
+    | _ -> None
+
+  (* Route pending commands to the leader: only the leader's proposals
+     win slots once the detector has stabilized, so a non-leader that
+     merely re-proposes its own commands would starve them forever.
+     Throttled to one forward per (slot, leader) — an unthrottled
+     forward on every lambda step floods the leader's mailbox faster
+     than it can drain it and starves the consensus traffic. *)
+  let forward ~self st d =
+    match leader_of d with
+    | Some l
+      when (not (Procset.Pid.equal l self))
+           && (st.slot > st.fwd_slot || not (Procset.Pid.equal l st.fwd_leader))
+      ->
+      let rec peek acc k = function
+        | [] -> List.rev acc
+        | _ when k = 0 -> List.rev acc
+        | c :: rest ->
+          if Vset.mem c st.applied_set then peek acc k rest
+          else peek (c :: acc) (k - 1) rest
+      in
+      let cmds = peek [] T.batch st.pending_f in
+      if cmds = [] then (st, [])
+      else ({ st with fwd_slot = st.slot; fwd_leader = l }, [ (l, Forward cmds) ])
+    | _ -> (st, [])
 
   let step ~n ~self st received d =
-    (* route the delivery to its instance; lambda goes to the current
-       slot's instance so it keeps making local progress *)
     let st, sends =
       match received with
-      | Some env ->
-        let { slot; inner } = env.Sim.Envelope.payload in
-        let inner_env = { env with Sim.Envelope.payload = inner } in
-        step_instance ~n ~self st slot (Some inner_env) d
-      | None -> step_instance ~n ~self st st.slot None d
+      | Some env -> (
+        match env.Sim.Envelope.payload with
+        | Forward cmds ->
+          let st =
+            List.fold_left
+              (fun st c ->
+                if Vset.mem c st.pending_set || Vset.mem c st.applied_set
+                then st
+                else pending_push_back st c)
+              st cmds
+          in
+          (st, [])
+        | Slot { slot; inner } ->
+          (* retired below the floor, refused above the join ceiling:
+             both bound [instances]; the sender's pump re-offers the
+             slot while it stays within its own horizon *)
+          if slot < retire_floor st || slot > st.slot + T.horizon then
+            (st, [])
+          else
+            let inner_env = { env with Sim.Envelope.payload = inner } in
+            step_instance ~n ~self st slot (Some inner_env) d)
+      | None ->
+        let st = normalize st in
+        let st, sends = step_instance ~n ~self st st.slot None d in
+        let st, fwd_sends = forward ~self st d in
+        (st, sends @ fwd_sends)
     in
-    let before = st.slot in
-    let st = harvest ~n ~self st in
-    (* a freshly opened slot must announce itself: give it one lambda
-       step so its instance broadcasts its first-round messages *)
-    let st, extra_sends =
-      if st.slot > before then step_instance ~n ~self st st.slot None d
-      else (st, [])
-    in
-    (* keep OLDER instances alive: a replica that has decided a slot
-       must keep serving it (its consensus instance keeps running, as
-       the model prescribes) or slower replicas would starve — so each
-       host step also gives one lambda step to a rotating previously
-       opened instance *)
-    let st, pump_sends =
-      if st.slot = 0 then (st, [])
-      else begin
-        let old_slot = st.rotate mod st.slot in
-        let st = { st with rotate = st.rotate + 1 } in
-        if Imap.mem old_slot st.instances then
-          step_instance ~n ~self st old_slot None d
-        else (st, [])
-      end
-    in
-    (st, sends @ extra_sends @ pump_sends)
+    let st = harvest_and_gc st in
+    let st, open_sends = open_window ~n ~self st d in
+    let st, pump_sends = pump ~n ~self st d in
+    (st, sends @ open_sends @ pump_sends)
 
-  let log st = List.rev st.applied
-  let slots_decided st = List.length st.applied
+  (* ---------------- observers ---------------- *)
+
+  let batches st = st.app_f @ List.rev st.app_b
+  let log st = List.concat (batches st)
+  let log_base st = st.base
+  let snapshot_digest st = st.digest
+  let slots_decided st = st.decided_count
+  let commands_applied st = st.applied_cmds
   let current_slot st = st.slot
+  let open_instances st = Imap.cardinal st.instances
+  let pending_len st = st.pending_n
 
-  let pp_message fmt (m : message) =
-    Format.fprintf fmt "[slot %d] %a" m.slot C.pp_message m.inner
+  let pp_message fmt = function
+    | Slot { slot; inner } ->
+      Format.fprintf fmt "[slot %d] %a" slot C.pp_message inner
+    | Forward cmds ->
+      Format.fprintf fmt "[forward %a]"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ",")
+           Format.pp_print_int)
+        cmds
 
-  let equal_message (a : message) (b : message) =
-    a.slot = b.slot && C.equal_message a.inner b.inner
+  let equal_message a b =
+    match a, b with
+    | Slot a, Slot b -> a.slot = b.slot && C.equal_message a.inner b.inner
+    | Forward a, Forward b -> (
+      try List.for_all2 Consensus.Value.equal a b
+      with Invalid_argument _ -> false)
+    | _ -> false
 end
+
+module Make (C : CONSENSUS) : S = Make_tuned (Defaults) (C)
 
 module Over_anuc : S = Make (struct
   include Core.Anuc

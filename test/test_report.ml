@@ -239,6 +239,7 @@ let test_schema_keys () =
       "b7_fault_latency";
       "b8_fuzz";
       "b9_parallel";
+      "b10_serve";
       "b4_micro";
       "run_metrics";
     ]
@@ -287,6 +288,61 @@ let test_b9_row_golden () =
     | _ -> Alcotest.fail "sequential_equivalent: not true")
   | _ -> Alcotest.fail "b9 row must re-parse as an object"
 
+(* One b10_serve row through the real emitter
+   (Experiments.json_of_b10_rows — shared by bench/main.ml and
+   nuc_cli serve), so the row shape both producers emit is pinned
+   byte for byte. *)
+let b10_row : Experiments.b10_row =
+  {
+    b10_substrate = "exec(j=2)";
+    b10_clients = 50;
+    b10_batch = 4;
+    b10_window = 16;
+    b10_slots = 200;
+    b10_ops = 780;
+    b10_steps = 410000;
+    b10_wall = 1.5;
+    b10_ops_per_sec = 520.;
+    b10_p50 = 96.;
+    b10_p99 = 2048.;
+    b10_divergent = false;
+  }
+
+let b10_golden =
+  "[\n\
+  \  {\n\
+  \    \"substrate\": \"exec(j=2)\",\n\
+  \    \"clients\": 50,\n\
+  \    \"batch\": 4,\n\
+  \    \"window\": 16,\n\
+  \    \"slots\": 200,\n\
+  \    \"ops\": 780,\n\
+  \    \"steps\": 410000,\n\
+  \    \"wall_seconds\": 1.5,\n\
+  \    \"ops_per_sec\": 520,\n\
+  \    \"p50_ticks\": 96,\n\
+  \    \"p99_ticks\": 2048,\n\
+  \    \"divergent\": false\n\
+  \  }\n\
+   ]\n"
+
+let test_b10_row_golden () =
+  let s = Report.to_string (Experiments.json_of_b10_rows [ b10_row ]) in
+  Alcotest.(check string) "b10 row serialized form is pinned" b10_golden s;
+  match parse s with
+  | JList [ JObj kvs ] ->
+    Alcotest.(check (list string))
+      "b10 row keys"
+      [
+        "substrate"; "clients"; "batch"; "window"; "slots"; "ops"; "steps";
+        "wall_seconds"; "ops_per_sec"; "p50_ticks"; "p99_ticks"; "divergent";
+      ]
+      (List.map fst kvs);
+    (match List.assoc "divergent" kvs with
+    | JBool false -> ()
+    | _ -> Alcotest.fail "divergent: not false")
+  | _ -> Alcotest.fail "b10 rows must re-parse as a one-object list"
+
 let () =
   Alcotest.run "report"
     [
@@ -296,5 +352,6 @@ let () =
           Alcotest.test_case "re-parses" `Quick test_reparse;
           Alcotest.test_case "schema keys" `Quick test_schema_keys;
           Alcotest.test_case "b9 row pinned" `Quick test_b9_row_golden;
+          Alcotest.test_case "b10 row pinned" `Quick test_b10_row_golden;
         ] );
     ]

@@ -1,0 +1,151 @@
+(* Tests for the closed-loop load driver: the same served workload on
+   the deterministic simulator and the concurrent executor. *)
+
+(* With a single client homed at the pivot (the stable Omega leader
+   from tick 1 in a failure-free run), batch = window = pipeline = 1,
+   the leader is the only replica with commands and its re-queue
+   discipline retries a lost command before submitting the next, so
+   the non-noop subsequence of every log is a prefix of the client's
+   stream, in submission order, on any interleaving. (Individual
+   slots still race: a non-leader's noop proposal can win a slot —
+   the leader adopts quorum-reported values — which costs a retry
+   slot but never reorders, loses, or duplicates a command.) Given
+   enough slots for the retries, both substrates therefore apply
+   exactly the same log prefix: the full stream. *)
+let deterministic_cfg =
+  {
+    Load.default with
+    n = 3;
+    clients = 1;
+    commands_per_client = 12;
+    batch = 1;
+    pipeline = 1;
+    window = 1;
+    target_slots = 32;
+    max_steps = 300_000;
+    seed = 3;
+  }
+
+let applied_commands (o : Load.outcome) =
+  List.filter (fun v -> not (Consensus.Value.equal v Smr.noop)) o.o_log
+
+let test_sim_exec_equivalence () =
+  let stream = Load.commands_for deterministic_cfg 0 in
+  Alcotest.(check (list int))
+    "workload is the client's stream"
+    (List.init 12 (fun i -> i + 1))
+    stream;
+  let s = Load.run_sim deterministic_cfg in
+  let e = Load.run_exec ~jobs:2 deterministic_cfg in
+  List.iter
+    (fun (name, (o : Load.outcome)) ->
+      Alcotest.(check bool) (name ^ " reached the target") true o.o_reached;
+      Alcotest.(check bool) (name ^ " not divergent") false o.o_divergent;
+      Alcotest.(check int) (name ^ " uncompacted") 0 o.o_log_base;
+      Alcotest.(check (list int))
+        (name ^ " applied exactly the submitted stream, in order")
+        stream (applied_commands o))
+    [ ("sim", s); ("exec", e) ]
+
+let test_sim_deterministic () =
+  (* the simulator side of the driver is a pure function of the
+     config — byte-equal observables across invocations *)
+  let a = Load.run_sim deterministic_cfg in
+  let b = Load.run_sim deterministic_cfg in
+  Alcotest.(check (list int)) "same log" a.Load.o_log b.Load.o_log;
+  Alcotest.(check int) "same steps" a.Load.o_steps b.Load.o_steps;
+  Alcotest.(check int) "same ticks" a.Load.o_ticks b.Load.o_ticks
+
+(* The paper's nonuniform guarantee at the served layer: under
+   injected crashes, no two live replicas' retained logs ever
+   disagree — checked pairwise at every round boundary
+   (continuous_check), on both substrates. *)
+let no_divergence_cfg =
+  {
+    Load.default with
+    n = 4;
+    clients = 12;
+    commands_per_client = 6;
+    batch = 2;
+    pipeline = 2;
+    window = 4;
+    retain = 8;
+    horizon = 16;
+    target_slots = 25;
+    max_steps = 400_000;
+    seed = 7;
+    crashes = [ (3, 400) ];
+    continuous_check = true;
+  }
+
+let test_no_divergence_under_crashes () =
+  List.iter
+    (fun seed ->
+      let cfg = { no_divergence_cfg with seed } in
+      let o = Load.run_sim cfg in
+      Alcotest.(check bool)
+        (Printf.sprintf "sim seed %d reached the target" seed)
+        true o.Load.o_reached;
+      Alcotest.(check bool)
+        (Printf.sprintf "sim seed %d never divergent" seed)
+        false o.Load.o_divergent)
+    [ 0; 1; 7 ]
+
+let test_no_divergence_executor () =
+  let o = Load.run_exec ~jobs:2 no_divergence_cfg in
+  (* liveness depends on the interleaving budget, but safety must
+     hold on every interleaving — divergence is the hard failure *)
+  Alcotest.(check bool) "exec never divergent" false o.Load.o_divergent;
+  Alcotest.(check bool) "exec made progress" true (o.Load.o_slots > 0)
+
+let test_executor_under_faults () =
+  (* lossy links on both substrates: a dropped message can stall an
+     instance for good (the consensus layer does not retransmit), so
+     this is a safety-only check — however far each run gets, live
+     logs never diverge *)
+  let cfg =
+    {
+      no_divergence_cfg with
+      faults = Sim.Faults.make ~drop:0.02 ~dup:0.02 ~reorder:2 ~seed:5 ();
+      crashes = [];
+      target_slots = 15;
+      max_steps = 150_000;
+    }
+  in
+  let s = Load.run_sim cfg in
+  Alcotest.(check bool) "sim under faults never divergent" false
+    s.Load.o_divergent;
+  let e = Load.run_exec ~jobs:2 cfg in
+  Alcotest.(check bool) "exec under faults never divergent" false
+    e.Load.o_divergent
+
+let test_instances_bounded () =
+  let o = Load.run_sim no_divergence_cfg in
+  let bound =
+    no_divergence_cfg.Load.horizon + no_divergence_cfg.Load.pipeline
+    + no_divergence_cfg.Load.n + 1
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "open instances bounded (%d <= %d)" o.Load.o_max_open
+       bound)
+    true
+    (o.Load.o_max_open <= bound)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "load-driver",
+        [
+          Alcotest.test_case "sim/exec equivalence" `Quick
+            test_sim_exec_equivalence;
+          Alcotest.test_case "sim determinism" `Quick test_sim_deterministic;
+          Alcotest.test_case "no divergence under crashes" `Quick
+            test_no_divergence_under_crashes;
+          Alcotest.test_case "executor no divergence" `Quick
+            test_no_divergence_executor;
+          Alcotest.test_case "executor under faults" `Slow
+            test_executor_under_faults;
+          Alcotest.test_case "bounded instances under load" `Quick
+            test_instances_bounded;
+        ] );
+    ]

@@ -57,20 +57,27 @@ let test_smr_no_crashes () =
   let pattern, run = run_smr ~target_slots:5 () in
   Alcotest.(check bool) "reached the slot target" true run.R.stopped_early;
   check_prefix_consistency ~pattern run;
-  (* every decided command was somebody's proposal for that slot *)
+  (* every decided command was submitted by somebody — the pending
+     queue decouples slot numbers from submission order (a command
+     lost to a competing proposal is re-queued for a later slot), so
+     membership in the union of the streams is the right validity
+     check, not positional agreement *)
+  let submitted v =
+    List.exists (fun p -> List.mem v (commands_of p)) (Pid.all ~n:4)
+  in
   let some_log = Smr.Over_anuc.log run.R.states.(0) in
   List.iteri
     (fun s v ->
-      let proposed =
-        Consensus.Value.equal v Smr.noop
-        || List.exists
-             (fun p -> List.nth_opt (commands_of p) s = Some v)
-             (Pid.all ~n:4)
-      in
       Alcotest.(check bool)
-        (Printf.sprintf "slot %d command %d was proposed" s v)
-        true proposed)
-    some_log
+        (Printf.sprintf "slot %d command %d was submitted" s v)
+        true
+        (Consensus.Value.equal v Smr.noop || submitted v))
+    some_log;
+  (* and nothing is applied twice *)
+  let applied = List.filter (fun v -> v <> Smr.noop) some_log in
+  Alcotest.(check int) "no duplicate application"
+    (List.length applied)
+    (List.length (List.sort_uniq compare applied))
 
 let test_smr_with_crashes () =
   let pattern, run =
@@ -103,7 +110,11 @@ let test_smr_seeds_sweep () =
     [ 0; 1; 2; 3 ]
 
 let test_smr_queue_exhaustion () =
-  (* replicas with a single pending command propose noop afterwards *)
+  (* each replica submits one command; every submitted command is
+     applied exactly once (losers of a slot are re-queued or
+     forwarded to the leader, where the old positional lookup
+     silently dropped them), and replication keeps deciding noops
+     past the exhausted queues *)
   let n = 3 in
   let pattern = Sim.Failure_pattern.failure_free ~n in
   let oracle =
@@ -111,26 +122,236 @@ let test_smr_queue_exhaustion () =
       (Fd.Oracle.omega ~stab_time:0 pattern)
       (Fd.Oracle.sigma_nu_plus ~stab_time:0 pattern)
   in
+  let target = 5 in
   let run =
     R.exec ~record:false ~pattern ~fd:oracle.Fd.Oracle.query
       ~inputs:(fun p -> [ 100 + p ])
       ~max_steps:30000
       ~stop:(fun st _ ->
         Pset.for_all
-          (fun p -> Smr.Over_anuc.slots_decided (st p) >= 3)
+          (fun p -> Smr.Over_anuc.slots_decided (st p) >= target)
           (Pset.full ~n))
       ()
   in
   Alcotest.(check bool) "kept deciding past the queue" true
     run.R.stopped_early;
-  let log = Smr.Over_anuc.log run.R.states.(0) in
-  List.iteri
-    (fun s v ->
-      if s >= 1 then
+  List.iter
+    (fun p ->
+      let log = Smr.Over_anuc.log run.R.states.(p) in
+      List.iter
+        (fun v ->
+          Alcotest.(check int)
+            (Printf.sprintf "p%d applied command %d exactly once" p v)
+            1
+            (List.length (List.filter (Consensus.Value.equal v) log)))
+        [ 100; 101; 102 ];
+      Alcotest.(check bool)
+        (Printf.sprintf "p%d decided noops past exhaustion" p)
+        true
+        (List.exists (Consensus.Value.equal Smr.noop) log))
+    (Pid.all ~n)
+
+(* Regression (pending-queue bug): the old positional lookup
+   [List.nth_opt commands slot] re-proposed whatever command sat at
+   the slot's index — a replica whose slot was won by a competing
+   proposal skipped that index forever (loss), and a value appearing
+   at two indexes was proposed and applied twice (duplication). The
+   explicit pending queue dequeues on decision, re-queues losers, and
+   filters already-applied values, so duplicated submissions apply
+   once and no live replica's command is lost. *)
+let test_smr_no_duplicate_application () =
+  List.iter
+    (fun seed ->
+      let n = 4 in
+      let pattern = Sim.Failure_pattern.make ~n ~crashes:[] in
+      let oracle =
+        Fd.Oracle.pair
+          (Fd.Oracle.omega ~seed pattern)
+          (Fd.Oracle.sigma_nu_plus ~seed pattern)
+      in
+      let run =
+        R.exec ~seed ~record:false ~pattern ~fd:oracle.Fd.Oracle.query
+          ~inputs:(fun p -> [ 10 + p; 10 + p ])
+          ~max_steps:30000
+          ~stop:(fun st _ ->
+            Pset.for_all
+              (fun p -> Smr.Over_anuc.slots_decided (st p) >= 6)
+              (Pset.full ~n))
+          ()
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d reached the target" seed)
+        true run.R.stopped_early;
+      List.iter
+        (fun p ->
+          let applied =
+            List.filter
+              (fun v -> v <> Smr.noop)
+              (Smr.Over_anuc.log run.R.states.(p))
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "seed %d p%d: no non-noop value applied twice"
+               seed p)
+            (List.length applied)
+            (List.length (List.sort_uniq compare applied)))
+        (Pid.all ~n))
+    [ 0; 1; 2 ]
+
+let test_smr_no_command_loss () =
+  let n = 4 in
+  let crashes = [ (3, 300) ] in
+  let pattern = Sim.Failure_pattern.make ~n ~crashes in
+  let oracle =
+    Fd.Oracle.pair
+      (Fd.Oracle.omega ~seed:0 pattern)
+      (Fd.Oracle.sigma_nu_plus ~seed:0 pattern)
+  in
+  let correct = Sim.Failure_pattern.correct pattern in
+  let inputs p = [ (10 * (p + 1)) + 1; (10 * (p + 1)) + 2 ] in
+  let run =
+    R.exec ~seed:0 ~record:false ~pattern ~fd:oracle.Fd.Oracle.query
+      ~inputs ~max_steps:30000
+      ~stop:(fun st _ ->
+        Pset.for_all
+          (fun p -> Smr.Over_anuc.slots_decided (st p) >= 10)
+          correct)
+      ()
+  in
+  Alcotest.(check bool) "reached the slot target" true run.R.stopped_early;
+  (* every command of every live replica made it into the log — the
+     positional lookup lost a command whenever its index's slot was
+     decided by someone else's proposal *)
+  let log = Smr.Over_anuc.log run.R.states.(Pset.min_elt correct) in
+  Pset.fold
+    (fun p () ->
+      List.iter
+        (fun v ->
+          Alcotest.(check bool)
+            (Printf.sprintf "live p%d's command %d was applied" p v)
+            true
+            (List.exists (Consensus.Value.equal v) log))
+        (inputs p))
+    correct ()
+
+(* Regression (unbounded observers): [slots_decided] is a counter,
+   not a list length, so it survives compaction; [batches]/[log_base]
+   expose the retained window. The old code had no compaction and
+   recomputed the count by walking the whole log. *)
+let test_smr_compaction_counts () =
+  let module S =
+    Smr.Make_tuned
+      (struct
+        let batch = 1
+        let pipeline = 1
+        let window = max_int
+        let retain = 4
+        let horizon = 8
+      end)
+      (struct
+        include Core.Anuc
+
+        let decision = Core.Anuc.decision
+      end)
+  in
+  let module Rt = Sim.Runner.Make (S) in
+  let n = 3 in
+  let target = 12 in
+  let pattern = Sim.Failure_pattern.failure_free ~n in
+  let oracle =
+    Fd.Oracle.pair
+      (Fd.Oracle.omega ~seed:0 pattern)
+      (Fd.Oracle.sigma_nu_plus ~seed:0 pattern)
+  in
+  let run =
+    Rt.exec ~seed:0 ~record:false ~pattern ~fd:oracle.Fd.Oracle.query
+      ~inputs:(fun p -> List.init 4 (fun i -> (10 * (p + 1)) + i))
+      ~max_steps:30000
+      ~stop:(fun st _ ->
+        Pset.for_all (fun p -> S.slots_decided (st p) >= target)
+          (Pset.full ~n))
+      ()
+  in
+  Alcotest.(check bool) "reached the slot target" true run.Rt.stopped_early;
+  let reference = run.Rt.states.(0) in
+  List.iter
+    (fun p ->
+      let st = run.Rt.states.(p) in
+      let decided = S.slots_decided st in
+      let retained = List.length (S.batches st) in
+      Alcotest.(check bool)
+        (Printf.sprintf "p%d decided at least the target" p)
+        true (decided >= target);
+      Alcotest.(check bool)
+        (Printf.sprintf "p%d retains at most 4 slots" p)
+        true (retained <= 4);
+      Alcotest.(check int)
+        (Printf.sprintf "p%d count survives truncation" p)
+        decided
+        (S.log_base st + retained);
+      Alcotest.(check bool)
+        (Printf.sprintf "p%d compacted something" p)
+        true
+        (S.log_base st > 0);
+      if S.log_base st = S.log_base reference then
         Alcotest.(check int)
-          (Printf.sprintf "slot %d is a noop" s)
-          Smr.noop v)
-    (List.filteri (fun i _ -> i < 3) log)
+          (Printf.sprintf "p%d digest matches p0 at equal base" p)
+          (S.snapshot_digest reference) (S.snapshot_digest st))
+    (Pid.all ~n)
+
+(* Regression (unbounded instance map): decided instances retire once
+   they fall below the horizon, so the map stays bounded over a
+   1000-slot run where it used to grow with the log. A small horizon
+   keeps the per-step pump cheap enough for a thousand slots in a
+   test-sized step budget — the bound under the default horizon is
+   exercised by test_serve's load runs. *)
+let test_smr_bounded_instances () =
+  let module S =
+    Smr.Make_tuned
+      (struct
+        let batch = 1
+        let pipeline = 1
+        let window = max_int
+        let retain = 16
+        let horizon = 8
+      end)
+      (struct
+        include Core.Anuc
+
+        let decision = Core.Anuc.decision
+      end)
+  in
+  let module Rt = Sim.Runner.Make (S) in
+  let n = 3 in
+  let target = 1000 in
+  let pattern = Sim.Failure_pattern.failure_free ~n in
+  let oracle =
+    Fd.Oracle.pair
+      (Fd.Oracle.omega ~seed:0 pattern)
+      (Fd.Oracle.sigma_nu_plus ~seed:0 pattern)
+  in
+  let max_open = ref 0 in
+  let bound = 8 + 1 + n + 1 in
+  let run =
+    Rt.exec ~seed:0 ~record:false ~pattern ~fd:oracle.Fd.Oracle.query
+      ~inputs:(fun p -> [ 100 + p ])
+      ~max_steps:1_000_000
+      ~stop:(fun st _ ->
+        List.iter
+          (fun p -> max_open := max !max_open (S.open_instances (st p)))
+          (Pid.all ~n);
+        Pset.for_all
+          (fun p -> S.slots_decided (st p) >= target)
+          (Pset.full ~n))
+      ()
+  in
+  Alcotest.(check bool) "decided 1000 slots" true run.Rt.stopped_early;
+  List.iter
+    (fun p -> max_open := max !max_open (S.open_instances run.Rt.states.(p)))
+    (Pid.all ~n);
+  Alcotest.(check bool)
+    (Printf.sprintf "open instances bounded by the horizon (%d <= %d)"
+       !max_open bound)
+    true (!max_open <= bound)
 
 (* Replication from the raw weakest detector: each slot runs the full
    Theorem 6.28 stack (emulation + A_nuc). Small target, generous
@@ -184,6 +405,13 @@ let () =
           Alcotest.test_case "seed sweep" `Slow test_smr_seeds_sweep;
           Alcotest.test_case "queue exhaustion" `Quick
             test_smr_queue_exhaustion;
+          Alcotest.test_case "no duplicate application" `Quick
+            test_smr_no_duplicate_application;
+          Alcotest.test_case "no command loss" `Quick test_smr_no_command_loss;
+          Alcotest.test_case "compaction keeps counts" `Quick
+            test_smr_compaction_counts;
+          Alcotest.test_case "bounded instances" `Slow
+            test_smr_bounded_instances;
           Alcotest.test_case "over the full stack" `Slow test_smr_over_stack;
         ] );
     ]

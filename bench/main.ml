@@ -248,6 +248,8 @@ let json_of_mc_rows rows =
              ("dedup_hits", Json.Int s.Mc.dedup_hits);
              ("self_loops", Json.Int s.Mc.self_loops);
              ("sleep_skipped", Json.Int s.Mc.sleep_skipped);
+             ("races", Json.Int s.Mc.races);
+             ("backtracks", Json.Int s.Mc.backtracks);
              ("decided_leaves", Json.Int s.Mc.decided_leaves);
              ("depth_leaves", Json.Int s.Mc.depth_leaves);
              ("truncated", Json.Bool s.Mc.truncated);
@@ -357,6 +359,19 @@ let b10_serve ~smoke () =
   pf "%s@." Experiments.b10_header;
   let rows = Experiments.b10_serve_table ~quick:smoke () in
   List.iter (fun r -> pf "%a@." Experiments.pp_b10_row r) rows;
+  rows
+
+(* ---------------------------------------------------------------- *)
+(* B11: partial-order reduction                                      *)
+(* ---------------------------------------------------------------- *)
+
+let b11_dpor ~smoke () =
+  hr "B11: the E11 A_nuc verification under each reduction (none / sleep \
+      sets / happens-before DPOR) — pass re-checks verdict and \
+      distinct-state equality against the unreduced row";
+  pf "%s@." Experiments.b11_header;
+  let rows = Experiments.b11_dpor_table ~quick:smoke () in
+  List.iter (fun r -> pf "%a@." Experiments.pp_b11_row r) rows;
   rows
 
 (* ---------------------------------------------------------------- *)
@@ -574,6 +589,7 @@ let () =
   let b8 = b8_fuzz ~smoke () in
   let b9 = b9_parallel ~smoke () in
   let b10 = b10_serve ~smoke () in
+  let b11 = b11_dpor ~smoke () in
   let metrics = run_metrics () in
   let b4 = b4_micro ~smoke () in
   match json_file with
@@ -595,6 +611,7 @@ let () =
         json_of_fuzz_rows b8;
         json_of_b9_rows b9;
         Experiments.json_of_b10_rows b10;
+        Experiments.json_of_b11_rows b11;
         json_of_micro_rows b4;
         json_of_metrics metrics;
       ]

@@ -139,12 +139,13 @@ let run_experiments quick only seed =
           ("e11", fun ~quick -> Experiments.e11_model_check ~quick);
           ("e12", fun ~quick -> Experiments.e12_faults ~quick ~seed_base:seed);
           ("e13", fun ~quick -> Experiments.e13_fuzz ~quick ~seed_base:seed);
+          ("e14", fun ~quick -> Experiments.e14_dpor ~quick);
         ]
       in
       match List.assoc_opt (String.lowercase_ascii id) pick with
       | Some f -> [ f ~quick () ]
       | None ->
-        pf "unknown experiment %S (expected e1..e13)@." id;
+        pf "unknown experiment %S (expected e1..e14)@." id;
         exit 1)
   in
   List.iter (fun r -> pf "%a@.@." Experiments.pp_row r) rows;
@@ -246,8 +247,8 @@ struct
   (* [corrupt] (--selftest-corrupt-cx) deliberately damages a found
      counterexample before certification — the negative-path selftest
      for the certification machinery and its nonzero exit code. *)
-  let go ~n ~faulty ~menu ~depth ~flavour ~max_states ~max_drops ~delivery
-      ~jobs ~corrupt =
+  let go ~algo ~n ~faulty ~menu ~depth ~flavour ~max_states ~max_drops
+      ~delivery ~jobs ~reduction ~json ~corrupt =
     let proposals p = if Pset.mem p faulty then 1 else 0 in
     let crashes = Pset.fold (fun p l -> (p, depth + 1) :: l) faulty [] in
     let pattern = Sim.Failure_pattern.make ~n ~crashes in
@@ -272,10 +273,34 @@ struct
       | Consensus.Spec.Nonuniform -> Sim.Failure_pattern.correct pattern
     in
     let stop = M.decided_stop ~decision:A.decision ~scope:stop_scope in
-    let r = M.run ~n ~menu ~depth ~inputs:proposals ~props ~stop ~max_states
-        ?max_drops ~delivery ~jobs ()
+    let r = M.run ~reduction ~n ~menu ~depth ~inputs:proposals ~props ~stop
+        ~max_states ?max_drops ~delivery ~jobs ()
     in
     pf "%a@." Mc.pp_stats r.M.stats;
+    (match json with
+    | None -> ()
+    | Some path ->
+      (* One b11_dpor row for this run; [pass] records only that the
+         verdict is conclusive (not truncated) — a found violation is
+         the expected outcome for the naive baseline. *)
+      let outcome =
+        if r.M.stats.Mc.truncated then "TRUNCATED"
+        else
+          match r.M.violation with
+          | None -> "exhausted"
+          | Some cx -> "VIOLATION: " ^ cx.M.cx_property
+      in
+      let row =
+        Experiments.b11_row_of_stats ~algorithm:algo ~reduction ~depth
+          ~outcome
+          ~pass:(not r.M.stats.Mc.truncated)
+          r.M.stats
+      in
+      let oc = open_out path in
+      Report.to_channel oc
+        (Report.Obj [ ("b11_dpor", Experiments.json_of_b11_rows [ row ]) ]);
+      close_out oc;
+      pf "wrote %s@." path);
     match r.M.violation with
     | None ->
       if r.M.stats.Mc.truncated then begin
@@ -328,11 +353,11 @@ struct
       in
       if not (ok_replay && ok_hist) then exit 1
 
-  let default_go ~n ~faulty ~max_states ~max_drops ~delivery ~jobs ~flavour
-      ~corrupt ~default_depth ~menu depth_opt =
+  let default_go ~algo ~n ~faulty ~max_states ~max_drops ~delivery ~jobs
+      ~reduction ~json ~flavour ~corrupt ~default_depth ~menu depth_opt =
     let depth = Option.value depth_opt ~default:default_depth in
-    go ~n ~faulty ~menu ~depth ~flavour ~max_states ~max_drops ~delivery
-      ~jobs ~corrupt
+    go ~algo ~n ~faulty ~menu ~depth ~flavour ~max_states ~max_drops
+      ~delivery ~jobs ~reduction ~json ~corrupt
 end
 
 module Mc_anuc_drive = Mc_drive (Core.Anuc)
@@ -341,13 +366,22 @@ module Mc_maj_drive = Mc_drive (Consensus.Mr.Majority)
 module Mc_ct_drive = Mc_drive (Consensus.Ct)
 
 let run_mc algo n t depth_opt family max_states max_drops delivery jobs
-    corrupt =
+    reduction json corrupt =
   if t >= n || t < 1 then (
     pf "error: need 1 <= t < n@.";
     exit 1);
   if jobs < 1 then (
     pf "error: --jobs must be >= 1@.";
     exit 1);
+  let reduction =
+    match String.lowercase_ascii reduction with
+    | "dpor" -> Mc.Dpor
+    | "sleep" -> Mc.Sleep_sets
+    | "none" -> Mc.No_reduction
+    | s ->
+      pf "unknown reduction %S (dpor | sleep | none)@." s;
+      exit 1
+  in
   let delivery =
     match String.lowercase_ascii delivery with
     | "fifo" -> `Fifo
@@ -373,7 +407,8 @@ let run_mc algo n t depth_opt family max_states max_drops delivery jobs
   in
   match String.lowercase_ascii algo with
   | "anuc" ->
-    Mc_anuc_drive.default_go ~n ~faulty ~max_states ~max_drops ~delivery ~jobs ~corrupt
+    Mc_anuc_drive.default_go ~algo ~n ~faulty ~max_states
+      ~max_drops ~delivery ~jobs ~reduction ~json ~corrupt
       ~flavour:Consensus.Spec.Nonuniform ~default_depth:11
       ~menu:
         (match family with
@@ -382,7 +417,8 @@ let run_mc algo n t depth_opt family max_states max_drops delivery jobs
         | `Full -> Mc.Menu.omega_sigma_nu_plus ~n ~faulty)
       depth_opt
   | "naive-sn" ->
-    Mc_naive_drive.default_go ~n ~faulty ~max_states ~max_drops ~delivery ~jobs ~corrupt
+    Mc_naive_drive.default_go ~algo ~n ~faulty ~max_states
+      ~max_drops ~delivery ~jobs ~reduction ~json ~corrupt
       ~flavour:Consensus.Spec.Nonuniform ~default_depth:34
       ~menu:
         (match family with
@@ -391,19 +427,22 @@ let run_mc algo n t depth_opt family max_states max_drops delivery jobs
         | `Full -> Mc.Menu.omega_sigma_nu ~n ~faulty)
       depth_opt
   | "mr-sigma" ->
-    Mc_naive_drive.default_go ~n ~faulty ~max_states ~max_drops ~delivery ~jobs ~corrupt
+    Mc_naive_drive.default_go ~algo ~n ~faulty ~max_states
+      ~max_drops ~delivery ~jobs ~reduction ~json ~corrupt
       ~flavour:Consensus.Spec.Uniform ~default_depth:10
       ~menu:(Mc.Menu.omega_sigma ~n ~faulty)
       depth_opt
   | "mr-majority" ->
     need_majority ();
-    Mc_maj_drive.default_go ~n ~faulty ~max_states ~max_drops ~delivery ~jobs ~corrupt
+    Mc_maj_drive.default_go ~algo ~n ~faulty ~max_states
+      ~max_drops ~delivery ~jobs ~reduction ~json ~corrupt
       ~flavour:Consensus.Spec.Uniform ~default_depth:11
       ~menu:(Mc.Menu.leader_only ~n ~faulty)
       depth_opt
   | "ct" ->
     need_majority ();
-    Mc_ct_drive.default_go ~n ~faulty ~max_states ~max_drops ~delivery ~jobs ~corrupt
+    Mc_ct_drive.default_go ~algo ~n ~faulty ~max_states
+      ~max_drops ~delivery ~jobs ~reduction ~json ~corrupt
       ~flavour:Consensus.Spec.Uniform ~default_depth:13
       ~menu:(Mc.Menu.suspects ~n ~faulty)
       depth_opt
@@ -857,6 +896,30 @@ let mc_cmd =
             "Channel model: 'fifo' (per-channel send order; exhaustive for \
              FIFO links) or 'any' (every per-channel reordering).")
   in
+  let reduction =
+    Arg.(
+      value & opt string "sleep"
+      & info [ "reduction" ] ~docv:"R"
+          ~doc:
+            "Partial-order reduction: 'dpor' (sleep sets refined by the \
+             happens-before independence relation — processes racing on a \
+             channel, or drops against their channel's consumers, wake \
+             slept siblings back up as backtrack points), 'sleep' (same-pid \
+             sleep sets only), or 'none'. All three are state-preserving: \
+             verdict and distinct-state count are identical, only the \
+             transitions taken differ.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt ~vopt:(Some "MC.json") (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write the run's statistics as a one-row b11_dpor document \
+             fragment to $(docv) (the same row shape as bench --json; its \
+             pass field records only that the verdict was conclusive, i.e. \
+             not truncated).")
+  in
   let corrupt =
     Arg.(
       value & flag
@@ -874,7 +937,7 @@ let mc_cmd =
           schedule of a small universe")
     Term.(
       const run_mc $ algo $ n $ t $ depth $ family $ max_states $ max_drops
-      $ delivery $ jobs_arg $ corrupt)
+      $ delivery $ jobs_arg $ reduction $ json $ corrupt)
 
 let fuzz_cmd =
   let algo =

@@ -584,11 +584,11 @@ let mc_universe ~depth =
 
 (* Exhaustive bounded verification of A_nuc on E_1(3) under the
    Sigma-nu+ contamination family. *)
-let mc_verify_anuc ~depth =
+let mc_verify_anuc ?reduction ~depth () =
   let n, faulty, pattern, proposals = mc_universe ~depth in
   let menu = Mc.Menu.contamination ~plus:true ~n ~faulty () in
   let report =
-    Mc_anuc.run ~n ~menu ~depth ~inputs:proposals
+    Mc_anuc.run ?reduction ~n ~menu ~depth ~inputs:proposals
       ~props:
         (Mc_anuc.consensus_props ~decision:Core.Anuc.decision ~proposals
            ~flavour:Consensus.Spec.Nonuniform ~pattern)
@@ -603,11 +603,11 @@ let mc_verify_anuc ~depth =
    MR with detector-supplied quorums driven by a legal Sigma-nu menu.
    Returns the report plus the independent certificates of any found
    counterexample (replay applicability, history legality). *)
-let mc_attack_naive ~depth =
+let mc_attack_naive ?reduction ~depth () =
   let n, faulty, pattern, proposals = mc_universe ~depth in
   let menu = Mc.Menu.contamination ~n ~faulty () in
   let report =
-    Mc_naive.run ~n ~menu ~depth ~inputs:proposals
+    Mc_naive.run ?reduction ~n ~menu ~depth ~inputs:proposals
       ~props:
         (Mc_naive.consensus_props
            ~decision:Consensus.Mr.With_quorum.decision ~proposals
@@ -631,9 +631,9 @@ let anuc_mc_depth ~quick = if quick then 9 else 11
 let naive_mc_depth ~quick = if quick then 32 else 34
 
 let e11_model_check ?(quick = false) () =
-  let anuc_legal, anuc_r = mc_verify_anuc ~depth:(anuc_mc_depth ~quick) in
+  let anuc_legal, anuc_r = mc_verify_anuc ~depth:(anuc_mc_depth ~quick) () in
   let naive_legal, naive_r, certified =
-    mc_attack_naive ~depth:(naive_mc_depth ~quick)
+    mc_attack_naive ~depth:(naive_mc_depth ~quick) ()
   in
   let anuc_ok =
     Result.is_ok anuc_legal
@@ -974,6 +974,78 @@ let e13_fuzz ?(quick = false) ?(seed_base = 0) () =
     pass = naive_ok && anuc_ok;
   }
 
+(* ---------------------------------------------------------------- *)
+(* E14: happens-before DPOR (Mc reduction = Dpor)                    *)
+(* ---------------------------------------------------------------- *)
+
+(* The reduction is state-preserving: it prunes redundant transitions
+   (swaps of independent adjacent moves), never states or verdicts.
+   That makes three checks meaningful: (a) the E11 exhaustion pushed
+   deeper than the unreduced checker affords, (b) a differential pin
+   at a depth both can reach — verdict and distinct-state counts must
+   be equal, with the reduced run taking no more transitions — and
+   (c) the Section 6.3 counterexample still found and certified with
+   the reduction on. *)
+let dpor_mc_depth ~quick = if quick then 11 else 13
+let dpor_diff_depth ~quick = if quick then 7 else 9
+
+let e14_dpor ?(quick = false) () =
+  let deep_depth = dpor_mc_depth ~quick in
+  let dpor_legal, dpor_r = mc_verify_anuc ~reduction:Mc.Dpor ~depth:deep_depth () in
+  let deep_ok =
+    Result.is_ok dpor_legal
+    && dpor_r.Mc_anuc.violation = None
+    && not dpor_r.Mc_anuc.stats.Mc.truncated
+  in
+  let d = dpor_diff_depth ~quick in
+  let _, none_r = mc_verify_anuc ~reduction:Mc.No_reduction ~depth:d () in
+  let _, dpor_d = mc_verify_anuc ~reduction:Mc.Dpor ~depth:d () in
+  let diff_ok =
+    none_r.Mc_anuc.violation = None
+    && dpor_d.Mc_anuc.violation = None
+    && none_r.Mc_anuc.stats.Mc.distinct_states
+       = dpor_d.Mc_anuc.stats.Mc.distinct_states
+    && dpor_d.Mc_anuc.stats.Mc.transitions
+       <= none_r.Mc_anuc.stats.Mc.transitions
+  in
+  let naive_legal, naive_r, certified =
+    mc_attack_naive ~reduction:Mc.Dpor ~depth:(naive_mc_depth ~quick) ()
+  in
+  let naive_ok =
+    Result.is_ok naive_legal
+    &&
+    match (naive_r.Mc_naive.violation, certified) with
+    | Some cx, Some (replay, history) ->
+      cx.Mc_naive.cx_property = "nonuniform agreement"
+      && Result.is_ok replay && Result.is_ok history
+    | _ -> false
+  in
+  let measured =
+    Printf.sprintf
+      "A_nuc dpor: %d states / %d transitions exhausted to depth %d (%d \
+       races, %d backtracks, %d self-loops); differential depth %d: %d = %d \
+       states, %d <= %d transitions; naive cx under dpor: %s"
+      dpor_r.Mc_anuc.stats.Mc.distinct_states
+      dpor_r.Mc_anuc.stats.Mc.transitions deep_depth
+      dpor_r.Mc_anuc.stats.Mc.races dpor_r.Mc_anuc.stats.Mc.backtracks
+      dpor_r.Mc_anuc.stats.Mc.self_loops d
+      dpor_d.Mc_anuc.stats.Mc.distinct_states
+      none_r.Mc_anuc.stats.Mc.distinct_states
+      dpor_d.Mc_anuc.stats.Mc.transitions
+      none_r.Mc_anuc.stats.Mc.transitions
+      (if naive_ok then "found + certified" else "MISSING")
+  in
+  {
+    id = "E14";
+    theorem = "Sec 6.3 exhaustion under happens-before DPOR";
+    expected =
+      "dpor reduction reaches a deeper A_nuc exhaustion, preserves verdicts \
+       and distinct states at shared depth, and keeps the naive \
+       counterexample certified";
+    measured;
+    pass = deep_ok && diff_ok && naive_ok;
+  }
+
 let all ?(quick = false) ?(seed_base = 0) () =
   [
     e1_extract_sigma_nu ~quick ~seed_base ();
@@ -989,6 +1061,7 @@ let all ?(quick = false) ?(seed_base = 0) () =
     e11_model_check ~quick ();
     e12_faults ~quick ~seed_base ();
     e13_fuzz ~quick ~seed_base ();
+    e14_dpor ~quick ();
   ]
 
 (* ---------------------------------------------------------------- *)
@@ -1467,8 +1540,10 @@ let pp_mc_row fmt r =
     (Mc.states_per_sec r.mc_stats) r.mc_outcome
 
 let mc_table ?(quick = false) () =
-  let _, anuc_r = mc_verify_anuc ~depth:(anuc_mc_depth ~quick) in
-  let _, naive_r, certified = mc_attack_naive ~depth:(naive_mc_depth ~quick) in
+  let _, anuc_r = mc_verify_anuc ~depth:(anuc_mc_depth ~quick) () in
+  let _, naive_r, certified =
+    mc_attack_naive ~depth:(naive_mc_depth ~quick) ()
+  in
   let anuc_row =
     {
       mc_algorithm = "A_nuc";
@@ -1820,5 +1895,112 @@ let json_of_b10_rows rows =
              ("p50_ticks", Report.Float r.b10_p50);
              ("p99_ticks", Report.Float r.b10_p99);
              ("divergent", Report.Bool r.b10_divergent);
+           ])
+       rows)
+
+(* ---------------------------------------------------------------- *)
+(* B11: partial-order reduction (mc --reduction)                     *)
+(* ---------------------------------------------------------------- *)
+
+type b11_row = {
+  b11_algorithm : string;
+  b11_reduction : string;
+  b11_depth : int;
+  b11_transitions : int;
+  b11_states : int;
+  b11_dedup : int;
+  b11_self_loops : int;
+  b11_sleep_skipped : int;
+  b11_races : int;
+  b11_backtracks : int;
+  b11_wall : float;
+  b11_outcome : string;
+  b11_pass : bool;
+}
+
+let b11_header =
+  Printf.sprintf "%-10s %-6s %5s %11s %9s %9s %10s %9s %7s %7s %8s %-10s %5s"
+    "algorithm" "red" "depth" "transitions" "states" "dedup" "self-loop"
+    "slept" "races" "backtr" "wall(s)" "outcome" "pass"
+
+let pp_b11_row fmt r =
+  Format.fprintf fmt
+    "%-10s %-6s %5d %11d %9d %9d %10d %9d %7d %7d %8.3f %-10s %5b"
+    r.b11_algorithm r.b11_reduction r.b11_depth r.b11_transitions r.b11_states
+    r.b11_dedup r.b11_self_loops r.b11_sleep_skipped r.b11_races
+    r.b11_backtracks r.b11_wall r.b11_outcome r.b11_pass
+
+let b11_row_of_stats ~algorithm ~reduction ~depth ~outcome ~pass
+    (s : Mc.stats) =
+  {
+    b11_algorithm = algorithm;
+    b11_reduction = Format.asprintf "%a" Mc.pp_reduction reduction;
+    b11_depth = depth;
+    b11_transitions = s.Mc.transitions;
+    b11_states = s.Mc.distinct_states;
+    b11_dedup = s.Mc.dedup_hits;
+    b11_self_loops = s.Mc.self_loops;
+    b11_sleep_skipped = s.Mc.sleep_skipped;
+    b11_races = s.Mc.races;
+    b11_backtracks = s.Mc.backtracks;
+    b11_wall = s.Mc.wall_seconds;
+    b11_outcome = outcome;
+    b11_pass = pass;
+  }
+
+let b11_depth ~quick = if quick then 7 else 11
+
+(* Three runs of the E11 A_nuc verification at one depth, one per
+   reduction. The pass column re-checks the state-preservation
+   contract against the unreduced row: identical verdict (exhausted,
+   no violation) and identical distinct-state count. *)
+let b11_dpor_table ?(quick = false) () =
+  let depth = b11_depth ~quick in
+  let explore reduction = snd (mc_verify_anuc ~reduction ~depth ()) in
+  let none_r = explore Mc.No_reduction in
+  let baseline = none_r.Mc_anuc.stats.Mc.distinct_states in
+  let row reduction r =
+    let s = r.Mc_anuc.stats in
+    let outcome =
+      if s.Mc.truncated then "TRUNCATED"
+      else
+        match r.Mc_anuc.violation with
+        | Some cx -> "VIOLATION: " ^ cx.Mc_anuc.cx_property
+        | None -> "exhausted"
+    in
+    let pass =
+      (not s.Mc.truncated)
+      && r.Mc_anuc.violation = None
+      && s.Mc.distinct_states = baseline
+    in
+    b11_row_of_stats ~algorithm:"A_nuc" ~reduction ~depth ~outcome ~pass s
+  in
+  [
+    row Mc.No_reduction none_r;
+    row Mc.Sleep_sets (explore Mc.Sleep_sets);
+    row Mc.Dpor (explore Mc.Dpor);
+  ]
+
+(* Shared by bench/main.ml and [nuc_cli mc --json] so the two
+   emitters of the [b11_dpor] key cannot drift apart. *)
+let json_of_b11_rows rows =
+  Report.List
+    (List.map
+       (fun r ->
+         Report.Obj
+           [
+             ("algorithm", Report.Str r.b11_algorithm);
+             ("reduction", Report.Str r.b11_reduction);
+             ("depth", Report.Int r.b11_depth);
+             ("transitions", Report.Int r.b11_transitions);
+             ("distinct_states", Report.Int r.b11_states);
+             ("dedup_hits", Report.Int r.b11_dedup);
+             ("self_loops", Report.Int r.b11_self_loops);
+             ("sleep_skipped", Report.Int r.b11_sleep_skipped);
+             ("races", Report.Int r.b11_races);
+             ("backtracks", Report.Int r.b11_backtracks);
+             ("wall_seconds", Report.Float r.b11_wall);
+             ("outcome", Report.Str r.b11_outcome);
+             ("pass", Report.Bool r.b11_pass);
            ])
        rows)

@@ -105,6 +105,17 @@ val e13_fuzz : ?quick:bool -> ?seed_base:int -> unit -> row
     thousand runs — still enough for the pinned seed to land the
     violation. *)
 
+val e14_dpor : ?quick:bool -> unit -> row
+(** Section 6.3 exhaustion under happens-before DPOR
+    ([Mc.Make.run ~reduction:Dpor]): (a) the E11 [A_nuc]
+    verification pushed deeper (depth 13; [quick] 11) than the
+    unreduced checker affords at comparable cost; (b) a differential
+    pin at a depth both reductions reach — the reduction is
+    state-preserving, so verdict and distinct-state count must match
+    the unreduced run exactly, with no more transitions taken; (c)
+    the naive Sigma-nu counterexample still found, replayed and
+    history-certified with the reduction on. *)
+
 val all : ?quick:bool -> ?seed_base:int -> unit -> row list
 (** Every E-row, in order. [seed_base] offsets the seed lists of the
     randomized rows (default 0 reproduces the historical sweeps). *)
@@ -328,3 +339,48 @@ val b10_serve_table : ?quick:bool -> ?jobs:int -> unit -> b10_row list
 val json_of_b10_rows : b10_row list -> Report.t
 (** The [b10_serve] document fragment, shared by [bench --json] and
     [nuc_cli serve --json]. *)
+
+type b11_row = {
+  b11_algorithm : string;
+  b11_reduction : string;  (** ["none"], ["sleep"] or ["dpor"] *)
+  b11_depth : int;
+  b11_transitions : int;
+  b11_states : int;  (** distinct canonical states (reduction-invariant) *)
+  b11_dedup : int;
+  b11_self_loops : int;
+      (** includes the Dpor no-op cache skips, which take no transition *)
+  b11_sleep_skipped : int;
+  b11_races : int;
+  b11_backtracks : int;
+  b11_wall : float;
+  b11_outcome : string;
+  b11_pass : bool;
+      (** exhausted with no violation, and distinct states equal to
+          the unreduced baseline row *)
+}
+
+val pp_b11_row : Format.formatter -> b11_row -> unit
+
+val b11_header : string
+
+val b11_row_of_stats :
+  algorithm:string ->
+  reduction:Mc.reduction ->
+  depth:int ->
+  outcome:string ->
+  pass:bool ->
+  Mc.stats ->
+  b11_row
+(** One table row from one checker run — exposed so [nuc_cli mc
+    --json] renders the same shape. *)
+
+val b11_dpor_table : ?quick:bool -> unit -> b11_row list
+(** B11: the E11 [A_nuc] verification at one depth (11; [quick] 7)
+    under each reduction — none, sleep sets, happens-before DPOR.
+    The pass column re-checks the state-preservation contract
+    against the unreduced row: same verdict, same distinct-state
+    count; the reductions may only differ in transitions taken. *)
+
+val json_of_b11_rows : b11_row list -> Report.t
+(** The [b11_dpor] document fragment, shared by [bench --json] and
+    [nuc_cli mc --json]. *)

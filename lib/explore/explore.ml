@@ -32,6 +32,7 @@ type batch_point = {
   bp_new_depths : int;
   bp_new_shapes : int;
   bp_new_sigs : int;
+  bp_new_traces : int;
 }
 
 type totals = {
@@ -39,6 +40,7 @@ type totals = {
   decision_depths : int;
   quorum_shapes : int;
   fault_signatures : int;
+  canonical_traces : int;
 }
 
 (* Seed-stream salts: the root seed is combined with one of these and
@@ -463,6 +465,7 @@ module Make (A : Sim.Automaton.S) = struct
     depths : Kset.t;
     shapes : Kset.t;
     sigs : Kset.t;
+    traces : Kset.t;
   }
 
   let cov_create () =
@@ -471,6 +474,7 @@ module Make (A : Sim.Automaton.S) = struct
       depths = Kset.create 64;
       shapes = Kset.create 1024;
       sigs = Kset.create 64;
+      traces = Kset.create 1024;
     }
 
   let cov_add tbl key = ignore (Kset.add_new tbl key : bool)
@@ -481,6 +485,7 @@ module Make (A : Sim.Automaton.S) = struct
       decision_depths = Kset.length cov.depths;
       quorum_shapes = Kset.length cov.shapes;
       fault_signatures = Kset.length cov.sigs;
+      canonical_traces = Kset.length cov.traces;
     }
 
   (* Deep structural hash (same spirit as [Space.key]): a coverage
@@ -603,6 +608,12 @@ module Make (A : Sim.Automaton.S) = struct
          (List.mapi (fun i (mv : M.move) -> (i, mv)) ms
          |> List.filter_map (fun (i, (mv : M.move)) ->
                 if mv.m_drop then Some (i, mv.m_pid, mv.m_recv) else None)));
+    (* Mazurkiewicz-class coverage: the checker's happens-before
+       independence relation canonicalises the schedule, so two runs
+       differing only in swaps of independent adjacent moves count as
+       one trace. A flat trace count against [runs] measures how much
+       of the fuzz budget re-samples equivalent interleavings. *)
+    cov_add cov.traces (M.trace_key ms);
     (!steps, !outcome, ms)
 
   (* One fuzz batch, self-contained: its configuration comes from the
@@ -739,10 +750,12 @@ module Make (A : Sim.Automaton.S) = struct
         let depths0 = Kset.length cov.depths in
         let shapes0 = Kset.length cov.shapes in
         let sigs0 = Kset.length cov.sigs in
+        let traces0 = Kset.length cov.traces in
         Kset.iter (cov_add cov.states) res.r_cov.states;
         Kset.iter (cov_add cov.depths) res.r_cov.depths;
         Kset.iter (cov_add cov.shapes) res.r_cov.shapes;
         Kset.iter (cov_add cov.sigs) res.r_cov.sigs;
+        Kset.iter (cov_add cov.traces) res.r_cov.traces;
         runs_done := !runs_done + res.r_runs;
         steps_total := !steps_total + res.r_steps;
         decided_runs := !decided_runs + res.r_decided;
@@ -761,6 +774,7 @@ module Make (A : Sim.Automaton.S) = struct
             bp_new_depths = Kset.length cov.depths - depths0;
             bp_new_shapes = Kset.length cov.shapes - shapes0;
             bp_new_sigs = Kset.length cov.sigs - sigs0;
+            bp_new_traces = Kset.length cov.traces - traces0;
           }
           :: !curve;
         (match res.r_violation with
@@ -876,6 +890,7 @@ module Make (A : Sim.Automaton.S) = struct
         ("decision_depths", Report.Int t.decision_depths);
         ("quorum_shapes", Report.Int t.quorum_shapes);
         ("fault_signatures", Report.Int t.fault_signatures);
+        ("canonical_traces", Report.Int t.canonical_traces);
       ]
 
   let json_of_batch_point bp =
@@ -892,6 +907,7 @@ module Make (A : Sim.Automaton.S) = struct
         ("new_depths", Report.Int bp.bp_new_depths);
         ("new_shapes", Report.Int bp.bp_new_shapes);
         ("new_sigs", Report.Int bp.bp_new_sigs);
+        ("new_traces", Report.Int bp.bp_new_traces);
       ]
 
   let json_of_violation v =
@@ -941,12 +957,13 @@ module Make (A : Sim.Automaton.S) = struct
     Format.fprintf fmt
       "@[<v>fuzz %s: %d runs (%d steps), sampler=%s%s, %d decided, %d \
        quiesced, %.2fs@,\
-       coverage: %d states, %d decision depths, %d shapes, %d fault sigs@]"
+       coverage: %d states, %d decision depths, %d shapes, %d fault sigs, \
+       %d traces@]"
       r.algorithm r.runs r.steps_total r.sampler
       (if r.swarm then "+swarm" else "")
       r.decided_runs r.quiesced_runs r.wall_seconds r.totals.distinct_states
       r.totals.decision_depths r.totals.quorum_shapes
-      r.totals.fault_signatures;
+      r.totals.fault_signatures r.totals.canonical_traces;
     match r.violation with
     | None -> Format.fprintf fmt "@.no violation found@."
     | Some v ->

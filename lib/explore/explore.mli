@@ -79,6 +79,7 @@ type batch_point = {
   bp_new_depths : int;  (** new decision depths this batch *)
   bp_new_shapes : int;  (** new quorum-history shapes this batch *)
   bp_new_sigs : int;  (** new fault-verdict signatures this batch *)
+  bp_new_traces : int;  (** new canonical Mazurkiewicz traces this batch *)
 }
 (** One point of the coverage saturation curve. *)
 
@@ -92,6 +93,12 @@ type totals = {
   fault_signatures : int;
       (** distinct network-drop placements (the all-deliveries
           signature included) *)
+  canonical_traces : int;
+      (** distinct schedules up to swaps of independent adjacent
+          moves, canonicalised by the checker's happens-before
+          independence relation ({!Mc.Make.trace_key}); the gap
+          between [runs] and this count is fuzz budget spent
+          re-sampling equivalent interleavings *)
 }
 
 module Make (A : Sim.Automaton.S) : sig

@@ -1,0 +1,72 @@
+(* Memo-coverage records for the bounded model checker.
+
+   A visited state's memo entry records the exploration coverage the
+   checker has actually walked from that state: the depth budget it
+   had, the loss budget it had, and the sleep set it expanded under.
+   A revisit is absorbed only when the stored coverage dominates the
+   revisit's — otherwise the revisit re-expands under the
+   *intersection* of the two sleep sets (sound for both visits), and
+   the entry is updated only when the coverage just walked dominates
+   the stored one in both budgets.
+
+   The no-mixture rule is the load-bearing invariant: the entry must
+   always describe one exploration that actually happened. Recording
+   a max-of-budgets / intersected-sleep-set mixture of two visits
+   would claim coverage neither visit walked and absorb later visits
+   whose schedules were never explored (the PR-2 review bug). Keeping
+   the record in its own module, behind [revisit], is what lets the
+   DPOR backtrack bookkeeping compose with memoization without
+   re-opening that hole: every caller goes through the same
+   domination/update logic. *)
+
+module type MOVE = sig
+  type t
+
+  val equal : t -> t -> bool
+end
+
+module Make (M : MOVE) = struct
+  type entry = {
+    mutable remaining : int;
+    mutable drops : int;
+        (* drop budget left at the recorded visit; coverage is
+           monotone in it exactly as in [remaining] *)
+    mutable slept : M.t list;
+  }
+
+  let make ~remaining ~drops ~slept = { remaining; drops; slept }
+
+  (* Goal (all-decided) states are never expanded at any budget:
+     infinite coverage, empty sleep set, absorbs every revisit. *)
+  let goal () = { remaining = max_int; drops = max_int; slept = [] }
+
+  let remaining e = e.remaining
+  let drops e = e.drops
+  let slept e = e.slept
+
+  let subset a b = List.for_all (fun m -> List.exists (M.equal m) b) a
+
+  (* [dominates e ~remaining ~drops ~slept]: the stored coverage
+     includes everything a visit with these budgets and this sleep set
+     would walk — at least as much depth, at least as much loss
+     budget, and a sleep set that prunes no move the revisit would
+     prune less (stored ⊆ revisit's). *)
+  let dominates e ~remaining ~drops ~slept =
+    e.remaining >= remaining && e.drops >= drops && subset e.slept slept
+
+  let inter a b = List.filter (fun m -> List.exists (M.equal m) a) b
+
+  let revisit e ~remaining ~drops ~slept =
+    if dominates e ~remaining ~drops ~slept then `Absorbed
+    else begin
+      let slept' = inter e.slept slept in
+      if remaining >= e.remaining && drops >= e.drops then begin
+        (* the coverage about to be walked dominates the stored one in
+           both budgets: the entry may describe it (and only it) *)
+        e.remaining <- remaining;
+        e.drops <- drops;
+        e.slept <- slept'
+      end;
+      `Expand slept'
+    end
+end

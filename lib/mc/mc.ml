@@ -40,6 +40,11 @@ open Procset
 module Intern = Intern
 module Pool = Sim.Pool
 
+(* [Cover]: the memo-coverage record (budgets + sleep set) behind
+   memoization, extracted so the domination/update logic — and its
+   no-mixture invariant — lives in exactly one place. *)
+module Cover = Cover
+
 (* ---------------------------------------------------------------- *)
 (* Failure-detector menus                                            *)
 (* ---------------------------------------------------------------- *)
@@ -241,6 +246,37 @@ let history_legal ~kind ~pattern samples =
   Menu.perpetual_clauses kind pattern (Fd.History.of_samples ~n samples)
 
 (* ---------------------------------------------------------------- *)
+(* Transition-pruning reductions                                     *)
+(* ---------------------------------------------------------------- *)
+
+(* All three reductions are state-preserving: they prune *transitions*
+   whose target is reached by an equal-length Mazurkiewicz-equivalent
+   schedule elsewhere, never states, so verdict and [distinct_states]
+   are identical across them (pinned by the differential battery in
+   test_dpor.ml).
+
+   - [No_reduction]: every enabled move is expanded everywhere.
+   - [Sleep_sets]: the original pid-disjointness sleep sets — after a
+     move by process p, earlier siblings and inherited sleepers of a
+     different pid stay asleep; drop moves are never slept.
+   - [Dpor]: happens-before sleep inheritance over the full
+     independence relation [Make.move_dependent] (per-channel, not
+     per-pid: a sleeper is woken only by a move it actually races
+     with, and drop moves are slept too), plus a per-run no-op cache
+     that skips known self-loop lambda steps at move generation. The
+     woken sleepers are exactly the classical DPOR backtrack points:
+     a detected race re-inserts the slept move into the sibling
+     exploration instead of pruning it. *)
+type reduction = No_reduction | Sleep_sets | Dpor
+
+let pp_reduction fmt r =
+  Format.pp_print_string fmt
+    (match r with
+    | No_reduction -> "none"
+    | Sleep_sets -> "sleep"
+    | Dpor -> "dpor")
+
+(* ---------------------------------------------------------------- *)
 (* Exploration statistics (shared across functor instantiations)     *)
 (* ---------------------------------------------------------------- *)
 
@@ -251,6 +287,12 @@ type stats = {
       (** transitions absorbed by memoization (0 when [dedup] is off) *)
   self_loops : int;  (** transitions skipped because child = parent *)
   sleep_skipped : int;  (** moves pruned by sleep sets *)
+  races : int;
+      (** [Dpor] only: dependent (taken move, sleeping candidate)
+          pairs detected during sleep-set inheritance *)
+  backtracks : int;
+      (** [Dpor] only: sleepers woken by a race — the backtrack
+          points re-inserted into the sibling exploration *)
   decided_leaves : int;  (** states where [stop] held, not expanded *)
   depth_leaves : int;  (** states truncated by the depth bound *)
   max_depth : int;
@@ -265,9 +307,10 @@ let states_per_sec s =
 let pp_stats fmt s =
   Format.fprintf fmt
     "%d transitions, %d distinct states (%d dedup hits, %d self-loops, %d \
-     sleep-pruned), %d decided leaves, %d depth leaves, %.0f states/s%s"
+     sleep-pruned, %d races, %d backtracks), %d decided leaves, %d depth \
+     leaves, %.0f states/s%s"
     s.transitions s.distinct_states s.dedup_hits s.self_loops s.sleep_skipped
-    s.decided_leaves s.depth_leaves (states_per_sec s)
+    s.races s.backtracks s.decided_leaves s.depth_leaves (states_per_sec s)
     (if s.truncated then " [TRUNCATED]" else "")
 
 (* ---------------------------------------------------------------- *)
@@ -367,13 +410,15 @@ module Make (A : Sim.Automaton.S) = struct
 
   let hconfig = Intern.hashed config_hash
 
-  type entry = {
-    mutable remaining : int;
-    mutable drops : int;
-        (* drop budget left at the recorded visit; coverage is
-           monotone in it exactly as in [remaining] *)
-    mutable slept : move list;
-  }
+  (* The memo-coverage record (remaining depth, remaining loss budget,
+     sleep set) lives in [Cover]; every absorption/update decision of
+     both the sequential and the parallel walker goes through
+     [Cov.revisit], which enforces the no-mixture rule. *)
+  module Cov = Cover.Make (struct
+    type t = move
+
+    let equal = move_equal
+  end)
 
   let rec remove_nth i = function
     | [] -> invalid_arg "remove_nth"
@@ -501,8 +546,90 @@ module Make (A : Sim.Automaton.S) = struct
   exception Found of string * string * move list
   exception Limit
 
-  let subset_moves a b =
-    List.for_all (fun m -> List.exists (move_equal m) b) a
+  (* ------------------------------------------------------------- *)
+  (* The independence relation                                       *)
+  (* ------------------------------------------------------------- *)
+
+  (* The channel a move consumes from, if any: a delivery or drop of
+     (src, i) consumes from the src -> m_pid channel; a lambda
+     consumes nothing. *)
+  let consumes mv =
+    match mv.m_recv with
+    | Some (src, _) -> Some (src, mv.m_pid)
+    | None -> None
+
+  (* [move_dependent a b]: the static dependence (non-commutation)
+     relation over the move alphabet. Two moves are independent when,
+     from any configuration enabling both, executing them in either
+     order yields the same configuration and neither disables the
+     other. Soundness rests on the state encoding: a process move by
+     [p] reads/writes [states.(p)], removes one indexed message from a
+     [(src, p)] channel, and appends at the tails of [(p, dst)]
+     channels; a drop removes one indexed message from its channel and
+     touches no process state. Hence:
+
+     - two non-drop moves are dependent iff they step the same
+       process (distinct-pid moves touch disjoint state slots, and
+       tail-appends commute with indexed removals on a shared
+       channel — the detector value is part of the move, so there is
+       no shared detector state to race on);
+     - two drops are dependent iff they drain the same channel
+       (indexed removals on one channel do not commute);
+     - a drop and a process move are dependent iff the process move
+       consumes from the dropped channel (a send *into* a dropped
+       channel appends at the tail and commutes with the head-side
+       removal; the drop's budget debit commutes with everything —
+       it is a function of the move multiset, not the order).
+
+     Fault verdicts need no extra clause: the drop move itself *is*
+     the verdict (keyed by its channel and index), exactly as
+     [Sim.Faults] keys verdicts by (src, dst, seq, time) — there is
+     no hidden verdict state for two moves to race on. The relation
+     is symmetric and reflexive (every move is dependent with
+     itself: same pid, or same channel), both pinned by qcheck in
+     test_dpor.ml. *)
+  let move_dependent a b =
+    if (not a.m_drop) && not b.m_drop then a.m_pid = b.m_pid
+    else consumes a = consumes b
+
+  (* Canonical Mazurkiewicz-trace key of a schedule: linearize the
+     dependence DAG (edges i -> j for i < j with dependent moves)
+     greedily by the structurally-minimal available move, then hash
+     the resulting label sequence. Equal-label moves are always
+     mutually dependent (same pid, or same channel), so the trace's
+     equal labels are totally ordered and the greedy-minimal
+     linearization is a canonical form: two schedules that differ
+     only by swaps of adjacent independent moves get the same key.
+     O(length²), fine for the <= ~100-move schedules recorded here. *)
+  let trace_key moves =
+    let arr = Array.of_list moves in
+    let len = Array.length arr in
+    let indeg = Array.make len 0 in
+    for j = 0 to len - 1 do
+      for i = 0 to j - 1 do
+        if move_dependent arr.(i) arr.(j) then indeg.(j) <- indeg.(j) + 1
+      done
+    done;
+    let taken = Array.make len false in
+    let out = ref [] in
+    for _ = 1 to len do
+      let best = ref (-1) in
+      for i = len - 1 downto 0 do
+        if
+          (not taken.(i))
+          && indeg.(i) = 0
+          && (!best < 0 || Stdlib.compare arr.(i) arr.(!best) <= 0)
+        then best := i
+      done;
+      let b = !best in
+      taken.(b) <- true;
+      out := arr.(b) :: !out;
+      for j = b + 1 to len - 1 do
+        if (not taken.(j)) && move_dependent arr.(b) arr.(j) then
+          indeg.(j) <- indeg.(j) - 1
+      done
+    done;
+    Hashtbl.hash_param 500 1000 (List.rev !out)
 
   (* Re-execute an abstract schedule with real envelopes: runner-style
      per-sender sequence numbers and a global clock, producing the
@@ -567,16 +694,63 @@ module Make (A : Sim.Automaton.S) = struct
             { cx_property; cx_detail; cx_moves; cx_steps; cx_samples; cx_states };
       }
 
-  let run_seq ~sleep ~dedup ~delivery ~max_states ~max_drops ~stop ~n ~menu
-      ~depth ~inputs ~props () =
+  (* Sleep-set inheritance, per reduction. [Sleep_sets] keeps a
+     sleeper asleep when it has a different pid than the taken move
+     (drop moves conservatively never slept); [Dpor] keeps every
+     sleeper — drops included — that is *independent* of the taken
+     move under [move_dependent]. A dependent pair is a detected race
+     ([races]); a dependent pair whose sleeper was inherited (in
+     [slept], not just an earlier sibling in [explored]) is a woken
+     sleeper — the backtrack point re-inserted into this sibling's
+     exploration ([backtracks]). Both prune transitions only: a
+     slept move's schedules are walked, move for move, from the
+     sibling that put it to sleep, so reachable states within the
+     depth bound are untouched (the differential battery pins
+     distinct-state equality across all three reductions). *)
+  let inherit_slept ~reduction ~races ~backtracks ~explored ~slept mv =
+    match reduction with
+    | No_reduction -> []
+    | Sleep_sets ->
+      List.filter
+        (fun m -> (not m.m_drop) && m.m_pid <> mv.m_pid)
+        (explored @ slept)
+    | Dpor ->
+      let keep_e, race_e =
+        List.partition (fun m -> not (move_dependent m mv)) explored
+      in
+      let keep_s, race_s =
+        List.partition (fun m -> not (move_dependent m mv)) slept
+      in
+      races := !races + List.length race_e + List.length race_s;
+      backtracks := !backtracks + List.length race_s;
+      keep_e @ keep_s
+
+  let run_seq ~reduction ~dedup ~delivery ~max_states ~max_drops ~stop ~n
+      ~menu ~depth ~inputs ~props () =
     let t0 = Sim.Clock.now () in
     let lossy = menu.Menu.lossy in
     let menus = Array.init n (fun p -> menu.Menu.values p) in
+    let sleep = reduction <> No_reduction in
+    let dpor = reduction = Dpor in
+    (* Known no-op lambda steps ([Dpor] only): a lambda step's result
+       is a function of (pid, its state, the detector value) alone, so
+       once observed to change nothing it is skipped at move
+       generation — without re-applying [A.step] — at every later
+       node. Counted as a [self_loops] skip but not a transition; the
+       non-DPOR reductions keep their exact historical counters.
+       No-ops are never recorded in sleep sets (they are skipped
+       before the sleep check can record them), so the memo coverage
+       domination is untouched. *)
+    let noop : (Pid.t * A.state * Sim.Fd_value.t, unit) Hashtbl.t =
+      Hashtbl.create 1024
+    in
     let visited = Tbl.create 65536 in
     let transitions = ref 0
     and dedup_hits = ref 0
     and self_loops = ref 0
     and sleep_skipped = ref 0
+    and races = ref 0
+    and backtracks = ref 0
     and decided_leaves = ref 0
     and depth_leaves = ref 0
     and max_depth = ref 0
@@ -602,28 +776,28 @@ module Make (A : Sim.Automaton.S) = struct
           (fun mv ->
             if sleep && List.exists (move_equal mv) slept then
               incr sleep_skipped
+            else if
+              dpor
+              && mv.m_recv = None
+              && Hashtbl.mem noop (mv.m_pid, cfg.states.(mv.m_pid), mv.m_fd)
+            then incr self_loops
             else begin
               let child = apply ~n cfg mv in
               incr transitions;
-              if child.states = cfg.states && child.chans = cfg.chans then
+              if child.states = cfg.states && child.chans = cfg.chans then begin
                 (* self-loop (e.g. a lambda step whose detector value
                    unlocks nothing): no new state, and every move
                    enabled at the child is enabled here — skip *)
-                incr self_loops
+                incr self_loops;
+                if dpor && mv.m_recv = None then
+                  Hashtbl.replace noop
+                    (mv.m_pid, cfg.states.(mv.m_pid), mv.m_fd)
+                    ()
+              end
               else begin
               let child_slept =
-                (* pid-disjoint moves commute — including network
-                   drops, which touch only (_, m_pid) channels — so
-                   earlier siblings and inherited sleepers with a
-                   different pid stay asleep. Drop moves themselves
-                   are conservatively never slept (they are filtered
-                   out rather than recorded), costing only dedup hits,
-                   never coverage. *)
-                if sleep then
-                  List.filter
-                    (fun m -> (not m.m_drop) && m.m_pid <> mv.m_pid)
-                    (!explored @ slept)
-                else []
+                inherit_slept ~reduction ~races ~backtracks
+                  ~explored:!explored ~slept mv
               in
               dfs child (remaining - 1)
                 (if mv.m_drop then drops - 1 else drops)
@@ -634,30 +808,12 @@ module Make (A : Sim.Automaton.S) = struct
           all
       in
       match Tbl.find_opt visited hc with
-      | Some e when dedup ->
-        if
-          e.remaining >= remaining && e.drops >= drops
-          && subset_moves e.slept slept
-        then incr dedup_hits
-        else begin
-          (* Revisit with a bigger budget or an uncovered sleep set:
-             re-expand with the *current* budget and the intersection of
-             the two sleep sets (sound for both visits). The entry is
-             only updated when the (budget, sleep set) pair explored
-             right now dominates the stored one — the entry must always
-             describe an exploration that actually happened, never a
-             mixture of two visits' coverage (a max-budget/intersected-
-             sleep-set mixture would absorb later visits whose schedules
-             were never walked). *)
-          let slept' = List.filter (fun m -> List.exists (move_equal m) e.slept) slept in
-          if remaining >= e.remaining && drops >= e.drops then begin
-            e.remaining <- remaining;
-            e.drops <- drops;
-            e.slept <- slept'
-          end;
+      | Some e when dedup -> (
+        match Cov.revisit e ~remaining ~drops ~slept with
+        | `Absorbed -> incr dedup_hits
+        | `Expand slept' ->
           if remaining > 0 then expand_with slept'
-          else incr depth_leaves
-        end
+          else incr depth_leaves)
       | Some _ -> (* dedup off: nothing is absorbed; re-explore the revisit *)
         if (match stop with Some f -> f (fun p -> cfg.states.(p)) | None -> false)
         then incr decided_leaves
@@ -676,11 +832,11 @@ module Make (A : Sim.Automaton.S) = struct
         then begin
           (* all-decided goal state: safety can no longer change in
              the checked scope; never expand, at any budget *)
-          Tbl.add visited hc { remaining = max_int; drops = max_int; slept = [] };
+          Tbl.add visited hc (Cov.goal ());
           incr decided_leaves
         end
         else begin
-          Tbl.add visited hc { remaining; drops; slept };
+          Tbl.add visited hc (Cov.make ~remaining ~drops ~slept);
           if remaining = 0 then incr depth_leaves else expand_with slept
         end
     in
@@ -700,6 +856,8 @@ module Make (A : Sim.Automaton.S) = struct
         dedup_hits = !dedup_hits;
         self_loops = !self_loops;
         sleep_skipped = !sleep_skipped;
+        races = !races;
+        backtracks = !backtracks;
         decided_leaves = !decided_leaves;
         depth_leaves = !depth_leaves;
         max_depth = !max_depth;
@@ -735,12 +893,14 @@ module Make (A : Sim.Automaton.S) = struct
      work is one stripe lock per lookup; property evaluation runs
      outside the lock with a double-checked re-lookup before
      insertion. *)
-  let run_par ~sleep ~dedup ~delivery ~max_states ~max_drops ~jobs ~stop ~n
-      ~menu ~depth ~inputs ~props () =
+  let run_par ~reduction ~dedup ~delivery ~max_states ~max_drops ~jobs ~stop
+      ~n ~menu ~depth ~inputs ~props () =
     let t0 = Sim.Clock.now () in
     let lossy = menu.Menu.lossy in
     let menus = Array.init n (fun p -> menu.Menu.values p) in
-    let visited : entry Shared.t = Shared.create ~stripes:64 65536 in
+    let sleep = reduction <> No_reduction in
+    let dpor = reduction = Dpor in
+    let visited : Cov.entry Shared.t = Shared.create ~stripes:64 65536 in
     let violation = Atomic.make None in
     let truncated = Atomic.make false in
     let halt = Atomic.make false in
@@ -751,9 +911,20 @@ module Make (A : Sim.Automaton.S) = struct
     and dedup_hits = counters ()
     and self_loops = counters ()
     and sleep_skipped = counters ()
+    and races = counters ()
+    and backtracks = counters ()
     and decided_leaves = counters ()
     and depth_leaves = counters ()
     and max_depths = counters () in
+    (* per-worker no-op caches: redundant discovery across domains
+       instead of a shared locked table — the cache is a pure
+       memo of [A.step], so divergence between workers only costs
+       repeated first encounters, never soundness *)
+    let noops =
+      Array.init nw (fun _ ->
+          (Hashtbl.create 1024
+            : (Pid.t * A.state * Sim.Fd_value.t, unit) Hashtbl.t))
+    in
     let spawn_depth = max 1 (min 2 (depth - 1)) in
     let stopped cfg =
       match stop with Some f -> f (fun p -> cfg.states.(p)) | None -> false
@@ -784,18 +955,26 @@ module Make (A : Sim.Automaton.S) = struct
           (fun mv ->
             if sleep && List.exists (move_equal mv) slept then
               incr sleep_skipped.(w)
+            else if
+              dpor
+              && mv.m_recv = None
+              && Hashtbl.mem noops.(w)
+                   (mv.m_pid, cfg.states.(mv.m_pid), mv.m_fd)
+            then incr self_loops.(w)
             else begin
               let child = apply ~n cfg mv in
               incr transitions.(w);
-              if child.states = cfg.states && child.chans = cfg.chans then
-                incr self_loops.(w)
+              if child.states = cfg.states && child.chans = cfg.chans then begin
+                incr self_loops.(w);
+                if dpor && mv.m_recv = None then
+                  Hashtbl.replace noops.(w)
+                    (mv.m_pid, cfg.states.(mv.m_pid), mv.m_fd)
+                    ()
+              end
               else begin
                 let child_slept =
-                  if sleep then
-                    List.filter
-                      (fun m -> (not m.m_drop) && m.m_pid <> mv.m_pid)
-                      (!explored @ slept)
-                  else []
+                  inherit_slept ~reduction ~races:races.(w)
+                    ~backtracks:backtracks.(w) ~explored:!explored ~slept mv
                 in
                 pdfs ~w ~sink child (remaining - 1)
                   (if mv.m_drop then drops - 1 else drops)
@@ -813,21 +992,9 @@ module Make (A : Sim.Automaton.S) = struct
       (* the same domination/update logic as the sequential walker,
          run under the stripe lock so the entry mutation is atomic *)
       let revisit e =
-        if
-          e.remaining >= remaining && e.drops >= drops
-          && subset_moves e.slept slept
-        then `Absorbed
-        else begin
-          let slept' =
-            List.filter (fun m -> List.exists (move_equal m) e.slept) slept
-          in
-          if remaining >= e.remaining && drops >= e.drops then begin
-            e.remaining <- remaining;
-            e.drops <- drops;
-            e.slept <- slept'
-          end;
-          `Expand slept'
-        end
+        match Cov.revisit e ~remaining ~drops ~slept with
+        | `Absorbed -> `Absorbed
+        | `Expand slept' -> `Expand slept'
       in
       let act = function
         | `Absorbed -> incr dedup_hits.(w)
@@ -871,11 +1038,8 @@ module Make (A : Sim.Automaton.S) = struct
                  | Some _ -> (`Known, None)
                  | None ->
                    if Shared.length visited >= max_states then (`Full, None)
-                   else if decided then
-                     ( `Decided,
-                       Some { remaining = max_int; drops = max_int; slept = [] }
-                     )
-                   else (`Inserted, Some { remaining; drops; slept })))
+                   else if decided then (`Decided, Some (Cov.goal ()))
+                   else (`Inserted, Some (Cov.make ~remaining ~drops ~slept))))
         end
       | (`Absorbed | `Expand _ | `Known) as a -> act a
     in
@@ -906,6 +1070,8 @@ module Make (A : Sim.Automaton.S) = struct
         dedup_hits = sum dedup_hits;
         self_loops = sum self_loops;
         sleep_skipped = sum sleep_skipped;
+        races = sum races;
+        backtracks = sum backtracks;
         decided_leaves = sum decided_leaves;
         depth_leaves = sum depth_leaves;
         max_depth = maxi max_depths;
@@ -917,15 +1083,15 @@ module Make (A : Sim.Automaton.S) = struct
     in
     finish ~n ~inputs ~stats (Atomic.get violation)
 
-  let run ?(sleep = true) ?(dedup = true) ?(delivery = `Fifo)
+  let run ?(reduction = Sleep_sets) ?(dedup = true) ?(delivery = `Fifo)
       ?(max_states = 2_000_000) ?(max_drops = max_int) ?(jobs = 1) ?stop ~n
       ~menu ~depth ~inputs ~props () =
     if jobs <= 1 then
-      run_seq ~sleep ~dedup ~delivery ~max_states ~max_drops ~stop ~n ~menu
-        ~depth ~inputs ~props ()
-    else
-      run_par ~sleep ~dedup ~delivery ~max_states ~max_drops ~jobs ~stop ~n
+      run_seq ~reduction ~dedup ~delivery ~max_states ~max_drops ~stop ~n
         ~menu ~depth ~inputs ~props ()
+    else
+      run_par ~reduction ~dedup ~delivery ~max_states ~max_drops ~jobs ~stop
+        ~n ~menu ~depth ~inputs ~props ()
 
   let replay_counterexample ~n ~inputs cx = R.replay ~n ~inputs cx.cx_steps
 

@@ -22,6 +22,11 @@ module Pool : module type of Sim.Pool
 (** The hand-rolled domain pool behind [run ~jobs] and the parallel
     fuzzer. *)
 
+module Cover : module type of Cover
+(** Memo-coverage records (budgets + sleep set): the
+    domination/absorption logic behind memoization, in one place so
+    the DPOR backtrack bookkeeping cannot re-entangle with it. *)
+
 module Menu : sig
   (** Finite failure-detector menus: at every step the adversary gives
       a process any value from its menu. A menu is admissible for its
@@ -107,13 +112,43 @@ val history_legal :
     the perpetual clauses of the class — the finite-prefix fragment of
     admissibility, as in [Core.Scenario]'s history validation. *)
 
+type reduction = No_reduction | Sleep_sets | Dpor
+(** Transition-pruning reductions, all state-preserving (same verdict
+    and [distinct_states]; pinned by the differential battery in
+    test_dpor.ml):
+
+    - [No_reduction]: every enabled move expanded everywhere.
+    - [Sleep_sets] (the default): pid-disjointness sleep sets — after
+      a move by process [p], earlier siblings and inherited sleepers
+      with a different pid stay asleep; drop moves are never slept.
+    - [Dpor]: happens-before sleep inheritance over the full
+      independence relation ([Make.move_dependent]) — a sleeper is
+      woken only by a move it actually races with (same process, or
+      same channel for drops), drop moves are slept too, and known
+      no-op lambda steps are skipped at move generation. Detected
+      races and woken sleepers (the DPOR backtrack points) are
+      reported in [stats.races] / [stats.backtracks]. *)
+
+val pp_reduction : Format.formatter -> reduction -> unit
+(** ["none"], ["sleep"] or ["dpor"] — the [--reduction] spelling. *)
+
 type stats = {
   transitions : int;  (** edges taken (including into already-seen states) *)
   distinct_states : int;  (** canonical states after deduplication *)
   dedup_hits : int;
       (** transitions absorbed by memoization (0 when [dedup] is off) *)
-  self_loops : int;  (** transitions skipped because child = parent *)
+  self_loops : int;
+      (** transitions skipped because child = parent; under [Dpor]
+          this includes cached no-op lambda skips, which do not count
+          as [transitions] *)
   sleep_skipped : int;  (** moves pruned by sleep sets *)
+  races : int;
+      (** [Dpor] only: dependent (taken move, sleeping candidate)
+          pairs detected during sleep-set inheritance; 0 otherwise *)
+  backtracks : int;
+      (** [Dpor] only: inherited sleepers woken by a race — the
+          backtrack points re-inserted into the sibling exploration;
+          0 otherwise *)
   decided_leaves : int;  (** states where [stop] held, not expanded *)
   depth_leaves : int;  (** states truncated by the depth bound *)
   max_depth : int;
@@ -140,6 +175,31 @@ module Make (A : Sim.Automaton.S) : sig
             steps, no detector value is sampled ([m_fd] is [Unit]),
             and the concretized trace contains no step for it *)
   }
+
+  val move_dependent : move -> move -> bool
+  (** The static dependence (non-commutation) relation over the move
+      alphabet — the happens-before core of the [Dpor] reduction. Two
+      moves are independent ([move_dependent a b = false]) when, from
+      any configuration enabling both, executing them in either order
+      yields the same configuration and neither disables the other:
+      two non-drop moves are dependent iff they step the same
+      process; a drop is dependent with exactly the moves that
+      consume from its channel (another drop of the same channel, or
+      the delivery of it). The fault verdict of a drop is part of the
+      move itself (its channel and index — the abstraction of
+      [Sim.Faults]' [(src, dst, seq, time)] keys), so there is no
+      hidden verdict state to race on. Symmetric, and reflexive
+      (every move is dependent with itself — in particular two moves
+      on the same channel are never independent). *)
+
+  val trace_key : move list -> int
+  (** Canonical Mazurkiewicz-trace key: schedules that differ only by
+      swaps of adjacent independent moves (under {!move_dependent})
+      hash to the same key. Computed by greedily linearizing the
+      schedule's dependence DAG by minimal move and hashing the
+      resulting label sequence; O(length²). Used by [lib/explore] to
+      deduplicate fuzz coverage up to commutation, and by the
+      independence property tests. *)
 
   type property = {
     prop_name : string;
@@ -187,7 +247,7 @@ module Make (A : Sim.Automaton.S) : sig
   type report = { stats : stats; violation : counterexample option }
 
   val run :
-    ?sleep:bool ->
+    ?reduction:reduction ->
     ?dedup:bool ->
     ?delivery:[ `Fifo | `Any ] ->
     ?max_states:int ->
@@ -202,8 +262,11 @@ module Make (A : Sim.Automaton.S) : sig
     unit ->
     report
   (** [run ~n ~menu ~depth ~inputs ~props ()] explores every schedule
-      of at most [depth] steps. [sleep] (default true) enables
-      sleep-set pruning; [dedup] (default true) enables canonical-state
+      of at most [depth] steps. [reduction] (default [Sleep_sets])
+      picks the transition-pruning reduction (see {!reduction}); all
+      three yield the same verdict and the same [distinct_states],
+      with [Dpor] taking the fewest transitions. [dedup] (default
+      true) enables canonical-state
       memoization; [delivery] (default [`Fifo]) picks the channel
       model: [`Fifo] delivers each (src, dst) channel in send order —
       the standard FIFO-link network model, under which the exploration
@@ -238,7 +301,8 @@ module Make (A : Sim.Automaton.S) : sig
       does not change which states are reachable within the bounds;
       pinned per menu family in test_mc.ml), while the
       interleaving-dependent counters ([transitions], [dedup_hits],
-      [self_loops], [sleep_skipped], [depth_leaves], [max_depth]) and
+      [self_loops], [sleep_skipped], [races], [backtracks],
+      [depth_leaves], [max_depth]) and
       the identity of the counterexample, when one exists, may vary.
       [wall_seconds] is always one monotonic-clock read on the
       coordinating domain, never a per-domain sum. *)

@@ -88,6 +88,7 @@ let schema_keys =
     "b8_fuzz";
     "b9_parallel";
     "b10_serve";
+    "b11_dpor";
     "b4_micro";
     "run_metrics";
   ]

@@ -216,11 +216,11 @@ let test_pruning_reduces_without_changing_verdict () =
     M_naive.consensus_props ~decision:Consensus.Mr.With_quorum.decision
       ~proposals ~flavour:Consensus.Spec.Nonuniform ~pattern
   in
-  let run ~sleep ~dedup =
-    M_naive.run ~sleep ~dedup ~n ~menu ~depth ~inputs:proposals ~props ()
+  let run ~reduction ~dedup =
+    M_naive.run ~reduction ~dedup ~n ~menu ~depth ~inputs:proposals ~props ()
   in
-  let pruned = run ~sleep:true ~dedup:true in
-  let bare = run ~sleep:false ~dedup:false in
+  let pruned = run ~reduction:Mc.Sleep_sets ~dedup:true in
+  let bare = run ~reduction:Mc.No_reduction ~dedup:false in
   Alcotest.(check bool)
     "same verdict" true
     (Option.is_none pruned.M_naive.violation
@@ -289,7 +289,7 @@ let toy_menu =
   }
 
 let toy_run ~depth =
-  M_toy.run ~sleep:false ~n:3 ~menu:toy_menu ~depth
+  M_toy.run ~reduction:Mc.No_reduction ~n:3 ~menu:toy_menu ~depth
     ~inputs:(fun _ -> ())
     ~props:[] ()
 

@@ -240,6 +240,7 @@ let test_schema_keys () =
       "b8_fuzz";
       "b9_parallel";
       "b10_serve";
+      "b11_dpor";
       "b4_micro";
       "run_metrics";
     ]

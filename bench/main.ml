@@ -375,6 +375,19 @@ let b11_dpor ~smoke () =
   rows
 
 (* ---------------------------------------------------------------- *)
+(* B12: packed canonical-state codec                                 *)
+(* ---------------------------------------------------------------- *)
+
+let b12_codec ~smoke () =
+  hr "B12: packed canonical-state codec — retained bytes per state of the \
+      config-keyed memo vs the packed bytes + interning pools over the \
+      same distinct-state set (pass needs equal counts and >= 5x)";
+  pf "%s@." Experiments.b12_header;
+  let rows = Experiments.b12_codec_table ~quick:smoke () in
+  List.iter (fun r -> pf "%a@." Experiments.pp_b12_row r) rows;
+  rows
+
+(* ---------------------------------------------------------------- *)
 (* Substrate run metrics: one instrumented reference run             *)
 (* ---------------------------------------------------------------- *)
 
@@ -561,24 +574,51 @@ let default_json_file () =
   Printf.sprintf "BENCH_%04d-%02d-%02d.json" (tm.Unix.tm_year + 1900)
     (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
 
-(* Recognizes [--json FILE], [--json] (default file name) and
-   [--smoke]. *)
+(* Recognizes [--json FILE], [--json] (default file name), [--smoke]
+   and [--only KEY] (run one B-table and emit only its document
+   fragment — what the CI smoke jobs validate without paying for the
+   whole harness; KEY is b11 or b12). *)
 let parse_args () =
-  let rec scan json smoke = function
-    | [] -> (json, smoke)
-    | "--smoke" :: rest -> scan json true rest
+  let rec scan json smoke only = function
+    | [] -> (json, smoke, only)
+    | "--smoke" :: rest -> scan json true only rest
+    | "--only" :: key :: rest -> scan json smoke (Some key) rest
     | "--json" :: file :: rest when String.length file > 0 && file.[0] <> '-'
       ->
-      scan (Some file) smoke rest
-    | "--json" :: rest -> scan (Some (default_json_file ())) smoke rest
-    | _ :: rest -> scan json smoke rest
+      scan (Some file) smoke only rest
+    | "--json" :: rest -> scan (Some (default_json_file ())) smoke only rest
+    | _ :: rest -> scan json smoke only rest
   in
-  scan None false (List.tl (Array.to_list Sys.argv))
+  scan None false None (List.tl (Array.to_list Sys.argv))
+
+let write_json file doc =
+  let oc = open_out file in
+  Json.to_channel oc doc;
+  close_out oc;
+  pf "@.wrote %s@." file
+
+let run_only ~smoke ~json_file key =
+  let fragment =
+    match key with
+    | "b11" | "b11_dpor" ->
+      Some ("b11_dpor", Experiments.json_of_b11_rows (b11_dpor ~smoke ()))
+    | "b12" | "b12_codec" ->
+      Some ("b12_codec", Experiments.json_of_b12_rows (b12_codec ~smoke ()))
+    | k ->
+      pf "unknown --only key %S (expected b11 | b12)@." k;
+      exit 2
+  in
+  match (fragment, json_file) with
+  | Some frag, Some file -> write_json file (Json.Obj [ frag ])
+  | _ -> ()
 
 let () =
-  let json_file, smoke = parse_args () in
+  let json_file, smoke, only = parse_args () in
   pf "nonuniform-consensus benchmark harness%s@."
     (if smoke then " (smoke: reduced sweeps)" else "");
+  match only with
+  | Some key -> run_only ~smoke ~json_file key
+  | None ->
   let e_rows = experiment_table () in
   let b1 = b1_latency ~smoke () in
   let b2 = b2_stabilization ~smoke () in
@@ -590,6 +630,7 @@ let () =
   let b9 = b9_parallel ~smoke () in
   let b10 = b10_serve ~smoke () in
   let b11 = b11_dpor ~smoke () in
+  let b12 = b12_codec ~smoke () in
   let metrics = run_metrics () in
   let b4 = b4_micro ~smoke () in
   match json_file with
@@ -612,12 +653,10 @@ let () =
         json_of_b9_rows b9;
         Experiments.json_of_b10_rows b10;
         Experiments.json_of_b11_rows b11;
+        Experiments.json_of_b12_rows b12;
         json_of_micro_rows b4;
         json_of_metrics metrics;
       ]
     in
     let doc = Json.Obj (List.map2 (fun k v -> (k, v)) Report.schema_keys values) in
-    let oc = open_out file in
-    Json.to_channel oc doc;
-    close_out oc;
-    pf "@.wrote %s@." file
+    write_json file doc

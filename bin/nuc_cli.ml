@@ -248,7 +248,8 @@ struct
      counterexample before certification — the negative-path selftest
      for the certification machinery and its nonzero exit code. *)
   let go ~algo ~n ~faulty ~menu ~depth ~flavour ~max_states ~max_drops
-      ~delivery ~jobs ~reduction ~json ~corrupt =
+      ~delivery ~jobs ~reduction ~json ~corrupt ~checkpoint ~resume
+      ~spill_dir =
     let proposals p = if Pset.mem p faulty then 1 else 0 in
     let crashes = Pset.fold (fun p l -> (p, depth + 1) :: l) faulty [] in
     let pattern = Sim.Failure_pattern.make ~n ~crashes in
@@ -273,8 +274,14 @@ struct
       | Consensus.Spec.Nonuniform -> Sim.Failure_pattern.correct pattern
     in
     let stop = M.decided_stop ~decision:A.decision ~scope:stop_scope in
-    let r = M.run ~reduction ~n ~menu ~depth ~inputs:proposals ~props ~stop
-        ~max_states ?max_drops ~delivery ~jobs ()
+    let r =
+      try
+        M.run ~reduction ~n ~menu ~depth ~inputs:proposals ~props ~stop
+          ~max_states ?max_drops ~delivery ~jobs ?checkpoint ?resume
+          ?spill_dir ()
+      with Mc.Resume_rejected e ->
+        pf "checkpoint rejected: %s@." (Mc.Codec.error_to_string e);
+        exit 1
     in
     pf "%a@." Mc.pp_stats r.M.stats;
     (match json with
@@ -354,10 +361,12 @@ struct
       if not (ok_replay && ok_hist) then exit 1
 
   let default_go ~algo ~n ~faulty ~max_states ~max_drops ~delivery ~jobs
-      ~reduction ~json ~flavour ~corrupt ~default_depth ~menu depth_opt =
+      ~reduction ~json ~flavour ~corrupt ~checkpoint ~resume ~spill_dir
+      ~default_depth ~menu depth_opt =
     let depth = Option.value depth_opt ~default:default_depth in
     go ~algo ~n ~faulty ~menu ~depth ~flavour ~max_states ~max_drops
-      ~delivery ~jobs ~reduction ~json ~corrupt
+      ~delivery ~jobs ~reduction ~json ~corrupt ~checkpoint ~resume
+      ~spill_dir
 end
 
 module Mc_anuc_drive = Mc_drive (Core.Anuc)
@@ -365,14 +374,56 @@ module Mc_naive_drive = Mc_drive (Consensus.Mr.With_quorum)
 module Mc_maj_drive = Mc_drive (Consensus.Mr.Majority)
 module Mc_ct_drive = Mc_drive (Consensus.Ct)
 
+(* --selftest-corrupt-checkpoint: flip one byte of the --resume file
+   and resume from the damaged copy — the digest check must reject it
+   with a typed error and a nonzero exit, never a Marshal crash. *)
+let corrupt_checkpoint_copy path =
+  let b =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let len = in_channel_length ic in
+        let b = Bytes.create len in
+        really_input ic b 0 len;
+        b)
+  in
+  let len = Bytes.length b in
+  if len = 0 then (
+    pf "error: checkpoint %s is empty@." path;
+    exit 1);
+  Bytes.set b (len - 1) (Char.chr (Char.code (Bytes.get b (len - 1)) lxor 1));
+  let path' = path ^ ".corrupt" in
+  let oc = open_out_bin path' in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_bytes oc b);
+  pf "selftest: flipped last byte of %s into %s@." path path';
+  path'
+
 let run_mc algo n t depth_opt family max_states max_drops delivery jobs
-    reduction json corrupt =
+    reduction json corrupt checkpoint_path ckpt_every resume spill_dir
+    corrupt_ckpt =
   if t >= n || t < 1 then (
     pf "error: need 1 <= t < n@.";
     exit 1);
   if jobs < 1 then (
     pf "error: --jobs must be >= 1@.";
     exit 1);
+  if ckpt_every < 1 then (
+    pf "error: --ckpt-every must be >= 1@.";
+    exit 1);
+  let resume =
+    match (resume, corrupt_ckpt) with
+    | Some path, true -> Some (corrupt_checkpoint_copy path)
+    | None, true ->
+      pf "error: --selftest-corrupt-checkpoint requires --resume@.";
+      exit 1
+    | r, false -> r
+  in
+  let checkpoint =
+    Option.map (fun p -> (p, ckpt_every)) checkpoint_path
+  in
   let reduction =
     match String.lowercase_ascii reduction with
     | "dpor" -> Mc.Dpor
@@ -408,8 +459,8 @@ let run_mc algo n t depth_opt family max_states max_drops delivery jobs
   match String.lowercase_ascii algo with
   | "anuc" ->
     Mc_anuc_drive.default_go ~algo ~n ~faulty ~max_states
-      ~max_drops ~delivery ~jobs ~reduction ~json ~corrupt
-      ~flavour:Consensus.Spec.Nonuniform ~default_depth:11
+      ~max_drops ~delivery ~jobs ~reduction ~json ~corrupt ~checkpoint
+      ~resume ~spill_dir ~flavour:Consensus.Spec.Nonuniform ~default_depth:11
       ~menu:
         (match family with
         | `Contamination -> Mc.Menu.contamination ~plus:true ~n ~faulty ()
@@ -418,8 +469,8 @@ let run_mc algo n t depth_opt family max_states max_drops delivery jobs
       depth_opt
   | "naive-sn" ->
     Mc_naive_drive.default_go ~algo ~n ~faulty ~max_states
-      ~max_drops ~delivery ~jobs ~reduction ~json ~corrupt
-      ~flavour:Consensus.Spec.Nonuniform ~default_depth:34
+      ~max_drops ~delivery ~jobs ~reduction ~json ~corrupt ~checkpoint
+      ~resume ~spill_dir ~flavour:Consensus.Spec.Nonuniform ~default_depth:34
       ~menu:
         (match family with
         | `Contamination -> Mc.Menu.contamination ~n ~faulty ()
@@ -428,22 +479,22 @@ let run_mc algo n t depth_opt family max_states max_drops delivery jobs
       depth_opt
   | "mr-sigma" ->
     Mc_naive_drive.default_go ~algo ~n ~faulty ~max_states
-      ~max_drops ~delivery ~jobs ~reduction ~json ~corrupt
-      ~flavour:Consensus.Spec.Uniform ~default_depth:10
+      ~max_drops ~delivery ~jobs ~reduction ~json ~corrupt ~checkpoint
+      ~resume ~spill_dir ~flavour:Consensus.Spec.Uniform ~default_depth:10
       ~menu:(Mc.Menu.omega_sigma ~n ~faulty)
       depth_opt
   | "mr-majority" ->
     need_majority ();
     Mc_maj_drive.default_go ~algo ~n ~faulty ~max_states
-      ~max_drops ~delivery ~jobs ~reduction ~json ~corrupt
-      ~flavour:Consensus.Spec.Uniform ~default_depth:11
+      ~max_drops ~delivery ~jobs ~reduction ~json ~corrupt ~checkpoint
+      ~resume ~spill_dir ~flavour:Consensus.Spec.Uniform ~default_depth:11
       ~menu:(Mc.Menu.leader_only ~n ~faulty)
       depth_opt
   | "ct" ->
     need_majority ();
     Mc_ct_drive.default_go ~algo ~n ~faulty ~max_states
-      ~max_drops ~delivery ~jobs ~reduction ~json ~corrupt
-      ~flavour:Consensus.Spec.Uniform ~default_depth:13
+      ~max_drops ~delivery ~jobs ~reduction ~json ~corrupt ~checkpoint
+      ~resume ~spill_dir ~flavour:Consensus.Spec.Uniform ~default_depth:13
       ~menu:(Mc.Menu.suspects ~n ~faulty)
       depth_opt
   | s ->
@@ -469,7 +520,8 @@ struct
   module M = E.M
 
   let go ~algo ~n ~faulty ~menu ~swarm_menus ~flavour ~runs ~sampler ~swarm
-      ~shrink ~seed ~delivery ~max_steps ~max_drops ~batch ~jobs ~json =
+      ~shrink ~seed ~delivery ~max_steps ~max_drops ~batch ~jobs ~json
+      ~checkpoint ~resume ~max_batches =
     let proposals p = if Pset.mem p faulty then 1 else 0 in
     let crashes = Pset.fold (fun p l -> (p, max_steps + 1) :: l) faulty [] in
     let pattern = Sim.Failure_pattern.make ~n ~crashes in
@@ -503,9 +555,14 @@ struct
           }
     in
     let report =
-      E.fuzz ~algo ~sampler ?swarm:swarm_cfg ~batch_size:batch ~delivery
-        ~max_steps ~max_drops ~shrink ~jobs ~stop ~decided ~seed ~runs ~n
-        ~menu ~pattern ~inputs:proposals ~props ()
+      try
+        E.fuzz ~algo ~sampler ?swarm:swarm_cfg ~batch_size:batch ~delivery
+          ~max_steps ~max_drops ~shrink ~jobs ?checkpoint ?resume
+          ?max_batches ~stop ~decided ~seed ~runs ~n ~menu ~pattern
+          ~inputs:proposals ~props ()
+      with Mc.Resume_rejected e ->
+        pf "checkpoint rejected: %s@." (Mc.Codec.error_to_string e);
+        exit 1
     in
     pf "%a@." E.pp_report report;
     (match json with
@@ -539,13 +596,20 @@ let parse_sampler s =
   | s -> Error (Printf.sprintf "unknown sampler %S (uniform | pct | pctD)" s)
 
 let run_fuzz algo n t runs sampler_s swarm shrink seed delivery_s max_steps_opt
-    max_drops batch family jobs json =
+    max_drops batch family jobs json checkpoint_path ckpt_every resume
+    max_batches =
   if t >= n || t < 1 then (
     pf "error: need 1 <= t < n@.";
     exit 1);
   if jobs < 1 then (
     pf "error: --jobs must be >= 1@.";
     exit 1);
+  if ckpt_every < 1 then (
+    pf "error: --ckpt-every must be >= 1@.";
+    exit 1);
+  let checkpoint =
+    Option.map (fun p -> (p, ckpt_every)) checkpoint_path
+  in
   let sampler =
     match parse_sampler sampler_s with
     | Ok s -> s
@@ -592,7 +656,7 @@ let run_fuzz algo n t runs sampler_s swarm shrink seed delivery_s max_steps_opt
           Mc.Menu.omega_sigma_nu_plus ~n ~faulty;
         ]
       ~runs ~sampler ~swarm ~shrink ~seed ~delivery ~max_steps ~max_drops
-      ~batch ~jobs ~json
+      ~batch ~jobs ~json ~checkpoint ~resume ~max_batches
   | "naive-sn" ->
     Fuzz_naive_drive.go ~algo ~n ~faulty ~flavour:Consensus.Spec.Nonuniform
       ~menu:
@@ -603,24 +667,24 @@ let run_fuzz algo n t runs sampler_s swarm shrink seed delivery_s max_steps_opt
       ~swarm_menus:
         [ Mc.Menu.lossy ~n ~faulty (); Mc.Menu.omega_sigma_nu ~n ~faulty ]
       ~runs ~sampler ~swarm ~shrink ~seed ~delivery ~max_steps ~max_drops
-      ~batch ~jobs ~json
+      ~batch ~jobs ~json ~checkpoint ~resume ~max_batches
   | "mr-sigma" ->
     Fuzz_naive_drive.go ~algo ~n ~faulty ~flavour:Consensus.Spec.Uniform
       ~menu:(Mc.Menu.omega_sigma ~n ~faulty)
       ~swarm_menus:[] ~runs ~sampler ~swarm ~shrink ~seed ~delivery
-      ~max_steps ~max_drops ~batch ~jobs ~json
+      ~max_steps ~max_drops ~batch ~jobs ~json ~checkpoint ~resume ~max_batches
   | "mr-majority" ->
     need_majority ();
     Fuzz_maj_drive.go ~algo ~n ~faulty ~flavour:Consensus.Spec.Uniform
       ~menu:(Mc.Menu.leader_only ~n ~faulty)
       ~swarm_menus:[] ~runs ~sampler ~swarm ~shrink ~seed ~delivery
-      ~max_steps ~max_drops ~batch ~jobs ~json
+      ~max_steps ~max_drops ~batch ~jobs ~json ~checkpoint ~resume ~max_batches
   | "ct" ->
     need_majority ();
     Fuzz_ct_drive.go ~algo ~n ~faulty ~flavour:Consensus.Spec.Uniform
       ~menu:(Mc.Menu.suspects ~n ~faulty)
       ~swarm_menus:[] ~runs ~sampler ~swarm ~shrink ~seed ~delivery
-      ~max_steps ~max_drops ~batch ~jobs ~json
+      ~max_steps ~max_drops ~batch ~jobs ~json ~checkpoint ~resume ~max_batches
   | s ->
     pf "unknown algorithm %S (anuc | naive-sn | mr-majority | mr-sigma | \
         ct)@."
@@ -930,6 +994,60 @@ let mc_cmd =
              nonzero exit path; a corrupted counterexample must be \
              rejected).")
   in
+  let checkpoint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Write a versioned campaign snapshot (packed visited set, \
+             frontier cursor, counters) to $(docv) at exploration-chunk \
+             boundaries, roughly every --ckpt-every newly interned states; \
+             a killed campaign resumed with --resume reproduces the \
+             uninterrupted verdict and distinct-state count exactly.")
+  in
+  let ckpt_every =
+    Arg.(
+      value & opt int 50_000
+      & info [ "ckpt-every" ] ~docv:"S"
+          ~doc:
+            "With --checkpoint: snapshot after at least $(docv) new \
+             distinct states since the previous snapshot.")
+  in
+  let resume =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"FILE"
+          ~doc:
+            "Resume a checkpointed campaign from $(docv). The file's \
+             magic, schema version, payload digest, campaign fingerprint \
+             and stored state hashes are all re-validated before any state \
+             is trusted; a mismatch exits 1 with a typed error. \
+             --max-states counts cumulatively across the resumed \
+             segments.")
+  in
+  let spill_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "spill-dir" ] ~docv:"DIR"
+          ~doc:
+            "Spill cold shards of the visited set to $(docv) at chunk \
+             boundaries, keeping only hash prefilters in memory \
+             (existing $(docv) required); shards reload transparently on \
+             collision.")
+  in
+  let corrupt_ckpt =
+    Arg.(
+      value & flag
+      & info [ "selftest-corrupt-checkpoint" ]
+          ~doc:
+            "With --resume: flip one byte of the checkpoint file (into \
+             FILE.corrupt) and resume from the damaged copy — the digest \
+             validation must reject it with a typed error and exit 1 \
+             (negative-path selftest, like --selftest-corrupt-cx).")
+  in
   Cmd.v
     (Cmd.info "mc"
        ~doc:
@@ -937,7 +1055,8 @@ let mc_cmd =
           schedule of a small universe")
     Term.(
       const run_mc $ algo $ n $ t $ depth $ family $ max_states $ max_drops
-      $ delivery $ jobs_arg $ reduction $ json $ corrupt)
+      $ delivery $ jobs_arg $ reduction $ json $ corrupt $ checkpoint
+      $ ckpt_every $ resume $ spill_dir $ corrupt_ckpt)
 
 let fuzz_cmd =
   let algo =
@@ -1035,6 +1154,46 @@ let fuzz_cmd =
             "Write the fuzz report as JSON to $(docv) (byte-deterministic \
              in --seed).")
   in
+  let checkpoint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Write a versioned campaign snapshot (coverage sets, curve, \
+             counters, batch cursor) to $(docv) at batch-chunk \
+             boundaries; an interrupted campaign resumed with --resume \
+             produces a byte-identical report to the straight-through \
+             run, at any --jobs.")
+  in
+  let ckpt_every =
+    Arg.(
+      value & opt int 10
+      & info [ "ckpt-every" ] ~docv:"B"
+          ~doc:
+            "With --checkpoint: snapshot after at least $(docv) batches \
+             since the previous snapshot.")
+  in
+  let resume =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"FILE"
+          ~doc:
+            "Resume a checkpointed fuzz campaign from $(docv); magic, \
+             schema version, digest and campaign fingerprint are \
+             validated before anything is trusted (mismatch exits 1).")
+  in
+  let max_batches =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-batches" ] ~docv:"B"
+          ~doc:
+            "Stop this segment after $(docv) batches (the deterministic \
+             interruption hook for checkpoint testing; the partial \
+             segment still checkpoints).")
+  in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
@@ -1044,7 +1203,7 @@ let fuzz_cmd =
       const run_fuzz $ algo $ n $ t $ runs $ sampler $ swarm
       $ Term.app (const not) no_shrink
       $ seed_arg $ delivery $ max_steps $ max_drops $ batch $ family
-      $ jobs_arg $ json)
+      $ jobs_arg $ json $ checkpoint $ ckpt_every $ resume $ max_batches)
 
 let serve_cmd =
   let clients =

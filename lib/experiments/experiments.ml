@@ -1981,6 +1981,157 @@ let b11_dpor_table ?(quick = false) () =
     row Mc.Dpor (explore Mc.Dpor);
   ]
 
+(* ---------------------------------------------------------------- *)
+(* B12: packed canonical-state codec (per-state retained memory)     *)
+(* ---------------------------------------------------------------- *)
+
+type b12_row = {
+  b12_depth : int;
+  b12_states : int;
+  b12_heap_bytes : float;
+  b12_packed_bytes : float;
+  b12_ratio : float;
+  b12_pass : bool;
+}
+
+let b12_header =
+  Printf.sprintf "%5s %9s %12s %14s %7s %5s" "depth" "states" "heap(B/st)"
+    "packed(B/st)" "ratio" "pass"
+
+let pp_b12_row fmt r =
+  Format.fprintf fmt "%5d %9d %12.1f %14.1f %6.1fx %5b" r.b12_depth
+    r.b12_states r.b12_heap_bytes r.b12_packed_bytes r.b12_ratio r.b12_pass
+
+module B12_cfg_key = struct
+  type t = Mc_anuc.Space.config
+
+  let equal = Mc_anuc.Space.equal
+end
+
+module B12_cfg_tbl = Mc.Intern.Table (B12_cfg_key)
+
+module B12_bytes_key = struct
+  type t = Bytes.t
+
+  let equal = Bytes.equal
+end
+
+module B12_bytes_tbl = Mc.Intern.Table (B12_bytes_key)
+
+(* DFS over the E_1(3) universe, deduplicating through the pipeline
+   under measurement ([visit] returns whether the config was new) —
+   the same role the memo table plays inside the checker. *)
+let b12_walk ~depth ~visit =
+  let n, faulty, _pattern, proposals = mc_universe ~depth in
+  let menu = Mc.Menu.contamination ~plus:true ~n ~faulty () in
+  let menus = Array.init n (fun p -> menu.Mc.Menu.values p) in
+  let count = ref 0 in
+  let rec go cfg d =
+    if visit cfg then begin
+      incr count;
+      if d < depth then
+        List.iter
+          (fun mv -> go (Mc_anuc.Space.apply ~n cfg mv) (d + 1))
+          (Mc_anuc.Space.enabled ~n ~delivery:`Fifo ~lossy:false ~menus cfg)
+    end
+  in
+  go (Mc_anuc.Space.initial ~n ~inputs:proposals) 0;
+  !count
+
+let b12_live_words () =
+  Gc.compact ();
+  (Gc.stat ()).Gc.live_words
+
+(* [run ()] builds one pipeline and returns only what that pipeline
+   retains per state — the dedup table driving the walk is NOT
+   returned, so the closing [Gc.compact] collects it along with the
+   walk's intermediate configs, and the live-word delta isolates the
+   state representation the codec changes (the hashed-key wrapper,
+   hashtable bindings and coverage entries are identical in both memo
+   layouts and would only dilute the comparison). *)
+let b12_measure run =
+  let before = b12_live_words () in
+  let retained, states = run () in
+  let after = b12_live_words () in
+  ignore (Sys.opaque_identity retained);
+  (states, after - before)
+
+(* Pipeline A — the pre-codec memo's state representation: every
+   distinct config retained as its heap graph (configs produced by
+   [apply] share unchanged per-process states and channels, exactly
+   as the exploration's memo retained them). *)
+let b12_heap_pipeline ~depth () =
+  let tbl = B12_cfg_tbl.create 1024 in
+  let acc = ref [] in
+  let visit cfg =
+    let k = Mc.Intern.hashed Mc_anuc.Space.key cfg in
+    if B12_cfg_tbl.mem tbl k then false
+    else begin
+      B12_cfg_tbl.add tbl k ();
+      acc := cfg :: !acc;
+      true
+    end
+  in
+  let states = b12_walk ~depth ~visit in
+  (Obj.repr (Array.of_list !acc), states)
+
+(* Pipeline B — the codec's state representation: one packed byte
+   string per distinct config plus the two interning pools; the
+   configs themselves become garbage after encoding. *)
+let b12_packed_pipeline ~depth () =
+  let pool = Mc_anuc.Packed.create ~n:3 in
+  let tbl = B12_bytes_tbl.create 1024 in
+  let acc = ref [] in
+  let visit cfg =
+    let b = Mc_anuc.Packed.encode pool cfg in
+    let k = Mc.Intern.hashed Mc.Codec.bytes_hash b in
+    if B12_bytes_tbl.mem tbl k then false
+    else begin
+      B12_bytes_tbl.add tbl k ();
+      acc := b :: !acc;
+      true
+    end
+  in
+  let states = b12_walk ~depth ~visit in
+  (Obj.repr (pool, Array.of_list !acc), states)
+
+let b12_codec_table ?(quick = false) () =
+  let word = Sys.word_size / 8 in
+  List.map
+    (fun depth ->
+      let states_a, words_a = b12_measure (b12_heap_pipeline ~depth) in
+      let states_b, words_b = b12_measure (b12_packed_pipeline ~depth) in
+      let per n w = float_of_int (max 0 w * word) /. float_of_int (max 1 n) in
+      let heap = per states_a words_a and packed = per states_b words_b in
+      let ratio = heap /. Float.max 1e-9 packed in
+      {
+        b12_depth = depth;
+        b12_states = states_a;
+        b12_heap_bytes = heap;
+        b12_packed_bytes = packed;
+        b12_ratio = ratio;
+        b12_pass = states_a = states_b && ratio >= 5.0;
+      })
+    (* below ~5k states the pools' fixed cost (two hashtables and
+       their dense arrays) dominates the per-state bytes, so the
+       smallest depth with a meaningful amortized figure is 7 *)
+    (if quick then [ 7 ] else [ 7; 9 ])
+
+let json_of_b12_rows rows =
+  Report.List
+    (List.map
+       (fun r ->
+         Report.Obj
+           [
+             ("depth", Report.Int r.b12_depth);
+             ("distinct_states", Report.Int r.b12_states);
+             ("heap_bytes_per_state", Report.Float r.b12_heap_bytes);
+             ("packed_bytes_per_state", Report.Float r.b12_packed_bytes);
+             ("ratio", Report.Float r.b12_ratio);
+             ("pass", Report.Bool r.b12_pass);
+           ])
+       rows)
+
 (* Shared by bench/main.ml and [nuc_cli mc --json] so the two
    emitters of the [b11_dpor] key cannot drift apart. *)
 let json_of_b11_rows rows =

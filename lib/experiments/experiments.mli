@@ -384,3 +384,34 @@ val b11_dpor_table : ?quick:bool -> unit -> b11_row list
 val json_of_b11_rows : b11_row list -> Report.t
 (** The [b11_dpor] document fragment, shared by [bench --json] and
     [nuc_cli mc --json]. *)
+
+type b12_row = {
+  b12_depth : int;
+  b12_states : int;  (** distinct configs retained (equal in both pipelines) *)
+  b12_heap_bytes : float;
+      (** retained bytes per state, config-keyed memo (heap graphs) *)
+  b12_packed_bytes : float;
+      (** retained bytes per state, packed codec (bytes keys + pools) *)
+  b12_ratio : float;  (** heap / packed *)
+  b12_pass : bool;  (** same state count and ratio >= 5.0 *)
+}
+
+val pp_b12_row : Format.formatter -> b12_row -> unit
+
+val b12_header : string
+
+val b12_codec_table : ?quick:bool -> unit -> b12_row list
+(** B12: per-state retained memory of the two canonical-state
+    representations over the same distinct-state set (a dedup walk of
+    the E_1(3) universe at depths 7 and 9; [quick] 7 only). Pipeline
+    A retains each distinct config as its heap graph (the pre-codec
+    memo layout, substructure sharing included); pipeline B retains
+    one packed byte string per config plus the two interning pools
+    ({!Mc.Make.Packed}). Footprints are [Gc.live_words] deltas with
+    the dedup table dropped before measuring, so the numbers isolate
+    exactly the representation the codec changes — the hashed-key
+    wrappers, hashtable bindings and coverage entries are identical
+    in both memo layouts. The acceptance bar is a >= 5x reduction. *)
+
+val json_of_b12_rows : b12_row list -> Report.t
+(** The [b12_codec] document fragment ([bench --json]). *)

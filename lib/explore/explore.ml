@@ -687,10 +687,69 @@ module Make (A : Sim.Automaton.S) = struct
       r_violation = !violation;
     }
 
+  (* ------------------------------------------------------------------ *)
+  (* Campaign checkpoints                                                *)
+  (* ------------------------------------------------------------------ *)
+
+  (* Fuzz checkpoints share [Mc.Codec]'s container with the checker's
+     but use a distinct schema version, so resuming a fuzz campaign
+     from an mc checkpoint (or vice versa) fails as [Bad_version]
+     before any unmarshalling. *)
+  let ckpt_version = 2
+
+  (* The campaign shape that must match for a resume to be meaningful:
+     everything the batch seed streams and the merge are functions
+     of. [runs] is included — a fuzz campaign's batch grid is fixed up
+     front, unlike the checker's state budget. *)
+  type fingerprint = {
+    fp_algo : string;
+    fp_seed : int;
+    fp_sampler : string;
+    fp_swarm : bool;
+    fp_runs : int;
+    fp_batch : int;
+    fp_max_steps : int;
+    fp_max_drops : int;
+    fp_n : int;
+    fp_menu : string;
+    fp_delivery : string;
+  }
+
+  let fp_describe fp =
+    Printf.sprintf
+      "algo=%S seed=%d sampler=%s swarm=%b runs=%d batch=%d max_steps=%d \
+       max_drops=%d n=%d menu=%S delivery=%s"
+      fp.fp_algo fp.fp_seed fp.fp_sampler fp.fp_swarm fp.fp_runs fp.fp_batch
+      fp.fp_max_steps fp.fp_max_drops fp.fp_n fp.fp_menu fp.fp_delivery
+
+  (* The merged campaign state at a batch boundary: coverage key sets
+     (as raw int arrays), the curve so far, the counters, and the
+     first unmerged batch. Restoring it and merging the remaining
+     batches reproduces the straight-through campaign byte for byte —
+     per-batch results depend only on (seed, batch index), and merged
+     novelty counts depend only on set membership, not insertion
+     order (pinned in test_explore.ml). *)
+  type ckpt = {
+    ck_fp : fingerprint;
+    ck_next : int;
+    ck_states : int array;
+    ck_depths : int array;
+    ck_shapes : int array;
+    ck_sigs : int array;
+    ck_traces : int array;
+    ck_curve : batch_point list;  (* reversed: merge order, newest first *)
+    ck_counts : int array;  (* runs_done, steps_total, decided, quiesced *)
+  }
+
+  let kset_export s =
+    let acc = ref [] in
+    Kset.iter (fun k -> acc := k :: !acc) s;
+    Array.of_list !acc
+
   let fuzz ?(algo = "unnamed") ?(sampler = Uniform) ?swarm ?(batch_size = 1000)
       ?(delivery = `Fifo) ?max_steps ?(max_drops = 1) ?(shrink = true)
-      ?(jobs = 1) ?stop ?decided ~seed ~runs ~n ~menu ~pattern ~inputs ~props
-      () =
+      ?(jobs = 1) ?checkpoint ?resume ?max_batches ?stop ?decided ~seed ~runs
+      ~n ~menu ~pattern ~inputs ~props () =
     let t0 = Sim.Clock.now () in
     let max_steps =
       match max_steps with Some m -> m | None -> 18 * n
@@ -705,32 +764,21 @@ module Make (A : Sim.Automaton.S) = struct
       }
     in
     let nbatches = if runs <= 0 then 0 else ((runs - 1) / batch_size) + 1 in
-    let results = Array.make (max 1 nbatches) None in
-    (* Batches are independent given their index, so they are the unit
-       of parallel dispatch over the domain pool. [cutoff] is the
-       earliest batch known to hold a violation: the sequential loop
-       never runs anything past it, so workers skip later batches
-       outright (results past the cutoff are discarded by the merge
-       anyway). Every batch below the final cutoff is computed: the
-       pool hands out indices in increasing order, and the cutoff only
-       ever decreases to an index that was actually computed. *)
-    let cutoff = Atomic.make max_int in
-    let rec lower b =
-      let c = Atomic.get cutoff in
-      if b < c && not (Atomic.compare_and_set cutoff c b) then lower b
+    let fp =
+      {
+        fp_algo = algo;
+        fp_seed = seed;
+        fp_sampler = sampler_name sampler;
+        fp_swarm = swarm <> None;
+        fp_runs = runs;
+        fp_batch = batch_size;
+        fp_max_steps = max_steps;
+        fp_max_drops = max_drops;
+        fp_n = n;
+        fp_menu = menu.Mc.Menu.name;
+        fp_delivery = (match delivery with `Fifo -> "fifo" | `Any -> "any");
+      }
     in
-    Mc.Pool.run ~jobs nbatches (fun ~worker:_ b ->
-        if b <= Atomic.get cutoff then begin
-          let res =
-            run_batch ~n ~inputs ~props ~delivery ~max_steps ~seed ~base
-              ~swarm ~batch_size ~runs ~stop ~decided b
-          in
-          if res.r_violation <> None then lower b;
-          results.(b) <- Some res
-        end);
-    (* Merge in batch order: curve, totals, counters and the earliest
-       violation all replay the sequential loop byte for byte, for any
-       [jobs]. *)
     let cov = cov_create () in
     let curve = ref [] in
     let raw_violation = ref None in
@@ -738,52 +786,161 @@ module Make (A : Sim.Automaton.S) = struct
     let steps_total = ref 0 in
     let decided_runs = ref 0 in
     let quiesced_runs = ref 0 in
-    let b = ref 0 in
-    while !raw_violation = None && !b < nbatches do
-      (match results.(!b) with
-      | None ->
-        (* unreachable: batches up to the earliest violation are
-           always computed *)
-        assert false
-      | Some res ->
-        let states0 = Kset.length cov.states in
-        let depths0 = Kset.length cov.depths in
-        let shapes0 = Kset.length cov.shapes in
-        let sigs0 = Kset.length cov.sigs in
-        let traces0 = Kset.length cov.traces in
-        Kset.iter (cov_add cov.states) res.r_cov.states;
-        Kset.iter (cov_add cov.depths) res.r_cov.depths;
-        Kset.iter (cov_add cov.shapes) res.r_cov.shapes;
-        Kset.iter (cov_add cov.sigs) res.r_cov.sigs;
-        Kset.iter (cov_add cov.traces) res.r_cov.traces;
-        runs_done := !runs_done + res.r_runs;
-        steps_total := !steps_total + res.r_steps;
-        decided_runs := !decided_runs + res.r_decided;
-        quiesced_runs := !quiesced_runs + res.r_quiesced;
-        let bc = res.r_bc in
-        curve :=
+    let start =
+      match resume with
+      | None -> 0
+      | Some path -> (
+        match
+          (Mc.Codec.read_file ~path ~version:ckpt_version
+            : (ckpt, Mc.Codec.error) result)
+        with
+        | Error e -> raise (Mc.Resume_rejected e)
+        | Ok c ->
+          if c.ck_fp <> fp then
+            raise
+              (Mc.Resume_rejected
+                 (Mc.Codec.Params_mismatch
+                    (Printf.sprintf "checkpoint {%s} vs campaign {%s}"
+                       (fp_describe c.ck_fp) (fp_describe fp))));
+          Array.iter (cov_add cov.states) c.ck_states;
+          Array.iter (cov_add cov.depths) c.ck_depths;
+          Array.iter (cov_add cov.shapes) c.ck_shapes;
+          Array.iter (cov_add cov.sigs) c.ck_sigs;
+          Array.iter (cov_add cov.traces) c.ck_traces;
+          curve := c.ck_curve;
+          runs_done := c.ck_counts.(0);
+          steps_total := c.ck_counts.(1);
+          decided_runs := c.ck_counts.(2);
+          quiesced_runs := c.ck_counts.(3);
+          c.ck_next)
+    in
+    let last_ckpt = ref start in
+    let write_ckpt next =
+      match checkpoint with
+      | None -> ()
+      | Some (path, _) ->
+        Mc.Codec.write_file ~path ~version:ckpt_version
           {
-            bp_batch = !b;
-            bp_runs = !runs_done;
-            bp_menu = bc.c_menu.name;
-            bp_sampler = sampler_name bc.c_sampler;
-            bp_budget = (if bc.c_menu.lossy then bc.c_budget else 0);
-            bp_stab = bc.c_stab;
-            bp_states = Kset.length cov.states;
-            bp_new_states = Kset.length cov.states - states0;
-            bp_new_depths = Kset.length cov.depths - depths0;
-            bp_new_shapes = Kset.length cov.shapes - shapes0;
-            bp_new_sigs = Kset.length cov.sigs - sigs0;
-            bp_new_traces = Kset.length cov.traces - traces0;
-          }
-          :: !curve;
-        (match res.r_violation with
-        | Some (local_r, moves, name, detail) ->
-          raw_violation :=
-            Some ((!b * batch_size) + local_r, !b, bc, moves, name, detail)
-        | None -> ()));
-      incr b
+            ck_fp = fp;
+            ck_next = next;
+            ck_states = kset_export cov.states;
+            ck_depths = kset_export cov.depths;
+            ck_shapes = kset_export cov.shapes;
+            ck_sigs = kset_export cov.sigs;
+            ck_traces = kset_export cov.traces;
+            ck_curve = !curve;
+            ck_counts =
+              [| !runs_done; !steps_total; !decided_runs; !quiesced_runs |];
+          };
+        last_ckpt := next
+    in
+    (* Batches are independent given their index, so they are the unit
+       of parallel dispatch over the domain pool — in one sweep for a
+       plain campaign, in bounded chunks when checkpointing (so the
+       boundary where a snapshot is consistent recurs) or when
+       [max_batches] caps the segment. [cutoff] is the earliest batch
+       known to hold a violation: workers skip later batches outright
+       (results past the cutoff are discarded by the merge anyway).
+       Every batch below the final cutoff is computed: the pool hands
+       out indices in increasing order, and the cutoff only ever
+       decreases to an index that was actually computed. Chunking is
+       invisible to the merged result — each batch result is a
+       function of (seed, index) alone, and the merge always runs in
+       batch order — which is what keeps the report byte-identical
+       across straight-through, chunked and resumed campaigns at any
+       [jobs] (pinned in test_explore.ml). *)
+    let seg_limit =
+      match max_batches with None -> max_int | Some m -> max 0 m
+    in
+    let chunk =
+      if checkpoint = None && resume = None && max_batches = None then
+        max 1 nbatches
+      else max 1 (2 * jobs)
+    in
+    let b = ref start in
+    let seg_done = ref 0 in
+    while !raw_violation = None && !b < nbatches && !seg_done < seg_limit do
+      let lo = !b in
+      let hi = min nbatches (lo + min chunk (seg_limit - !seg_done)) in
+      let results = Array.make (hi - lo) None in
+      let cutoff = Atomic.make max_int in
+      let rec lower b' =
+        let c = Atomic.get cutoff in
+        if b' < c && not (Atomic.compare_and_set cutoff c b') then lower b'
+      in
+      Mc.Pool.run ~jobs (hi - lo) (fun ~worker:_ j ->
+          let bb = lo + j in
+          if bb <= Atomic.get cutoff then begin
+            let res =
+              run_batch ~n ~inputs ~props ~delivery ~max_steps ~seed ~base
+                ~swarm ~batch_size ~runs ~stop ~decided bb
+            in
+            if res.r_violation <> None then lower bb;
+            results.(j) <- Some res
+          end);
+      (* Merge in batch order: curve, totals, counters and the
+         earliest violation all replay the sequential loop byte for
+         byte, for any [jobs]. *)
+      let j = ref 0 in
+      while !raw_violation = None && !j < hi - lo do
+        let bb = lo + !j in
+        (match results.(!j) with
+        | None ->
+          (* unreachable: batches up to the earliest violation are
+             always computed *)
+          assert false
+        | Some res ->
+          let states0 = Kset.length cov.states in
+          let depths0 = Kset.length cov.depths in
+          let shapes0 = Kset.length cov.shapes in
+          let sigs0 = Kset.length cov.sigs in
+          let traces0 = Kset.length cov.traces in
+          Kset.iter (cov_add cov.states) res.r_cov.states;
+          Kset.iter (cov_add cov.depths) res.r_cov.depths;
+          Kset.iter (cov_add cov.shapes) res.r_cov.shapes;
+          Kset.iter (cov_add cov.sigs) res.r_cov.sigs;
+          Kset.iter (cov_add cov.traces) res.r_cov.traces;
+          runs_done := !runs_done + res.r_runs;
+          steps_total := !steps_total + res.r_steps;
+          decided_runs := !decided_runs + res.r_decided;
+          quiesced_runs := !quiesced_runs + res.r_quiesced;
+          let bc = res.r_bc in
+          curve :=
+            {
+              bp_batch = bb;
+              bp_runs = !runs_done;
+              bp_menu = bc.c_menu.name;
+              bp_sampler = sampler_name bc.c_sampler;
+              bp_budget = (if bc.c_menu.lossy then bc.c_budget else 0);
+              bp_stab = bc.c_stab;
+              bp_states = Kset.length cov.states;
+              bp_new_states = Kset.length cov.states - states0;
+              bp_new_depths = Kset.length cov.depths - depths0;
+              bp_new_shapes = Kset.length cov.shapes - shapes0;
+              bp_new_sigs = Kset.length cov.sigs - sigs0;
+              bp_new_traces = Kset.length cov.traces - traces0;
+            }
+            :: !curve;
+          (match res.r_violation with
+          | Some (local_r, moves, name, detail) ->
+            raw_violation :=
+              Some ((bb * batch_size) + local_r, bb, bc, moves, name, detail)
+          | None -> ()));
+        incr j
+      done;
+      b := lo + !j;
+      seg_done := !seg_done + (hi - lo);
+      if !raw_violation = None then
+        match checkpoint with
+        | Some (_, every) when !b - !last_ckpt >= every -> write_ckpt !b
+        | _ -> ()
     done;
+    (* Segment boundary (or completion) without a violation: persist
+       the cursor so a later [?resume] continues — or, when complete,
+       reports completion. A violating campaign is final; it writes no
+       checkpoint. *)
+    if !raw_violation = None && checkpoint <> None && !last_ckpt <> !b then
+      write_ckpt !b;
     let violation =
       match !raw_violation with
       | None -> None

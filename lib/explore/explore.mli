@@ -154,6 +154,9 @@ module Make (A : Sim.Automaton.S) : sig
     ?max_drops:int ->
     ?shrink:bool ->
     ?jobs:int ->
+    ?checkpoint:string * int ->
+    ?resume:string ->
+    ?max_batches:int ->
     ?stop:((Pid.t -> A.state) -> bool) ->
     ?decided:(A.state -> bool) ->
     seed:int ->
@@ -203,7 +206,22 @@ module Make (A : Sim.Automaton.S) : sig
       including} [jobs]: same seed, same bytes, for any job count
       (pinned in test_explore.ml and test_cli.ml). [wall_seconds] is
       one monotonic-clock read on the coordinating domain, never a
-      per-domain sum. *)
+      per-domain sum.
+
+      [checkpoint:(path, every_n_batches)] writes a versioned snapshot
+      of the merged campaign state (coverage key sets, curve,
+      counters, batch cursor) to [path] at batch-chunk boundaries;
+      [resume] restores one after full validation — raising
+      {!Mc.Resume_rejected} on a corrupt file, a wrong schema version,
+      or a different campaign fingerprint — and continues from the
+      cursor. [max_batches] caps the batches processed by this
+      segment (the deterministic interruption hook: a partial segment
+      still checkpoints and returns a partial report). Because batch
+      results are functions of (seed, batch index) alone and the merge
+      always runs in batch order, an interrupted-and-resumed campaign's
+      report is byte-identical to the straight-through one, at any
+      [jobs] (pinned in test_explore.ml). A violating campaign is
+      final and writes no checkpoint. *)
 
   val shrink_schedule :
     ?max_candidates:int ->

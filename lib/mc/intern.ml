@@ -70,6 +70,11 @@ module Striped (K : KEY) = struct
     locks : Mutex.t array;
     tables : 'v T.t array;
     count : int Atomic.t;  (* insertions so far = next compact id *)
+    mutable spill_dir : string option;
+    spilled : Key_set.t array;
+        (* hashes of the keys currently living in each stripe's spill
+           segment on disk — the membership prefilter that lets a
+           lookup skip the disk when the hash cannot be spilled *)
   }
 
   let rec pow2 n k = if k >= n then k else pow2 n (k * 2)
@@ -81,9 +86,80 @@ module Striped (K : KEY) = struct
       locks = Array.init s (fun _ -> Mutex.create ());
       tables = Array.init s (fun _ -> T.create (max 16 (cap / s)));
       count = Atomic.make 0;
+      spill_dir = None;
+      spilled = Array.init s (fun _ -> Key_set.create 1);
     }
 
   let length t = Atomic.get t.count
+
+  (* ---- disk spill of cold stripes ------------------------------- *)
+
+  (* Invariant per stripe: a key is bound either in the in-memory
+     table or in the spill segment, never both, and [spilled.(i)]
+     holds exactly the hashes of the on-disk bindings. Spilling
+     appends the in-memory bindings to the segment and empties the
+     table; any access whose hash the prefilter admits reloads the
+     whole segment (exact [K.equal] probing then happens in memory,
+     so hash collisions against spilled keys cost a reload, never a
+     conflation), after which the segment is deleted. *)
+
+  let spill_version = 1
+
+  let spill_path dir i = Filename.concat dir (Printf.sprintf "stripe_%04d.bin" i)
+
+  let read_spill path : (K.t hashed * 'v) array =
+    match Codec.read_file ~path ~version:spill_version with
+    | Ok pairs -> pairs
+    | Error e ->
+      failwith
+        (Printf.sprintf "Intern.Striped: unreadable spill segment %s: %s" path
+           (Codec.error_to_string e))
+
+  (* caller holds the stripe lock *)
+  let reload_locked t i =
+    if Key_set.length t.spilled.(i) > 0 then begin
+      let dir = Option.get t.spill_dir in
+      let path = spill_path dir i in
+      Array.iter (fun (k, v) -> T.add t.tables.(i) k v) (read_spill path);
+      t.spilled.(i) <- Key_set.create 1;
+      try Sys.remove path with Sys_error _ -> ()
+    end
+
+  (* caller holds the stripe lock *)
+  let maybe_reload_locked t i ih =
+    if Key_set.length t.spilled.(i) > 0 && Key_set.mem t.spilled.(i) ih then
+      reload_locked t i
+
+  let set_spill_dir t dir = t.spill_dir <- Some dir
+
+  let spill t =
+    match t.spill_dir with
+    | None -> invalid_arg "Intern.Striped.spill: no spill directory set"
+    | Some dir ->
+      for i = 0 to t.mask do
+        let m = t.locks.(i) in
+        Mutex.lock m;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock m)
+          (fun () ->
+            if T.length t.tables.(i) > 0 then begin
+              let mem = T.fold (fun k v acc -> (k, v) :: acc) t.tables.(i) [] in
+              let prev =
+                if Key_set.length t.spilled.(i) > 0 then
+                  Array.to_list (read_spill (spill_path dir i))
+                else []
+              in
+              Codec.write_file ~path:(spill_path dir i) ~version:spill_version
+                (Array.of_list (List.rev_append mem prev));
+              List.iter
+                (fun ((k : K.t hashed), _) ->
+                  ignore (Key_set.add_new t.spilled.(i) k.ih : bool))
+                mem;
+              T.reset t.tables.(i)
+            end)
+      done
+
+  (* ---- core operations ------------------------------------------ *)
 
   let with_key t k f =
     let i = k.ih land t.mask in
@@ -92,6 +168,7 @@ module Striped (K : KEY) = struct
     Fun.protect
       ~finally:(fun () -> Mutex.unlock m)
       (fun () ->
+        maybe_reload_locked t i k.ih;
         let bound = T.find_opt t.tables.(i) k in
         let r, insert = f bound in
         (match (insert, bound) with
@@ -110,6 +187,7 @@ module Striped (K : KEY) = struct
     Fun.protect
       ~finally:(fun () -> Mutex.unlock m)
       (fun () ->
+        maybe_reload_locked t i k.ih;
         match T.find_opt t.tables.(i) k with
         | Some v -> (v, false)
         | None ->
@@ -119,4 +197,28 @@ module Striped (K : KEY) = struct
           let v = mk id in
           T.add t.tables.(i) k v;
           (v, true))
+
+  (* ---- checkpoint image ----------------------------------------- *)
+
+  let export t =
+    let acc = ref [] in
+    for i = t.mask downto 0 do
+      let m = t.locks.(i) in
+      Mutex.lock m;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock m)
+        (fun () ->
+          reload_locked t i;
+          acc := T.fold (fun k v l -> (k, v) :: l) t.tables.(i) !acc)
+    done;
+    Array.of_list !acc
+
+  let import t pairs =
+    Array.iter
+      (fun (k, v) ->
+        with_key t k (fun bound ->
+            match bound with
+            | Some _ -> invalid_arg "Intern.Striped.import: key already bound"
+            | None -> ((), Some v)))
+      pairs
 end

@@ -79,4 +79,30 @@ module Striped (K : KEY) : sig
   (** [intern t k mk] finds [k]'s value, or binds it to [mk id] where
       [id] is a fresh compact id; returns the value and whether it
       was inserted. Atomic per key, like {!with_key}. *)
+
+  val set_spill_dir : 'v t -> string -> unit
+  (** Enables disk spill: {!spill} writes stripe segments under this
+      directory (which must exist). *)
+
+  val spill : 'v t -> unit
+  (** Moves every stripe's in-memory bindings into its on-disk
+      segment ([Codec.write_file] container), keeping only a
+      per-stripe hash prefilter in memory — the memory-bounding lever
+      of long campaigns. A later access whose hash the prefilter
+      admits reloads that stripe's whole segment (deleting it), and
+      the exact [K.equal] probe then runs in memory: a hash collision
+      against a spilled key costs a reload, never a conflation.
+      {!length} is unaffected — spilled keys stay counted. Raises
+      [Invalid_argument] without {!set_spill_dir}, [Failure] on an
+      unreadable segment. *)
+
+  val export : 'v t -> (K.t hashed * 'v) array
+  (** Every binding, spilled segments included (they are reloaded
+      first) — the checkpointable image of the visited set. *)
+
+  val import : 'v t -> (K.t hashed * 'v) array -> unit
+  (** Bulk-inserts bindings (each must be fresh), advancing the id
+      watermark per key — restoring an {!export} restores {!length},
+      which is what makes [max_states] cumulative across resumed
+      segments. *)
 end

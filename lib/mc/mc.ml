@@ -35,10 +35,19 @@ open Procset
 
 (* Submodules of the multicore engine, re-exported as part of the
    library interface: [Mc.Intern] (cached-hash interning tables, the
-   striped shared visited set) and [Mc.Pool] (the domain pool, which
-   lives in [Sim] so the concurrent executor can share it). *)
+   striped shared visited set), [Mc.Codec] (packed-encoding byte
+   primitives and the validated checkpoint container) and [Mc.Pool]
+   (the domain pool, which lives in [Sim] so the concurrent executor
+   can share it). *)
 module Intern = Intern
+module Codec = Codec
 module Pool = Sim.Pool
+
+(* A [?resume] file that fails validation (bad magic, wrong schema
+   version, digest mismatch, different campaign fingerprint, stored
+   hashes that do not re-verify) aborts the run with the typed error —
+   never a [Marshal] segfault or a silent merge of two campaigns. *)
+exception Resume_rejected of Codec.error
 
 (* [Cover]: the memo-coverage record (budgets + sleep set) behind
    memoization, extracted so the domination/update logic — and its
@@ -331,8 +340,16 @@ module Make (A : Sim.Automaton.S) = struct
            delivered; no process steps, [m_fd] is [Unit] *)
   }
 
+  (* [m_recv] is matched out by hand: moves are compared once per
+     sleeper per node (sleep membership, [Cover]'s subset and
+     intersection), where a polymorphic [=] on the option shows up as
+     the single hottest call of the whole walk. *)
   let move_equal a b =
-    a.m_pid = b.m_pid && a.m_recv = b.m_recv && a.m_drop = b.m_drop
+    a.m_pid = b.m_pid && a.m_drop = b.m_drop
+    && (match (a.m_recv, b.m_recv) with
+       | None, None -> true
+       | Some (s, i), Some (s', i') -> s = s' && i = i'
+       | None, Some _ | Some _, None -> false)
     && Sim.Fd_value.equal a.m_fd b.m_fd
 
   type property = {
@@ -393,22 +410,128 @@ module Make (A : Sim.Automaton.S) = struct
   let config_equal a b = a.states = b.states && a.chans = b.chans
   let config_hash c = Hashtbl.hash_param 150 600 c
 
-  module Key = struct
-    type t = config
+  (* -------------------------------------------------------------- *)
+  (* Packed canonical-state encoding                                  *)
+  (* -------------------------------------------------------------- *)
 
-    let equal = config_equal
+  (* A config retained in the visited set used to be the heap graph
+     itself: n state values, n*n channel list spines, every payload.
+     Campaigns see few *distinct per-process states* and few distinct
+     payloads relative to distinct configurations, so the packed form
+     interns both in [Codec.Pool]s and stores a config as a flat byte
+     string of varint pool indices — one small [Bytes.t] per visited
+     state instead of a shared-nothing object graph (the B12 table
+     measures the per-state ratio).
+
+     Layout: n varints (state pool index per process, pid order) |
+     varint count of non-empty channels | per non-empty channel in
+     ascending (src * n + dst) order: varint channel index, varint
+     queue length, queue-order varint message pool indices.
+
+     [encode] is injective with respect to [config_equal] given one
+     pool: pool indices are in bijection with distinct values, the
+     layout is uniquely decodable, and channel order is canonical —
+     so [Bytes.equal] on packed keys *is* [config_equal], distinct
+     states stay distinct (crafted hash collisions included, pinned
+     in test_codec.ml), and [decode] is the exact inverse. The pool
+     is mutex-protected: parallel workers intern concurrently. *)
+  module Packed = struct
+    type pool = {
+      pk_n : int;
+      pk_lock : Mutex.t;
+      pk_states : A.state Codec.Pool.t;
+      pk_msgs : A.message Codec.Pool.t;
+    }
+
+    let create ~n =
+      {
+        pk_n = n;
+        pk_lock = Mutex.create ();
+        pk_states = Codec.Pool.create ();
+        pk_msgs = Codec.Pool.create ();
+      }
+
+    (* resume: rebuild pools whose indices are the checkpointed array
+       positions, so stored packed keys keep decoding identically *)
+    let of_pools ~n states msgs =
+      {
+        pk_n = n;
+        pk_lock = Mutex.create ();
+        pk_states = Codec.Pool.import states;
+        pk_msgs = Codec.Pool.import msgs;
+      }
+
+    let export_pools p =
+      (Codec.Pool.export p.pk_states, Codec.Pool.export p.pk_msgs)
+
+    let encode p cfg =
+      Mutex.lock p.pk_lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock p.pk_lock)
+        (fun () ->
+          let n = p.pk_n in
+          let buf = Buffer.create 64 in
+          Array.iter
+            (fun st -> Codec.write_varint buf (Codec.Pool.intern p.pk_states st))
+            cfg.states;
+          let nonempty = ref 0 in
+          Array.iter (fun q -> if q <> [] then incr nonempty) cfg.chans;
+          Codec.write_varint buf !nonempty;
+          for c = 0 to (n * n) - 1 do
+            match cfg.chans.(c) with
+            | [] -> ()
+            | q ->
+              Codec.write_varint buf c;
+              Codec.write_varint buf (List.length q);
+              List.iter
+                (fun m ->
+                  Codec.write_varint buf (Codec.Pool.intern p.pk_msgs m))
+                q
+          done;
+          Buffer.to_bytes buf)
+
+    let decode p b =
+      Mutex.lock p.pk_lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock p.pk_lock)
+        (fun () ->
+          let n = p.pk_n in
+          let pos = ref 0 in
+          let rec read_k k acc =
+            if k = 0 then List.rev acc
+            else read_k (k - 1) (Codec.read_varint b pos :: acc)
+          in
+          let states =
+            Array.of_list
+              (List.map (Codec.Pool.get p.pk_states) (read_k n []))
+          in
+          let chans = Array.make (n * n) [] in
+          let k = Codec.read_varint b pos in
+          for _ = 1 to k do
+            let c = Codec.read_varint b pos in
+            let len = Codec.read_varint b pos in
+            chans.(c) <-
+              List.map (Codec.Pool.get p.pk_msgs) (read_k len [])
+          done;
+          if !pos <> Bytes.length b then
+            invalid_arg "Packed.decode: trailing bytes";
+          { states; chans })
   end
 
-  (* Memo keys carry their hash: [config_hash] walks the whole
-     canonical state, and a plain [Hashtbl] would recompute it on the
-     [find_opt] and again on the [add] of every fresh state. With
-     [Intern.hashed] the walk happens once per node visit; equality
-     prefilters on the cached hash, with [config_equal] as the
-     collision backstop (pinned in test_mc.ml). *)
-  module Tbl = Intern.Table (Key)
-  module Shared = Intern.Striped (Key)
+  module BKey = struct
+    type t = Bytes.t
 
-  let hconfig = Intern.hashed config_hash
+    let equal = Bytes.equal
+  end
+
+  (* Memo keys are the interned *packed bytes*, hashed once with the
+     full-width [Codec.bytes_hash] at encode time ([Intern.hashed]);
+     equality prefilters on the cached hash with [Bytes.equal] — i.e.
+     [config_equal], by injectivity of [encode] — as the collision
+     backstop (pinned in test_codec.ml). The table retains one flat
+     byte string per state instead of the config heap graph. *)
+  module Tbl = Intern.Table (BKey)
+  module Shared = Intern.Striped (BKey)
 
   (* The memo-coverage record (remaining depth, remaining loss budget,
      sleep set) lives in [Cover]; every absorption/update decision of
@@ -590,7 +713,12 @@ module Make (A : Sim.Automaton.S) = struct
      test_dpor.ml. *)
   let move_dependent a b =
     if (not a.m_drop) && not b.m_drop then a.m_pid = b.m_pid
-    else consumes a = consumes b
+    else
+      (* at least one is a drop, so at least one consumes; equal
+         channels means equal sources and equal consumers *)
+      match (a.m_recv, b.m_recv) with
+      | Some (sa, _), Some (sb, _) -> sa = sb && a.m_pid = b.m_pid
+      | None, _ | _, None -> false
 
   (* Canonical Mazurkiewicz-trace key of a schedule: linearize the
      dependence DAG (edges i -> j for i < j with dependent moves)
@@ -694,6 +822,49 @@ module Make (A : Sim.Automaton.S) = struct
             { cx_property; cx_detail; cx_moves; cx_steps; cx_samples; cx_states };
       }
 
+  (* Per-node sibling index for race partitioning. [move_dependent]
+     couples a move only with same-pid non-drop moves (when itself a
+     non-drop) or with the consumers of one channel (when a drop is
+     involved), so bucketing siblings by that key — non-drop moves by
+     pid, drop moves by consumed channel — lets race detection for a
+     taken move read just its own buckets instead of walking the whole
+     sibling list. With a lossy menu a node's sibling list is
+     O(n * |menu| + channels) long while a message has O(|menu|)
+     consumers; the old [List.partition] walk made sleep inheritance
+     quadratic in the sibling list per node, the B11 wall-clock
+     regression of dpor against sleep-sets at depth >= 11. *)
+  module Sibs = struct
+    type t = {
+      s_pid : move list array;  (* non-drop moves, indexed by m_pid *)
+      s_chan : move list array;
+          (* drop moves, indexed by consumed channel src * n + dst *)
+    }
+
+    let create ~n = { s_pid = Array.make n []; s_chan = Array.make (n * n) [] }
+
+    let chan ~n mv =
+      match mv.m_recv with
+      | Some (src, _) -> (src * n) + mv.m_pid
+      | None -> invalid_arg "Sibs.chan: lambda move"
+
+    let add ~n t mv =
+      if mv.m_drop then begin
+        let c = chan ~n mv in
+        t.s_chan.(c) <- mv :: t.s_chan.(c)
+      end
+      else t.s_pid.(mv.m_pid) <- mv :: t.s_pid.(mv.m_pid)
+
+    let of_list ~n ms =
+      let t = create ~n in
+      List.iter (add ~n t) ms;
+      t
+
+    (* membership probes only the one bucket the move could be in *)
+    let mem ~n t mv =
+      List.exists (move_equal mv)
+        (if mv.m_drop then t.s_chan.(chan ~n mv) else t.s_pid.(mv.m_pid))
+  end
+
   (* Sleep-set inheritance, per reduction. [Sleep_sets] keeps a
      sleeper asleep when it has a different pid than the taken move
      (drop moves conservatively never slept); [Dpor] keeps every
@@ -706,24 +877,109 @@ module Make (A : Sim.Automaton.S) = struct
      slept move's schedules are walked, move for move, from the
      sibling that put it to sleep, so reachable states within the
      depth bound are untouched (the differential battery pins
-     distinct-state equality across all three reductions). *)
-  let inherit_slept ~reduction ~races ~backtracks ~explored ~slept mv =
+     distinct-state equality across all three reductions).
+
+     The inherited set is computed bucket-wise from the [Sibs]
+     indices: the buckets dependence couples to [mv] are counted as
+     races (and, from [slept], as backtracks), every other bucket is
+     kept wholesale. The *set* of kept sleepers is exactly the old
+     [List.partition] filter's — only the list order differs, and
+     every consumer of sleep sets (membership, [Cover]'s subset and
+     intersection, the counters) is order-insensitive. *)
+  let inherit_slept ~reduction ~lossy ~races ~backtracks ~n
+      ~(explored : Sibs.t) ~(slept : Sibs.t) mv =
     match reduction with
     | No_reduction -> []
     | Sleep_sets ->
-      List.filter
-        (fun m -> (not m.m_drop) && m.m_pid <> mv.m_pid)
-        (explored @ slept)
+      (* non-drop moves of a different pid stay asleep; the drop
+         buckets are never slept under this reduction *)
+      let acc = ref [] in
+      for p = n - 1 downto 0 do
+        if p <> mv.m_pid then
+          acc :=
+            List.rev_append explored.Sibs.s_pid.(p)
+              (List.rev_append slept.Sibs.s_pid.(p) !acc)
+      done;
+      !acc
     | Dpor ->
-      let keep_e, race_e =
-        List.partition (fun m -> not (move_dependent m mv)) explored
+      let keep = ref [] in
+      let nraces = ref 0 and nbt = ref 0 in
+      let scan is_slept (t : Sibs.t) =
+        let dep = ref 0 in
+        (match consumes mv with
+        | Some (src, dst) ->
+          (* the consumed channel's drops race with [mv] whether or
+             not [mv] is itself a drop; every other channel's drops
+             commute with it. A reliable menu generates no drop
+             moves, so its [s_chan] buckets are all empty — skip the
+             n^2 bucket walk outright. *)
+          if lossy then begin
+            let c = (src * n) + dst in
+            for c' = (n * n) - 1 downto 0 do
+              if c' = c then dep := !dep + List.length t.Sibs.s_chan.(c')
+              else keep := List.rev_append t.Sibs.s_chan.(c') !keep
+            done
+          end;
+          if mv.m_drop then
+            (* a drop races with the dropped channel's deliveries —
+               all in the consumer's pid bucket, filtered by source —
+               and with nothing else the process does *)
+            for p = n - 1 downto 0 do
+              if p <> dst then keep := List.rev_append t.Sibs.s_pid.(p) !keep
+              else
+                List.iter
+                  (fun m ->
+                    match m.m_recv with
+                    | Some (s, _) when s = src -> incr dep
+                    | _ -> keep := m :: !keep)
+                  t.Sibs.s_pid.(p)
+            done
+          else
+            for p = n - 1 downto 0 do
+              if p = mv.m_pid then dep := !dep + List.length t.Sibs.s_pid.(p)
+              else keep := List.rev_append t.Sibs.s_pid.(p) !keep
+            done
+        | None ->
+          (* lambda: dependent only on its own process's non-drop
+             moves; every drop commutes with it *)
+          if lossy then
+            for c' = (n * n) - 1 downto 0 do
+              keep := List.rev_append t.Sibs.s_chan.(c') !keep
+            done;
+          for p = n - 1 downto 0 do
+            if p = mv.m_pid then dep := !dep + List.length t.Sibs.s_pid.(p)
+            else keep := List.rev_append t.Sibs.s_pid.(p) !keep
+          done);
+        nraces := !nraces + !dep;
+        if is_slept then nbt := !nbt + !dep
       in
-      let keep_s, race_s =
-        List.partition (fun m -> not (move_dependent m mv)) slept
-      in
-      races := !races + List.length race_e + List.length race_s;
-      backtracks := !backtracks + List.length race_s;
-      keep_e @ keep_s
+      scan false explored;
+      scan true slept;
+      races := !races + !nraces;
+      backtracks := !backtracks + !nbt;
+      !keep
+
+  (* A structural hash over detector values, so the no-op memo can use
+     a monomorphic [Hashtbl.Make] instance: the generic table's
+     [caml_hash]/[caml_compare] calls per probe were the last
+     DPOR-only cost visible in the B11 profiles. The [Pset.t] leaves
+     are immediate ints, so [Hashtbl.hash] on them is a constant-time
+     word mix, not a traversal. *)
+  let rec fd_hash : Sim.Fd_value.t -> int = function
+    | Sim.Fd_value.Unit -> 0x2545f491
+    | Leader p -> 0x01000193 + p
+    | Quorum q -> 0x811c9dc5 lxor Hashtbl.hash q
+    | Suspects s -> 0x7feb352d lxor Hashtbl.hash s
+    | Pair (a, b) -> (fd_hash a * 0x01000193) lxor fd_hash b
+
+  module Noop_tbl = Hashtbl.Make (struct
+    type t = Pid.t * int * Sim.Fd_value.t
+
+    let equal (p, i, f) (p', i', f') =
+      p = p' && i = i' && Sim.Fd_value.equal f f'
+
+    let hash (p, i, f) = (((p * 31) + i) * 0x01000193) lxor fd_hash f
+  end)
 
   let run_seq ~reduction ~dedup ~delivery ~max_states ~max_drops ~stop ~n
       ~menu ~depth ~inputs ~props () =
@@ -741,10 +997,23 @@ module Make (A : Sim.Automaton.S) = struct
        No-ops are never recorded in sleep sets (they are skipped
        before the sleep check can record them), so the memo coverage
        domination is untouched. *)
-    let noop : (Pid.t * A.state * Sim.Fd_value.t, unit) Hashtbl.t =
-      Hashtbl.create 1024
-    in
+    let noop = Noop_tbl.create 1024 in
     let visited = Tbl.create 65536 in
+    let pool = Packed.create ~n in
+    (* one packed encode + full-width hash per transition, computed at
+       the parent and reused at the child's node; the table retains
+       only the packed bytes *)
+    let hconfig cfg = Intern.hashed Codec.bytes_hash (Packed.encode pool cfg) in
+    (* the packed layout leads with the n state pool indices, so the
+       parent's own key yields [states.(p)]'s index — the cheap [noop]
+       key that replaces hashing the state structurally per probe *)
+    let state_ix (hc : Bytes.t Intern.hashed) p =
+      let pos = ref 0 in
+      for _ = 1 to p do
+        ignore (Codec.read_varint hc.Intern.iv pos)
+      done;
+      Codec.read_varint hc.Intern.iv pos
+    in
     let transitions = ref 0
     and dedup_hits = ref 0
     and self_loops = ref 0
@@ -763,46 +1032,56 @@ module Make (A : Sim.Automaton.S) = struct
           | Error d -> raise (Found (pr.prop_name, d, List.rev path_rev)))
         props
     in
-    let rec dfs cfg remaining drops slept path_rev =
+    let rec dfs cfg hc remaining drops slept path_rev =
       if depth - remaining > !max_depth then max_depth := depth - remaining;
-      (* one deep hash per node visit, reused by lookup and insert *)
-      let hc = hconfig cfg in
       let expand_with slept =
         (* the drop alphabet switches off once the path's loss budget
            is spent *)
         let all = moves_of ~n ~delivery ~lossy:(lossy && drops > 0) ~menus cfg in
-        let explored = ref [] in
+        (* index the inherited sleepers once per node; earlier
+           explored siblings accumulate in the same bucketed form *)
+        let sl = Sibs.of_list ~n slept in
+        let ex = Sibs.create ~n in
         List.iter
           (fun mv ->
-            if sleep && List.exists (move_equal mv) slept then
-              incr sleep_skipped
+            if sleep && Sibs.mem ~n sl mv then incr sleep_skipped
             else if
               dpor
               && mv.m_recv = None
-              && Hashtbl.mem noop (mv.m_pid, cfg.states.(mv.m_pid), mv.m_fd)
+              && Noop_tbl.mem noop (mv.m_pid, state_ix hc mv.m_pid, mv.m_fd)
             then incr self_loops
             else begin
               let child = apply ~n cfg mv in
               incr transitions;
-              if child.states = cfg.states && child.chans = cfg.chans then begin
+              (* [apply] shares [chans] physically exactly when the
+                 move neither consumed nor sent, and copies [states]
+                 touching only slot [m_pid] — so the self-loop test
+                 compares one state slot on that fast path instead of
+                 the whole config *)
+              let is_self_loop =
+                if child.chans == cfg.chans then
+                  child.states.(mv.m_pid) = cfg.states.(mv.m_pid)
+                else child.states = cfg.states && child.chans = cfg.chans
+              in
+              if is_self_loop then begin
                 (* self-loop (e.g. a lambda step whose detector value
                    unlocks nothing): no new state, and every move
                    enabled at the child is enabled here — skip *)
                 incr self_loops;
                 if dpor && mv.m_recv = None then
-                  Hashtbl.replace noop
-                    (mv.m_pid, cfg.states.(mv.m_pid), mv.m_fd)
+                  Noop_tbl.replace noop
+                    (mv.m_pid, state_ix hc mv.m_pid, mv.m_fd)
                     ()
               end
               else begin
               let child_slept =
-                inherit_slept ~reduction ~races ~backtracks
-                  ~explored:!explored ~slept mv
+                inherit_slept ~reduction ~lossy ~races ~backtracks ~n
+                  ~explored:ex ~slept:sl mv
               in
-              dfs child (remaining - 1)
+              dfs child (hconfig child) (remaining - 1)
                 (if mv.m_drop then drops - 1 else drops)
                 child_slept (mv :: path_rev);
-              if sleep then explored := mv :: !explored
+              if sleep then Sibs.add ~n ex mv
               end
             end)
           all
@@ -843,7 +1122,7 @@ module Make (A : Sim.Automaton.S) = struct
     let root = initial_config ~n ~inputs in
     let violation =
       try
-        dfs root depth max_drops [] [];
+        dfs root (hconfig root) depth max_drops [] [];
         None
       with
       | Limit -> None
@@ -868,7 +1147,102 @@ module Make (A : Sim.Automaton.S) = struct
     finish ~n ~inputs ~stats violation
 
   (* ---------------------------------------------------------------- *)
-  (* Parallel exploration                                              *)
+  (* Campaign checkpoints                                              *)
+  (* ---------------------------------------------------------------- *)
+
+  (* Schema version of the mc checkpoint container. The fuzz
+     checkpoint uses a different version number on the same container,
+     so resuming an mc campaign from a fuzz file fails as
+     [Bad_version], before any unmarshalling. *)
+  let ckpt_version = 1
+
+  (* Everything that must match for a resume to be meaningful: the
+     campaign shape. [max_states] is deliberately absent — resuming a
+     truncated campaign under a larger budget is the point of
+     checkpointing; the restored id watermark keeps the budget
+     cumulative. [fp_root] hashes the packed initial configuration
+     under a fresh pool, discriminating automata and inputs beyond
+     what the named parameters capture. *)
+  type fingerprint = {
+    fp_n : int;
+    fp_depth : int;
+    fp_reduction : string;
+    fp_dedup : bool;
+    fp_delivery : string;
+    fp_max_drops : int;
+    fp_menu : string;
+    fp_root : int;
+  }
+
+  type ckpt = {
+    ck_fp : fingerprint;
+    ck_states : A.state array;  (* Packed state pool, index order *)
+    ck_msgs : A.message array;  (* Packed message pool, index order *)
+    ck_visited : (int * Bytes.t * Cov.entry) array;
+        (* (cached hash, packed key, coverage) per visited state *)
+    ck_tasks : (config * int * int * move list * move list) array;
+        (* the frontier task queue, as built by the prefix walk *)
+    ck_next : int;  (* first task not yet fully expanded *)
+    ck_counts : int array;  (* cumulative stats, [snapshot] order *)
+  }
+
+  let fp_describe fp =
+    Printf.sprintf
+      "n=%d depth=%d reduction=%s dedup=%b delivery=%s max_drops=%d menu=%S \
+       root=%d"
+      fp.fp_n fp.fp_depth fp.fp_reduction fp.fp_dedup fp.fp_delivery
+      fp.fp_max_drops fp.fp_menu fp.fp_root
+
+  let fingerprint ~reduction ~dedup ~delivery ~max_drops ~n ~menu ~depth
+      ~inputs =
+    {
+      fp_n = n;
+      fp_depth = depth;
+      fp_reduction = Format.asprintf "%a" pp_reduction reduction;
+      fp_dedup = dedup;
+      fp_delivery = (match delivery with `Fifo -> "fifo" | `Any -> "any");
+      fp_max_drops = max_drops;
+      fp_menu = menu.Menu.name;
+      fp_root =
+        Codec.bytes_hash
+          (Packed.encode (Packed.create ~n) (initial_config ~n ~inputs));
+    }
+
+  (* Load + validate: the container layer ([Codec.read_file]) rejects
+     bad magic, wrong schema versions and digest mismatches before
+     unmarshalling; the fingerprint check rejects well-formed
+     checkpoints of a different campaign; and every stored visited
+     key is re-verified — cached hash against a re-hash of the bytes,
+     and decode∘encode byte-identity against the restored pools — so
+     a checkpoint that would corrupt the memo table is refused with a
+     typed error instead of silently poisoning the resumed run. *)
+  let load_ckpt ~path ~fp =
+    match
+      (Codec.read_file ~path ~version:ckpt_version
+        : (ckpt, Codec.error) result)
+    with
+    | Error e -> Error e
+    | Ok c ->
+      if c.ck_fp <> fp then
+        Error
+          (Codec.Params_mismatch
+             (Printf.sprintf "checkpoint {%s} vs campaign {%s}"
+                (fp_describe c.ck_fp) (fp_describe fp)))
+      else begin
+        let pool = Packed.of_pools ~n:fp.fp_n c.ck_states c.ck_msgs in
+        let verify (ih, b, _) =
+          Codec.bytes_hash b = ih
+          &&
+          match Packed.decode pool b with
+          | cfg -> Bytes.equal (Packed.encode pool cfg) b
+          | exception _ -> false
+        in
+        if Array.for_all verify c.ck_visited then Ok (c, pool)
+        else Error (Codec.Corrupt "stored state hashes do not re-verify")
+      end
+
+  (* ---------------------------------------------------------------- *)
+  (* Parallel / checkpointed exploration                               *)
   (* ---------------------------------------------------------------- *)
 
   (* The coordinator walks the DFS prefix up to [spawn_depth] against
@@ -892,19 +1266,60 @@ module Make (A : Sim.Automaton.S) = struct
      the verdict is pinned for violating workloads. Per-node table
      work is one stripe lock per lookup; property evaluation runs
      outside the lock with a double-checked re-lookup before
-     insertion. *)
-  let run_par ~reduction ~dedup ~delivery ~max_states ~max_drops ~jobs ~stop
-      ~n ~menu ~depth ~inputs ~props () =
+     insertion.
+
+     Checkpointing rides on the task queue: tasks are processed in
+     chunks, and a checkpoint — the Codec container holding the
+     fingerprint, the packed pools, the visited export, the task
+     queue and the cursor — is written only at chunk boundaries,
+     after [Pool.run] has joined. At a boundary every claim in the
+     memo table is fulfilled (each inserted entry's coverage has been
+     fully walked), which is what makes resuming sound: a resumed run
+     re-enters the same order-independent fixpoint and reproduces the
+     uninterrupted verdict and distinct-state count exactly. For the
+     same reason the [max_states] budget is, in checkpointed mode,
+     enforced at boundaries only (a mid-task abort would leave
+     unfulfilled claims in the saved table) — the overshoot is
+     bounded by one chunk's subtrees, and the budget is cumulative
+     across segments via the restored id watermark. *)
+  let run_engine ~reduction ~dedup ~delivery ~max_states ~max_drops ~jobs
+      ~checkpoint ~resume ~spill_dir ~stop ~n ~menu ~depth ~inputs ~props () =
     let t0 = Sim.Clock.now () in
     let lossy = menu.Menu.lossy in
     let menus = Array.init n (fun p -> menu.Menu.values p) in
     let sleep = reduction <> No_reduction in
     let dpor = reduction = Dpor in
     let visited : Cov.entry Shared.t = Shared.create ~stripes:64 65536 in
+    (match spill_dir with
+    | Some d -> Shared.set_spill_dir visited d
+    | None -> ());
+    let ckpt_mode =
+      checkpoint <> None || resume <> None || spill_dir <> None
+    in
+    let fp =
+      fingerprint ~reduction ~dedup ~delivery ~max_drops ~n ~menu ~depth
+        ~inputs
+    in
+    let resumed =
+      match resume with
+      | None -> None
+      | Some path -> (
+        match load_ckpt ~path ~fp with
+        | Error e -> raise (Resume_rejected e)
+        | Ok (c, pool) -> Some (c, pool))
+    in
+    let pool =
+      match resumed with Some (_, p) -> p | None -> Packed.create ~n
+    in
+    let hconfig cfg =
+      Intern.hashed Codec.bytes_hash (Packed.encode pool cfg)
+    in
     let violation = Atomic.make None in
     let truncated = Atomic.make false in
     let halt = Atomic.make false in
-    (* per-worker counters, slot 0 = the coordinator's prefix walk *)
+    (* per-worker counters, slot 0 = the coordinator's prefix walk —
+       and, on a resume, the restored cumulative totals of the prior
+       segments, so the final sums span the whole campaign *)
     let nw = jobs + 1 in
     let counters () = Array.init nw (fun _ -> ref 0) in
     let transitions = counters ()
@@ -916,6 +1331,23 @@ module Make (A : Sim.Automaton.S) = struct
     and decided_leaves = counters ()
     and depth_leaves = counters ()
     and max_depths = counters () in
+    (match resumed with
+    | None -> ()
+    | Some (c, _) ->
+      Shared.import visited
+        (Array.map
+           (fun (ih, b, e) ->
+             (Intern.hashed (fun (_ : Bytes.t) -> ih) b, e))
+           c.ck_visited);
+      transitions.(0) := c.ck_counts.(0);
+      dedup_hits.(0) := c.ck_counts.(1);
+      self_loops.(0) := c.ck_counts.(2);
+      sleep_skipped.(0) := c.ck_counts.(3);
+      races.(0) := c.ck_counts.(4);
+      backtracks.(0) := c.ck_counts.(5);
+      decided_leaves.(0) := c.ck_counts.(6);
+      depth_leaves.(0) := c.ck_counts.(7);
+      max_depths.(0) := c.ck_counts.(8));
     (* per-worker no-op caches: redundant discovery across domains
        instead of a shared locked table — the cache is a pure
        memo of [A.step], so divergence between workers only costs
@@ -950,11 +1382,11 @@ module Make (A : Sim.Automaton.S) = struct
         let all =
           moves_of ~n ~delivery ~lossy:(lossy && drops > 0) ~menus cfg
         in
-        let explored = ref [] in
+        let sl = Sibs.of_list ~n slept in
+        let ex = Sibs.create ~n in
         List.iter
           (fun mv ->
-            if sleep && List.exists (move_equal mv) slept then
-              incr sleep_skipped.(w)
+            if sleep && Sibs.mem ~n sl mv then incr sleep_skipped.(w)
             else if
               dpor
               && mv.m_recv = None
@@ -973,13 +1405,13 @@ module Make (A : Sim.Automaton.S) = struct
               end
               else begin
                 let child_slept =
-                  inherit_slept ~reduction ~races:races.(w)
-                    ~backtracks:backtracks.(w) ~explored:!explored ~slept mv
+                  inherit_slept ~reduction ~lossy ~races:races.(w)
+                    ~backtracks:backtracks.(w) ~n ~explored:ex ~slept:sl mv
                 in
                 pdfs ~w ~sink child (remaining - 1)
                   (if mv.m_drop then drops - 1 else drops)
                   child_slept (mv :: path_rev);
-                if sleep then explored := mv :: !explored
+                if sleep then Sibs.add ~n ex mv
               end
             end)
           all
@@ -1026,8 +1458,12 @@ module Make (A : Sim.Automaton.S) = struct
       | `Fresh ->
         (* Property and goal evaluation run outside the stripe lock;
            the second, double-checked lookup re-examines the binding a
-           racing worker may have created in between. *)
-        if Shared.length visited >= max_states then act `Full
+           racing worker may have created in between. In checkpointed
+           mode the budget is enforced at chunk boundaries instead —
+           a mid-task abort would leave unfulfilled coverage claims in
+           the saved table. *)
+        if (not ckpt_mode) && Shared.length visited >= max_states then
+          act `Full
         else begin
           check_props cfg path_rev;
           let decided = stopped cfg in
@@ -1037,7 +1473,8 @@ module Make (A : Sim.Automaton.S) = struct
                  | Some e when dedup -> (revisit e, None)
                  | Some _ -> (`Known, None)
                  | None ->
-                   if Shared.length visited >= max_states then (`Full, None)
+                   if (not ckpt_mode) && Shared.length visited >= max_states
+                   then (`Full, None)
                    else if decided then (`Decided, Some (Cov.goal ()))
                    else (`Inserted, Some (Cov.make ~remaining ~drops ~slept))))
         end
@@ -1052,17 +1489,108 @@ module Make (A : Sim.Automaton.S) = struct
         Atomic.set halt true
     in
     let root = initial_config ~n ~inputs in
-    guard (fun () -> pdfs ~w:0 ~sink:true root depth max_drops [] []);
-    let tasks = Array.of_list (List.rev !frontier) in
-    Pool.run ~jobs (Array.length tasks) (fun ~worker i ->
-        if not (Atomic.get halt) then begin
-          let cfg, remaining, drops, slept, path_rev = tasks.(i) in
-          guard (fun () ->
-              expand ~w:(worker + 1) ~sink:false cfg remaining drops slept
-                path_rev)
-        end);
+    (* a resumed run never re-walks the prefix: its frontier queue and
+       cursor come from the checkpoint, its prefix states from the
+       imported visited set *)
+    let tasks, start =
+      match resumed with
+      | Some (c, _) -> (c.ck_tasks, c.ck_next)
+      | None ->
+        guard (fun () -> pdfs ~w:0 ~sink:true root depth max_drops [] []);
+        (Array.of_list (List.rev !frontier), 0)
+    in
+    let ntasks = Array.length tasks in
     let sum a = Array.fold_left (fun acc r -> acc + !r) 0 a in
     let maxi a = Array.fold_left (fun acc r -> max acc !r) 0 a in
+    let snapshot () =
+      [|
+        sum transitions; sum dedup_hits; sum self_loops; sum sleep_skipped;
+        sum races; sum backtracks; sum decided_leaves; sum depth_leaves;
+        maxi max_depths;
+      |]
+    in
+    let last_ckpt = ref (Shared.length visited) in
+    let write_ckpt next =
+      match checkpoint with
+      | None -> ()
+      | Some (path, _) ->
+        let vis =
+          Array.map
+            (fun ((k : Bytes.t Intern.hashed), e) ->
+              (k.Intern.ih, k.Intern.iv, e))
+            (Shared.export visited)
+        in
+        let sp, mp = Packed.export_pools pool in
+        Codec.write_file ~path ~version:ckpt_version
+          {
+            ck_fp = fp;
+            ck_states = sp;
+            ck_msgs = mp;
+            ck_visited = vis;
+            ck_tasks = tasks;
+            ck_next = next;
+            ck_counts = snapshot ();
+          };
+        last_ckpt := Shared.length visited
+    in
+    let run_task ~worker i =
+      if not (Atomic.get halt) then begin
+        let cfg, remaining, drops, slept, path_rev = tasks.(i) in
+        guard (fun () ->
+            expand ~w:(worker + 1) ~sink:false cfg remaining drops slept
+              path_rev)
+      end
+    in
+    (if not ckpt_mode then
+       Pool.run ~jobs ntasks (fun ~worker i -> run_task ~worker i)
+     else begin
+       (* Chunked driver: budget check, then a joined chunk of tasks,
+          then (possibly) a checkpoint and a spill — always at a
+          boundary where every memo claim is fulfilled. At [jobs = 1]
+          the chunks run inline in task order, so a resumed campaign
+          is counter-for-counter identical to a straight-through one;
+          at [jobs > 1] the order-independent quantities (verdict,
+          distinct states, decided leaves) are identical and the rest
+          varies as it already does across parallel runs. *)
+       let chunk = max 1 (4 * jobs) in
+       let next = ref start in
+       let continue = ref true in
+       while !continue && !next < ntasks do
+         if Shared.length visited >= max_states then begin
+           (* cumulative: the imported watermark counts prior
+              segments, so resuming a truncated campaign under the
+              same budget truncates again immediately *)
+           Atomic.set truncated true;
+           continue := false;
+           write_ckpt !next
+         end
+         else begin
+           let lo = !next in
+           let hi = min ntasks (lo + chunk) in
+           Pool.run ~jobs (hi - lo) (fun ~worker j -> run_task ~worker (lo + j));
+           next := hi;
+           if Atomic.get violation <> None || Atomic.get halt then
+             continue := false
+           else begin
+             (match checkpoint with
+             | Some (_, every) when Shared.length visited - !last_ckpt >= every
+               ->
+               write_ckpt !next
+             | _ -> ());
+             match spill_dir with
+             | Some _ -> Shared.spill visited
+             | None -> ()
+           end
+         end
+       done;
+       (* completed exhaustively: record the final cursor, so resuming
+          a finished checkpoint reports completion instead of re-work *)
+       if
+         !next >= ntasks
+         && Atomic.get violation = None
+         && not (Atomic.get truncated)
+       then write_ckpt ntasks
+     end);
     let stats =
       {
         transitions = sum transitions;
@@ -1084,14 +1612,19 @@ module Make (A : Sim.Automaton.S) = struct
     finish ~n ~inputs ~stats (Atomic.get violation)
 
   let run ?(reduction = Sleep_sets) ?(dedup = true) ?(delivery = `Fifo)
-      ?(max_states = 2_000_000) ?(max_drops = max_int) ?(jobs = 1) ?stop ~n
-      ~menu ~depth ~inputs ~props () =
-    if jobs <= 1 then
+      ?(max_states = 2_000_000) ?(max_drops = max_int) ?(jobs = 1) ?checkpoint
+      ?resume ?spill_dir ?stop ~n ~menu ~depth ~inputs ~props () =
+    (* any checkpoint-related option routes through the chunked
+       engine, even at [jobs = 1]: checkpoints need the task queue *)
+    if
+      jobs <= 1 && checkpoint = None && resume = None && spill_dir = None
+    then
       run_seq ~reduction ~dedup ~delivery ~max_states ~max_drops ~stop ~n
         ~menu ~depth ~inputs ~props ()
     else
-      run_par ~reduction ~dedup ~delivery ~max_states ~max_drops ~jobs ~stop
-        ~n ~menu ~depth ~inputs ~props ()
+      run_engine ~reduction ~dedup ~delivery ~max_states ~max_drops
+        ~jobs:(max 1 jobs) ~checkpoint ~resume ~spill_dir ~stop ~n ~menu
+        ~depth ~inputs ~props ()
 
   let replay_counterexample ~n ~inputs cx = R.replay ~n ~inputs cx.cx_steps
 
@@ -1106,7 +1639,7 @@ module Make (A : Sim.Automaton.S) = struct
 
     let initial = initial_config
     let state cfg p = cfg.states.(p)
-    let equal a b = a.states = b.states && a.chans = b.chans
+    let equal = config_equal
     let key cfg = config_hash cfg
     let enabled = moves_of
 

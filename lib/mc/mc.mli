@@ -16,11 +16,24 @@ open Procset
 module Intern : module type of Intern
 (** Cached-hash interning tables: hash a canonical state once, reuse
     the hash for every later lookup; the striped variant is the
-    parallel checker's shared visited set. *)
+    parallel checker's shared visited set (with optional disk spill of
+    cold stripes). *)
+
+module Codec : module type of Codec
+(** Byte-level primitives of the packed canonical-state encoding and
+    the validated checkpoint container (varints, interning pools,
+    [bytes_hash], [write_file]/[read_file]). *)
 
 module Pool : module type of Sim.Pool
 (** The hand-rolled domain pool behind [run ~jobs] and the parallel
     fuzzer. *)
+
+exception Resume_rejected of Codec.error
+(** Raised by [Make.run ~resume] (and [Explore.Make.fuzz ~resume])
+    when the checkpoint file fails validation: bad magic, unsupported
+    schema version, payload digest mismatch, a fingerprint from a
+    different campaign, or stored state hashes that do not re-verify.
+    Never a [Marshal] crash. *)
 
 module Cover : module type of Cover
 (** Memo-coverage records (budgets + sleep set): the
@@ -253,6 +266,9 @@ module Make (A : Sim.Automaton.S) : sig
     ?max_states:int ->
     ?max_drops:int ->
     ?jobs:int ->
+    ?checkpoint:string * int ->
+    ?resume:string ->
+    ?spill_dir:string ->
     ?stop:((Pid.t -> A.state) -> bool) ->
     n:int ->
     menu:Menu.t ->
@@ -305,7 +321,30 @@ module Make (A : Sim.Automaton.S) : sig
       [depth_leaves], [max_depth]) and
       the identity of the counterexample, when one exists, may vary.
       [wall_seconds] is always one monotonic-clock read on the
-      coordinating domain, never a per-domain sum. *)
+      coordinating domain, never a per-domain sum.
+
+      [checkpoint:(path, every_n_states)] makes the campaign
+      resumable: the run is driven through the parallel task queue
+      (even at [jobs = 1], where it is deterministic) and a versioned
+      snapshot — fingerprint, packed state/message pools, the visited
+      set as packed bytes, the task queue and cursor, cumulative
+      counters — is written to [path] (atomically, temp + rename)
+      whenever at least [every_n_states] new distinct states have
+      accumulated since the last write, always at a task-chunk
+      boundary where every memoization claim is fulfilled. [resume]
+      restores such a snapshot after full validation (raising
+      {!Resume_rejected} otherwise) and continues from the cursor: a
+      resumed campaign reproduces the uninterrupted run's verdict and
+      [distinct_states] exactly, and its [max_states] budget is
+      cumulative across segments (a truncated campaign resumed under
+      the same budget truncates again immediately; [stats.truncated]
+      reflects the whole campaign). In checkpointed mode the budget
+      is enforced at chunk boundaries only, so the final state count
+      may overshoot [max_states] by at most one chunk's subtrees.
+      [spill_dir] additionally moves cold stripes of the visited set
+      into [Codec]-container segment files under that directory at
+      each boundary, bounding resident memory; spilled stripes reload
+      transparently on access. *)
 
   val replay_counterexample :
     n:int ->
@@ -372,5 +411,31 @@ module Make (A : Sim.Automaton.S) : sig
         sequence numbers, a global clock) into the
         [(replay steps, detector samples, final states)] triple that
         {!replay_counterexample} and {!history_legal} certify. *)
+  end
+
+  (** The packed canonical-state codec behind the visited set and the
+      checkpoint files: distinct per-process states and distinct
+      message payloads are interned into pools, and a configuration
+      becomes a flat byte string of varint pool indices (process
+      states in pid order, then the non-empty channels in canonical
+      order with length-prefixed queues). Exposed for the B12 memory
+      benchmark and the round-trip test battery; {!run} uses it
+      internally. *)
+  module Packed : sig
+    type pool
+    (** The interning pools (mutex-protected; parallel workers encode
+        concurrently). *)
+
+    val create : n:int -> pool
+
+    val encode : pool -> Space.config -> Bytes.t
+    (** Injective with respect to {!Space.equal} under one pool:
+        [Bytes.equal (encode p a) (encode p b)] iff [Space.equal a b] —
+        which is why distinct states (crafted hash collisions
+        included) stay distinct in the packed visited set. *)
+
+    val decode : pool -> Bytes.t -> Space.config
+    (** Exact inverse of {!encode} on the same pool. Raises
+        [Invalid_argument] on bytes the pool cannot decode. *)
   end
 end

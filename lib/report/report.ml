@@ -89,6 +89,7 @@ let schema_keys =
     "b9_parallel";
     "b10_serve";
     "b11_dpor";
+    "b12_codec";
     "b4_micro";
     "run_metrics";
   ]

@@ -260,6 +260,78 @@ let test_mc_jobs_equivalent () =
   Alcotest.(check int) "same distinct-state count"
     (distinct_states_of out1) (distinct_states_of out2)
 
+(* ---------------------------------------------------------------- *)
+(* Checkpoint / resume: a truncated mc segment exits 1 (no
+   trustworthy verdict yet), and resuming its checkpoint under a full
+   budget reproduces the uninterrupted run's verdict and
+   distinct-state count exactly. The corrupt-checkpoint selftest pins
+   the negative path: a damaged file is a typed rejection and exit 1,
+   never a crash or a silent fresh start. *)
+(* ---------------------------------------------------------------- *)
+
+let ckpt_file suffix =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "nuc_mc_ckpt_%d_%s.bin" (Unix.getpid ()) suffix)
+
+let mc_ckpt_base =
+  [ "mc"; "--algo"; "naive-sn"; "-n"; "3"; "-t"; "1"; "--depth"; "9" ]
+
+let test_mc_checkpoint_resume () =
+  let path = ckpt_file "resume" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let out_straight = run_cli mc_ckpt_base in
+      let code_t, out_t =
+        run_cli_status
+          (mc_ckpt_base
+          @ [ "--max-states"; "500"; "--checkpoint"; path; "--ckpt-every"; "100" ])
+      in
+      Alcotest.(check int) "truncated segment exits 1" 1 code_t;
+      Alcotest.(check bool) "segment says TRUNCATED" true
+        (contains out_t "TRUNCATED");
+      Alcotest.(check bool) "checkpoint file written" true
+        (Sys.file_exists path);
+      let code_r, out_r =
+        run_cli_status (mc_ckpt_base @ [ "--resume"; path ])
+      in
+      Alcotest.(check int) "resumed campaign exits 0" 0 code_r;
+      Alcotest.(check bool) "resumed campaign exhausts" true
+        (contains out_r "exhausted: no violation");
+      Alcotest.(check int)
+        "resumed distinct states match the uninterrupted run"
+        (distinct_states_of out_straight)
+        (distinct_states_of out_r))
+
+let test_mc_corrupt_checkpoint_rejected () =
+  let path = ckpt_file "corrupt" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun f -> try Sys.remove f with Sys_error _ -> ())
+        [ path; path ^ ".corrupt" ])
+    (fun () ->
+      let _ =
+        run_cli_status
+          (mc_ckpt_base
+          @ [ "--max-states"; "500"; "--checkpoint"; path; "--ckpt-every"; "100" ])
+      in
+      let code, out =
+        run_cli_status
+          (mc_ckpt_base @ [ "--resume"; path; "--selftest-corrupt-checkpoint" ])
+      in
+      Alcotest.(check int) "corrupt checkpoint exits 1" 1 code;
+      Alcotest.(check bool) "typed rejection printed" true
+        (contains out "checkpoint rejected"))
+
+let test_mc_corrupt_selftest_requires_resume () =
+  let code, out =
+    run_cli_status (mc_ckpt_base @ [ "--selftest-corrupt-checkpoint" ])
+  in
+  Alcotest.(check int) "selftest without --resume exits 1" 1 code;
+  Alcotest.(check bool) "explains the missing flag" true
+    (contains out "requires --resume")
+
 let () =
   Alcotest.run "cli"
     [
@@ -295,5 +367,14 @@ let () =
             test_fuzz_jobs_json_identical;
           Alcotest.test_case "mc --jobs verdict equivalent" `Quick
             test_mc_jobs_equivalent;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "mc kill/resume reproduces verdict" `Quick
+            test_mc_checkpoint_resume;
+          Alcotest.test_case "corrupt checkpoint exits 1" `Quick
+            test_mc_corrupt_checkpoint_rejected;
+          Alcotest.test_case "corrupt selftest requires --resume" `Quick
+            test_mc_corrupt_selftest_requires_resume;
         ] );
     ]

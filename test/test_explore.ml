@@ -207,6 +207,63 @@ let test_shrink_does_not_grow () =
     Alcotest.(check bool) "no growth on re-shrink" true
       (List.length again <= List.length v.Ex.v_shrunk)
 
+(* ---------------------------------------------------------------- *)
+(* Checkpoint / resume                                              *)
+(* ---------------------------------------------------------------- *)
+
+(* An interrupted-and-resumed campaign serializes byte-identically to
+   the straight-through run: batch results are pure functions of
+   (seed, batch index) and the merge is in batch order, so neither the
+   interruption point nor the job count of either segment can move a
+   byte of the report. [max_batches] is the deterministic interruption
+   hook the CI smoke kills through. *)
+let ckpt_run ?checkpoint ?resume ?max_batches ~jobs () =
+  Ex.fuzz ~algo:"naive-sn" ~batch_size:50 ~jobs ?checkpoint ?resume
+    ?max_batches ~max_steps ~stop
+    ~decided:(fun st -> Consensus.Mr.With_quorum.decision st <> None)
+    ~seed:4 ~runs:300 ~n ~menu ~pattern ~inputs:proposals ~props:[] ()
+
+let with_ckpt_file f =
+  let path = Filename.temp_file "nuc_fuzz_ckpt" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let test_checkpoint_resume_byte_identical () =
+  let straight = Report.to_string (Ex.json_of_report (ckpt_run ~jobs:1 ())) in
+  List.iter
+    (fun (j1, j2) ->
+      with_ckpt_file (fun path ->
+          let seg1 =
+            ckpt_run ~jobs:j1 ~checkpoint:(path, 2) ~max_batches:3 ()
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "segment stopped at the batch cap (jobs=%d)" j1)
+            150 seg1.Ex.runs;
+          let resumed =
+            ckpt_run ~jobs:j2 ~checkpoint:(path, 2) ~resume:path ()
+          in
+          Alcotest.(check string)
+            (Printf.sprintf
+               "interrupted(jobs=%d)+resumed(jobs=%d) matches straight-through"
+               j1 j2)
+            straight
+            (Report.to_string (Ex.json_of_report resumed))))
+    [ (1, 1); (1, 2); (2, 1); (2, 2) ]
+
+(* The fuzz and mc checkpoints share the container but not the schema
+   version, so resuming across kinds is a typed rejection, never a
+   misinterpretation of the payload. *)
+let test_checkpoint_wrong_kind_rejected () =
+  with_ckpt_file (fun path ->
+      (* version 1 is the mc checkpoint schema *)
+      Mc.Codec.write_file ~path ~version:1 "not a fuzz checkpoint";
+      match ckpt_run ~jobs:1 ~resume:path () with
+      | exception Mc.Resume_rejected (Mc.Codec.Bad_version 1) -> ()
+      | exception Mc.Resume_rejected e ->
+        Alcotest.failf "wrong rejection: %s" (Mc.Codec.error_to_string e)
+      | _ -> Alcotest.fail "mc checkpoint accepted by fuzz")
+
 (* A schedule that never violates is a shrinker error, not a bogus
    one-move "counterexample". *)
 let test_shrink_rejects_benign_schedule () =
@@ -244,6 +301,13 @@ let () =
             test_swarm_rotates_configurations;
           Alcotest.test_case "curve consistent with totals" `Quick
             test_curve_consistent_with_totals;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "interrupted+resumed JSON byte-identical" `Quick
+            test_checkpoint_resume_byte_identical;
+          Alcotest.test_case "mc checkpoint rejected by fuzz" `Quick
+            test_checkpoint_wrong_kind_rejected;
         ] );
       ( "shrinker",
         [

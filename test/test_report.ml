@@ -241,6 +241,7 @@ let test_schema_keys () =
       "b9_parallel";
       "b10_serve";
       "b11_dpor";
+      "b12_codec";
       "b4_micro";
       "run_metrics";
     ]

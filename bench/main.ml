@@ -388,6 +388,20 @@ let b12_codec ~smoke () =
   rows
 
 (* ---------------------------------------------------------------- *)
+(* B13: quorum-family latency / resilience trade-off                 *)
+(* ---------------------------------------------------------------- *)
+
+let b13_quorum ~smoke () =
+  hr "B13: MR over pluggable quorum families — decision latency vs \
+      structural resilience (crashes at time 0; pass checks decided = \
+      live run by run, where live means the surviving set is itself a \
+      quorum)";
+  pf "%s@." Experiments.b13_header;
+  let rows = Experiments.b13_quorum_table ~quick:smoke () in
+  List.iter (fun r -> pf "%a@." Experiments.pp_b13_row r) rows;
+  rows
+
+(* ---------------------------------------------------------------- *)
 (* Substrate run metrics: one instrumented reference run             *)
 (* ---------------------------------------------------------------- *)
 
@@ -577,7 +591,7 @@ let default_json_file () =
 (* Recognizes [--json FILE], [--json] (default file name), [--smoke]
    and [--only KEY] (run one B-table and emit only its document
    fragment — what the CI smoke jobs validate without paying for the
-   whole harness; KEY is b11 or b12). *)
+   whole harness; KEY is b11, b12 or b13). *)
 let parse_args () =
   let rec scan json smoke only = function
     | [] -> (json, smoke, only)
@@ -604,8 +618,10 @@ let run_only ~smoke ~json_file key =
       Some ("b11_dpor", Experiments.json_of_b11_rows (b11_dpor ~smoke ()))
     | "b12" | "b12_codec" ->
       Some ("b12_codec", Experiments.json_of_b12_rows (b12_codec ~smoke ()))
+    | "b13" | "b13_quorum" ->
+      Some ("b13_quorum", Experiments.json_of_b13_rows (b13_quorum ~smoke ()))
     | k ->
-      pf "unknown --only key %S (expected b11 | b12)@." k;
+      pf "unknown --only key %S (expected b11 | b12 | b13)@." k;
       exit 2
   in
   match (fragment, json_file) with
@@ -631,6 +647,7 @@ let () =
   let b10 = b10_serve ~smoke () in
   let b11 = b11_dpor ~smoke () in
   let b12 = b12_codec ~smoke () in
+  let b13 = b13_quorum ~smoke () in
   let metrics = run_metrics () in
   let b4 = b4_micro ~smoke () in
   match json_file with
@@ -654,6 +671,7 @@ let () =
         Experiments.json_of_b10_rows b10;
         Experiments.json_of_b11_rows b11;
         Experiments.json_of_b12_rows b12;
+        Experiments.json_of_b13_rows b13;
         json_of_micro_rows b4;
         json_of_metrics metrics;
       ]

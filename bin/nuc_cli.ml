@@ -84,11 +84,28 @@ let partition_conv =
   in
   Cmdliner.Arg.conv (parse, Sim.Faults.pp_partition)
 
-let run_consensus algo n t seed drop dup reorder partitions =
+let quorum_conv =
+  Cmdliner.Arg.conv
+    ( (fun s ->
+        Result.map_error (fun e -> `Msg e) (Quorum_family.of_string s)),
+      Quorum_family.pp )
+
+(* Surfaces Quorum_family's typed errors (bad shape for this n, or no
+   quorum at all) instead of letting them escape as exceptions. *)
+let require_family_fits fam ~n =
+  match Quorum_family.validate fam ~n ~live:(Pset.full ~n) with
+  | Ok () -> ()
+  | Error e ->
+    pf "error: %s@." (Quorum_family.error_to_string e);
+    exit 1
+
+let run_consensus algo quorum n t seed drop dup reorder partitions =
   if t >= n then (
     pf "error: need t < n@.";
     exit 1);
-  if (algo = Experiments.Mr_majority || algo = Experiments.Ct) && 2 * t >= n
+  if quorum = None
+     && (algo = Experiments.Mr_majority || algo = Experiments.Ct)
+     && 2 * t >= n
   then (
     pf "error: this algorithm requires t < n/2 (got n=%d t=%d)@." n t;
     exit 1);
@@ -100,7 +117,19 @@ let run_consensus algo n t seed drop dup reorder partitions =
   in
   if not (Sim.Faults.is_none faults) then
     pf "fault spec: %a@." Sim.Faults.pp faults;
-  let r = Experiments.latency ~faults algo ~n ~t ~seeds:[ seed ] in
+  let r =
+    match quorum with
+    | None -> Experiments.latency ~faults algo ~n ~t ~seeds:[ seed ]
+    | Some fam ->
+      require_family_fits fam ~n;
+      let res = Quorum_family.resilience fam ~n in
+      if res < t then
+        pf "note: %s at n=%d has structural resilience %d < t=%d — a \
+            crash pattern can leave no live quorum, and such runs \
+            (honestly) never decide@."
+          (Quorum_family.name fam) n res t;
+      Experiments.latency_family ~faults fam ~n ~t ~seeds:[ seed ]
+  in
   pf "%s, n=%d, E_%d, seed %d:@."  r.Experiments.algorithm n t seed;
   pf "  all correct processes decided: %b@."
     (r.Experiments.decided = r.Experiments.runs);
@@ -140,12 +169,13 @@ let run_experiments quick only seed =
           ("e12", fun ~quick -> Experiments.e12_faults ~quick ~seed_base:seed);
           ("e13", fun ~quick -> Experiments.e13_fuzz ~quick ~seed_base:seed);
           ("e14", fun ~quick -> Experiments.e14_dpor ~quick);
+          ("e16", fun ~quick -> Experiments.e16_quorum ~quick ~seed_base:seed);
         ]
       in
       match List.assoc_opt (String.lowercase_ascii id) pick with
       | Some f -> [ f ~quick () ]
       | None ->
-        pf "unknown experiment %S (expected e1..e14)@." id;
+        pf "unknown experiment %S (expected e1..e14 | e16)@." id;
         exit 1)
   in
   List.iter (fun r -> pf "%a@.@." Experiments.pp_row r) rows;
@@ -401,8 +431,8 @@ let corrupt_checkpoint_copy path =
   pf "selftest: flipped last byte of %s into %s@." path path';
   path'
 
-let run_mc algo n t depth_opt family max_states max_drops delivery jobs
-    reduction json corrupt checkpoint_path ckpt_every resume spill_dir
+let run_mc algo n t depth_opt family quorum max_states max_drops delivery
+    jobs reduction json corrupt checkpoint_path ckpt_every resume spill_dir
     corrupt_ckpt =
   if t >= n || t < 1 then (
     pf "error: need 1 <= t < n@.";
@@ -451,9 +481,23 @@ let run_mc algo n t depth_opt family max_states max_drops delivery jobs
       exit 1
   in
   let faulty = Pset.of_list (List.init t (fun i -> n - 1 - i)) in
+  (match quorum with
+  | None -> ()
+  | Some fam ->
+    require_family_fits fam ~n;
+    if family = `Full then (
+      pf "error: --quorum shapes the contamination/lossy menus only \
+          (the 'full' class menus quantify over every legal value)@.";
+      exit 1));
   let need_majority () =
     if 2 * t >= n then (
       pf "error: this algorithm requires t < n/2 (got n=%d t=%d)@." n t;
+      exit 1)
+  in
+  let no_quorum () =
+    if quorum <> None then (
+      pf "error: --quorum only applies to the Sigma-nu algorithms \
+          (anuc | naive-sn)@.";
       exit 1)
   in
   match String.lowercase_ascii algo with
@@ -463,8 +507,9 @@ let run_mc algo n t depth_opt family max_states max_drops delivery jobs
       ~resume ~spill_dir ~flavour:Consensus.Spec.Nonuniform ~default_depth:11
       ~menu:
         (match family with
-        | `Contamination -> Mc.Menu.contamination ~plus:true ~n ~faulty ()
-        | `Lossy -> Mc.Menu.lossy ~plus:true ~n ~faulty ()
+        | `Contamination ->
+          Mc.Menu.contamination ~plus:true ?quorum ~n ~faulty ()
+        | `Lossy -> Mc.Menu.lossy ~plus:true ?quorum ~n ~faulty ()
         | `Full -> Mc.Menu.omega_sigma_nu_plus ~n ~faulty)
       depth_opt
   | "naive-sn" ->
@@ -473,17 +518,19 @@ let run_mc algo n t depth_opt family max_states max_drops delivery jobs
       ~resume ~spill_dir ~flavour:Consensus.Spec.Nonuniform ~default_depth:34
       ~menu:
         (match family with
-        | `Contamination -> Mc.Menu.contamination ~n ~faulty ()
-        | `Lossy -> Mc.Menu.lossy ~n ~faulty ()
+        | `Contamination -> Mc.Menu.contamination ?quorum ~n ~faulty ()
+        | `Lossy -> Mc.Menu.lossy ?quorum ~n ~faulty ()
         | `Full -> Mc.Menu.omega_sigma_nu ~n ~faulty)
       depth_opt
   | "mr-sigma" ->
+    no_quorum ();
     Mc_naive_drive.default_go ~algo ~n ~faulty ~max_states
       ~max_drops ~delivery ~jobs ~reduction ~json ~corrupt ~checkpoint
       ~resume ~spill_dir ~flavour:Consensus.Spec.Uniform ~default_depth:10
       ~menu:(Mc.Menu.omega_sigma ~n ~faulty)
       depth_opt
   | "mr-majority" ->
+    no_quorum ();
     need_majority ();
     Mc_maj_drive.default_go ~algo ~n ~faulty ~max_states
       ~max_drops ~delivery ~jobs ~reduction ~json ~corrupt ~checkpoint
@@ -491,6 +538,7 @@ let run_mc algo n t depth_opt family max_states max_drops delivery jobs
       ~menu:(Mc.Menu.leader_only ~n ~faulty)
       depth_opt
   | "ct" ->
+    no_quorum ();
     need_majority ();
     Mc_ct_drive.default_go ~algo ~n ~faulty ~max_states
       ~max_drops ~delivery ~jobs ~reduction ~json ~corrupt ~checkpoint
@@ -596,7 +644,7 @@ let parse_sampler s =
   | s -> Error (Printf.sprintf "unknown sampler %S (uniform | pct | pctD)" s)
 
 let run_fuzz algo n t runs sampler_s swarm shrink seed delivery_s max_steps_opt
-    max_drops batch family jobs json checkpoint_path ckpt_every resume
+    max_drops batch family quorum jobs json checkpoint_path ckpt_every resume
     max_batches =
   if t >= n || t < 1 then (
     pf "error: need 1 <= t < n@.";
@@ -627,6 +675,20 @@ let run_fuzz algo n t runs sampler_s swarm shrink seed delivery_s max_steps_opt
   in
   let max_steps = Option.value max_steps_opt ~default:(18 * n) in
   let faulty = Pset.of_list (List.init t (fun i -> n - 1 - i)) in
+  (match quorum with
+  | None -> ()
+  | Some fam ->
+    require_family_fits fam ~n;
+    if String.lowercase_ascii family = "full" then (
+      pf "error: --quorum shapes the contamination/lossy menus only \
+          (the 'full' class menus quantify over every legal value)@.";
+      exit 1));
+  let no_quorum () =
+    if quorum <> None then (
+      pf "error: --quorum only applies to the Sigma-nu algorithms \
+          (anuc | naive-sn)@.";
+      exit 1)
+  in
   let need_majority () =
     if 2 * t >= n then (
       pf "error: this algorithm requires t < n/2 (got n=%d t=%d)@." n t;
@@ -647,12 +709,12 @@ let run_fuzz algo n t runs sampler_s swarm shrink seed delivery_s max_steps_opt
       ~menu:
         (pick_family
            ~contamination:(fun () ->
-             Mc.Menu.contamination ~plus:true ~n ~faulty ())
-           ~lossy:(fun () -> Mc.Menu.lossy ~plus:true ~n ~faulty ())
+             Mc.Menu.contamination ~plus:true ?quorum ~n ~faulty ())
+           ~lossy:(fun () -> Mc.Menu.lossy ~plus:true ?quorum ~n ~faulty ())
            ~full:(fun () -> Mc.Menu.omega_sigma_nu_plus ~n ~faulty))
       ~swarm_menus:
         [
-          Mc.Menu.lossy ~plus:true ~n ~faulty ();
+          Mc.Menu.lossy ~plus:true ?quorum ~n ~faulty ();
           Mc.Menu.omega_sigma_nu_plus ~n ~faulty;
         ]
       ~runs ~sampler ~swarm ~shrink ~seed ~delivery ~max_steps ~max_drops
@@ -661,25 +723,32 @@ let run_fuzz algo n t runs sampler_s swarm shrink seed delivery_s max_steps_opt
     Fuzz_naive_drive.go ~algo ~n ~faulty ~flavour:Consensus.Spec.Nonuniform
       ~menu:
         (pick_family
-           ~contamination:(fun () -> Mc.Menu.contamination ~n ~faulty ())
-           ~lossy:(fun () -> Mc.Menu.lossy ~n ~faulty ())
+           ~contamination:(fun () ->
+             Mc.Menu.contamination ?quorum ~n ~faulty ())
+           ~lossy:(fun () -> Mc.Menu.lossy ?quorum ~n ~faulty ())
            ~full:(fun () -> Mc.Menu.omega_sigma_nu ~n ~faulty))
       ~swarm_menus:
-        [ Mc.Menu.lossy ~n ~faulty (); Mc.Menu.omega_sigma_nu ~n ~faulty ]
+        [
+          Mc.Menu.lossy ?quorum ~n ~faulty ();
+          Mc.Menu.omega_sigma_nu ~n ~faulty;
+        ]
       ~runs ~sampler ~swarm ~shrink ~seed ~delivery ~max_steps ~max_drops
       ~batch ~jobs ~json ~checkpoint ~resume ~max_batches
   | "mr-sigma" ->
+    no_quorum ();
     Fuzz_naive_drive.go ~algo ~n ~faulty ~flavour:Consensus.Spec.Uniform
       ~menu:(Mc.Menu.omega_sigma ~n ~faulty)
       ~swarm_menus:[] ~runs ~sampler ~swarm ~shrink ~seed ~delivery
       ~max_steps ~max_drops ~batch ~jobs ~json ~checkpoint ~resume ~max_batches
   | "mr-majority" ->
+    no_quorum ();
     need_majority ();
     Fuzz_maj_drive.go ~algo ~n ~faulty ~flavour:Consensus.Spec.Uniform
       ~menu:(Mc.Menu.leader_only ~n ~faulty)
       ~swarm_menus:[] ~runs ~sampler ~swarm ~shrink ~seed ~delivery
       ~max_steps ~max_drops ~batch ~jobs ~json ~checkpoint ~resume ~max_batches
   | "ct" ->
+    no_quorum ();
     need_majority ();
     Fuzz_ct_drive.go ~algo ~n ~faulty ~flavour:Consensus.Spec.Uniform
       ~menu:(Mc.Menu.suspects ~n ~faulty)
@@ -794,6 +863,21 @@ let jobs_arg =
            count as --jobs 1; fuzz: byte-identical report for any \
            $(docv).")
 
+let quorum_arg =
+  Arg.(
+    value
+    & opt (some quorum_conv) None
+    & info [ "quorum" ] ~docv:"FAMILY"
+        ~doc:
+          "Quorum family: majority | super:F | weighted:W0,W1,... | \
+           grid[:RxC]. run: execute MR parameterized by the family \
+           (overrides --algo; detector reduced to Omega). mc / fuzz: \
+           shape the contamination and lossy Sigma-nu(+) menus around \
+           the family's minimal quorums instead of the built-in \
+           majority-style menus (anuc and naive-sn only). Ill-fitting \
+           families (e.g. grid on a non-tiling n) are rejected with a \
+           typed error.")
+
 let run_cmd =
   let algo =
     Arg.(
@@ -839,8 +923,8 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run one consensus instance in a simulated system")
     Term.(
-      const run_consensus $ algo $ n_arg $ t_arg $ seed_arg $ drop $ dup
-      $ reorder $ partition)
+      const run_consensus $ algo $ quorum_arg $ n_arg $ t_arg $ seed_arg
+      $ drop $ dup $ reorder $ partition)
 
 let experiments_cmd =
   let quick =
@@ -850,7 +934,7 @@ let experiments_cmd =
     Arg.(
       value
       & opt (some string) None
-      & info [ "only" ] ~docv:"ID" ~doc:"Run a single experiment (e1..e13).")
+      & info [ "only" ] ~docv:"ID" ~doc:"Run a single experiment (e1..e14 | e16).")
   in
   Cmd.v
     (Cmd.info "experiments"
@@ -1054,9 +1138,10 @@ let mc_cmd =
          "Exhaustively model-check an algorithm over every admissible \
           schedule of a small universe")
     Term.(
-      const run_mc $ algo $ n $ t $ depth $ family $ max_states $ max_drops
-      $ delivery $ jobs_arg $ reduction $ json $ corrupt $ checkpoint
-      $ ckpt_every $ resume $ spill_dir $ corrupt_ckpt)
+      const run_mc $ algo $ n $ t $ depth $ family $ quorum_arg
+      $ max_states $ max_drops $ delivery $ jobs_arg $ reduction $ json
+      $ corrupt $ checkpoint $ ckpt_every $ resume $ spill_dir
+      $ corrupt_ckpt)
 
 let fuzz_cmd =
   let algo =
@@ -1203,7 +1288,8 @@ let fuzz_cmd =
       const run_fuzz $ algo $ n $ t $ runs $ sampler $ swarm
       $ Term.app (const not) no_shrink
       $ seed_arg $ delivery $ max_steps $ max_drops $ batch $ family
-      $ jobs_arg $ json $ checkpoint $ ckpt_every $ resume $ max_batches)
+      $ quorum_arg $ jobs_arg $ json $ checkpoint $ ckpt_every $ resume
+      $ max_batches)
 
 let serve_cmd =
   let clients =

@@ -74,7 +74,7 @@ let quorum_of_fd name = function
 
 module type CONFIG = sig
   val algorithm_name : string
-  val mode : [ `Majority | `Fd_quorum ]
+  val mode : [ `Majority | `Fd_quorum | `Family of Quorum_family.t ]
 end
 
 module Make (C : CONFIG) : S = struct
@@ -110,14 +110,21 @@ module Make (C : CONFIG) : S = struct
 
   (* [collected ~n st round store d] decides whether the wait of the
      current phase is satisfied: under `Majority, a majority of
-     distinct senders; under `Fd_quorum, every member of the quorum
-     currently output by the detector. Returns the bindings to
-     consider. *)
+     distinct senders; under `Family, a family quorum of distinct
+     senders; under `Fd_quorum, every member of the quorum currently
+     output by the detector. Returns the bindings to consider. *)
   let collected ~n round store d =
     let inner = store_round round store in
     match C.mode with
     | `Majority ->
       if 2 * Imap.cardinal inner > n then Some (Imap.bindings inner)
+      else None
+    | `Family fam ->
+      let senders =
+        Imap.fold (fun sender _ acc -> Pset.add sender acc) inner Pset.empty
+      in
+      if Quorum_family.is_quorum fam ~n senders then
+        Some (Imap.bindings inner)
       else None
     | `Fd_quorum ->
       let q = quorum_of_fd C.algorithm_name d in
@@ -160,6 +167,22 @@ module Make (C : CONFIG) : S = struct
           in
           if 2 * count > n then Some v else None
         | [] -> None)
+      | `Family fam ->
+        (* a family quorum of proposals for the same v <> ?; at most
+           one value can be quorum-supported (any two family quorums
+           intersect and each sender proposes once per round), so the
+           scan order is immaterial *)
+        let support v =
+          List.fold_left
+            (fun acc (sender, v') ->
+              if Value.equal v v' then Pset.add sender acc else acc)
+            Pset.empty non_unknown
+        in
+        List.find_map
+          (fun (_, v) ->
+            if Quorum_family.is_quorum fam ~n (support v) then Some v
+            else None)
+          non_unknown
       | `Fd_quorum -> (
         (* the same v <> ? from every member of the collected quorum *)
         match non_unknown with
@@ -247,3 +270,9 @@ module With_quorum = Make (struct
   let algorithm_name = "MR-quorum"
   let mode = `Fd_quorum
 end)
+
+let family fam : (module S) =
+  (module Make (struct
+    let algorithm_name = Printf.sprintf "MR[%s]" (Quorum_family.name fam)
+    let mode = `Family fam
+  end))

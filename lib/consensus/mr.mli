@@ -11,11 +11,15 @@
     any non-"?" value seen and decide if the quorum unanimously
     proposed a non-"?" value.
 
-    The two instances differ only in what "quorum" means:
+    The instances differ only in what "quorum" means:
 
     - {!Majority} waits for any majority of processes (the original
       [MR01] algorithm, correct for uniform consensus when a majority
       of processes are correct);
+    - {!family} waits for any set of senders that is a quorum of the
+      given {!Procset.Quorum_family} — {!Majority} is exactly the
+      majority-family instance, kept as a separate module for
+      byte-compatibility of seeded runs;
     - {!With_quorum} waits for all members of the set currently output
       by the quorum component of its failure detector, re-read at
       every step. Driven by a Sigma oracle this solves uniform
@@ -66,3 +70,14 @@ module Majority : S
 
 module With_quorum : S
 (** Quorums are read from the failure detector at every step. *)
+
+val family : Procset.Quorum_family.t -> (module S)
+(** MR over an arbitrary quorum family: each wait is satisfied by any
+    set of distinct senders that [is_quorum], and the decision rule
+    requires a family quorum of identical non-"?" proposals.
+    Uniform agreement needs the family's pairwise intersection law
+    (any two quorums meet in a process that reported/proposed a single
+    value per round) — the law the qcheck suite pins for every shipped
+    family. [family Quorum_family.majority] computes the same
+    histories as {!Majority} (a set is a majority iff it is a
+    majority-family quorum), but the algorithm name differs. *)

@@ -575,18 +575,24 @@ module Mc_anuc = Mc.Make (Core.Anuc)
 
 (* The E_1(3) universe of the Section 6.3 argument: p2 faulty,
    proposing the contaminating value. *)
-let mc_universe ~depth =
-  let n = 3 in
-  let faulty = Pset.singleton 2 in
-  let pattern = Sim.Failure_pattern.make ~n ~crashes:[ (2, depth + 1) ] in
+(* The E_1(n) universe of the model-checking experiments: the highest
+   process is faulty but crashes only past the explored window, and
+   proposes the minority value. [n = 3] everywhere except the grid
+   rows of E16, which need a 2x2 tiling. *)
+let mc_universe_n ~n ~depth =
+  let faulty = Pset.singleton (n - 1) in
+  let pattern = Sim.Failure_pattern.make ~n ~crashes:[ (n - 1, depth + 1) ] in
   let proposals p = if Pset.mem p faulty then 1 else 0 in
   (n, faulty, pattern, proposals)
 
-(* Exhaustive bounded verification of A_nuc on E_1(3) under the
-   Sigma-nu+ contamination family. *)
-let mc_verify_anuc ?reduction ~depth () =
-  let n, faulty, pattern, proposals = mc_universe ~depth in
-  let menu = Mc.Menu.contamination ~plus:true ~n ~faulty () in
+let mc_universe ~depth = mc_universe_n ~n:3 ~depth
+
+(* Exhaustive bounded verification of A_nuc on E_1(n) under the
+   Sigma-nu+ contamination family (optionally generalized over a
+   quorum family; [None] is the pre-family construction verbatim). *)
+let mc_verify_anuc ?reduction ?(n = 3) ?quorum ~depth () =
+  let n, faulty, pattern, proposals = mc_universe_n ~n ~depth in
+  let menu = Mc.Menu.contamination ~plus:true ?quorum ~n ~faulty () in
   let report =
     Mc_anuc.run ?reduction ~n ~menu ~depth ~inputs:proposals
       ~props:
@@ -603,9 +609,9 @@ let mc_verify_anuc ?reduction ~depth () =
    MR with detector-supplied quorums driven by a legal Sigma-nu menu.
    Returns the report plus the independent certificates of any found
    counterexample (replay applicability, history legality). *)
-let mc_attack_naive ?reduction ~depth () =
-  let n, faulty, pattern, proposals = mc_universe ~depth in
-  let menu = Mc.Menu.contamination ~n ~faulty () in
+let mc_attack_naive ?reduction ?(n = 3) ?quorum ~depth () =
+  let n, faulty, pattern, proposals = mc_universe_n ~n ~depth in
+  let menu = Mc.Menu.contamination ?quorum ~n ~faulty () in
   let report =
     Mc_naive.run ?reduction ~n ~menu ~depth ~inputs:proposals
       ~props:
@@ -868,10 +874,10 @@ let fuzz_universe ~n ~t ~max_steps =
 
 let fuzz_max_steps ~n = 18 * n
 
-let fuzz_attack_naive ~seed ~runs ~n ~t =
+let fuzz_attack_naive ?quorum ~seed ~runs ~n ~t () =
   let max_steps = fuzz_max_steps ~n in
   let faulty, pattern, proposals = fuzz_universe ~n ~t ~max_steps in
-  let menu = Mc.Menu.contamination ~n ~faulty () in
+  let menu = Mc.Menu.contamination ?quorum ~n ~faulty () in
   let props =
     Ex_naive.M.consensus_props ~decision:Consensus.Mr.With_quorum.decision
       ~proposals ~flavour:Consensus.Spec.Nonuniform ~pattern
@@ -927,7 +933,7 @@ let e13_anuc_runs ~quick = if quick then 1_000 else 50_000
 let e13_fuzz ?(quick = false) ?(seed_base = 0) () =
   let seed = e13_fuzz_seed + seed_base in
   let naive_legal, naive_r =
-    fuzz_attack_naive ~seed ~runs:(e13_naive_runs ~quick) ~n:5 ~t:2
+    fuzz_attack_naive ~seed ~runs:(e13_naive_runs ~quick) ~n:5 ~t:2 ()
   in
   let anuc_legal, anuc_r =
     fuzz_survive_anuc ~seed ~runs:(e13_anuc_runs ~quick) ~n:5 ~t:2
@@ -1046,6 +1052,72 @@ let e14_dpor ?(quick = false) () =
     pass = deep_ok && diff_ok && naive_ok;
   }
 
+(* ---------------------------------------------------------------- *)
+(* E16: the Section 6.3 differential across quorum families          *)
+(* ---------------------------------------------------------------- *)
+
+(* One configuration per shipped family, each chosen so the
+   contamination channel is open: majority and the weighted votes at
+   n = 3 (their menus offer two-member quorums avoiding the faulty
+   process), supermajority f = 1 and the 2x2 grid at n = 4 — at
+   n = 3, t = 1 every Sigma-nu-legal super:1 quorum contains the
+   faulty process (threshold n, and the escapes carry F), which
+   closes the channel entirely; see the E16 narrative in
+   EXPERIMENTS.md. *)
+let e16_families =
+  [
+    (Quorum_family.majority, 3);
+    (Quorum_family.weighted ~weights:[ 2; 1; 1 ], 3);
+    (Quorum_family.supermajority ~f:1, 4);
+    (Quorum_family.grid ~rows:2 ~cols:2 (), 4);
+  ]
+
+let e16_fuzz_runs ~quick = if quick then 500 else 2000
+
+let e16_anuc_depth ~n ~quick =
+  if n <= 3 then if quick then 7 else 9 else if quick then 5 else 7
+
+(* The E11/E13 differential, per family: the naive substitution falls
+   under the family's contamination menu (randomized search, shrunk
+   and certified by replay + Sigma-nu legality), while A_nuc exhausts
+   the same adversary's schedule space clean. *)
+let e16_quorum ?(quick = false) ?(seed_base = 0) () =
+  let t = tally () in
+  List.iter
+    (fun (fam, n) ->
+      let label = Printf.sprintf "%s(n=%d)" (Quorum_family.name fam) n in
+      let naive_legal, naive_r =
+        fuzz_attack_naive ~quorum:fam ~seed:(e13_fuzz_seed + seed_base)
+          ~runs:(e16_fuzz_runs ~quick) ~n ~t:1 ()
+      in
+      let naive_ok =
+        Result.is_ok naive_legal
+        &&
+        match naive_r.Ex_naive.violation with
+        | Some v ->
+          v.Ex_naive.v_property = "nonuniform agreement"
+          && v.Ex_naive.v_replay_ok && v.Ex_naive.v_history_ok
+        | None -> false
+      in
+      record t naive_ok
+        (Printf.sprintf "%s: naive did not fall (certified)" label);
+      let depth = e16_anuc_depth ~n ~quick in
+      let anuc_legal, anuc_r = mc_verify_anuc ~n ~quorum:fam ~depth () in
+      let anuc_ok =
+        Result.is_ok anuc_legal
+        && anuc_r.Mc_anuc.violation = None
+        && not anuc_r.Mc_anuc.stats.Mc.truncated
+      in
+      record t anuc_ok
+        (Printf.sprintf "%s: A_nuc not exhausted clean at depth %d" label
+           depth))
+    e16_families;
+  finish_row ~id:"E16" ~theorem:"Sec 6.3 across quorum families"
+    ~expected:
+      "under every family's contamination menu the naive substitution \
+       falls (shrunk + certified) and A_nuc exhausts clean"
+    t
+
 let all ?(quick = false) ?(seed_base = 0) () =
   [
     e1_extract_sigma_nu ~quick ~seed_base ();
@@ -1062,6 +1134,7 @@ let all ?(quick = false) ?(seed_base = 0) () =
     e12_faults ~quick ~seed_base ();
     e13_fuzz ~quick ~seed_base ();
     e14_dpor ~quick ();
+    e16_quorum ~quick ~seed_base ();
   ]
 
 (* ---------------------------------------------------------------- *)
@@ -1266,6 +1339,60 @@ let latency ?(faults = Sim.Faults.none) algo ~n ~t ~seeds =
   let runs = List.length seeds in
   {
     algorithm = algo_name algo;
+    n;
+    t;
+    runs;
+    decided = !decided;
+    avg_rounds =
+      (if !rounds_n = 0 then nan
+       else float_of_int !rounds_sum /. float_of_int !rounds_n);
+    avg_steps = float_of_int !steps_sum /. float_of_int runs;
+    avg_msgs = float_of_int !msgs_sum /. float_of_int runs;
+    avg_hwm = float_of_int !hwm_sum /. float_of_int runs;
+  }
+
+(* The B1 measurement for MR over a pluggable quorum family
+   ({!Consensus.Mr.family}): same sweep shape as [latency], omega-only
+   oracle (the Family waits never read the detector's quorum
+   component). Callers should surface [Quorum_family.validate]
+   failures first — a family whose shape does not fit [n] or whose
+   quorums a crash pattern can starve yields honest non-decisions
+   here, not errors. *)
+let latency_family ?(faults = Sim.Faults.none) fam ~n ~t ~seeds =
+  let module A = (val Consensus.Mr.family fam) in
+  let module R = Sim.Runner.Make (A) in
+  let decided = ref 0 in
+  let rounds_sum = ref 0 and rounds_n = ref 0 in
+  let steps_sum = ref 0 and msgs_sum = ref 0 and hwm_sum = ref 0 in
+  List.iter
+    (fun seed ->
+      let pattern = random_pattern ~seed ~n ~t in
+      let correct = Sim.Failure_pattern.correct pattern in
+      let proposals p = (p + seed) mod 2 in
+      let omega = Fd.Oracle.omega ~seed ~stab_time:60 pattern in
+      let run =
+        R.exec ~seed ~faults ~record:false ~pattern
+          ~fd:omega.Fd.Oracle.query ~inputs:proposals ~max_steps:6000
+          ~stop:(fun st _ ->
+            Pset.for_all (fun p -> A.decision (st p) <> None) correct)
+          ()
+      in
+      if run.R.stopped_early then incr decided;
+      Pset.iter
+        (fun p ->
+          match A.decision_round run.R.states.(p) with
+          | Some r ->
+            rounds_sum := !rounds_sum + r;
+            incr rounds_n
+          | None -> ())
+        correct;
+      steps_sum := !steps_sum + run.R.step_count;
+      msgs_sum := !msgs_sum + run.R.messages_sent;
+      hwm_sum := !hwm_sum + run.R.metrics.Sim.Runner.mailbox_hwm)
+    seeds;
+  let runs = List.length seeds in
+  {
+    algorithm = Printf.sprintf "MR[%s]" (Quorum_family.name fam);
     n;
     t;
     runs;
@@ -1619,7 +1746,7 @@ let fuzz_table ?(quick = false) () =
   in
   let naive_runs = if quick then 1_000 else 10_000 in
   let anuc_runs = if quick then 1_000 else 20_000 in
-  let _, naive_r = fuzz_attack_naive ~seed:e13_fuzz_seed ~runs:naive_runs ~n:5 ~t:2 in
+  let _, naive_r = fuzz_attack_naive ~seed:e13_fuzz_seed ~runs:naive_runs ~n:5 ~t:2 () in
   let _, anuc_r = fuzz_survive_anuc ~seed:e13_fuzz_seed ~runs:anuc_runs ~n:5 ~t:2 in
   let naive_row =
     let shrink_ratio, outcome =
@@ -2153,5 +2280,159 @@ let json_of_b11_rows rows =
              ("wall_seconds", Report.Float r.b11_wall);
              ("outcome", Report.Str r.b11_outcome);
              ("pass", Report.Bool r.b11_pass);
+           ])
+       rows)
+
+(* ---------------------------------------------------------------- *)
+(* B13: quorum-family latency / resilience trade-off                 *)
+(* ---------------------------------------------------------------- *)
+
+type b13_row = {
+  b13_family : string;
+  b13_n : int;
+  b13_t : int;
+  b13_minq : int;
+  b13_resilience : int;
+  b13_runs : int;
+  b13_live : int;
+  b13_decided : int;
+  b13_avg_rounds : float;
+  b13_avg_steps : float;
+  b13_pass : bool;
+}
+
+let b13_header =
+  Printf.sprintf "%-20s %3s %3s %5s %6s %5s %5s %8s %8s %10s %5s" "family"
+    "n" "t" "minq" "resil" "runs" "live" "decided" "rounds" "steps" "pass"
+
+let pp_b13_row fmt r =
+  Format.fprintf fmt "%-20s %3d %3d %5d %6d %5d %5d %8d %8.2f %10.1f %5b"
+    r.b13_family r.b13_n r.b13_t r.b13_minq r.b13_resilience r.b13_runs
+    r.b13_live r.b13_decided r.b13_avg_rounds r.b13_avg_steps r.b13_pass
+
+(* MR over the family: the waits are satisfied by any family quorum of
+   distinct senders, so the detector only supplies Omega. Crashes land
+   at time 0 (a random [t]-subset per seed, never the whole universe),
+   so no transient quorum can assemble before a crash: the run decides
+   iff the surviving set is itself a family quorum — exactly the
+   structural question [validate] answers. The pass column pins that
+   equivalence operationally: decided = live, run by run, with the
+   blocked runs really executed against their step budget (not
+   skipped). *)
+let b13_pattern ~seed ~n ~t =
+  let rng = Random.State.make [| 0xb13; seed; n; t |] in
+  let rec pick chosen k =
+    if k = 0 then chosen
+    else
+      let p = Random.State.int rng n in
+      if Pset.mem p chosen then pick chosen k
+      else pick (Pset.add p chosen) (k - 1)
+  in
+  let faulty = pick Pset.empty (min t (n - 1)) in
+  Sim.Failure_pattern.make ~n
+    ~crashes:(List.map (fun p -> (p, 0)) (Pset.elements faulty))
+
+let b13_measure fam ~n ~t ~seeds =
+  let module A = (val Consensus.Mr.family fam) in
+  let module R = Sim.Runner.Make (A) in
+  let live = ref 0 and decided = ref 0 and all_conform = ref true in
+  let rounds_sum = ref 0 and rounds_n = ref 0 in
+  let steps_sum = ref 0 and steps_n = ref 0 in
+  List.iter
+    (fun seed ->
+      let pattern = b13_pattern ~seed ~n ~t in
+      let correct = Sim.Failure_pattern.correct pattern in
+      let is_live =
+        Result.is_ok (Quorum_family.validate fam ~n ~live:correct)
+      in
+      if is_live then incr live;
+      let proposals p = (p + seed) mod 2 in
+      let omega = Fd.Oracle.omega ~seed ~stab_time:60 pattern in
+      let run =
+        R.exec ~seed ~record:false ~pattern ~fd:omega.Fd.Oracle.query
+          ~inputs:proposals ~max_steps:4000
+          ~stop:(fun st _ ->
+            Pset.for_all (fun p -> A.decision (st p) <> None) correct)
+          ()
+      in
+      let ok = run.R.stopped_early in
+      if ok then begin
+        incr decided;
+        Pset.iter
+          (fun p ->
+            match A.decision_round run.R.states.(p) with
+            | Some r ->
+              rounds_sum := !rounds_sum + r;
+              incr rounds_n
+            | None -> ())
+          correct;
+        steps_sum := !steps_sum + run.R.step_count;
+        incr steps_n
+      end;
+      if ok <> is_live then all_conform := false)
+    seeds;
+  let runs = List.length seeds in
+  {
+    b13_family = Quorum_family.name fam;
+    b13_n = n;
+    b13_t = t;
+    b13_minq =
+      Option.value ~default:(-1) (Quorum_family.min_quorum_size fam ~n);
+    b13_resilience = Quorum_family.resilience fam ~n;
+    b13_runs = runs;
+    b13_live = !live;
+    b13_decided = !decided;
+    b13_avg_rounds =
+      (if !rounds_n = 0 then nan
+       else float_of_int !rounds_sum /. float_of_int !rounds_n);
+    b13_avg_steps =
+      (if !steps_n = 0 then nan
+       else float_of_int !steps_sum /. float_of_int !steps_n);
+    b13_pass = !all_conform;
+  }
+
+(* The trade-off sweep: same MR skeleton, five quorum structures.
+   majority(5) tolerates t = 2 and decides everywhere; super:1(5) buys
+   fast-quorum intersection margin at resilience 1; the weighted votes
+   concentrate power on p0 (quorums of two, but a dead p0 plus one
+   more blocks the structure — decided tracks live, not runs); the
+   2x2 grid at t = 1 always survives, and at t = 2 no pair of
+   survivors holds a full row and column, so nothing ever decides. *)
+let b13_configs =
+  [
+    (Quorum_family.majority, 5, 2);
+    (Quorum_family.supermajority ~f:1, 5, 1);
+    (Quorum_family.weighted ~weights:[ 3; 1; 1; 1; 1 ], 5, 2);
+    (Quorum_family.grid ~rows:2 ~cols:2 (), 4, 1);
+    (Quorum_family.grid ~rows:2 ~cols:2 (), 4, 2);
+  ]
+
+let b13_quorum_table ?(quick = false) ?(seed_base = 0) () =
+  let seeds =
+    List.map (( + ) seed_base)
+      (List.init (if quick then 6 else 20) (fun i -> i))
+  in
+  List.map (fun (fam, n, t) -> b13_measure fam ~n ~t ~seeds) b13_configs
+
+let json_of_b13_rows rows =
+  let float_or_null f =
+    if Float.is_nan f then Report.Null else Report.Float f
+  in
+  Report.List
+    (List.map
+       (fun r ->
+         Report.Obj
+           [
+             ("family", Report.Str r.b13_family);
+             ("n", Report.Int r.b13_n);
+             ("t", Report.Int r.b13_t);
+             ("min_quorum", Report.Int r.b13_minq);
+             ("resilience", Report.Int r.b13_resilience);
+             ("runs", Report.Int r.b13_runs);
+             ("live", Report.Int r.b13_live);
+             ("decided", Report.Int r.b13_decided);
+             ("avg_rounds", float_or_null r.b13_avg_rounds);
+             ("avg_steps", float_or_null r.b13_avg_steps);
+             ("pass", Report.Bool r.b13_pass);
            ])
        rows)

@@ -116,6 +116,21 @@ val e14_dpor : ?quick:bool -> unit -> row
     the naive Sigma-nu counterexample still found, replayed and
     history-certified with the reduction on. *)
 
+val e16_quorum : ?quick:bool -> ?seed_base:int -> unit -> row
+(** Section 6.3 across quorum families ({!Procset.Quorum_family}): for
+    each shipped family (majority and weighted on [E_1(3)];
+    supermajority [f = 1] and the 2x2 grid on [E_1(4)]), (a) the
+    naive Sigma-nu substitution falls to a certified
+    nonuniform-agreement violation under the family-shaped
+    contamination menu ({!Mc.Menu.contamination} with [?quorum]),
+    found by randomized exploration with shrinking, replay and
+    history-legality certificates; and (b) [A_nuc] exhausts the same
+    menu clean under bounded model checking. One structural finding
+    rides along: supermajority at [n = 3, t = 1] has {e no} legal
+    contamination channel — every Sigma-nu-legal quorum of its shape
+    contains the faulty process — which is why its row runs at
+    [n = 4] (see EXPERIMENTS.md, E16). *)
+
 val all : ?quick:bool -> ?seed_base:int -> unit -> row list
 (** Every E-row, in order. [seed_base] offsets the seed lists of the
     randomized rows (default 0 reproduces the historical sweeps). *)
@@ -150,6 +165,16 @@ val latency :
     patterns. [Mr_majority] and [Ct] require [t < n/2]. [faults]
     (default {!Sim.Faults.none}) runs every sweep under a network
     fault spec. *)
+
+val latency_family :
+  ?faults:Sim.Faults.t ->
+  Procset.Quorum_family.t -> n:int -> t:int -> seeds:int list -> latency_row
+(** The B1 measurement for {!Consensus.Mr.family} over a pluggable
+    quorum family (the [run --quorum] path). Omega-only oracle: the
+    Family-mode waits count distinct senders against the family, never
+    the detector's quorum component. Surface
+    {!Procset.Quorum_family.validate} failures before calling — an
+    ill-fitting family yields honest non-decisions, not errors. *)
 
 type stab_row = {
   stab_time : int;
@@ -415,3 +440,38 @@ val b12_codec_table : ?quick:bool -> unit -> b12_row list
 
 val json_of_b12_rows : b12_row list -> Report.t
 (** The [b12_codec] document fragment ([bench --json]). *)
+
+type b13_row = {
+  b13_family : string;
+  b13_n : int;
+  b13_t : int;
+  b13_minq : int;  (** smallest quorum cardinality, [-1] if none *)
+  b13_resilience : int;  (** {!Procset.Quorum_family.resilience} *)
+  b13_runs : int;
+  b13_live : int;  (** runs whose correct set is itself a quorum *)
+  b13_decided : int;  (** runs where every correct process decided *)
+  b13_avg_rounds : float;  (** mean deciding round over decided runs *)
+  b13_avg_steps : float;  (** mean steps to global decision *)
+  b13_pass : bool;  (** decided = live, run by run *)
+}
+(** One row of the quorum-family latency / resilience trade-off. *)
+
+val pp_b13_row : Format.formatter -> b13_row -> unit
+
+val b13_header : string
+
+val b13_quorum_table : ?quick:bool -> ?seed_base:int -> unit -> b13_row list
+(** B13: {!Consensus.Mr.family} under random crash patterns, one row
+    per (family, n, t) point. Liveness is structural: a run decides
+    iff its correct set is a quorum of the family
+    ({!Procset.Quorum_family.validate}), and the pass column checks
+    that equivalence on every run — blocked runs are executed against
+    their full step budget, not predicted. The sweep exhibits the
+    trade-off: majority maximizes resilience at [n = 5]; weighted
+    votes buy smaller quorums (latency) at the price of a power
+    concentration that dies with its pivot; the 2x2 grid survives any
+    single crash but no double crash leaves a full row and column.
+    [quick] cuts the seed list from 20 to 6. *)
+
+val json_of_b13_rows : b13_row list -> Report.t
+(** The [b13_quorum] document fragment ([bench --json]). *)

@@ -64,31 +64,43 @@ let sigma ?(seed = 0) ?stab_time pattern =
   in
   { name = "Sigma"; query; stab_time }
 
-let sigma_majority ?(seed = 0) ?stab_time pattern =
+(* A family quorum grown inside [pool]. [validate]d callers never see
+   [None]; the guard is for direct misuse. *)
+let family_quorum family ~n rng ~pool =
+  match Quorum_family.grow_quorum family ~n rng ~pool with
+  | Some q -> q
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Oracle: no %s quorum inside %s"
+         (Quorum_family.name family) (Pset.to_string pool))
+
+let sigma_family ?(seed = 0) ?stab_time family pattern =
   let n = Sim.Failure_pattern.n pattern in
   let correct = Sim.Failure_pattern.correct pattern in
-  if not (Pset.is_majority ~n correct) then
-    invalid_arg "Oracle.sigma_majority: needs a correct majority";
-  let stab_time = clamp_stab pattern stab_time in
-  let all = Pset.full ~n in
-  (* A majority-sized subset of [pool] (|pool| > n/2 required). *)
-  let majority_of rng pool =
-    let target = (n / 2) + 1 in
-    let rec grow q candidates =
-      if Pset.cardinal q >= target then q
-      else
-        let elts = Pset.elements candidates in
-        let pick = List.nth elts (Random.State.int rng (List.length elts)) in
-        grow (Pset.add pick q) (Pset.remove pick candidates)
+  match Quorum_family.validate family ~n ~live:correct with
+  | Error _ as e -> e
+  | Ok () ->
+    let stab_time = clamp_stab pattern stab_time in
+    let all = Pset.full ~n in
+    let query p t =
+      let rng = rng_at ~seed p t in
+      let pool = if t >= stab_time then correct else all in
+      Sim.Fd_value.Quorum (family_quorum family ~n rng ~pool)
     in
-    grow Pset.empty pool
-  in
-  let query p t =
-    let rng = rng_at ~seed p t in
-    let pool = if t >= stab_time then correct else all in
-    Sim.Fd_value.Quorum (majority_of rng pool)
-  in
-  { name = "Sigma-majority"; query; stab_time }
+    Ok
+      {
+        name = Printf.sprintf "Sigma[%s]" (Quorum_family.name family);
+        query;
+        stab_time;
+      }
+
+let sigma_majority ?(seed = 0) ?stab_time pattern =
+  (* the historical majority oracle, now the majority instance of the
+     family construction — same grow loop, same RNG consumption, so
+     seeded histories are unchanged *)
+  match sigma_family ~seed ?stab_time Quorum_family.majority pattern with
+  | Ok o -> { o with name = "Sigma-majority" }
+  | Error _ -> invalid_arg "Oracle.sigma_majority: needs a correct majority"
 
 type faulty_mode = Faulty_arbitrary | Faulty_split
 
@@ -154,6 +166,72 @@ let sigma_nu_plus ?(seed = 0) ?stab_time ?(faulty_mode = Faulty_arbitrary)
         (pivot_quorum ~seed ~self_include:true pattern p t ~pool)
   in
   { name = "Sigma-nu+"; query; stab_time }
+
+(* Family-parameterized Sigma-nu: correct processes output family
+   quorums (grown inside [correct] after stabilization, inside [Pi]
+   before); any two family quorums intersect, so the correct-only
+   intersection clause holds a fortiori, and post-stabilization
+   quorums are all-correct (completeness). Faulty processes take the
+   split escape — subsets of [faulty(F)] around themselves — which
+   Sigma-nu leaves unconstrained. *)
+let sigma_nu_family ?(seed = 0) ?stab_time family pattern =
+  let n = Sim.Failure_pattern.n pattern in
+  let correct = Sim.Failure_pattern.correct pattern in
+  match Quorum_family.validate family ~n ~live:correct with
+  | Error _ as e -> e
+  | Ok () ->
+    let stab_time = clamp_stab pattern stab_time in
+    let all = Pset.full ~n in
+    let faulty = Sim.Failure_pattern.faulty pattern in
+    let query p t =
+      if Pset.mem p faulty then
+        Sim.Fd_value.Quorum
+          (faulty_quorum ~seed ~mode:Faulty_split ~self_include:false pattern
+             p t)
+      else
+        let pool = if t >= stab_time then correct else all in
+        Sim.Fd_value.Quorum (family_quorum family ~n (rng_at ~seed p t) ~pool)
+    in
+    Ok
+      {
+        name = Printf.sprintf "Sigma-nu[%s]" (Quorum_family.name family);
+        query;
+        stab_time;
+      }
+
+(* Family-parameterized Sigma-nu+. Correct quorums are family quorums
+   with the owner added (monotonicity keeps them quorums) —
+   self-inclusion. Faulty quorums are always the faulty-only escape
+   [{p} ∪ subset(faulty)]: unlike the pivot construction, family
+   quorums of correct processes share no fixed anchor, so a faulty
+   quorum touching the correct side could miss one of them — only the
+   no-correct-member branch keeps conditional nonintersection sound
+   for every family. *)
+let sigma_nu_plus_family ?(seed = 0) ?stab_time family pattern =
+  let n = Sim.Failure_pattern.n pattern in
+  let correct = Sim.Failure_pattern.correct pattern in
+  match Quorum_family.validate family ~n ~live:correct with
+  | Error _ as e -> e
+  | Ok () ->
+    let stab_time = clamp_stab pattern stab_time in
+    let all = Pset.full ~n in
+    let faulty = Sim.Failure_pattern.faulty pattern in
+    let query p t =
+      if Pset.mem p faulty then
+        Sim.Fd_value.Quorum
+          (faulty_quorum ~seed ~mode:Faulty_split ~self_include:true pattern
+             p t)
+      else
+        let pool = if t >= stab_time then correct else all in
+        Sim.Fd_value.Quorum
+          (Pset.add p (family_quorum family ~n (rng_at ~seed p t) ~pool))
+    in
+    Ok
+      {
+        name = Printf.sprintf "Sigma-nu+[%s]" (Quorum_family.name family);
+        query;
+        stab_time;
+      }
 
 let perfect pattern =
   let n = Sim.Failure_pattern.n pattern in

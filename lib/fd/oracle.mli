@@ -52,13 +52,32 @@ val sigma : ?seed:int -> ?stab_time:int -> Sim.Failure_pattern.t -> t
     any two intersect; after stabilization the quorums of correct
     processes are subsets of [correct(F)] containing the pivot. *)
 
+val sigma_family :
+  ?seed:int ->
+  ?stab_time:int ->
+  Procset.Quorum_family.t ->
+  Sim.Failure_pattern.t ->
+  (t, Procset.Quorum_family.error) result
+(** Sigma over an arbitrary {!Procset.Quorum_family}: every quorum
+    output anywhere is a family quorum (any two intersect — the
+    uniform intersection law of the family algebra); after
+    stabilization the quorums of correct processes are grown inside
+    [correct(F)]. Returns the typed {!Procset.Quorum_family.error}
+    when the family's shape does not fit [n] or no quorum survives in
+    [correct(F)] — the condition {!sigma_majority} used to turn into
+    an uncaught [Invalid_argument]. *)
+
 val sigma_majority :
   ?seed:int -> ?stab_time:int -> Sim.Failure_pattern.t -> t
-(** Sigma by majorities: every quorum is a majority of [Pi] (any two
-    majorities intersect); after stabilization the quorums of correct
-    processes are majorities consisting of correct processes — which
-    requires a correct majority. Raises [Invalid_argument] otherwise.
-    This mirrors the from-scratch construction of Theorem 7.1 (IF). *)
+(** Sigma by majorities — [sigma_family Quorum_family.majority] with
+    the historical name and RNG consumption, so seeded histories are
+    byte-identical to pre-family releases: every quorum is a majority
+    of [Pi] (any two majorities intersect); after stabilization the
+    quorums of correct processes are majorities consisting of correct
+    processes — which requires a correct majority. Raises
+    [Invalid_argument] otherwise (prefer {!sigma_family}, which
+    returns the typed error instead). This mirrors the from-scratch
+    construction of Theorem 7.1 (IF). *)
 
 (** Behaviour of faulty processes' quorums under Sigma-nu family
     oracles — the clause Sigma-nu leaves unconstrained. *)
@@ -88,6 +107,33 @@ val sigma_nu_plus :
     conditional nonintersection). With [Faulty_split], faulty
     processes always take the faulty-only branch when [faulty(F)] is
     nonempty. *)
+
+val sigma_nu_family :
+  ?seed:int ->
+  ?stab_time:int ->
+  Procset.Quorum_family.t ->
+  Sim.Failure_pattern.t ->
+  (t, Procset.Quorum_family.error) result
+(** Sigma-nu over a quorum family: correct processes output family
+    quorums (inside [correct(F)] after stabilization), which pairwise
+    intersect by the family's uniform intersection law — so the
+    correct-only clause of Sigma-nu holds a fortiori; faulty
+    processes take the [Faulty_split] escape (subsets of [faulty(F)]
+    around themselves), which Sigma-nu leaves unconstrained. Typed
+    error as for {!sigma_family}. *)
+
+val sigma_nu_plus_family :
+  ?seed:int ->
+  ?stab_time:int ->
+  Procset.Quorum_family.t ->
+  Sim.Failure_pattern.t ->
+  (t, Procset.Quorum_family.error) result
+(** Sigma-nu+ over a quorum family: like {!sigma_nu_family} but
+    self-including (the owner is added to each family quorum —
+    monotonicity keeps it a quorum), and faulty processes always
+    output faulty-only quorums: family quorums share no fixed pivot,
+    so only the no-correct-member branch of conditional
+    nonintersection is sound for every family. *)
 
 val perfect : Sim.Failure_pattern.t -> t
 (** Perfect information as a quorum detector: [H(p, t) = Pi - F(t)].

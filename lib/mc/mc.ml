@@ -146,22 +146,72 @@ module Menu = struct
      Sigma-nu-legal — yet the {p} ∪ F switch lets a faulty process
      contaminate round boundaries. Exhaustive search under this menu
      is what separates A_nuc from the naive Sigma-nu baseline. *)
-  let contamination ?(plus = false) ~n ~faulty () =
+  let contamination ?(plus = false) ?quorum ~n ~faulty () =
     let correct = Pset.complement ~n faulty in
     let c0 = Pset.min_elt correct in
-    {
-      name =
-        Printf.sprintf "(Omega, Sigma-nu%s) contamination family"
-          (if plus then "+" else "");
-      kind = (if plus then Sigma_nu_plus else Sigma_nu);
-      values =
-        (fun p ->
-          if Pset.mem p faulty then [ pair p (Pset.singleton p) ]
-          else if p = c0 then [ pair c0 correct ]
-          else dedup_psets [ correct; Pset.add p faulty ]
-               |> List.map (pair p));
-      lossy = false;
-    }
+    match quorum with
+    | None ->
+      {
+        name =
+          Printf.sprintf "(Omega, Sigma-nu%s) contamination family"
+            (if plus then "+" else "");
+        kind = (if plus then Sigma_nu_plus else Sigma_nu);
+        values =
+          (fun p ->
+            if Pset.mem p faulty then [ pair p (Pset.singleton p) ]
+            else if p = c0 then [ pair c0 correct ]
+            else dedup_psets [ correct; Pset.add p faulty ]
+                 |> List.map (pair p));
+        lossy = false;
+      }
+    | Some fam ->
+      (* The same switchable-escape structure, with the correct set
+         generalized to the family's minimal quorums (grown inside
+         [correct] when the correct set is itself a quorum, inside
+         [Pi] otherwise). Each offered quorum gets its owner added
+         (monotone families keep it a quorum, and Sigma-nu+ needs
+         self-inclusion); min-quorums pairwise intersect by the
+         family's uniform intersection law. The {p} ∪ F escape is
+         offered to every correct process where it stays
+         Sigma-nu-legal — it must meet every family quorum offered to
+         the other correct processes, i.e. every min-quorum must
+         contain p or touch F. (Unlike the unparameterized menu, c0 is
+         not pinned: families like super:1 or grids have a single
+         min-quorum that contains the faulty side, and only the escape
+         at the lowest correct process keeps a contamination schedule
+         expressible at all.) Faulty processes keep their all-faulty
+         self-quorum, which conditional nonintersection exempts. *)
+      ignore c0;
+      let pool =
+        if Quorum_family.is_quorum fam ~n correct then correct
+        else Pset.full ~n
+      in
+      let qs = Quorum_family.min_quorums fam ~n ~within:pool in
+      let escape_ok p =
+        qs <> []
+        && List.for_all
+             (fun q -> Pset.mem p q || not (Pset.disjoint q faulty))
+             qs
+      in
+      {
+        name =
+          Printf.sprintf "(Omega, Sigma-nu%s) contamination family [%s]"
+            (if plus then "+" else "")
+            (Quorum_family.name fam);
+        kind = (if plus then Sigma_nu_plus else Sigma_nu);
+        values =
+          (fun p ->
+            if Pset.mem p faulty then [ pair p (Pset.singleton p) ]
+            else
+              let own = List.map (Pset.add p) qs in
+              let own =
+                if escape_ok p && not (Pset.is_empty faulty) then
+                  own @ [ Pset.add p faulty ]
+                else own
+              in
+              dedup_psets own |> List.map (pair p));
+        lossy = false;
+      }
 
   (* The contamination family over lossy links: identical detector
      menus, but every transition additionally offers the network the
@@ -170,8 +220,8 @@ module Menu = struct
      clauses — while the schedule space strictly contains the
      loss-free one, so a loss-free counterexample survives and a
      loss-free exhaustiveness claim is strengthened. *)
-  let lossy ?plus ~n ~faulty () =
-    let base = contamination ?plus ~n ~faulty () in
+  let lossy ?plus ?quorum ~n ~faulty () =
+    let base = contamination ?plus ?quorum ~n ~faulty () in
     { base with name = base.name ^ " + lossy links"; lossy = true }
 
   let leader_only ~n ~faulty =

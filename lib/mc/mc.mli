@@ -74,7 +74,13 @@ module Menu : sig
   (** Uniformly intersecting quorums through a correct pivot — legal
       for [(Omega, Sigma)]. *)
 
-  val contamination : ?plus:bool -> n:int -> faulty:Pset.t -> unit -> t
+  val contamination :
+    ?plus:bool ->
+    ?quorum:Procset.Quorum_family.t ->
+    n:int ->
+    faulty:Pset.t ->
+    unit ->
+    t
   (** The focused Sigma-nu sub-family behind the Section 6.3
       contamination argument: the lowest correct process pinned to
       (its own leadership, the correct set), the other correct
@@ -84,9 +90,25 @@ module Menu : sig
       for [(Omega, Sigma-nu+)] when [plus] is set (the kind checked by
       {!validate}). Small enough that exhaustive exploration reaches
       the depth at which decisions — and the naive baseline's
-      contaminated decisions — occur. *)
+      contaminated decisions — occur.
 
-  val lossy : ?plus:bool -> n:int -> faulty:Pset.t -> unit -> t
+      With [?quorum], the correct set is generalized to the family's
+      minimal quorums (owner added — families are monotone), grown
+      inside the correct set when it is itself a quorum and inside
+      [Pi] otherwise; every correct process (c0 included — some
+      families leave the escape as the only contamination channel)
+      gets the [{p} ∪ F] escape exactly where it stays
+      Sigma-nu-legal (every offered family quorum contains [p] or
+      touches [F]). [None] (the default) is the unparameterized
+      construction, bit-for-bit. *)
+
+  val lossy :
+    ?plus:bool ->
+    ?quorum:Procset.Quorum_family.t ->
+    n:int ->
+    faulty:Pset.t ->
+    unit ->
+    t
   (** The {!contamination} family over lossy links: identical
       detector menus, plus a network adversary that may silently
       discard the deliverable message of any cross-process channel at

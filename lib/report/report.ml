@@ -90,6 +90,7 @@ let schema_keys =
     "b10_serve";
     "b11_dpor";
     "b12_codec";
+    "b13_quorum";
     "b4_micro";
     "run_metrics";
   ]

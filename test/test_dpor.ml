@@ -140,6 +140,115 @@ let test_differential_suspects () =
       in
       (Option.is_none r.M_ct.violation, r.M_ct.stats))
 
+(* -------------------------------------------------------------- *)
+(* Family-parameterized menus: none vs sleep vs dpor               *)
+(* -------------------------------------------------------------- *)
+
+(* The family menus change the move alphabet (different quorum sets
+   per process), so sleep-set and happens-before independence are
+   re-exercised on shapes the majority battery above never produces
+   — e.g. the full-set min-quorum of super:1, or the owner-added
+   grid lines at n = 4. All three reductions must stay verdict- and
+   distinct-state-equal; the two pruners must not take more
+   transitions than the unreduced run. *)
+let check_differential3 ~name ~depths
+    (run : reduction:Mc.reduction -> depth:int -> bool * Mc.stats) =
+  List.iter
+    (fun depth ->
+      let tag red s = Printf.sprintf "%s depth %d [%s]: %s" name depth red s in
+      let none_v, none = run ~reduction:Mc.No_reduction ~depth in
+      Alcotest.(check bool)
+        (tag "none" "not truncated")
+        false none.Mc.truncated;
+      List.iter
+        (fun (rname, red) ->
+          let v, s = run ~reduction:red ~depth in
+          Alcotest.(check bool) (tag rname "same verdict") none_v v;
+          Alcotest.(check int)
+            (tag rname "same distinct states")
+            none.Mc.distinct_states s.Mc.distinct_states;
+          Alcotest.(check int)
+            (tag rname "same decided leaves")
+            none.Mc.decided_leaves s.Mc.decided_leaves;
+          Alcotest.(check bool)
+            (tag rname "takes no more transitions")
+            true
+            (s.Mc.transitions <= none.Mc.transitions);
+          Alcotest.(check bool) (tag rname "not truncated") false s.Mc.truncated)
+        [ ("sleep", Mc.Sleep_sets); ("dpor", Mc.Dpor) ])
+    depths
+
+let test_differential_family_weighted () =
+  check_differential3 ~name:"contamination[weighted:2,1,1]" ~depths
+    (naive_run
+       ~menu:
+         (Mc.Menu.contamination
+            ~quorum:(Quorum_family.weighted ~weights:[ 2; 1; 1 ])
+            ~n ~faulty ())
+       ())
+
+let test_differential_family_super () =
+  (* super:1 at n = 3: every offered family quorum contains the
+     faulty side, so no contamination schedule exists — the verdict
+     is clean at every depth, and all three reductions must agree. *)
+  check_differential3 ~name:"contamination[super:1]" ~depths
+    (naive_run
+       ~menu:
+         (Mc.Menu.contamination
+            ~quorum:(Quorum_family.supermajority ~f:1)
+            ~n ~faulty ())
+       ())
+
+let test_differential_family_grid () =
+  (* grid:2x2 needs n = 4; shallower depths keep the unreduced
+     baseline cheap (state count grows ~8x per extra process). *)
+  let n = 4 in
+  let faulty = Pset.singleton 3 in
+  let proposals p = if Pset.mem p faulty then 1 else 0 in
+  let menu =
+    Mc.Menu.contamination
+      ~quorum:(Quorum_family.grid ~rows:2 ~cols:2 ())
+      ~n ~faulty ()
+  in
+  check_differential3 ~name:"contamination[grid:2x2]" ~depths:[ 3; 4; 5 ]
+    (fun ~reduction ~depth ->
+      let pattern = Sim.Failure_pattern.make ~n ~crashes:[ (3, depth + 1) ] in
+      let props =
+        M_naive.consensus_props ~decision:Consensus.Mr.With_quorum.decision
+          ~proposals ~flavour:Consensus.Spec.Nonuniform ~pattern
+      in
+      let stop =
+        M_naive.decided_stop ~decision:Consensus.Mr.With_quorum.decision
+          ~scope:(Sim.Failure_pattern.correct pattern)
+      in
+      let r =
+        M_naive.run ~reduction ~n ~menu ~depth ~inputs:proposals ~props ~stop
+          ()
+      in
+      (Option.is_none r.M_naive.violation, r.M_naive.stats))
+
+let test_differential_family_anuc_plus () =
+  check_differential3 ~name:"contamination+[weighted:2,1,1]" ~depths
+    (fun ~reduction ~depth ->
+      let pattern = pattern ~depth in
+      let props =
+        M_anuc.consensus_props ~decision:Core.Anuc.decision ~proposals
+          ~flavour:Consensus.Spec.Nonuniform ~pattern
+      in
+      let stop =
+        M_anuc.decided_stop ~decision:Core.Anuc.decision
+          ~scope:(Sim.Failure_pattern.correct pattern)
+      in
+      let r =
+        M_anuc.run ~reduction ~n
+          ~menu:
+            (Mc.Menu.contamination ~plus:true
+               ~quorum:(Quorum_family.weighted ~weights:[ 2; 1; 1 ])
+               ~n ~faulty ())
+          ~depth ~inputs:proposals ~props ~stop ()
+      in
+      (Option.is_none r.M_anuc.violation, r.M_anuc.stats))
+
 (* Counterexample equality at depths where a violation exists: a
    user invariant violated early in the exploration. Both reductions
    must convict the same property, and both counterexamples must pass
@@ -678,6 +787,14 @@ let () =
             test_differential_anuc_plus;
           Alcotest.test_case "leader-only (majority), depths 3-7" `Quick
             test_differential_leader_only;
+          Alcotest.test_case "family weighted:2,1,1, depths 3-7" `Quick
+            test_differential_family_weighted;
+          Alcotest.test_case "family super:1, depths 3-7" `Quick
+            test_differential_family_super;
+          Alcotest.test_case "family grid:2x2 (n=4), depths 3-5" `Quick
+            test_differential_family_grid;
+          Alcotest.test_case "family contamination+ (A_nuc), depths 3-7"
+            `Quick test_differential_family_anuc_plus;
           Alcotest.test_case "suspects (CT), depths 3-7" `Quick
             test_differential_suspects;
           Alcotest.test_case "counterexamples certified equal" `Quick

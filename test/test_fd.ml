@@ -397,6 +397,109 @@ let prop_oracle_deterministic =
          let o2 = Fd.Oracle.sigma_nu_plus ~seed ~stab_time:stab pattern in
          Sim.Fd_value.equal (o1.Fd.Oracle.query p t) (o2.Fd.Oracle.query p t)))
 
+(* -------------------------------------------------------------- *)
+(* Family-parameterized oracles                                    *)
+(* -------------------------------------------------------------- *)
+
+(* The families exercised against each pattern of the pool: the
+   built-ins at every size that fits, via the shared tutil spec
+   generator's instances. A family participates in a pattern only
+   when [validate] accepts it for the pattern's correct set — the
+   same gate the oracles themselves apply. *)
+let families_for ~n =
+  [
+    Quorum_family.majority;
+    Quorum_family.supermajority ~f:1;
+    Quorum_family.weighted ~weights:(List.init n (fun i -> 1 + (i mod 2)));
+    Quorum_family.grid ();
+  ]
+
+let test_family_oracles_valid () =
+  over_patterns_and_seeds (fun i pattern seed ->
+      let n = Sim.Failure_pattern.n pattern in
+      let correct = Sim.Failure_pattern.correct pattern in
+      List.iter
+        (fun fam ->
+          let fits =
+            Result.is_ok (Quorum_family.validate fam ~n ~live:correct)
+          in
+          let expect_oracle mk check_name checker =
+            match mk () with
+            | Ok o ->
+              if not fits then
+                Alcotest.failf "%s pattern %d: oracle accepted a family \
+                                validate rejects"
+                  check_name i;
+              check_ok
+                (Printf.sprintf "%s[%s] pattern %d seed %d" check_name
+                   (Quorum_family.name fam) i seed)
+                (checker ~max_stab:o.Fd.Oracle.stab_time pattern
+                   (history_of o pattern))
+            | Error _ ->
+              if fits then
+                Alcotest.failf "%s[%s] pattern %d: typed error on a \
+                                family validate accepts"
+                  check_name (Quorum_family.name fam) i
+          in
+          expect_oracle
+            (fun () -> Fd.Oracle.sigma_family ~seed ~stab_time:stab fam pattern)
+            "sigma_family" Fd.Check.sigma;
+          expect_oracle
+            (fun () ->
+              Fd.Oracle.sigma_nu_family ~seed ~stab_time:stab fam pattern)
+            "sigma_nu_family" Fd.Check.sigma_nu;
+          expect_oracle
+            (fun () ->
+              Fd.Oracle.sigma_nu_plus_family ~seed ~stab_time:stab fam pattern)
+            "sigma_nu_plus_family" Fd.Check.sigma_nu_plus)
+        (families_for ~n))
+
+(* sigma_majority IS sigma_family majority: identical histories,
+   sample for sample, under every pattern and seed — the byte-identity
+   that keeps pre-family seeded runs reproducible. *)
+let test_sigma_majority_is_family_majority () =
+  over_patterns_and_seeds (fun i pattern seed ->
+      let n = Sim.Failure_pattern.n pattern in
+      if Pset.is_majority ~n (Sim.Failure_pattern.correct pattern) then begin
+        let o = Fd.Oracle.sigma_majority ~seed ~stab_time:stab pattern in
+        let o' =
+          match
+            Fd.Oracle.sigma_family ~seed ~stab_time:stab
+              Quorum_family.majority pattern
+          with
+          | Ok o' -> o'
+          | Error e ->
+            Alcotest.failf "pattern %d: sigma_family majority: %s" i
+              (Quorum_family.error_to_string e)
+        in
+        let s = Fd.History.all_samples (history_of o pattern) in
+        let s' = Fd.History.all_samples (history_of o' pattern) in
+        List.iter2
+          (fun (p, t, v) (p', t', v') ->
+            if not (p = p' && t = t' && Sim.Fd_value.equal v v') then
+              Alcotest.failf
+                "pattern %d seed %d: sigma_majority and sigma_family \
+                 majority disagree at (p%d, t=%d)"
+                i seed p t)
+          s s'
+      end)
+
+let test_family_oracle_typed_errors () =
+  let minority =
+    Sim.Failure_pattern.make ~n:4 ~crashes:[ (2, 10); (3, 30) ]
+  in
+  (match Fd.Oracle.sigma_family Quorum_family.majority minority with
+  | Error (Quorum_family.No_live_quorum _) -> ()
+  | Ok _ -> Alcotest.fail "majority family must reject minority-correct"
+  | Error (Quorum_family.Bad_shape _) ->
+    Alcotest.fail "expected No_live_quorum, got Bad_shape");
+  let n5 = Sim.Failure_pattern.make ~n:5 ~crashes:[] in
+  match Fd.Oracle.sigma_family (Quorum_family.grid ~rows:2 ~cols:2 ()) n5 with
+  | Error (Quorum_family.Bad_shape _) -> ()
+  | Ok _ -> Alcotest.fail "2x2 grid must reject n=5"
+  | Error (Quorum_family.No_live_quorum _) ->
+    Alcotest.fail "expected Bad_shape, got No_live_quorum"
+
 let () =
   Alcotest.run "fd"
     [
@@ -424,6 +527,15 @@ let () =
             test_split_sigma_nu_is_not_sigma;
           Alcotest.test_case "pair projections" `Quick test_pair_oracle;
           prop_oracle_deterministic;
+        ] );
+      ( "family-oracles",
+        [
+          Alcotest.test_case "families satisfy their class specs" `Quick
+            test_family_oracles_valid;
+          Alcotest.test_case "sigma_majority = sigma_family majority" `Quick
+            test_sigma_majority_is_family_majority;
+          Alcotest.test_case "typed errors" `Quick
+            test_family_oracle_typed_errors;
         ] );
       ( "checkers-reject-invalid",
         [

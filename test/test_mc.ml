@@ -57,6 +57,93 @@ let test_bogus_menu_rejected () =
   | Error _ -> ()
   | Ok () -> Alcotest.fail "disjoint correct quorums must be rejected"
 
+(* Family-parameterized contamination/lossy menus must be admissible
+   too — including at shapes the unparameterized menu never sees
+   (grid:2x2 and super:1 need n = 4). *)
+let test_family_menus_admissible () =
+  let check ~n ~faulty ~crashes fam =
+    let pattern = Sim.Failure_pattern.make ~n ~crashes in
+    List.iter
+      (fun menu ->
+        match Mc.Menu.validate ~pattern menu with
+        | Ok () -> ()
+        | Error e ->
+          Alcotest.failf "menu %s (n=%d) must be admissible: %s"
+            menu.Mc.Menu.name n e)
+      [
+        Mc.Menu.contamination ~quorum:fam ~n ~faulty ();
+        Mc.Menu.contamination ~plus:true ~quorum:fam ~n ~faulty ();
+        Mc.Menu.lossy ~quorum:fam ~n ~faulty ();
+        Mc.Menu.lossy ~plus:true ~quorum:fam ~n ~faulty ();
+      ]
+  in
+  let faulty3 = Pset.singleton 2 and crashes3 = [ (2, 41) ] in
+  List.iter
+    (check ~n:3 ~faulty:faulty3 ~crashes:crashes3)
+    [
+      Quorum_family.majority;
+      Quorum_family.supermajority ~f:1;
+      Quorum_family.weighted ~weights:[ 2; 1; 1 ];
+    ];
+  let faulty4 = Pset.singleton 3 and crashes4 = [ (3, 41) ] in
+  List.iter
+    (check ~n:4 ~faulty:faulty4 ~crashes:crashes4)
+    [
+      Quorum_family.grid ~rows:2 ~cols:2 ();
+      Quorum_family.supermajority ~f:1;
+    ]
+
+(* Byte-compat pin for the menu constructions: [?quorum:None] must
+   keep the exact pre-family values (c0 pinned to the correct set,
+   everyone else switching between it and {p} ∪ F), and the majority
+   family must offer exactly the documented owner-added min-quorums
+   plus the escape. A drift here silently changes every E11/E16
+   verdict and the mc seeds, so the lists are hard-coded. *)
+let test_menu_values_pinned () =
+  let expect_values menu p expected =
+    let got =
+      List.map
+        (fun v ->
+          match v with
+          | Sim.Fd_value.Pair (Sim.Fd_value.Leader l, Sim.Fd_value.Quorum q) ->
+            Alcotest.(check int)
+              (Printf.sprintf "%s: leader at p%d is the owner"
+                 menu.Mc.Menu.name p)
+              p l;
+            Pset.to_string q
+          | v ->
+            Alcotest.failf "%s: unexpected value shape %s" menu.Mc.Menu.name
+              (Format.asprintf "%a" Sim.Fd_value.pp v))
+        (menu.Mc.Menu.values p)
+    in
+    Alcotest.(check (list string))
+      (Printf.sprintf "%s: values at p%d" menu.Mc.Menu.name p)
+      (List.map Pset.to_string expected)
+      got
+  in
+  let s = Pset.of_list in
+  let plain = Mc.Menu.contamination ~n ~faulty () in
+  expect_values plain 0 [ s [ 0; 1 ] ];
+  expect_values plain 1 [ s [ 0; 1 ]; s [ 1; 2 ] ];
+  expect_values plain 2 [ s [ 2 ] ];
+  let maj =
+    Mc.Menu.contamination ~quorum:Quorum_family.majority ~n ~faulty ()
+  in
+  expect_values maj 0 [ s [ 0; 1 ]; s [ 0; 2 ] ];
+  expect_values maj 1 [ s [ 0; 1 ]; s [ 1; 2 ] ];
+  expect_values maj 2 [ s [ 2 ] ];
+  (* super:1 at n = 3 has min-quorum {0,1,2} ⊇ everything; the escape
+     stays legal (the only min-quorum touches F), so correct processes
+     see the full set and their escape — the shape that closes the
+     contamination channel (see EXPERIMENTS.md E16). *)
+  let sup =
+    Mc.Menu.contamination ~quorum:(Quorum_family.supermajority ~f:1) ~n
+      ~faulty ()
+  in
+  expect_values sup 0 [ s [ 0; 1; 2 ]; s [ 0; 2 ] ];
+  expect_values sup 1 [ s [ 0; 1; 2 ]; s [ 1; 2 ] ];
+  expect_values sup 2 [ s [ 2 ] ]
+
 (* -------------------------------------------------------------- *)
 (* Exhaustive A_nuc verification (the E11 'verify' half)           *)
 (* -------------------------------------------------------------- *)
@@ -623,6 +710,10 @@ let () =
             test_menus_admissible;
           Alcotest.test_case "bogus menu rejected" `Quick
             test_bogus_menu_rejected;
+          Alcotest.test_case "quorum-family menus admissible" `Quick
+            test_family_menus_admissible;
+          Alcotest.test_case "menu values pinned (pre-family compat)" `Quick
+            test_menu_values_pinned;
         ] );
       ( "exploration",
         [

@@ -172,6 +172,245 @@ let props =
            (not (Pset.is_empty sub)) && Pset.subset sub a));
   ]
 
+(* -------------------------------------------------------------- *)
+(* Quorum families: the intersection-algebra law suite             *)
+(* -------------------------------------------------------------- *)
+
+(* (n, family) pairs over small universes; subsets of the universe
+   are enumerable (2^n), so the laws quantify exhaustively over
+   quorums inside each sampled family. *)
+let arb_sized_family =
+  let gen =
+    QCheck.Gen.(
+      int_range 2 6 >>= fun n ->
+      Tutil.family_spec_gen ~n >|= fun spec -> (n, spec))
+  in
+  let print (n, spec) =
+    Printf.sprintf "n=%d %s" n (Tutil.print_family_spec spec)
+  in
+  let shrink (n, spec) =
+    QCheck.Iter.(Tutil.shrink_family_spec spec >|= fun s -> (n, s))
+  in
+  QCheck.make ~print ~shrink gen
+
+let quorums_of fam ~n ~within =
+  List.filter (Quorum_family.is_quorum fam ~n) (Pset.subsets within)
+
+let fam_props =
+  let mk name count prop =
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name ~count arb_sized_family prop)
+  in
+  [
+    (* The law Sigma legality rests on: every shipped family is
+       uniform, so any two quorums of the universe intersect. *)
+    mk "any two quorums intersect" 150 (fun (n, spec) ->
+        let fam = Tutil.spec_family spec in
+        let qs = quorums_of fam ~n ~within:(Pset.full ~n) in
+        List.for_all
+          (fun q1 -> List.for_all (fun q2 -> Pset.intersects q1 q2) qs)
+          qs);
+    (* Monotonicity — what Sigma-nu+'s owner-addition and the A_nuc
+       quorum guard lean on. *)
+    mk "supersets of quorums are quorums" 300 (fun (n, spec) ->
+        let fam = Tutil.spec_family spec in
+        List.for_all
+          (fun q ->
+            if not (Quorum_family.is_quorum fam ~n q) then true
+            else
+              List.for_all
+                (fun extra ->
+                  Quorum_family.is_quorum fam ~n (Pset.union q extra))
+                (Pset.subsets (Pset.full ~n)))
+          (Pset.subsets (Pset.full ~n)));
+    (* min_quorums is exactly the set of minimal quorums, each of
+       which loses quorumhood on removing any single member. *)
+    mk "min_quorums are exactly the minimal quorums" 150 (fun (n, spec) ->
+        let fam = Tutil.spec_family spec in
+        let mins = Quorum_family.min_quorums fam ~n ~within:(Pset.full ~n) in
+        List.for_all (Quorum_family.is_min_quorum fam ~n) mins
+        && List.for_all
+             (fun q ->
+               Bool.equal
+                 (Quorum_family.is_min_quorum fam ~n q)
+                 (List.exists (Pset.equal q) mins))
+             (Pset.subsets (Pset.full ~n))
+        && List.for_all
+             (fun q ->
+               Pset.fold
+                 (fun p acc ->
+                   acc
+                   && not (Quorum_family.is_quorum fam ~n (Pset.remove p q)))
+                 q true)
+             mins);
+    (* validate's liveness clause is is_quorum on the live set
+       (monotonicity makes the two formulations coincide). *)
+    mk "validate Ok iff live set is a quorum" 300 (fun (n, spec) ->
+        let fam = Tutil.spec_family spec in
+        List.for_all
+          (fun live ->
+            Bool.equal
+              (Result.is_ok (Quorum_family.validate fam ~n ~live))
+              (Quorum_family.is_quorum fam ~n live))
+          (Pset.subsets (Pset.full ~n)));
+    (* resilience = largest f with every f-crash surviving: pinned
+       exhaustively against the definition. *)
+    mk "resilience bound is exact" 100 (fun (n, spec) ->
+        let fam = Tutil.spec_family spec in
+        let res = Quorum_family.resilience fam ~n in
+        let survives crashed =
+          Quorum_family.is_quorum fam ~n
+            (Pset.diff (Pset.full ~n) crashed)
+        in
+        let all_of_size k =
+          List.filter
+            (fun s -> Pset.cardinal s = k)
+            (Pset.subsets (Pset.full ~n))
+        in
+        res >= 0
+        && List.for_all survives (all_of_size res)
+        && (res = n || not (List.for_all survives (all_of_size (res + 1)))));
+    (* grow_quorum: a random grow either lands inside the pool on a
+       real quorum, or proves the pool holds none. *)
+    mk "grow_quorum sound and complete" 200 (fun (n, spec) ->
+        let fam = Tutil.spec_family spec in
+        List.for_all
+          (fun pool ->
+            let rng = Random.State.make [| n; Hashtbl.hash spec |] in
+            match Quorum_family.grow_quorum fam ~n rng ~pool with
+            | Some q ->
+              Pset.subset q pool && Quorum_family.is_quorum fam ~n q
+            | None -> not (Quorum_family.is_quorum fam ~n pool))
+          (Pset.subsets (Pset.full ~n)));
+    (* Satellite: Qset.exists_disjoint_pair is the exact negation of
+       pairwise intersection, pinned over the quorums each shipped
+       family induces on two random pools (and, for uniform
+       families, equivalent to the intersection law above). *)
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"exists_disjoint_pair negates pairwise \
+                               intersection (family quorums)"
+         ~count:200
+         QCheck.(pair arb_sized_family (pair (gen_pset 6) (gen_pset 6)))
+         (fun ((n, spec), (pool_a, pool_b)) ->
+           let fam = Tutil.spec_family spec in
+           let clip pool = Pset.inter pool (Pset.full ~n) in
+           let qs pool =
+             Quorum_family.min_quorums fam ~n ~within:(clip pool)
+           in
+           let qa = qs pool_a and qb = qs pool_b in
+           QCheck.assume (qa <> [] && qb <> []);
+           Bool.equal
+             (Qset.exists_disjoint_pair (Qset.of_list qa) (Qset.of_list qb))
+             (not
+                (List.for_all
+                   (fun q1 ->
+                     List.for_all (fun q2 -> Pset.intersects q1 q2) qb)
+                   qa))));
+    (* Same law over arbitrary (non-quorum) set collections — the
+       negation is exact for any pair of Qsets, not just uniform
+       families' (where the disjoint branch is unreachable). *)
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"exists_disjoint_pair negates pairwise \
+                               intersection (arbitrary qsets)"
+         ~count:500
+         QCheck.(
+           pair
+             (small_list (gen_pset n_univ))
+             (small_list (gen_pset n_univ)))
+         (fun (la, lb) ->
+           let a = Qset.of_list la and b = Qset.of_list lb in
+           Bool.equal
+             (Qset.exists_disjoint_pair a b)
+             (not
+                (List.for_all
+                   (fun q1 -> List.for_all (Pset.intersects q1) lb)
+                   la))));
+    (* Degeneracy: all-ones weighted votes are exactly majority. *)
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"all-ones weighted = majority" ~count:100
+         QCheck.(int_range 1 8)
+         (fun n ->
+           let ones =
+             Quorum_family.weighted ~weights:(List.init n (fun _ -> 1))
+           in
+           List.for_all
+             (fun s ->
+               Bool.equal
+                 (Quorum_family.is_quorum ones ~n s)
+                 (Quorum_family.is_quorum Quorum_family.majority ~n s))
+             (Pset.subsets (Pset.full ~n))));
+    (* Grid duality: transposing the tiling permutes the quorums. *)
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"grid transpose duality" ~count:100
+         QCheck.(pair (int_range 1 3) (int_range 1 3))
+         (fun (r, c) ->
+           let n = r * c in
+           let g = Quorum_family.grid ~rows:r ~cols:c () in
+           let gt = Quorum_family.grid ~rows:c ~cols:r () in
+           let transpose s =
+             Pset.fold
+               (fun p acc -> Pset.add ((p mod c * r) + (p / c)) acc)
+               s Pset.empty
+           in
+           List.for_all
+             (fun s ->
+               Bool.equal
+                 (Quorum_family.is_quorum g ~n s)
+                 (Quorum_family.is_quorum gt ~n (transpose s)))
+             (Pset.subsets (Pset.full ~n))));
+  ]
+
+(* Typed errors and the --quorum spellings. *)
+let test_family_errors () =
+  (match
+     Quorum_family.validate (Quorum_family.grid ~rows:2 ~cols:2 ()) ~n:5
+       ~live:(Pset.full ~n:5)
+   with
+  | Error (Quorum_family.Bad_shape { family; n; _ }) ->
+    Alcotest.(check string) "bad shape family" "grid:2x2" family;
+    Alcotest.(check int) "bad shape n" 5 n
+  | Ok () | Error (Quorum_family.No_live_quorum _) ->
+    Alcotest.fail "ragged grid must be Bad_shape");
+  (match
+     Quorum_family.validate Quorum_family.majority ~n:5
+       ~live:(Pset.of_list [ 0; 1 ])
+   with
+  | Error (Quorum_family.No_live_quorum { family; n; live }) ->
+    Alcotest.(check string) "no live family" "majority" family;
+    Alcotest.(check int) "no live n" 5 n;
+    Alcotest.(check pset) "no live set" (Pset.of_list [ 0; 1 ]) live
+  | Ok () | Error (Quorum_family.Bad_shape _) ->
+    Alcotest.fail "minority live set must be No_live_quorum");
+  Alcotest.(check bool)
+    "error_to_string nonempty" true
+    (String.length
+       (Quorum_family.error_to_string
+          (Quorum_family.Bad_shape { family = "x"; n = 1; reason = "r" }))
+    > 0)
+
+let test_family_spellings () =
+  List.iter
+    (fun (s, expect) ->
+      match Quorum_family.of_string s with
+      | Ok fam ->
+        Alcotest.(check string)
+          (Printf.sprintf "of_string %s" s)
+          expect (Quorum_family.name fam)
+      | Error e -> Alcotest.failf "of_string %s: %s" s e)
+    [
+      ("majority", "majority");
+      ("super:1", "super:1");
+      ("weighted:2,1,1", "weighted:2,1,1");
+      ("grid:2x2", "grid:2x2");
+      ("grid", "grid");
+    ];
+  (match Quorum_family.of_string "bogus" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bogus spelling must be rejected");
+  match Quorum_family.of_string "super:x" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "super:x must be rejected"
+
 let () =
   Alcotest.run "procset"
     [
@@ -188,4 +427,11 @@ let () =
           Alcotest.test_case "qset basics" `Quick test_qset_basics;
         ] );
       ("pset-properties", props);
+      ( "quorum-family-unit",
+        [
+          Alcotest.test_case "typed errors" `Quick test_family_errors;
+          Alcotest.test_case "--quorum spellings" `Quick
+            test_family_spellings;
+        ] );
+      ("quorum-family-laws", fam_props);
     ]

@@ -364,3 +364,88 @@ let shrunk_counterexample ?(count = 200) ~seed arb prop =
   | QCheck.TestResult.Failed { instances = cx :: _ } ->
     Some cx.QCheck.TestResult.instance
   | _ -> None
+
+(* -------------------------------------------------------------- *)
+(* QCheck generators for quorum families and weight vectors       *)
+(* -------------------------------------------------------------- *)
+
+(* A generated quorum family, kept as a data spec so counterexamples
+   print and shrink structurally; [spec_family] instantiates the
+   first-class module. Every generated spec fits its universe: the
+   instantiated family always passes [Quorum_family.validate]'s shape
+   check at the [n] it was generated for. *)
+type family_spec =
+  | Sp_majority
+  | Sp_super of int  (* f, with the threshold fitting the universe *)
+  | Sp_weighted of int list  (* length n, nonnegative, total > 0 *)
+  | Sp_grid of int * int  (* rows x cols = n exactly *)
+
+let spec_family = function
+  | Sp_majority -> Quorum_family.majority
+  | Sp_super f -> Quorum_family.supermajority ~f
+  | Sp_weighted ws -> Quorum_family.weighted ~weights:ws
+  | Sp_grid (r, c) -> Quorum_family.grid ~rows:r ~cols:c ()
+
+let print_family_spec s = Quorum_family.name (spec_family s)
+
+(* Weight vectors for the weighted-vote family: [n] entries in
+   [0, 4] with the first forced positive, so the total is always
+   positive and the spec always fits. Shrinks pointwise toward 1 —
+   the all-ones vector is the degenerate case that must behave
+   exactly like majority, so a surviving counterexample shows which
+   weight asymmetry is load-bearing. *)
+let weights_gen ~n =
+  QCheck.Gen.(
+    map2
+      (fun w0 rest -> (1 + w0) :: rest)
+      (int_bound 3)
+      (list_repeat (n - 1) (int_bound 4)))
+
+let shrink_weights ws =
+  let open QCheck.Iter in
+  QCheck.Shrink.list_elems
+    (fun w -> if w > 1 then return 1 else empty)
+    ws
+  |> filter (fun ws' -> List.exists (fun w -> w > 0) ws')
+
+let arb_weights ~n =
+  QCheck.make
+    ~print:(fun ws -> String.concat "," (List.map string_of_int ws))
+    ~shrink:shrink_weights (weights_gen ~n)
+
+(* All family specs that fit a universe of size [n]: majority,
+   every supermajority whose threshold fits, every exact grid
+   tiling, and random weight vectors. *)
+let family_spec_gen ~n =
+  let open QCheck.Gen in
+  let supers = List.init (max 1 (n - 1)) (fun f -> Sp_super f) in
+  let grids =
+    List.concat
+      (List.init n (fun i ->
+           let r = i + 1 in
+           if n mod r = 0 then [ Sp_grid (r, n / r) ] else []))
+  in
+  frequency
+    [
+      (1, return Sp_majority);
+      (2, oneofl supers);
+      (2, oneofl grids);
+      (3, weights_gen ~n >|= fun ws -> Sp_weighted ws);
+    ]
+
+(* Shrink toward majority — the reference family every law treats as
+   the degenerate case — then shrink the parameters themselves
+   (smaller f, flatter weights). *)
+let shrink_family_spec s =
+  let open QCheck.Iter in
+  match s with
+  | Sp_majority -> empty
+  | Sp_super f ->
+    return Sp_majority <+> (QCheck.Shrink.int f >|= fun f' -> Sp_super f')
+  | Sp_weighted ws ->
+    return Sp_majority <+> (shrink_weights ws >|= fun ws' -> Sp_weighted ws')
+  | Sp_grid _ -> return Sp_majority
+
+let arb_family_spec ~n =
+  QCheck.make ~print:print_family_spec ~shrink:shrink_family_spec
+    (family_spec_gen ~n)

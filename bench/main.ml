@@ -402,6 +402,22 @@ let b13_quorum ~smoke () =
   rows
 
 (* ---------------------------------------------------------------- *)
+(* B14: ring transport + snapshot-served reads                       *)
+(* ---------------------------------------------------------------- *)
+
+let b14_ring ~smoke () =
+  hr "B14: the serving workload across {mutex, ring} transports x {log, \
+      snapshot} read modes on the concurrent executor — lock_ops / \
+      cas_retries / sync_ops are the contention story (the ring locks \
+      only on overflow spills; sharded counters sync per round, not per \
+      step); ok needs no divergence and stale_max within the declared \
+      bound";
+  pf "%s@." Experiments.b14_header;
+  let rows = Experiments.b14_ring_table ~quick:smoke () in
+  List.iter (fun r -> pf "%a@." Experiments.pp_b14_row r) rows;
+  rows
+
+(* ---------------------------------------------------------------- *)
 (* Substrate run metrics: one instrumented reference run             *)
 (* ---------------------------------------------------------------- *)
 
@@ -618,10 +634,14 @@ let run_only ~smoke ~json_file key =
       Some ("b11_dpor", Experiments.json_of_b11_rows (b11_dpor ~smoke ()))
     | "b12" | "b12_codec" ->
       Some ("b12_codec", Experiments.json_of_b12_rows (b12_codec ~smoke ()))
+    | "b10" | "b10_serve" ->
+      Some ("b10_serve", Experiments.json_of_b10_rows (b10_serve ~smoke ()))
     | "b13" | "b13_quorum" ->
       Some ("b13_quorum", Experiments.json_of_b13_rows (b13_quorum ~smoke ()))
+    | "b14" | "b14_ring" ->
+      Some ("b14_ring", Experiments.json_of_b14_rows (b14_ring ~smoke ()))
     | k ->
-      pf "unknown --only key %S (expected b11 | b12 | b13)@." k;
+      pf "unknown --only key %S (expected b10 | b11 | b12 | b13 | b14)@." k;
       exit 2
   in
   match (fragment, json_file) with
@@ -648,6 +668,7 @@ let () =
   let b11 = b11_dpor ~smoke () in
   let b12 = b12_codec ~smoke () in
   let b13 = b13_quorum ~smoke () in
+  let b14 = b14_ring ~smoke () in
   let metrics = run_metrics () in
   let b4 = b4_micro ~smoke () in
   match json_file with
@@ -672,6 +693,7 @@ let () =
         Experiments.json_of_b11_rows b11;
         Experiments.json_of_b12_rows b12;
         Experiments.json_of_b13_rows b13;
+        Experiments.json_of_b14_rows b14;
         json_of_micro_rows b4;
         json_of_metrics metrics;
       ]

@@ -766,16 +766,21 @@ let run_fuzz algo n t runs sampler_s swarm shrink seed delivery_s max_steps_opt
 
 (* Closed-loop clients over the replicated log: always one run on the
    deterministic simulator (the replayable reference), plus one on the
-   concurrent executor when --jobs > 1. Exits 1 if any run shows
-   divergent live-replica logs or misses its slot target — the same
-   gate the serve-smoke CI job relies on. *)
+   concurrent executor when --jobs > 1, --transport ring, or a read
+   workload is requested. Exits 1 if any run shows divergent
+   live-replica logs, misses its slot target, or serves a snapshot
+   read staler than the declared bound — the same gates the
+   serve-smoke CI job relies on. *)
 let run_serve n clients slots batch window pipeline compaction jobs seed
-    max_steps json =
+    transport reads read_mode publish_every max_steps json =
   if n < 2 then (
     pf "serve: n must be >= 2@.";
     exit 2);
   if clients < 1 || slots < 1 then (
     pf "serve: clients and slots must be >= 1@.";
+    exit 2);
+  if reads < 0 || publish_every < 1 then (
+    pf "serve: --reads must be >= 0 and --publish-every >= 1@.";
     exit 2);
   let commands_per_client =
     max 2 (((2 * batch * slots) + clients - 1) / clients)
@@ -795,41 +800,68 @@ let run_serve n clients slots batch window pipeline compaction jobs seed
       max_steps;
       seed;
       continuous_check = true;
+      transport;
+      reads;
+      read_mode;
+      publish_every;
     }
   in
   pf "serve: n=%d clients=%d slots=%d batch=%d window=%d pipeline=%d \
-      compaction=%d seed=%d@."
-    n clients slots batch window pipeline compaction seed;
+      compaction=%d seed=%d transport=%s reads=%d read-mode=%s \
+      publish-every=%d@."
+    n clients slots batch window pipeline compaction seed
+    (Sim.Executor.transport_name transport)
+    reads
+    (Load.read_mode_name read_mode)
+    publish_every;
   pf "%s@." Experiments.b10_header;
   let sim_out = Load.run_sim cfg in
   let rows = ref [ Experiments.b10_row ~substrate:"sim" cfg sim_out ] in
   pf "%a@." Experiments.pp_b10_row (List.hd !rows);
   let outcomes = ref [ sim_out ] in
-  if jobs > 1 then begin
+  let b14_rows = ref [] in
+  if jobs > 1 || transport <> Sim.Executor.Mutex || reads > 0 then begin
     let exec_out = Load.run_exec ~jobs cfg in
     let row =
       Experiments.b10_row
-        ~substrate:(Printf.sprintf "exec(j=%d)" jobs)
+        ~substrate:
+          (Printf.sprintf "exec(j=%d,%s)" jobs
+             (Sim.Executor.transport_name transport))
         cfg exec_out
     in
     pf "%a@." Experiments.pp_b10_row row;
     rows := !rows @ [ row ];
-    outcomes := !outcomes @ [ exec_out ]
+    outcomes := !outcomes @ [ exec_out ];
+    if reads > 0 then b14_rows := [ Experiments.b14_row ~jobs cfg exec_out ]
+  end;
+  if !b14_rows <> [] then begin
+    pf "%s@." Experiments.b14_header;
+    List.iter (fun r -> pf "%a@." Experiments.pp_b14_row r) !b14_rows
   end;
   (match json with
   | None -> ()
   | Some path ->
     let oc = open_out path in
-    Report.to_channel oc
-      (Report.Obj [ ("b10_serve", Experiments.json_of_b10_rows !rows) ]);
+    let fragments =
+      ("b10_serve", Experiments.json_of_b10_rows !rows)
+      ::
+      (if !b14_rows = [] then []
+       else [ ("b14_ring", Experiments.json_of_b14_rows !b14_rows) ])
+    in
+    Report.to_channel oc (Report.Obj fragments);
     close_out oc;
     pf "wrote %s@." path);
   let divergent = List.exists (fun o -> o.Load.o_divergent) !outcomes in
   let unreached = List.exists (fun o -> not o.Load.o_reached) !outcomes in
+  let stale =
+    List.exists (fun o -> o.Load.o_stale_max > o.Load.o_stale_bound) !outcomes
+  in
   if divergent then pf "FAILED: live replica logs diverged@.";
   if unreached then
     pf "FAILED: slot target not reached within --max-steps@.";
-  if divergent || unreached then exit 1
+  if stale then
+    pf "FAILED: snapshot read staleness exceeded the declared bound@.";
+  if divergent || unreached || stale then exit 1
 
 (* ---------------------------------------------------------------- *)
 (* cmdliner plumbing                                                 *)
@@ -1349,12 +1381,63 @@ let serve_cmd =
              concurrent executor with that many domains (the simulator \
              reference always runs).")
   in
+  let transport =
+    Arg.(
+      value
+      & opt
+          (enum [ ("mutex", Sim.Executor.Mutex); ("ring", Sim.Executor.Ring) ])
+          Sim.Executor.Mutex
+      & info [ "transport" ] ~docv:"T"
+          ~doc:
+            "Executor transport: $(b,mutex) (a lock per mailbox — the \
+             differential oracle) or $(b,ring) (lock-free bounded MPSC \
+             rings with an overflow side-queue). Any value other than \
+             $(b,mutex) forces an executor run even at --jobs 1.")
+  in
+  let reads =
+    Arg.(
+      value & opt int 0
+      & info [ "reads" ] ~docv:"R"
+          ~doc:
+            "Serve $(docv) read-only queries alongside the write \
+             workload, paced by decided-slot progress (forces an \
+             executor run).")
+  in
+  let read_mode =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("log", Load.Read_log);
+               ("snapshot", Load.Read_snapshot);
+               ("snap", Load.Read_snapshot);
+             ])
+          Load.Read_log
+      & info [ "read-mode" ] ~docv:"M"
+          ~doc:
+            "$(b,log) recomputes the full-log digest from live replica \
+             state per read; $(b,snapshot) reads the newest published \
+             snapshot — one atomic load, staleness bounded by \
+             --publish-every - 1 decided slots (the run fails if the \
+             bound is ever exceeded).")
+  in
+  let publish_every =
+    Arg.(
+      value & opt int 8
+      & info [ "publish-every" ] ~docv:"K"
+          ~doc:
+            "Republish the read snapshot every $(docv) decided slots \
+             (snapshot mode).")
+  in
   let json =
     Arg.(
       value
       & opt ~vopt:(Some "SERVE.json") (some string) None
       & info [ "json" ] ~docv:"FILE"
-          ~doc:"Write the B10-shaped rows as JSON to $(docv).")
+          ~doc:
+            "Write the B10-shaped rows (plus B14-shaped read-path rows \
+             when --reads > 0) as JSON to $(docv).")
   in
   Cmd.v
     (Cmd.info "serve"
@@ -1363,7 +1446,8 @@ let serve_cmd =
           (state-machine replication on nonuniform consensus)")
     Term.(
       const run_serve $ serve_n $ clients $ slots $ batch $ window $ pipeline
-      $ compaction $ serve_jobs $ seed_arg $ max_steps $ json)
+      $ compaction $ serve_jobs $ seed_arg $ transport $ reads $ read_mode
+      $ publish_every $ max_steps $ json)
 
 let main_cmd =
   Cmd.group

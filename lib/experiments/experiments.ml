@@ -2436,3 +2436,118 @@ let json_of_b13_rows rows =
              ("pass", Report.Bool r.b13_pass);
            ])
        rows)
+
+(* ---------------------------------------------------------------- *)
+(* B14: ring transport + snapshot reads                              *)
+(* ---------------------------------------------------------------- *)
+
+type b14_row = {
+  b14_transport : string;
+  b14_read_mode : string;
+  b14_jobs : int;
+  b14_slots : int;
+  b14_ops : int;
+  b14_ops_per_sec : float;
+  b14_reads : int;
+  b14_reads_per_sec : float;
+  b14_read_p50_us : float;
+  b14_read_p99_us : float;
+  b14_stale_max : int;
+  b14_stale_bound : int;
+  b14_snapshots : int;
+  b14_lock_ops : int;
+  b14_cas_retries : int;
+  b14_sync_ops : int;
+  b14_divergent : bool;
+  b14_stale_ok : bool;
+}
+
+let b14_header =
+  Printf.sprintf "%-6s %-8s %4s %5s %6s %9s %6s %10s %8s %8s %5s %5s %9s %7s %8s %5s"
+    "transp" "reads" "jobs" "slots" "ops" "ops/s" "reads" "reads/s"
+    "rp50(us)" "rp99(us)" "stale" "bound" "lock_ops" "cas_rt" "sync_ops" "ok"
+
+let pp_b14_row fmt r =
+  Format.fprintf fmt
+    "%-6s %-8s %4d %5d %6d %9.0f %6d %10.0f %8.3f %8.3f %5d %5d %9d %7d %8d %5b"
+    r.b14_transport r.b14_read_mode r.b14_jobs r.b14_slots r.b14_ops
+    r.b14_ops_per_sec r.b14_reads r.b14_reads_per_sec r.b14_read_p50_us
+    r.b14_read_p99_us r.b14_stale_max r.b14_stale_bound r.b14_lock_ops
+    r.b14_cas_retries r.b14_sync_ops (r.b14_stale_ok && not r.b14_divergent)
+
+let b14_row ~jobs cfg (o : Load.outcome) =
+  {
+    b14_transport = Sim.Executor.transport_name cfg.Load.transport;
+    b14_read_mode = Load.read_mode_name cfg.Load.read_mode;
+    b14_jobs = jobs;
+    b14_slots = o.Load.o_slots;
+    b14_ops = o.Load.o_ops;
+    b14_ops_per_sec = float_of_int o.Load.o_ops /. Float.max 1e-9 o.Load.o_wall;
+    b14_reads = o.Load.o_reads;
+    b14_reads_per_sec = o.Load.o_reads_per_sec;
+    b14_read_p50_us = o.Load.o_read_p50_us;
+    b14_read_p99_us = o.Load.o_read_p99_us;
+    b14_stale_max = o.Load.o_stale_max;
+    b14_stale_bound = o.Load.o_stale_bound;
+    b14_snapshots = o.Load.o_snapshots;
+    b14_lock_ops = o.Load.o_lock_ops;
+    b14_cas_retries = o.Load.o_cas_retries;
+    b14_sync_ops = o.Load.o_sync_ops;
+    b14_divergent = o.Load.o_divergent;
+    b14_stale_ok = o.Load.o_stale_max <= o.Load.o_stale_bound;
+  }
+
+let b14_config ~transport ~read_mode ~reads ~target_slots ~max_steps =
+  let base =
+    b10_config ~clients:64 ~batch:1 ~target_slots ~max_steps
+  in
+  { base with Load.transport; read_mode; reads; publish_every = 8 }
+
+let b14_ring_table ?(quick = false) () =
+  let jobs_grid = if quick then [ 1 ] else [ 1; 2 ] in
+  let target_slots = if quick then 40 else 120 in
+  let max_steps = if quick then 400_000 else 2_000_000 in
+  let reads = if quick then 2_000 else 20_000 in
+  List.concat_map
+    (fun jobs ->
+      List.concat_map
+        (fun transport ->
+          List.map
+            (fun read_mode ->
+              let cfg =
+                b14_config ~transport ~read_mode ~reads ~target_slots
+                  ~max_steps
+              in
+              b14_row ~jobs cfg (Load.run_exec ~jobs cfg))
+            [ Load.Read_log; Load.Read_snapshot ])
+        [ Sim.Executor.Mutex; Sim.Executor.Ring ])
+    jobs_grid
+
+(* Shared by bench/main.ml and [nuc_cli serve] so the two emitters of
+   the [b14_ring] key cannot drift apart. *)
+let json_of_b14_rows rows =
+  Report.List
+    (List.map
+       (fun r ->
+         Report.Obj
+           [
+             ("transport", Report.Str r.b14_transport);
+             ("read_mode", Report.Str r.b14_read_mode);
+             ("jobs", Report.Int r.b14_jobs);
+             ("slots", Report.Int r.b14_slots);
+             ("ops", Report.Int r.b14_ops);
+             ("ops_per_sec", Report.Float r.b14_ops_per_sec);
+             ("reads", Report.Int r.b14_reads);
+             ("reads_per_sec", Report.Float r.b14_reads_per_sec);
+             ("read_p50_us", Report.Float r.b14_read_p50_us);
+             ("read_p99_us", Report.Float r.b14_read_p99_us);
+             ("stale_max", Report.Int r.b14_stale_max);
+             ("stale_bound", Report.Int r.b14_stale_bound);
+             ("snapshots", Report.Int r.b14_snapshots);
+             ("lock_ops", Report.Int r.b14_lock_ops);
+             ("cas_retries", Report.Int r.b14_cas_retries);
+             ("sync_ops", Report.Int r.b14_sync_ops);
+             ("divergent", Report.Bool r.b14_divergent);
+             ("stale_ok", Report.Bool r.b14_stale_ok);
+           ])
+       rows)

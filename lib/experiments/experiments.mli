@@ -475,3 +475,59 @@ val b13_quorum_table : ?quick:bool -> ?seed_base:int -> unit -> b13_row list
 
 val json_of_b13_rows : b13_row list -> Report.t
 (** The [b13_quorum] document fragment ([bench --json]). *)
+
+type b14_row = {
+  b14_transport : string;  (** ["mutex"] or ["ring"] *)
+  b14_read_mode : string;  (** ["log"] or ["snapshot"] *)
+  b14_jobs : int;
+  b14_slots : int;  (** slots decided at the reference replica *)
+  b14_ops : int;  (** commands applied (write path) *)
+  b14_ops_per_sec : float;
+  b14_reads : int;  (** read queries served *)
+  b14_reads_per_sec : float;
+  b14_read_p50_us : float;  (** median per-read latency, microseconds *)
+  b14_read_p99_us : float;
+  b14_stale_max : int;
+      (** worst read staleness in decided slots ([-1]: no snapshot
+          read served) *)
+  b14_stale_bound : int;  (** declared bound, [publish_every - 1] *)
+  b14_snapshots : int;  (** snapshots published *)
+  b14_lock_ops : int;  (** transport mutex acquisitions *)
+  b14_cas_retries : int;  (** failed ring CAS attempts *)
+  b14_sync_ops : int;  (** executor pool claims + joins *)
+  b14_divergent : bool;  (** must be false *)
+  b14_stale_ok : bool;  (** [stale_max <= stale_bound] — must be true *)
+}
+(** One row of the ring-vs-mutex / snapshot-vs-log serving matrix. *)
+
+val pp_b14_row : Format.formatter -> b14_row -> unit
+
+val b14_header : string
+
+val b14_row : jobs:int -> Load.config -> Load.outcome -> b14_row
+(** Project a {!Load} outcome onto a B14 row (shared with
+    [nuc_cli serve] so CLI rows match bench rows). *)
+
+val b14_config :
+  transport:Sim.Executor.transport ->
+  read_mode:Load.read_mode ->
+  reads:int ->
+  target_slots:int ->
+  max_steps:int ->
+  Load.config
+(** The {!b10_config} write workload (64 clients, batch 1) with a
+    read workload riding along. *)
+
+val b14_ring_table : ?quick:bool -> unit -> b14_row list
+(** B14: the serving workload on the concurrent executor across
+    \{mutex, ring\} transports x \{log, snapshot\} read modes x jobs
+    (\[1\] quick, \[1; 2\] full). The contention columns are the
+    point: at any job count the ring's [lock_ops] collapses to its
+    overflow spills (the mutex backend pays one per send/recv probe)
+    and [sync_ops] counts rounds, not steps — honest single-core
+    evidence that the hot path gave up its shared atomics. Snapshot
+    rows must show [stale_ok] under the declared bound. *)
+
+val json_of_b14_rows : b14_row list -> Report.t
+(** The [b14_ring] document fragment, shared by [bench --json] and
+    [nuc_cli serve --json]. *)

@@ -91,6 +91,7 @@ let schema_keys =
     "b11_dpor";
     "b12_codec";
     "b13_quorum";
+    "b14_ring";
     "b4_micro";
     "run_metrics";
   ]

@@ -2,25 +2,50 @@
     {!Runner.Make}.
 
     [Executor.Make (A)] drives the {e same} deterministic automata as
-    the simulator, but over {!Transport.Concurrent} and a {!Pool} of
-    domains: each round, every live process is claimed by some worker
-    domain and stepped for a slice of consecutive steps; sends go
-    through mutex-guarded mailboxes; every step consumes one tick of a
-    global atomic clock, so times remain strictly increasing across
-    the whole system (though no longer one-step-per-tick: concurrent
-    steps own distinct ticks in an interleaving the OS chooses).
+    the simulator, but over a multi-domain transport and a {!Pool} of
+    domains. Replicas are pinned to {e shards} ([p mod shards]); each
+    round, every shard is claimed by some worker domain and its
+    processes are stepped for a slice of consecutive steps. Work
+    steals only across shards — a domain that drains its shard claims
+    the next unclaimed shard off the pool counter, but a process
+    never migrates mid-round, so each mailbox has a single consumer
+    per round (the invariant the lock-free ring transport requires).
+    Steps are counted in per-shard counters merged at round joins —
+    not the former global atomic incremented on every step — so the
+    executor's own bookkeeping adds no shared-cache contention to the
+    hot path ({!outcome.sync_ops} counts what remains).
+
+    Two transports are available behind {!Transport.CONCURRENT}:
+    the mutex-per-mailbox {!Transport.Concurrent} (the differential
+    oracle; supports every fault spec) and the lock-free
+    {!Transport.Ring} (CAS producers into bounded MPSC rings;
+    rejects reorder specs). With [jobs = 1] both yield the same
+    deterministic schedule, which is what the transport-equivalence
+    battery pins.
 
     Determinism boundary (DESIGN.md §5e): per-message fault verdicts
     are pure hashes of [(seed, src, dst, seq, time)] exactly as in the
     simulator, so the fault {e mechanism} adds no nondeterminism of
     its own — but [seq] and [time] depend on the interleaving, so a
-    seeded executor run is statistically, not bitwise, reproducible.
-    Safety properties must hold on every interleaving; replaying a
-    specific trace is the simulator's job.
+    seeded executor run at [jobs > 1] is statistically, not bitwise,
+    reproducible. Safety properties must hold on every interleaving;
+    replaying a specific trace is the simulator's job.
 
     The [stop] predicate is evaluated between rounds, after all
     workers have joined — at that point every state in [states] is
-    published and safe to read. *)
+    published and safe to read. A zero-step round is re-checked a
+    bounded number of times under exponential backoff
+    ([Domain.cpu_relax], then short sleeps capped at 1 ms) before the
+    executor concludes every process has crashed — an idle executor
+    neither spins a core nor miscounts: its [step_count] stays
+    exact. *)
+
+type transport = Mutex | Ring  (** which {!Transport.CONCURRENT} backend *)
+
+val transport_name : transport -> string
+(** ["mutex"] / ["ring"] — the CLI spellings. *)
+
+val transport_of_string : string -> transport option
 
 module Make (A : Automaton.S) : sig
   type outcome = {
@@ -30,10 +55,19 @@ module Make (A : Automaton.S) : sig
     stopped_early : bool;  (** [stop] fired before [max_steps] *)
     stats : Transport.stats;  (** transport traffic counters *)
     wall_seconds : float;  (** wall-clock duration *)
+    sync_ops : int;
+        (** global synchronizations performed by the executor's own
+            coordination (pool task claims + joins) — excludes the
+            transport's. The pre-shard design paid one atomic
+            read-modify-write {e per step}; this counts rounds, and
+            is 0 in a [jobs = 1] run. *)
   }
 
   val exec :
     ?jobs:int ->
+    ?shards:int ->
+    ?transport:transport ->
+    ?capacity:int ->
     ?faults:Faults.t ->
     ?slice:int ->
     ?lambda_every:int ->
@@ -46,18 +80,26 @@ module Make (A : Automaton.S) : sig
     outcome
   (** [exec ~pattern ~fd ~inputs ~max_steps ()] runs all processes
       until [max_steps] total steps or until [stop states time] holds
-      at a round boundary.
+      at a round boundary. [step_count <= max_steps] always: rounds
+      that could overshoot fall back to an exactly-budgeted
+      sequential finishing round.
 
       [jobs] (default {!Pool.default_jobs}) is the domain count;
       [jobs <= 1] runs every slice inline on the calling domain — a
-      sequential but still slice-interleaved schedule. [slice]
-      (default 64) is how many consecutive steps one process takes
-      per round; smaller slices interleave more finely at more
+      sequential but still slice-interleaved schedule, identical for
+      both transports on fault specs both support. [shards] (default
+      [jobs], clamped to [\[1, n\]]) is the number of replica groups
+      domains claim as units. [transport] (default [Mutex]) selects
+      the backend; [capacity] is the ring's per-mailbox capacity.
+      [slice] (default 64) is how many consecutive steps one process
+      takes per round; smaller slices interleave more finely at more
       synchronization cost. [lambda_every] (default 8) forces every
       k-th step of a slice to receive lambda even when messages are
       pending, so a flooded process still takes the spontaneous steps
       protocols need for timeouts and retransmissions. Crashed
       processes ([pattern]) take no further steps from their crash
       tick onward. [fd p t] must be safe to call from any domain
-      ({!Fd.Oracle} queries are pure, so oracles qualify). *)
+      ({!Fd.Oracle} queries are pure, so oracles qualify).
+      @raise Invalid_argument on a bad [slice]/[lambda_every], or a
+      fault spec the chosen transport rejects. *)
 end

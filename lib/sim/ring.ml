@@ -1,0 +1,162 @@
+(* Bounded lock-free MPSC ring with per-slot sequence numbers and a
+   mutex-guarded overflow side-queue. See ring.mli and DESIGN.md §5i
+   for the ordering argument; the invariants relied on below:
+
+   - seq.(i) cycles pos -> pos+1 -> pos+capacity for each lap's
+     position [pos] landing on slot [i]; producers write the first
+     transition's successor (publish), the consumer the second
+     (consume). A slot's sequence never decreases.
+   - [tail] is the next claimable position (producers CAS it),
+     [head] the next consumable one (single consumer, plain field).
+   - Overflow routing: a producer goes to the overflow queue iff the
+     ring is full or [ovf_count > 0]; the consumer takes from the
+     overflow queue only when the ring is drained ([head = tail]).
+     Hence while the overflow queue is non-empty no younger message
+     enters the ring, and every ring entry predates every overflow
+     entry — FIFO per producer survives the spill. *)
+
+type 'a t = {
+  mask : int;
+  cap : int;
+  cells : 'a option array;
+  seq : int Atomic.t array;
+  tail : int Atomic.t;
+  mutable head : int; (* single consumer *)
+  pushed : int Atomic.t; (* total accepted (ring + overflow) *)
+  popped : int Atomic.t; (* total removed (ring + overflow) *)
+  ovf_lock : Mutex.t;
+  ovf : 'a Mailbox.t;
+  ovf_count : int Atomic.t;
+  retries : int Atomic.t;
+  locks : int Atomic.t;
+  spills : int Atomic.t;
+}
+
+let rec pow2 k n = if k >= n then k else pow2 (k * 2) n
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be > 0";
+  let cap = pow2 2 capacity in
+  {
+    mask = cap - 1;
+    cap;
+    cells = Array.make cap None;
+    seq = Array.init cap Atomic.make;
+    tail = Atomic.make 0;
+    head = 0;
+    pushed = Atomic.make 0;
+    popped = Atomic.make 0;
+    ovf_lock = Mutex.create ();
+    ovf = Mailbox.create ();
+    ovf_count = Atomic.make 0;
+    retries = Atomic.make 0;
+    locks = Atomic.make 0;
+    spills = Atomic.make 0;
+  }
+
+let capacity t = t.cap
+
+let push_overflow t x =
+  Atomic.incr t.locks;
+  Mutex.lock t.ovf_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.ovf_lock)
+    (fun () ->
+      Mailbox.enqueue t.ovf x;
+      (* made visible to producers only once the message is really
+         queued, so a positive count always means "older messages
+         exist" *)
+      Atomic.incr t.ovf_count);
+  Atomic.incr t.spills;
+  Atomic.incr t.pushed
+
+let rec push t x =
+  if Atomic.get t.ovf_count > 0 then push_overflow t x
+  else begin
+    let tail = Atomic.get t.tail in
+    let i = tail land t.mask in
+    let s = Atomic.get t.seq.(i) in
+    if s = tail then begin
+      if Atomic.compare_and_set t.tail tail (tail + 1) then begin
+        (* the claim is ours: the cell write below races with nothing
+           (the consumer waits for the publish, other producers own
+           other positions) *)
+        t.cells.(i) <- Some x;
+        Atomic.set t.seq.(i) (tail + 1);
+        Atomic.incr t.pushed
+      end
+      else begin
+        (* another producer won the position; take the next one *)
+        Atomic.incr t.retries;
+        Domain.cpu_relax ();
+        push t x
+      end
+    end
+    else if s < tail then
+      (* a full lap behind: the consumer has not freed this slot, the
+         ring is full — spill, never block on the consumer *)
+      push_overflow t x
+    else begin
+      (* s > tail: our tail read is stale; re-read and retry *)
+      Atomic.incr t.retries;
+      Domain.cpu_relax ();
+      push t x
+    end
+  end
+
+let pop_overflow t =
+  Atomic.incr t.locks;
+  Mutex.lock t.ovf_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.ovf_lock)
+    (fun () ->
+      match Mailbox.dequeue_oldest t.ovf with
+      | None -> None
+      | Some x ->
+        (* decremented only after the removal, so producers can only
+           over-estimate the overflow population — routing a message
+           to the overflow queue spuriously costs order preservation
+           nothing, routing it to the ring spuriously would *)
+        Atomic.decr t.ovf_count;
+        Atomic.incr t.popped;
+        Some x)
+
+let pop t =
+  let i = t.head land t.mask in
+  let s = Atomic.get t.seq.(i) in
+  if s = t.head + 1 then begin
+    let x = t.cells.(i) in
+    t.cells.(i) <- None;
+    (* free the slot for the lap [head + cap] *)
+    Atomic.set t.seq.(i) (t.head + t.cap);
+    t.head <- t.head + 1;
+    Atomic.incr t.popped;
+    x
+  end
+  else if t.head = Atomic.get t.tail && Atomic.get t.ovf_count > 0 then
+    (* ring fully drained (no outstanding claims): overflow entries
+       are now the oldest messages *)
+    pop_overflow t
+  else
+    (* empty, or the head claim is still unpublished by a slow
+       producer — report empty; the message is delivered on a later
+       pop once published *)
+    None
+
+let length t = max 0 (Atomic.get t.pushed - Atomic.get t.popped)
+let is_empty t = length t = 0
+
+let to_list t =
+  let acc = ref [] in
+  let h = ref t.head and tl = Atomic.get t.tail in
+  while !h < tl do
+    (match t.cells.(!h land t.mask) with
+    | Some x -> acc := x :: !acc
+    | None -> ());
+    incr h
+  done;
+  List.rev !acc @ Mailbox.to_list t.ovf
+
+let cas_retries t = Atomic.get t.retries
+let lock_ops t = Atomic.get t.locks
+let overflows t = Atomic.get t.spills

@@ -15,7 +15,26 @@ type stats = {
   reordered : int;
   delivered : int;
   mailbox_hwm : int;
+  lock_ops : int;
+  cas_retries : int;
 }
+
+module type CONCURRENT = sig
+  type 'a t
+
+  val create :
+    ?who:string -> ?capacity:int -> n:int -> faults:Faults.t -> unit -> 'a t
+
+  val send : 'a t -> src:Pid.t -> (Pid.t * 'a) list -> unit
+  val recv : 'a t -> Pid.t -> 'a Envelope.t option
+  val now : 'a t -> int
+  val tick : 'a t -> int
+  val n : 'a t -> int
+  val depth : 'a t -> Pid.t -> int
+  val note_delivered : 'a t -> unit
+  val undelivered : 'a t -> 'a Envelope.t list
+  val stats : 'a t -> stats
+end
 
 module Simulated = struct
   type 'a t = {
@@ -103,6 +122,8 @@ module Simulated = struct
       reordered = t.s_reordered;
       delivered = t.s_delivered;
       mailbox_hwm = t.s_hwm;
+      lock_ops = 0;
+      cas_retries = 0;
     }
 end
 
@@ -113,6 +134,9 @@ module Concurrent = struct
     c_who : string;
     locks : Mutex.t array;
     boxes : 'a Envelope.t Mailbox.t array;
+    lock_counts : int array;
+        (* per-mailbox lock acquisitions, incremented while holding
+           that mailbox's lock — exact and free of extra contention *)
     seqs : int Atomic.t array; (* per-sender message counter *)
     time : int Atomic.t;
     c_sent : int Atomic.t;
@@ -123,13 +147,14 @@ module Concurrent = struct
     c_hwm : int Atomic.t;
   }
 
-  let create ?(who = "exec") ~n ~faults () =
+  let create ?(who = "exec") ?capacity:_ ~n ~faults () =
     {
       c_n = n;
       c_faults = faults;
       c_who = who;
       locks = Array.init n (fun _ -> Mutex.create ());
       boxes = Array.init n (fun _ -> Mailbox.create ());
+      lock_counts = Array.make n 0;
       seqs = Array.init n (fun _ -> Atomic.make 0);
       time = Atomic.make 0;
       c_sent = Atomic.make 0;
@@ -166,6 +191,7 @@ module Concurrent = struct
           Fun.protect
             ~finally:(fun () -> Mutex.unlock lock)
             (fun () ->
+              t.lock_counts.(dst) <- t.lock_counts.(dst) + 1;
               let buf = t.boxes.(dst) in
               let len = Mailbox.length buf in
               let at = max 0 (len - v.Faults.displace) in
@@ -187,14 +213,18 @@ module Concurrent = struct
     Mutex.lock lock;
     Fun.protect
       ~finally:(fun () -> Mutex.unlock lock)
-      (fun () -> Mailbox.dequeue_oldest t.boxes.(p))
+      (fun () ->
+        t.lock_counts.(p) <- t.lock_counts.(p) + 1;
+        Mailbox.dequeue_oldest t.boxes.(p))
 
   let depth t p =
     let lock = t.locks.(p) in
     Mutex.lock lock;
     Fun.protect
       ~finally:(fun () -> Mutex.unlock lock)
-      (fun () -> Mailbox.length t.boxes.(p))
+      (fun () ->
+        t.lock_counts.(p) <- t.lock_counts.(p) + 1;
+        Mailbox.length t.boxes.(p))
 
   let note_delivered t = Atomic.incr t.c_delivered
 
@@ -209,5 +239,104 @@ module Concurrent = struct
       reordered = Atomic.get t.c_reordered;
       delivered = Atomic.get t.c_delivered;
       mailbox_hwm = Atomic.get t.c_hwm;
+      lock_ops = Array.fold_left ( + ) 0 t.lock_counts;
+      cas_retries = 0;
     }
 end
+
+(* The lock-free backend: one {!Ring} per destination. Same fault
+   semantics as [Concurrent] for drops, duplication and partitions
+   (verdicts are the same pure hashes); reorder displacement is a
+   mailbox-surgery operation the ring cannot express, so reordering
+   specs are rejected at [create] — the mutex backend remains the
+   oracle for those. *)
+module Ring_ = struct
+  type 'a t = {
+    r_n : int;
+    r_faults : Faults.t;
+    r_who : string;
+    rings : 'a Envelope.t Ring.t array;
+    seqs : int Atomic.t array; (* per-sender message counter *)
+    time : int Atomic.t;
+    r_sent : int Atomic.t;
+    r_delivered : int Atomic.t;
+    r_dropped : int Atomic.t;
+    r_duplicated : int Atomic.t;
+    r_hwm : int Atomic.t;
+  }
+
+  let default_capacity = 1024
+
+  let create ?(who = "ring") ?(capacity = default_capacity) ~n ~faults () =
+    if faults.Faults.reorder > 0 then
+      invalid_arg
+        (Printf.sprintf
+           "%s: reorder faults need indexed mailbox insertion; use the \
+            mutex transport"
+           who);
+    {
+      r_n = n;
+      r_faults = faults;
+      r_who = who;
+      rings = Array.init n (fun _ -> Ring.create ~capacity);
+      seqs = Array.init n (fun _ -> Atomic.make 0);
+      time = Atomic.make 0;
+      r_sent = Atomic.make 0;
+      r_delivered = Atomic.make 0;
+      r_dropped = Atomic.make 0;
+      r_duplicated = Atomic.make 0;
+      r_hwm = Atomic.make 0;
+    }
+
+  let now t = Atomic.get t.time
+  let tick t = Atomic.fetch_and_add t.time 1 + 1
+  let n t = t.r_n
+
+  let rec bump_max a v =
+    let cur = Atomic.get a in
+    if v > cur && not (Atomic.compare_and_set a cur v) then bump_max a v
+
+  let send t ~src payloads =
+    List.iter
+      (fun (dst, payload) ->
+        if not (Pid.valid ~n:t.r_n dst) then
+          invalid_arg
+            (Printf.sprintf "%s: send to invalid pid %d" t.r_who dst);
+        let seq = Atomic.fetch_and_add t.seqs.(src) 1 in
+        let time = Atomic.get t.time in
+        let env = { Envelope.src; dst; seq; sent_at = time; payload } in
+        Atomic.incr t.r_sent;
+        let v = Faults.verdict t.r_faults ~src ~dst ~seq ~time in
+        if v.Faults.copies = 0 then Atomic.incr t.r_dropped
+        else begin
+          let ring = t.rings.(dst) in
+          Ring.push ring env;
+          if v.Faults.copies = 2 then begin
+            Atomic.incr t.r_duplicated;
+            Ring.push ring env
+          end;
+          bump_max t.r_hwm (Ring.length ring)
+        end)
+      payloads
+
+  let recv t p = Ring.pop t.rings.(p)
+  let depth t p = Ring.length t.rings.(p)
+  let note_delivered t = Atomic.incr t.r_delivered
+  let undelivered t = Array.to_list t.rings |> List.concat_map Ring.to_list
+
+  let stats t =
+    {
+      sent = Atomic.get t.r_sent;
+      dropped = Atomic.get t.r_dropped;
+      duplicated = Atomic.get t.r_duplicated;
+      reordered = 0;
+      delivered = Atomic.get t.r_delivered;
+      mailbox_hwm = Atomic.get t.r_hwm;
+      lock_ops =
+        Array.fold_left (fun acc r -> acc + Ring.lock_ops r) 0 t.rings;
+      cas_retries =
+        Array.fold_left (fun acc r -> acc + Ring.cas_retries r) 0 t.rings;
+    }
+end
+
+module Ring = Ring_

@@ -7,7 +7,7 @@
     loop needs; everything else (scheduling policy, fault injection
     bookkeeping, trace recording) belongs to the loop driving it.
 
-    Two instances ship:
+    Three instances ship:
 
     - {!Simulated} — the deterministic single-domain transport behind
       {!Runner.Make}. It exposes, beyond {!S}, the surgical mailbox
@@ -15,12 +15,23 @@
       the fair scheduler's randomized delivery and the scripted mode's
       adversarial delivery need. Every run over it is a pure function
       of its arguments.
-    - {!Concurrent} — the multi-domain transport behind
+    - {!Concurrent} — the mutex multi-domain transport behind
       {!Executor.Make}: per-destination mailboxes behind mutexes,
       send/receive counters in atomics, and a global logical clock
       advanced by {!Concurrent.tick}. Same fault semantics, real
       parallelism, no determinism of interleaving (see DESIGN.md §5e
       for the exact boundary).
+    - {!Ring} — the lock-free multi-domain transport: one bounded
+      MPSC {!Sim.Ring} per destination (CAS producers, single
+      consumer, lossless overflow side-queue), same counters and
+      clock discipline as {!Concurrent} but no mutex on the message
+      hot path (DESIGN.md §5i). Reordering fault specs are rejected —
+      displacement is mailbox surgery the ring cannot express — so
+      the mutex backend stays the differential-testing oracle.
+
+    {!Concurrent} and {!Ring} implement the common {!CONCURRENT}
+    signature, which is what {!Executor.Make} is parameterized
+    over.
 
     Both instances apply {!Faults} verdicts at send time from the pure
     hash of the message identity [(src, dst, seq, send time)] — never
@@ -51,10 +62,63 @@ type stats = {
   reordered : int;  (** messages inserted ahead of queued ones *)
   delivered : int;  (** receives acknowledged via [note_delivered] *)
   mailbox_hwm : int;  (** deepest any single mailbox ever got *)
+  lock_ops : int;
+      (** mutex acquisitions on the message path: one per send,
+          receive and depth probe for {!Concurrent}; overflow-spill
+          acquisitions only for {!Ring}; 0 for {!Simulated} *)
+  cas_retries : int;
+      (** failed/stale CAS attempts in {!Ring} producers — the
+          lock-free backend's contention measure; 0 elsewhere *)
 }
-(** Counter snapshot, shared by both instances. The conservation law
+(** Counter snapshot, shared by all instances. The conservation law
     [sent - dropped + duplicated = delivered + pending-at-stop] holds
     whenever every delivery was acknowledged. *)
+
+(** The interface shared by the multi-domain transports — what
+    {!Executor.Make} needs, with construction included so the
+    executor can be instantiated per backend. *)
+module type CONCURRENT = sig
+  type 'a t
+
+  val create :
+    ?who:string ->
+    ?capacity:int ->
+    n:int ->
+    faults:Faults.t ->
+    unit ->
+    'a t
+  (** [capacity] is the per-mailbox ring capacity for {!Ring}
+      (default 1024, rounded up to a power of two); ignored by
+      {!Concurrent}, whose mailboxes are unbounded.
+      @raise Invalid_argument on a fault spec the backend cannot
+      express (reordering, for {!Ring}). *)
+
+  val send : 'a t -> src:Procset.Pid.t -> (Procset.Pid.t * 'a) list -> unit
+  (** Safe from any domain. The per-sender sequence number is drawn
+      atomically. Callers stepping one process from one domain at a
+      time (the executor's invariant) get per-sender FIFO [seq]
+      order. *)
+
+  val recv : 'a t -> Procset.Pid.t -> 'a Envelope.t option
+  (** For {!Ring}, only the domain currently driving process [p] may
+      call [recv t p] — the single-consumer side of the MPSC ring.
+      The executor's shard pinning guarantees this. *)
+
+  val now : 'a t -> int
+
+  val tick : 'a t -> int
+  (** Atomically advance the global clock and return the {e new} time
+      — each executor step owns a distinct tick. *)
+
+  val n : 'a t -> int
+  val depth : 'a t -> Procset.Pid.t -> int
+  val note_delivered : 'a t -> unit
+
+  val undelivered : 'a t -> 'a Envelope.t list
+  (** Call only when no other domain is active (after a join). *)
+
+  val stats : 'a t -> stats
+end
 
 (** The deterministic transport: single-domain, mutable, owned by one
     scheduler loop. Time starts at 1 and advances only via {!tick}. *)
@@ -102,32 +166,18 @@ module Simulated : sig
   val stats : 'a t -> stats
 end
 
-(** The concurrent transport: any domain may send to or receive for
-    any process. Time is a global atomic tick. *)
-module Concurrent : sig
-  type 'a t
+module Concurrent : CONCURRENT
+(** The mutex transport: any domain may send to or receive for any
+    process; each destination mailbox is guarded by its own mutex.
+    Time is a global atomic tick. Supports every fault spec —
+    including reorder displacement — which makes it the equivalence
+    oracle the ring backend is differentially tested against. *)
 
-  val create : ?who:string -> n:int -> faults:Faults.t -> unit -> 'a t
-
-  val send : 'a t -> src:Procset.Pid.t -> (Procset.Pid.t * 'a) list -> unit
-  (** Safe from any domain. The per-sender sequence number is drawn
-      atomically; the destination mailbox is mutated under its own
-      mutex. Callers stepping one process from one domain at a time
-      (the executor's invariant) get per-sender FIFO [seq] order. *)
-
-  val recv : 'a t -> Procset.Pid.t -> 'a Envelope.t option
-  val now : 'a t -> int
-
-  val tick : 'a t -> int
-  (** Atomically advance the global clock and return the {e new} time
-      — each executor step owns a distinct tick. *)
-
-  val n : 'a t -> int
-  val depth : 'a t -> Procset.Pid.t -> int
-  val note_delivered : 'a t -> unit
-
-  val undelivered : 'a t -> 'a Envelope.t list
-  (** Call only when no other domain is active (after a join). *)
-
-  val stats : 'a t -> stats
-end
+module Ring : CONCURRENT
+(** The lock-free transport: one bounded MPSC {!Sim.Ring} per
+    destination. Sends are CAS claims on the destination ring (no
+    mutex unless the ring overflows to its lossless side-queue);
+    receives are single-consumer pops by whichever domain is driving
+    the destination process. Per-link FIFO and the conservation law
+    are preserved by construction (see ring.mli); [create] rejects
+    reordering fault specs. *)

@@ -1,5 +1,14 @@
 open Procset
 
+type read_mode = Read_log | Read_snapshot
+
+let read_mode_name = function Read_log -> "log" | Read_snapshot -> "snapshot"
+
+let read_mode_of_string = function
+  | "log" -> Some Read_log
+  | "snapshot" | "snap" -> Some Read_snapshot
+  | _ -> None
+
 type config = {
   n : int;
   clients : int;
@@ -15,6 +24,12 @@ type config = {
   faults : Sim.Faults.t;
   crashes : (Pid.t * int) list;
   continuous_check : bool;
+  transport : Sim.Executor.transport;
+  shards : int;
+  ring_capacity : int;
+  reads : int;
+  read_mode : read_mode;
+  publish_every : int;
 }
 
 let default =
@@ -33,6 +48,12 @@ let default =
     faults = Sim.Faults.none;
     crashes = [];
     continuous_check = false;
+    transport = Sim.Executor.Mutex;
+    shards = 0;
+    ring_capacity = 1024;
+    reads = 0;
+    read_mode = Read_log;
+    publish_every = 8;
   }
 
 type outcome = {
@@ -49,6 +70,17 @@ type outcome = {
   o_log : Consensus.Value.t list;
   o_log_base : int;
   o_sent : int;
+  o_reads : int;
+  o_reads_per_sec : float;
+  o_read_p50_us : float;
+  o_read_p99_us : float;
+  o_read_digest : int;
+  o_stale_max : int;
+  o_stale_bound : int;
+  o_snapshots : int;
+  o_lock_ops : int;
+  o_cas_retries : int;
+  o_sync_ops : int;
 }
 
 let validate cfg =
@@ -57,6 +89,12 @@ let validate cfg =
   if cfg.commands_per_client < 1 then
     invalid_arg "Load: commands_per_client must be >= 1";
   if cfg.target_slots < 1 then invalid_arg "Load: target_slots must be >= 1";
+  if cfg.reads < 0 then invalid_arg "Load: reads must be >= 0";
+  if cfg.publish_every < 1 then
+    invalid_arg "Load: publish_every must be >= 1";
+  if cfg.shards < 0 then invalid_arg "Load: shards must be >= 0";
+  if cfg.ring_capacity < 1 then
+    invalid_arg "Load: ring_capacity must be >= 1";
   (* command values are 1 + k*clients + c, so the largest is exactly
      clients * commands_per_client *)
   if cfg.batch > 1 && cfg.clients * cfg.commands_per_client > Smr.Batch.max_command
@@ -136,6 +174,15 @@ module Driver (S : Smr.S) = struct
     mutable max_open : int;
     mutable divergent : bool;
     mutable last_t : int;
+    (* read-serving state: the coordinator serves reads at round
+       boundaries, interleaved with the replicated write workload *)
+    store : Snapshot.Store.t;
+    read_lat : float array;  (* per-read latency estimates, seconds *)
+    mutable reads_done : int;
+    mutable read_wall : float;
+    mutable read_digest : int;
+    mutable stale_max : int;
+    mutable last_pub : int;  (* decided count at the last publish *)
   }
 
   let check_pairwise tr st live =
@@ -149,11 +196,59 @@ module Driver (S : Smr.S) = struct
     in
     go live
 
+  (* Read service, interleaved with the write workload at round
+     boundaries. Reads are paced by decided-slot progress (the whole
+     budget is due by the time the target is reached), so staleness is
+     sampled across the run, not at one instant. In snapshot mode the
+     publisher runs first — publish-before-reads is what bounds every
+     read's staleness by [publish_every - 1] decided slots. Latencies
+     are chunk-timed: one clock read per chunk, divided out, because a
+     single snapshot read is far below the clock's resolution. *)
+  let serve_reads cfg tr sref t =
+    if cfg.reads > 0 then begin
+      let dec = S.slots_decided sref in
+      (match cfg.read_mode with
+      | Read_snapshot
+        when tr.last_pub < 0 || dec - tr.last_pub >= cfg.publish_every ->
+          ignore (Snapshot.Store.publish tr.store (S.snapshot sref ~tick:t));
+          tr.last_pub <- dec
+      | _ -> ());
+      let due = cfg.reads * min dec cfg.target_slots / cfg.target_slots in
+      let chunk = min due cfg.reads - tr.reads_done in
+      if chunk > 0 then begin
+        let t0 = Sim.Clock.now () in
+        (match cfg.read_mode with
+        | Read_log ->
+            for _ = 1 to chunk do
+              tr.read_digest <-
+                tr.read_digest lxor S.log_digest sref lxor S.slots_decided sref
+            done
+        | Read_snapshot ->
+            for _ = 1 to chunk do
+              match Snapshot.Store.current tr.store with
+              | None -> ()
+              | Some snap ->
+                  tr.read_digest <-
+                    tr.read_digest lxor snap.Snapshot.digest
+                    lxor snap.Snapshot.version;
+                  let stale = dec - snap.Snapshot.version in
+                  if stale > tr.stale_max then tr.stale_max <- stale
+            done);
+        let el = Sim.Clock.elapsed t0 in
+        tr.read_wall <- tr.read_wall +. el;
+        let per = el /. float_of_int chunk in
+        for i = tr.reads_done to tr.reads_done + chunk - 1 do
+          tr.read_lat.(i) <- per
+        done;
+        tr.reads_done <- tr.reads_done + chunk
+      end
+    end
+
   (* The stop predicate doubles as the run's observer: it records slot
      completion times at the reference replica, the open-instance
-     high-water mark, and (optionally) pairwise consistency — both
-     substrates call it at round boundaries, where all states are
-     safely readable. *)
+     high-water mark, (optionally) pairwise consistency, and serves
+     the read workload — both substrates call it at round boundaries,
+     where all states are safely readable. *)
   let observe cfg pattern tr st t =
     tr.last_t <- max tr.last_t t;
     let correct = Sim.Failure_pattern.correct pattern in
@@ -166,11 +261,13 @@ module Driver (S : Smr.S) = struct
       (fun p -> tr.max_open <- max tr.max_open (S.open_instances (st p)))
       live;
     if cfg.continuous_check then check_pairwise tr st live;
-    let d = min (S.slots_decided (st (Pset.min_elt correct))) cfg.target_slots in
+    let sref = st (Pset.min_elt correct) in
+    let d = min (S.slots_decided sref) cfg.target_slots in
     while tr.recorded < d do
       tr.recorded <- tr.recorded + 1;
       tr.comp.(tr.recorded) <- t
     done;
+    serve_reads cfg tr sref t;
     Pset.for_all (fun p -> S.slots_decided (st p) >= cfg.target_slots) correct
 
   let percentile gaps q =
@@ -180,7 +277,8 @@ module Driver (S : Smr.S) = struct
       let rank = int_of_float (ceil (q *. float_of_int m)) - 1 in
       float_of_int gaps.(max 0 (min (m - 1) rank))
 
-  let finish cfg ~pattern ~tr ~states ~steps ~ticks ~wall ~sent =
+  let finish cfg ~pattern ~tr ~states ~steps ~ticks ~wall ~sent ~lock_ops
+      ~cas_retries ~sync_ops =
     let correct = Sim.Failure_pattern.correct pattern in
     let live = Pset.elements correct in
     check_pairwise tr (fun p -> states.(p)) live;
@@ -189,6 +287,15 @@ module Driver (S : Smr.S) = struct
       Array.init tr.recorded (fun i -> tr.comp.(i + 1) - tr.comp.(i))
     in
     Array.sort compare gaps;
+    let rl = Array.sub tr.read_lat 0 tr.reads_done in
+    Array.sort compare rl;
+    let read_pct q =
+      let m = Array.length rl in
+      if m = 0 then 0.
+      else
+        let rank = int_of_float (ceil (q *. float_of_int m)) - 1 in
+        rl.(max 0 (min (m - 1) rank)) *. 1e6
+    in
     {
       o_reached =
         Pset.for_all
@@ -206,6 +313,22 @@ module Driver (S : Smr.S) = struct
       o_log = S.log sref;
       o_log_base = S.log_base sref;
       o_sent = sent;
+      o_reads = tr.reads_done;
+      o_reads_per_sec =
+        (if tr.read_wall > 0. then float_of_int tr.reads_done /. tr.read_wall
+         else 0.);
+      o_read_p50_us = read_pct 0.50;
+      o_read_p99_us = read_pct 0.99;
+      o_read_digest = tr.read_digest;
+      o_stale_max = tr.stale_max;
+      o_stale_bound =
+        (match cfg.read_mode with
+        | Read_snapshot when cfg.reads > 0 -> cfg.publish_every - 1
+        | _ -> 0);
+      o_snapshots = Snapshot.Store.published tr.store;
+      o_lock_ops = lock_ops;
+      o_cas_retries = cas_retries;
+      o_sync_ops = sync_ops;
     }
 
   let setup cfg =
@@ -222,6 +345,13 @@ module Driver (S : Smr.S) = struct
         max_open = 0;
         divergent = false;
         last_t = 0;
+        store = Snapshot.Store.make ();
+        read_lat = Array.make cfg.reads 0.;
+        reads_done = 0;
+        read_wall = 0.;
+        read_digest = 0;
+        stale_max = -1;
+        last_pub = -1;
       }
     in
     (pattern, oracle, tr)
@@ -235,18 +365,24 @@ module Driver (S : Smr.S) = struct
     in
     finish cfg ~pattern ~tr ~states:run.R.states ~steps:run.R.step_count
       ~ticks:run.R.step_count ~wall:run.R.metrics.Sim.Runner.wall_seconds
-      ~sent:run.R.messages_sent
+      ~sent:run.R.messages_sent ~lock_ops:0 ~cas_retries:0 ~sync_ops:0
 
   let exec ~jobs cfg =
     let pattern, oracle, tr = setup cfg in
     let out =
-      E.exec ~jobs ~faults:cfg.faults ~stop:(observe cfg pattern tr) ~pattern
+      E.exec ~jobs
+        ?shards:(if cfg.shards > 0 then Some cfg.shards else None)
+        ~transport:cfg.transport ~capacity:cfg.ring_capacity
+        ~faults:cfg.faults ~stop:(observe cfg pattern tr) ~pattern
         ~fd:oracle.Fd.Oracle.query ~inputs:(commands_for cfg)
         ~max_steps:cfg.max_steps ()
     in
     finish cfg ~pattern ~tr ~states:out.E.states ~steps:out.E.step_count
       ~ticks:out.E.final_time ~wall:out.E.wall_seconds
       ~sent:out.E.stats.Sim.Transport.sent
+      ~lock_ops:out.E.stats.Sim.Transport.lock_ops
+      ~cas_retries:out.E.stats.Sim.Transport.cas_retries
+      ~sync_ops:out.E.sync_ops
 end
 
 let run_sim cfg =

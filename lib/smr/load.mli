@@ -18,7 +18,25 @@
     slot proposal, and {e applied} when its slot's decision is
     harvested. Decision latency is measured at the reference replica
     (the smallest correct pid) as the gap, in logical ticks, between
-    consecutive slot completions. *)
+    consecutive slot completions.
+
+    A read workload can ride along ([reads > 0]): the coordinator
+    serves read-only queries against the reference replica at round
+    boundaries, paced by decided-slot progress. [Read_log] recomputes
+    the full-log digest from live state per read ([O(retained)]);
+    [Read_snapshot] reads the newest {!Snapshot.t} from a lock-free
+    {!Snapshot.Store} (an atomic load), republished every
+    [publish_every] decided slots {e before} the boundary's reads —
+    which bounds every read's staleness by [publish_every - 1] slots
+    (checked: [o_stale_max <= o_stale_bound]). *)
+
+type read_mode = Read_log | Read_snapshot
+
+val read_mode_name : read_mode -> string
+(** ["log"] / ["snapshot"] — the CLI spellings. *)
+
+val read_mode_of_string : string -> read_mode option
+(** Accepts ["log"], ["snapshot"], and ["snap"]. *)
 
 type config = {
   n : int;  (** replicas *)
@@ -38,13 +56,24 @@ type config = {
       (** check pairwise live-log consistency at every round boundary
           (not just at the end) — O(n² · retained) per round, meant
           for tests, not throughput measurement *)
+  transport : Sim.Executor.transport;
+      (** executor backend ({!run_exec} only): mutex-per-mailbox
+          oracle or lock-free ring *)
+  shards : int;  (** executor shard count; 0 means "match jobs" *)
+  ring_capacity : int;  (** per-mailbox ring slots (ring transport) *)
+  reads : int;  (** read-only queries to serve across the run *)
+  read_mode : read_mode;
+  publish_every : int;
+      (** snapshot republish cadence, in decided slots ([>= 1]) *)
 }
 
 val default : config
 (** [n 3; clients 100; commands_per_client 4; batch 1; pipeline 1;
     window 64; retain 128; horizon 64; target_slots 50;
     max_steps 1_000_000; seed 0; no faults; no crashes;
-    no continuous check]. *)
+    no continuous check; transport Mutex; shards 0;
+    ring_capacity 1024; reads 0; read_mode Read_log;
+    publish_every 8]. *)
 
 type outcome = {
   o_reached : bool;  (** every correct replica hit [target_slots] *)
@@ -63,6 +92,33 @@ type outcome = {
   o_log : Consensus.Value.t list;  (** reference replica's retained log *)
   o_log_base : int;  (** its compaction base *)
   o_sent : int;  (** transport-level messages sent *)
+  o_reads : int;  (** read queries actually served *)
+  o_reads_per_sec : float;
+      (** reads over the wall time spent inside read chunks only (the
+          write workload's time is excluded) *)
+  o_read_p50_us : float;  (** median per-read latency, microseconds *)
+  o_read_p99_us : float;
+      (** 99th-percentile per-read latency, microseconds. Chunk-timed:
+          reads are served in chunks of one clock read each, so
+          percentiles resolve chunk-level, not single-read, noise. *)
+  o_read_digest : int;
+      (** XOR-fold of every read's [(digest, version)] — consumed so
+          reads cannot be optimized away, and equal across runs with
+          equal schedules *)
+  o_stale_max : int;
+      (** worst staleness any read observed, in decided slots; [-1] if
+          no snapshot read was served *)
+  o_stale_bound : int;
+      (** the declared bound [publish_every - 1] (snapshot mode with
+          reads; 0 otherwise) — a run is correct only if
+          [o_stale_max <= o_stale_bound] *)
+  o_snapshots : int;  (** snapshots published to the store *)
+  o_lock_ops : int;
+      (** transport mutex acquisitions ({!run_exec}; 0 under
+          {!run_sim}) — the mutex backend pays one per send/recv
+          probe, the ring only on overflow spills *)
+  o_cas_retries : int;  (** failed transport CAS attempts (ring) *)
+  o_sync_ops : int;  (** executor coordination ops (pool claims + joins) *)
 }
 
 val commands_for : config -> Procset.Pid.t -> Consensus.Value.t list

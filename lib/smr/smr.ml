@@ -77,6 +77,8 @@ module type S = sig
   val batches : state -> Consensus.Value.t list list
   val log_base : state -> int
   val snapshot_digest : state -> int
+  val log_digest : state -> int
+  val snapshot : state -> tick:int -> Snapshot.t
   val slots_decided : state -> int
   val commands_applied : state -> int
   val current_slot : state -> int
@@ -256,7 +258,9 @@ module Make_tuned (T : TUNING) (C : CONSENSUS) : S = struct
 
   (* ---------------- harvest / compaction / retirement ---------------- *)
 
-  let mix h c = (h * 1000003) lxor c
+  (* shared with the read path: Snapshot.digest_of must extend this
+     very function for log-read and snapshot-read digests to agree *)
+  let mix = Snapshot.mix
 
   let apply_decided st v =
     let decided = decode_batch v in
@@ -470,6 +474,15 @@ module Make_tuned (T : TUNING) (C : CONSENSUS) : S = struct
   let log st = List.concat (batches st)
   let log_base st = st.base
   let snapshot_digest st = st.digest
+
+  (* the log-mode read primitive: recomputes the full-log digest from
+     the live state on every call — O(retained suffix) *)
+  let log_digest st = Snapshot.digest_of ~prefix_digest:st.digest (batches st)
+
+  let snapshot st ~tick =
+    Snapshot.build ~version:st.decided_count ~base:st.base
+      ~ops:st.applied_cmds ~prefix_digest:st.digest ~batches:(batches st)
+      ~tick
   let slots_decided st = st.decided_count
   let commands_applied st = st.applied_cmds
   let current_slot st = st.slot

@@ -120,6 +120,19 @@ module type S = sig
   (** Order-sensitive digest of the compacted prefix: two replicas
       with equal [log_base] must have equal digests. *)
 
+  val log_digest : state -> int
+  (** Full-log digest: {!snapshot_digest} folded over the retained
+      suffix with {!Snapshot.mix}. Recomputed from the live state on
+      every call — the [O(retained)] log-mode read path the snapshot
+      store exists to shortcut. Equal to [(snapshot st ~tick).digest]
+      for any [tick]. *)
+
+  val snapshot : state -> tick:int -> Snapshot.t
+  (** Freeze the applied log into an immutable read snapshot
+      ([version] = {!slots_decided}, [digest] = {!log_digest}),
+      stamped with the build tick. One [O(retained)] digest fold;
+      the retained batches are shared, not copied. *)
+
   val slots_decided : state -> int
   (** Slots this replica has decided and applied — O(1) and immune
       to compaction (the count of a truncated list would not be). *)

@@ -1,0 +1,76 @@
+(** Versioned, immutable read snapshots of a replicated log, and the
+    lock-free store that serves them.
+
+    The write path of {!Smr} answers queries from the full replica
+    state; a query that tolerates a bounded divergence window does
+    not need that. A {!t} freezes everything the read path serves —
+    the decided-slot count, the applied-command count, and the
+    {e full-log digest} (the compacted-prefix digest folded over the
+    retained suffix with the same {!mix} the compactor uses) — as
+    plain immutable fields, so serving a read is a pointer load plus
+    field reads, independent of log length. Snapshots are built at
+    compaction-boundary cadence (every [publish_every] decided slots
+    in {!Load}), which amortizes the one [O(retained)] digest fold
+    over the window.
+
+    Staleness is measured in decided slots: a snapshot at [version]
+    [v] read while the live replica has decided [d] slots is [d - v]
+    stale. A publisher that re-publishes whenever the live replica
+    has advanced [publish_every] slots past the stored version — and
+    does so before serving the boundary's reads — bounds every read's
+    staleness by [publish_every - 1] (DESIGN.md §5i). *)
+
+type t = {
+  version : int;  (** slots decided when the snapshot was built *)
+  base : int;  (** compaction base: slots digested below the suffix *)
+  ops : int;  (** non-noop commands applied *)
+  digest : int;
+      (** full-log digest: prefix digest folded over the retained
+          suffix — equals {!Smr.S.log_digest} of the state it was
+          built from *)
+  log_len : int;  (** retained slots represented ([version - base]) *)
+  batches : Consensus.Value.t list list;
+      (** the retained suffix at build time, one batch per slot,
+          oldest first — shared immutable structure, not a copy *)
+  built_at : int;  (** logical tick of the build *)
+}
+
+val mix : int -> int -> int
+(** The digest step shared with {!Smr}'s compactor:
+    [mix h c = (h * 1000003) lxor c]. *)
+
+val digest_of : prefix_digest:int -> Consensus.Value.t list list -> int
+(** Fold the prefix digest over retained batches, oldest first — the
+    [O(retained)] walk the log-mode read path pays per read and the
+    snapshot build pays once. *)
+
+val build :
+  version:int ->
+  base:int ->
+  ops:int ->
+  prefix_digest:int ->
+  batches:Consensus.Value.t list list ->
+  tick:int ->
+  t
+
+(** One-cell snapshot store with a lock-free keep-newest swap: any
+    number of reading domains, any number of publishing domains. *)
+module Store : sig
+  type snapshot = t
+  type t
+
+  val make : unit -> t
+  (** Empty store — {!current} is [None] until the first publish. *)
+
+  val publish : t -> snapshot -> bool
+  (** Swap in the snapshot iff it is strictly newer (by [version])
+      than the stored one — a CAS loop, never a lock. Returns whether
+      the swap happened; a concurrent publish of an even newer
+      snapshot wins, and losing is not an error. *)
+
+  val current : t -> snapshot option
+  (** The newest published snapshot: one atomic load. *)
+
+  val published : t -> int
+  (** Successful publishes so far. *)
+end

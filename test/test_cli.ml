@@ -332,6 +332,40 @@ let test_mc_corrupt_selftest_requires_resume () =
   Alcotest.(check bool) "explains the missing flag" true
     (contains out "requires --resume")
 
+(* serve with the ring transport and snapshot-served reads: exits 0,
+   prints a B14 row, and the JSON gains the b14_ring fragment next to
+   b10_serve — the same invocation shape the serve-smoke CI step
+   drives. *)
+let test_serve_ring_snapshot_reads () =
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "serve_ring_%d.json" (Unix.getpid ()))
+  in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let code, out =
+        run_cli_status
+          [
+            "serve"; "--clients"; "10"; "--slots"; "30"; "--jobs"; "1";
+            "--transport"; "ring"; "--reads"; "200"; "--read-mode";
+            "snapshot"; "--publish-every"; "4"; "--json"; path;
+          ]
+      in
+      Alcotest.(check int) "serve ring/snapshot exits 0" 0 code;
+      Alcotest.(check bool) "prints a ring B14 row" true
+        (contains out "ring   snapshot");
+      let ic = open_in path in
+      let json = read_all ic in
+      close_in ic;
+      Alcotest.(check bool) "b10_serve fragment" true
+        (contains json "\"b10_serve\"");
+      Alcotest.(check bool) "b14_ring fragment" true
+        (contains json "\"b14_ring\"");
+      Alcotest.(check bool) "stale_ok is true" true
+        (contains json "\"stale_ok\": true"))
+
 let () =
   Alcotest.run "cli"
     [
@@ -376,5 +410,10 @@ let () =
             test_mc_corrupt_checkpoint_rejected;
           Alcotest.test_case "corrupt selftest requires --resume" `Quick
             test_mc_corrupt_selftest_requires_resume;
+        ] );
+      ( "serve",
+        [
+          Alcotest.test_case "ring + snapshot reads" `Quick
+            test_serve_ring_snapshot_reads;
         ] );
     ]

@@ -243,6 +243,7 @@ let test_schema_keys () =
       "b11_dpor";
       "b12_codec";
       "b13_quorum";
+      "b14_ring";
       "b4_micro";
       "run_metrics";
     ]
@@ -346,6 +347,74 @@ let test_b10_row_golden () =
     | _ -> Alcotest.fail "divergent: not false")
   | _ -> Alcotest.fail "b10 rows must re-parse as a one-object list"
 
+(* One b14_ring row through the real emitter
+   (Experiments.json_of_b14_rows — shared by bench/main.ml and
+   nuc_cli serve), pinning the row shape byte for byte. *)
+let b14_row : Experiments.b14_row =
+  {
+    b14_transport = "ring";
+    b14_read_mode = "snapshot";
+    b14_jobs = 2;
+    b14_slots = 120;
+    b14_ops = 120;
+    b14_ops_per_sec = 64.;
+    b14_reads = 20000;
+    b14_reads_per_sec = 12000000.;
+    b14_read_p50_us = 0.0625;
+    b14_read_p99_us = 0.5;
+    b14_stale_max = 7;
+    b14_stale_bound = 7;
+    b14_snapshots = 16;
+    b14_lock_ops = 0;
+    b14_cas_retries = 3;
+    b14_sync_ops = 2523;
+    b14_divergent = false;
+    b14_stale_ok = true;
+  }
+
+let b14_golden =
+  "[\n\
+  \  {\n\
+  \    \"transport\": \"ring\",\n\
+  \    \"read_mode\": \"snapshot\",\n\
+  \    \"jobs\": 2,\n\
+  \    \"slots\": 120,\n\
+  \    \"ops\": 120,\n\
+  \    \"ops_per_sec\": 64,\n\
+  \    \"reads\": 20000,\n\
+  \    \"reads_per_sec\": 12000000,\n\
+  \    \"read_p50_us\": 0.0625,\n\
+  \    \"read_p99_us\": 0.5,\n\
+  \    \"stale_max\": 7,\n\
+  \    \"stale_bound\": 7,\n\
+  \    \"snapshots\": 16,\n\
+  \    \"lock_ops\": 0,\n\
+  \    \"cas_retries\": 3,\n\
+  \    \"sync_ops\": 2523,\n\
+  \    \"divergent\": false,\n\
+  \    \"stale_ok\": true\n\
+  \  }\n\
+   ]\n"
+
+let test_b14_row_golden () =
+  let s = Report.to_string (Experiments.json_of_b14_rows [ b14_row ]) in
+  Alcotest.(check string) "b14 row serialized form is pinned" b14_golden s;
+  match parse s with
+  | JList [ JObj kvs ] ->
+    Alcotest.(check (list string))
+      "b14 row keys"
+      [
+        "transport"; "read_mode"; "jobs"; "slots"; "ops"; "ops_per_sec";
+        "reads"; "reads_per_sec"; "read_p50_us"; "read_p99_us"; "stale_max";
+        "stale_bound"; "snapshots"; "lock_ops"; "cas_retries"; "sync_ops";
+        "divergent"; "stale_ok";
+      ]
+      (List.map fst kvs);
+    (match List.assoc "stale_ok" kvs with
+    | JBool true -> ()
+    | _ -> Alcotest.fail "stale_ok: not true")
+  | _ -> Alcotest.fail "b14 rows must re-parse as a one-object list"
+
 let () =
   Alcotest.run "report"
     [
@@ -356,5 +425,6 @@ let () =
           Alcotest.test_case "schema keys" `Quick test_schema_keys;
           Alcotest.test_case "b9 row pinned" `Quick test_b9_row_golden;
           Alcotest.test_case "b10 row pinned" `Quick test_b10_row_golden;
+          Alcotest.test_case "b14 row pinned" `Quick test_b14_row_golden;
         ] );
     ]
